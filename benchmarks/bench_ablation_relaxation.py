@@ -1,0 +1,59 @@
+"""Ablation — relaxed near-worst-case inputs (paper Conclusion, item 3).
+
+The paper argues many permutations besides the canonical one incur
+significant conflicts. This bench sweeps the relaxation knob from 0 (the
+constructed worst case) to 1 (mostly benign) and reports the simulated
+shared-cycle cost, demonstrating the whole family of damaging inputs.
+"""
+
+import numpy as np
+from conftest import record
+
+from repro.adversary.assignment import construct_warp_assignment
+from repro.adversary.family import family_size_log2, relaxed_assignment
+from repro.adversary.permutation import worst_case_permutation
+from repro.sort.config import SortConfig
+from repro.sort.pairwise import PairwiseMergeSort
+
+CFG = SortConfig(elements_per_thread=15, block_size=64, warp_size=32)
+N = CFG.tile_size * 16
+
+
+def cycles_for(assignment):
+    perm = worst_case_permutation(CFG, N, assignment=assignment)
+    result = PairwiseMergeSort(CFG).sort(perm, score_blocks=4)
+    return result.total_shared_cycles()
+
+
+def test_relaxation_sweep(benchmark):
+    wa = construct_warp_assignment(CFG.w, CFG.E)
+    fractions = [0.0, 0.25, 0.5, 0.75, 1.0]
+
+    def sweep():
+        return [cycles_for(relaxed_assignment(wa, f, seed=1)) for f in fractions]
+
+    cycles = benchmark(sweep)
+    rng = np.random.default_rng(0)
+    random_cycles = PairwiseMergeSort(CFG).sort(
+        rng.permutation(N), score_blocks=4
+    ).total_shared_cycles()
+
+    assert cycles[0] == max(cycles)
+    assert cycles[0] > cycles[-1]
+    for f, c in zip(fractions, cycles):
+        record(
+            f"Ablate relax={f:4.2f}: shared cycles {c:,.0f} "
+            f"({c / random_cycles:.2f}x random)"
+        )
+    # Even half-relaxed inputs stay clearly worse than random.
+    assert cycles[2] > 1.1 * random_cycles
+
+
+def test_family_is_large(benchmark):
+    wa = construct_warp_assignment(32, 15)
+    bits = benchmark(family_size_log2, wa)
+    assert bits > 20
+    record(
+        f"Ablate permutation family: >= 2^{bits:.0f} equal-damage variants "
+        "per warp (Conclusion item 2)"
+    )

@@ -1,0 +1,63 @@
+"""Baseline — oblivious bitonic sort vs the attacked pairwise merge sort.
+
+Extension beyond the paper: bitonic sort's access schedule is data-
+oblivious, so the constructed worst-case inputs cannot touch it. The
+question the paper's Section I raises — is the robustness worth the extra
+work? — gets a quantitative answer here: even on its worst-case input the
+pairwise merge sort stays cheaper in serialized shared cycles than bitonic
+at realistic sizes (Θ(N log N) with E² rounds vs Θ(N log² N) with the
+low-distance conflicts bitonic always pays).
+"""
+
+import numpy as np
+from conftest import record
+
+from repro.adversary.permutation import worst_case_permutation
+from repro.sort.bitonic import BitonicSort
+from repro.sort.config import SortConfig
+from repro.sort.pairwise import PairwiseMergeSort
+
+W = 32
+N = 1 << 18
+
+
+def test_bitonic_is_immune(benchmark):
+    cfg = SortConfig(elements_per_thread=4, block_size=64, warp_size=W)
+    n = cfg.tile_size * 1024  # 2^18, power of two -> valid for both
+    adversarial = worst_case_permutation(cfg, n)
+    bitonic = BitonicSort(block_size=256, warp_size=W)
+
+    adv = benchmark.pedantic(lambda: bitonic.sort(adversarial), rounds=2,
+                             iterations=1)
+    rand = bitonic.sort(np.random.default_rng(0).permutation(n))
+    assert adv.total_shared_cycles() == rand.total_shared_cycles()
+    record(
+        f"Bitonic obliviousness: adversarial and random inputs cost an "
+        f"identical {adv.total_shared_cycles() / n:.2f} shared cycles/elem"
+    )
+
+
+def test_bitonic_vs_attacked_merge_sort(benchmark):
+    cfg = SortConfig(elements_per_thread=4, block_size=64, warp_size=W)
+    n = cfg.tile_size * 1024
+    adversarial = worst_case_permutation(cfg, n)
+
+    def run():
+        merge = PairwiseMergeSort(cfg).sort(adversarial, score_blocks=4)
+        bitonic = BitonicSort(block_size=256, warp_size=W).sort(adversarial)
+        return merge, bitonic
+
+    merge, bitonic = benchmark.pedantic(run, rounds=2, iterations=1)
+    m = merge.total_shared_cycles() / n
+    b = bitonic.total_shared_cycles() / n
+    record(
+        f"Bitonic vs attacked merge sort (N={n:,}): merge sort on its OWN "
+        f"worst case {m:.2f} cycles/elem vs bitonic {b:.2f} — "
+        + ("obliviousness does not pay here" if m < b else "bitonic wins")
+    )
+    gw = bitonic.total_global_traffic().words / n
+    gm = merge.total_global_traffic().words / n
+    record(
+        f"Bitonic global words/elem {gw:.1f} vs merge sort {gm:.1f} "
+        "(log² N global sweeps vs log N rounds)"
+    )

@@ -1,0 +1,42 @@
+"""Figure 1 — sorted-order alignment for composite GCD(w, E).
+
+Regenerates the paper's Figure 1 data (w=16, E=12, GCD=4: every 4th chunk
+of E elements aligned) and benchmarks the alignment analysis.
+"""
+
+from conftest import record
+
+from repro.adversary.power2 import sorted_aligned_count, sorted_assignment
+from repro.bench.figures import figure1
+
+
+def test_fig1_sorted_alignment(benchmark):
+    data = benchmark(figure1, 16, 12)
+    assert data["aligned"] == 48  # d·E = 4·12
+    record(
+        "Fig 1  sorted order, w=16 E=12 (GCD 4): "
+        f"aligned elements/warp = {data['aligned']} (paper: every 4th chunk, "
+        "4 chunks x 12 = 48)"
+    )
+
+
+def test_fig1_gcd_sweep(benchmark):
+    """The d·E law across all E for w=16 — the 'Considered values of E'
+    discussion behind Figure 1."""
+
+    def sweep():
+        return {e: sorted_aligned_count(16, e) for e in range(1, 17)}
+
+    counts = benchmark(sweep)
+    import math
+
+    assert all(counts[e] == math.gcd(16, e) * e for e in counts)
+    record(
+        "Fig 1  d = GCD(16, E) sweep: aligned = d*E for every E "
+        f"(E=12 -> {counts[12]}, E=8 -> {counts[8]}, E=15 -> {counts[15]})"
+    )
+
+
+def test_fig1_assignment_construction(benchmark):
+    wa = benchmark(sorted_assignment, 16, 12)
+    assert wa.aligned_count() == 48

@@ -1,0 +1,49 @@
+"""Figure 3 — the constructed worst-case warp layouts (w=16, E=7 and E=9).
+
+Regenerates both panels and pins the layout facts visible in the paper's
+figure; benchmarks the constructors (they must be cheap — the paper
+emphasizes that the inputs are generated automatically).
+"""
+
+from conftest import record
+
+from repro.adversary.large_e import large_e_assignment
+from repro.adversary.small_e import small_e_assignment
+from repro.bench.figures import figure3
+
+
+def test_fig3_small_e_panel(benchmark):
+    wa = benchmark(small_e_assignment, 16, 7)
+    assert wa.aligned_count() == 49
+    a_owners, b_owners = wa.bank_matrix()
+    # The aligned columns of the paper's left panel:
+    assert a_owners[0, :4].tolist() == [0, 4, 8, 13]
+    assert b_owners[0, :3].tolist() == [1, 6, 11]
+    record("Fig 3L w=16 E=7 (small): aligned = 49 = E^2 "
+           "(A columns: threads 0,4,8,13; B columns: 1,6,11 — matches paper)")
+
+
+def test_fig3_large_e_panel(benchmark):
+    wa = benchmark(large_e_assignment, 16, 9)
+    assert wa.aligned_count() == 80  # ½(E²+E+2Er−r²−r)
+    assert wa.target_bank == 7  # aligned to the last E banks (s = r)
+    record("Fig 3R w=16 E=9 (large): aligned = 80 = (E^2+E+2Er-r^2-r)/2, "
+           "target banks 7..15 — matches paper")
+
+
+def test_fig3_full_figure(benchmark):
+    data = benchmark(figure3)
+    assert data["small"]["aligned"] == 49
+    assert data["large"]["aligned"] == 80
+
+
+def test_fig3_thrust_scale_constructions(benchmark):
+    """The real parameters (w=32): both Thrust Es construct instantly."""
+
+    def build():
+        return (small_e_assignment(32, 15).aligned_count(),
+                large_e_assignment(32, 17).aligned_count())
+
+    small, large = benchmark(build)
+    assert (small, large) == (225, 288)
+    record(f"Fig 3  w=32 presets: E=15 aligns {small}=E^2, E=17 aligns {large}")

@@ -1,0 +1,89 @@
+"""Figure 4 — throughput on the Quadro M4000 (Thrust and Modern GPU,
+random vs constructed worst-case inputs).
+
+Paper reference points: peak slowdown 50.49 % (Thrust, at 7,864,320
+elements) and 33.82 % (Modern GPU, at 62,914,560); averages 43.53 % and
+27.3 %; Thrust outperforms Modern GPU on both input kinds.
+"""
+
+import pytest
+from conftest import max_elements, record
+
+from repro.bench.metrics import slowdown_stats
+from repro.bench.runner import SweepRunner
+from repro.gpu.device import QUADRO_M4000
+from repro.sort.presets import MGPU_MAXWELL, THRUST_MAXWELL
+
+EXACT = 1 << 20
+
+
+@pytest.fixture(scope="module")
+def panels():
+    out = {}
+    for key, cfg in (("thrust", THRUST_MAXWELL), ("mgpu", MGPU_MAXWELL)):
+        runner = SweepRunner(cfg, QUADRO_M4000, exact_threshold=EXACT,
+                             score_blocks=8)
+        sizes = [n for n in cfg.valid_sizes(max_elements()) if n >= 100_000]
+        out[key] = {
+            "sizes": sizes,
+            "random": runner.sweep("random", sizes),
+            "worst": runner.sweep("worst-case", sizes),
+        }
+    return out
+
+
+def test_fig4_thrust_sweep(benchmark, panels):
+    cfg = THRUST_MAXWELL
+    runner = SweepRunner(cfg, QUADRO_M4000, exact_threshold=EXACT,
+                         score_blocks=8)
+    benchmark(runner.run_point, "worst-case", cfg.tile_size * 64)
+
+    p = panels["thrust"]
+    stats = slowdown_stats(p["random"], p["worst"])
+    record(
+        "Fig 4  Thrust (E=15,b=512) on Quadro M4000: worst-case slowdown "
+        f"{stats} [paper: peak 50.49% at 7,864,320; average 43.53%]"
+    )
+    assert 25 < stats.peak_percent < 90
+    assert 20 < stats.average_percent <= stats.peak_percent
+
+
+def test_fig4_mgpu_sweep(benchmark, panels):
+    cfg = MGPU_MAXWELL
+    runner = SweepRunner(cfg, QUADRO_M4000, exact_threshold=EXACT,
+                         score_blocks=8)
+    benchmark(runner.run_point, "worst-case", cfg.tile_size * 64)
+
+    p = panels["mgpu"]
+    stats = slowdown_stats(p["random"], p["worst"])
+    record(
+        "Fig 4  Modern GPU (E=15,b=128) on Quadro M4000: worst-case slowdown "
+        f"{stats} [paper: peak 33.82% at 62,914,560; average 27.3%]"
+    )
+    assert 10 < stats.peak_percent < 70
+
+
+def test_fig4_thrust_beats_mgpu(benchmark, panels):
+    """Paper: 'Thrust outperforms Modern GPU for both random and
+    constructed worst-case inputs.'"""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for kind in ("random", "worst"):
+        thrust_tail = panels["thrust"][kind][-1].throughput_meps
+        mgpu_tail = panels["mgpu"][kind][-1].throughput_meps
+        assert thrust_tail > mgpu_tail
+    record("Fig 4  ordering: Thrust > Modern GPU on random AND worst inputs "
+           "(matches paper)")
+
+
+def test_fig4_throughput_series(benchmark, panels):
+    """Emit the actual figure series (what the paper plots)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for key in ("thrust", "mgpu"):
+        p = panels[key]
+        for r, w in zip(p["random"], p["worst"]):
+            record(
+                f"Fig 4  {key:6s} N={r.num_elements:>11,}  "
+                f"random {r.throughput_meps:7.1f} Melem/s  "
+                f"worst {w.throughput_meps:7.1f} Melem/s  "
+                f"slowdown {(w.milliseconds / r.milliseconds - 1) * 100:5.1f}%"
+            )

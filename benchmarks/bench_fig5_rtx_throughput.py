@@ -1,0 +1,89 @@
+"""Figure 5 — throughput on the RTX 2080 Ti with both parameter presets.
+
+Paper reference points: with E=15,b=512, peak slowdown 42.43 % (Thrust, at
+31,457,280 elements) / 42.62 % (Modern GPU); with E=17,b=256, peak 22.94 %
+/ 20.34 %. On random inputs E=15,b=512 outperforms E=17,b=256 (occupancy);
+on the constructed inputs the paper measures the opposite ordering — a
+hardware second-order effect our conflict counts do not reproduce (see
+EXPERIMENTS.md).
+"""
+
+import pytest
+from conftest import max_elements, record
+
+from repro.bench.metrics import slowdown_stats
+from repro.bench.runner import SweepRunner
+from repro.gpu.device import RTX_2080_TI
+from repro.sort.presets import THRUST_CC60, THRUST_MAXWELL
+
+EXACT = 1 << 20
+
+
+@pytest.fixture(scope="module")
+def panels():
+    out = {}
+    for key, cfg in (("e15_b512", THRUST_MAXWELL), ("e17_b256", THRUST_CC60)):
+        runner = SweepRunner(cfg, RTX_2080_TI, exact_threshold=EXACT,
+                             score_blocks=8)
+        sizes = [n for n in cfg.valid_sizes(max_elements()) if n >= 100_000]
+        out[key] = {
+            "sizes": sizes,
+            "random": runner.sweep("random", sizes),
+            "worst": runner.sweep("worst-case", sizes),
+        }
+    return out
+
+
+def test_fig5_e15_b512_sweep(benchmark, panels):
+    runner = SweepRunner(THRUST_MAXWELL, RTX_2080_TI, exact_threshold=EXACT,
+                         score_blocks=8)
+    benchmark(runner.run_point, "worst-case", THRUST_MAXWELL.tile_size * 64)
+    p = panels["e15_b512"]
+    stats = slowdown_stats(p["random"], p["worst"])
+    record(
+        "Fig 5  E=15,b=512 on RTX 2080 Ti: worst-case slowdown "
+        f"{stats} [paper: Thrust peak 42.43% at 31,457,280, avg 33.31%; "
+        "MGPU peak 42.62%, avg 35.25%]"
+    )
+    assert 15 < stats.peak_percent < 80
+
+
+def test_fig5_e17_b256_sweep(benchmark, panels):
+    runner = SweepRunner(THRUST_CC60, RTX_2080_TI, exact_threshold=EXACT,
+                         score_blocks=8)
+    benchmark(runner.run_point, "worst-case", THRUST_CC60.tile_size * 64)
+    p = panels["e17_b256"]
+    stats = slowdown_stats(p["random"], p["worst"])
+    record(
+        "Fig 5  E=17,b=256 on RTX 2080 Ti: worst-case slowdown "
+        f"{stats} [paper: Thrust peak 22.94% at 35,651,584, avg 16.54%; "
+        "MGPU peak 20.34%, avg 12.97%] — see EXPERIMENTS.md for the known "
+        "preset-crossover discrepancy"
+    )
+    assert stats.peak_percent > 10
+
+
+def test_fig5_random_preset_ordering(benchmark, panels):
+    """Paper (confirmed on hardware): 'for random inputs, E=15 and b=512
+    provide increased performance over E=17 and b=256'."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    t15 = panels["e15_b512"]["random"][-1].throughput_meps
+    t17 = panels["e17_b256"]["random"][-1].throughput_meps
+    assert t15 > t17
+    record(
+        f"Fig 5  random-input ordering: E=15,b=512 ({t15:.0f} Melem/s) > "
+        f"E=17,b=256 ({t17:.0f} Melem/s) — matches paper"
+    )
+
+
+def test_fig5_throughput_series(benchmark, panels):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for key in ("e15_b512", "e17_b256"):
+        p = panels[key]
+        for r, w in zip(p["random"], p["worst"]):
+            record(
+                f"Fig 5  {key} N={r.num_elements:>11,}  "
+                f"random {r.throughput_meps:7.1f}  worst "
+                f"{w.throughput_meps:7.1f} Melem/s  slowdown "
+                f"{(w.milliseconds / r.milliseconds - 1) * 100:5.1f}%"
+            )

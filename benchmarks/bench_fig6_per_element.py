@@ -1,0 +1,70 @@
+"""Figure 6 — runtime per element and bank conflicts per element vs N
+(Thrust presets on the RTX 2080 Ti, constructed worst-case inputs).
+
+Paper reference: both curves grow logarithmically in N (one extra merge
+round per doubling), and the conflict curve predicts the runtime curve.
+"""
+
+import math
+
+import pytest
+from conftest import max_elements, record
+
+from repro.bench.runner import SweepRunner
+from repro.gpu.device import RTX_2080_TI
+from repro.sort.presets import THRUST_CC60, THRUST_MAXWELL
+
+EXACT = 1 << 20
+
+
+@pytest.fixture(scope="module")
+def panels():
+    out = {}
+    for key, cfg in (("e15_b512", THRUST_MAXWELL), ("e17_b256", THRUST_CC60)):
+        runner = SweepRunner(cfg, RTX_2080_TI, exact_threshold=EXACT,
+                             score_blocks=8)
+        sizes = [n for n in cfg.valid_sizes(max_elements()) if n >= 100_000]
+        out[key] = (sizes, runner.sweep("worst-case", sizes))
+    return out
+
+
+def test_fig6_conflicts_grow_logarithmically(benchmark, panels):
+    runner = SweepRunner(THRUST_MAXWELL, RTX_2080_TI, exact_threshold=EXACT,
+                         score_blocks=8)
+    benchmark(runner.run_point, "worst-case", THRUST_MAXWELL.tile_size * 128)
+
+    for key, (sizes, points) in panels.items():
+        cpe = [p.replays_per_element for p in points]
+        assert cpe == sorted(cpe)
+        # Log growth: conflicts/element ≈ a + b·log2(N); fit residual small.
+        logs = [math.log2(n) for n in sizes]
+        b = (cpe[-1] - cpe[0]) / (logs[-1] - logs[0])
+        a = cpe[0] - b * logs[0]
+        worst_residual = max(abs(a + b * lg - c) for lg, c in zip(logs, cpe))
+        assert worst_residual < 0.15 * max(cpe)
+        record(
+            f"Fig 6  {key}: conflicts/elem = {a:.2f} + {b:.3f}*log2(N) "
+            f"(max residual {worst_residual:.3f}) — logarithmic, as in paper"
+        )
+
+
+def test_fig6_runtime_tracks_conflicts(benchmark, panels):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for key, (sizes, points) in panels.items():
+        tail = [p for p in points if p.num_elements >= 2_000_000]
+        ms = [p.ms_per_element for p in tail]
+        cpe = [p.replays_per_element for p in tail]
+        assert ms == sorted(ms) and cpe == sorted(cpe)
+    record("Fig 6  runtime/elem and conflicts/elem co-monotone at scale "
+           "(the Karsin correlation the paper leans on)")
+
+
+def test_fig6_series(benchmark, panels):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for key, (sizes, points) in panels.items():
+        for p in points:
+            record(
+                f"Fig 6  {key} N={p.num_elements:>11,}  "
+                f"{p.ms_per_element * 1e6:7.3f} ns/elem  "
+                f"{p.replays_per_element:6.2f} conflicts/elem"
+            )

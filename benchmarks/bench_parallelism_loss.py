@@ -1,0 +1,59 @@
+"""Section III-C — the effective-parallelism collapse table.
+
+For every co-prime E < w (w = 32): the constructed input reduces a warp's
+effective parallelism from w to ⌈w/E⌉, and the per-warp merge time from
+Θ(E) to Θ(E²). Also reproduces the paper's small-vs-large-E trade-off
+observation: small E caps total conflicts at w²/4 while large E approaches
+w²/2.
+"""
+
+import math
+
+from conftest import record
+
+from repro.adversary.theory import (
+    aligned_elements,
+    effective_threads,
+    parallel_time_blowup,
+)
+
+
+def test_parallelism_table(benchmark):
+    def build():
+        rows = []
+        for e in range(1, 32):
+            if math.gcd(32, e) != 1:
+                continue
+            rows.append(
+                (e, aligned_elements(32, e), effective_threads(32, e),
+                 parallel_time_blowup(32, e))
+            )
+        return rows
+
+    rows = benchmark(build)
+    for e, aligned, eff, blowup in rows:
+        assert eff == -(-32 // e)
+        record(
+            f"III-C  w=32 E={e:2d}: aligned {aligned:4d}, effective threads "
+            f"{eff:2d} (of 32), merge-time blowup {blowup:5.1f}x"
+        )
+
+
+def test_small_vs_large_tradeoff(benchmark):
+    """Small E: total conflicts ≤ w²/4 as E → w/2. Large E: converges
+    towards w²/2 as E → w (paper Section III-C, verbatim)."""
+
+    def analyze():
+        w = 32
+        small = [aligned_elements(w, e) for e in range(1, w // 2)
+                 if math.gcd(w, e) == 1]
+        large = [aligned_elements(w, e) for e in range(w // 2 + 1, w, 2)]
+        return max(small), max(large)
+
+    max_small, max_large = benchmark(analyze)
+    assert max_small <= 32 * 32 / 4
+    assert 32 * 32 / 4 < max_large <= 32 * 32 / 2 + 3 * 32 / 2
+    record(
+        f"III-C  trade-off: max small-E conflicts {max_small} <= w^2/4 = 256; "
+        f"max large-E conflicts {max_large} -> w^2/2 = 512 as E -> w"
+    )

@@ -1,0 +1,44 @@
+"""Harness performance — how fast the simulator itself runs.
+
+Not a paper figure: this tracks the reproduction's own cost so the exact /
+sampled paths stay usable (exact ~1e6 elements in seconds; sampled scales
+to the calibration sizes the sweeps rely on).
+"""
+
+import numpy as np
+from conftest import record
+
+from repro.inputs.generators import generate
+from repro.sort.pairwise import PairwiseMergeSort
+from repro.sort.presets import THRUST_MAXWELL
+
+
+def test_exact_simulation_speed(benchmark):
+    n = THRUST_MAXWELL.tile_size * 16
+    data = generate("random", THRUST_MAXWELL, n, seed=0)
+    sorter = PairwiseMergeSort(THRUST_MAXWELL)
+    result = benchmark(sorter.sort, data)
+    assert np.array_equal(result.values, np.sort(data))
+    record(f"Harness exact simulation: N={n:,} fully traced")
+
+
+def test_sampled_simulation_speed(benchmark):
+    n = THRUST_MAXWELL.tile_size * 128
+    data = generate("random", THRUST_MAXWELL, n, seed=0)
+    sorter = PairwiseMergeSort(THRUST_MAXWELL)
+    result = benchmark.pedantic(
+        lambda: sorter.sort(data, score_blocks=8), rounds=3, iterations=1
+    )
+    assert np.array_equal(result.values, np.sort(data))
+    record(f"Harness sampled simulation: N={n:,} with 8 scored blocks/round")
+
+
+def test_construction_speed(benchmark):
+    from repro.adversary.permutation import worst_case_permutation
+
+    n = THRUST_MAXWELL.tile_size * 128
+    perm = benchmark.pedantic(
+        lambda: worst_case_permutation(THRUST_MAXWELL, n), rounds=3, iterations=1
+    )
+    assert perm.size == n
+    record(f"Harness worst-case construction: N={n:,}")

@@ -1,0 +1,62 @@
+"""Theorem 9 verification bench — large E: exhaustive over every odd
+w/2 < E < w for w up to 256, plus the boundary identities the paper derives.
+"""
+
+from conftest import record
+
+from repro.adversary.large_e import large_e_assignment
+from repro.adversary.theory import aligned_elements
+
+
+def all_large_pairs(max_w=256):
+    for w in (8, 16, 32, 64, 128, 256):
+        if w > max_w:
+            break
+        for e in range(w // 2 + 1, w, 2):
+            yield w, e
+
+
+def test_theorem9_exhaustive(benchmark):
+    def verify_all():
+        checked = 0
+        for w, e in all_large_pairs():
+            r = w - e
+            want = (e * e + e + 2 * e * r - r * r - r) // 2
+            assert large_e_assignment(w, e).aligned_count() == want
+            checked += 1
+        return checked
+
+    checked = benchmark(verify_all)
+    record(f"Thm 9  exhaustive: {checked} (w, E) pairs all align exactly "
+           "(E^2+E+2Er-r^2-r)/2")
+
+
+def test_theorem9_boundaries(benchmark):
+    """E = w/2+1 gives E²−1; E = w−1 gives E²/2 + 3E/2 − 1 (paper §III-B)."""
+
+    def verify():
+        out = []
+        for w in (16, 32, 64, 128):
+            e_min, e_max = w // 2 + 1, w - 1
+            out.append((aligned_elements(w, e_min), e_min * e_min - 1))
+            out.append(
+                (aligned_elements(w, e_max), (e_max * e_max + 3 * e_max - 2) // 2)
+            )
+        return out
+
+    pairs = benchmark(verify)
+    assert all(got == want for got, want in pairs)
+    record("Thm 9  boundary identities hold: E=w/2+1 -> E^2-1; "
+           "E=w-1 -> E^2/2+3E/2-1")
+
+
+def test_theorem9_range(benchmark):
+    """Section III-C: all large-E counts sit in [E²/2, E²]."""
+
+    def verify():
+        return [
+            (w, e, aligned_elements(w, e)) for w, e in all_large_pairs(128)
+        ]
+
+    rows = benchmark(verify)
+    assert all(e * e / 2 <= v <= e * e for _, e, v in rows)

@@ -1,0 +1,35 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_*`` module regenerates one figure (or theory check) of the
+paper. The pytest-benchmark timings measure the *harness* (construction and
+simulation speed); the *figure data* — simulated throughput, slowdown
+percentages, conflicts per element — is printed to the terminal at the end
+of the run via the collected ``FIGURE_LINES`` so `pytest benchmarks/
+--benchmark-only -s` doubles as the reproduction report.
+
+Environment knobs:
+
+* ``REPRO_BENCH_MAX_ELEMENTS`` — sweep ceiling (default 3e8, the paper's
+  largest size; already cheap because large sizes use the calibrated
+  synthesis path).
+"""
+
+import os
+
+FIGURE_LINES: list[str] = []
+
+
+def record(*lines: str) -> None:
+    """Collect report lines to emit at session end."""
+    FIGURE_LINES.extend(lines)
+
+
+def max_elements() -> int:
+    return int(os.environ.get("REPRO_BENCH_MAX_ELEMENTS", 300_000_000))
+
+
+def pytest_terminal_summary(terminalreporter):
+    if FIGURE_LINES:
+        terminalreporter.write_sep("=", "paper figure reproduction summary")
+        for line in FIGURE_LINES:
+            terminalreporter.write_line(line)

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Mini Figure 4/5: throughput vs N, random vs worst-case inputs.
+
+Sweeps input sizes for a chosen preset/device (defaults: Thrust on the
+Quadro M4000), prints the series, the paper-style slowdown statistics, and
+an ASCII rendering of the throughput curves.
+
+Run:  python examples/throughput_sweep.py [preset] [device]
+      python examples/throughput_sweep.py thrust-e17-b256 rtx-2080-ti
+"""
+
+import sys
+
+from repro import get_device
+from repro.bench import SweepRunner, slowdown_stats
+from repro.bench.ascii_plot import line_plot
+from repro.sort.presets import preset
+
+
+def main() -> None:
+    config = preset(sys.argv[1] if len(sys.argv) > 1 else "thrust-maxwell")
+    device = get_device(sys.argv[2] if len(sys.argv) > 2 else "quadro-m4000")
+    print(f"{config.name} on {device.name}")
+
+    runner = SweepRunner(config, device, exact_threshold=1 << 20, score_blocks=8)
+    sizes = [n for n in config.valid_sizes(300_000_000) if n >= 100_000]
+    random = runner.sweep("random", sizes)
+    worst = runner.sweep("worst-case", sizes)
+
+    print(f"{'N':>12} {'random':>9} {'worst':>9} {'slowdown':>9}")
+    for r, w in zip(random, worst):
+        print(
+            f"{r.num_elements:>12,} {r.throughput_meps:>9.1f} "
+            f"{w.throughput_meps:>9.1f} "
+            f"{(w.milliseconds / r.milliseconds - 1) * 100:>8.1f}%"
+        )
+    print(f"\n{slowdown_stats(random, worst)}")
+
+    print(
+        line_plot(
+            {
+                "random": (sizes, [p.throughput_meps for p in random]),
+                "worst": (sizes, [p.throughput_meps for p in worst]),
+            },
+            title=f"\nsimulated throughput, Melem/s (log-x in N)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Render worst-case warp layouts (the paper's Figure 3) for any (w, E).
+
+Shows, for a small and a large co-prime E, which thread reads each shared-
+memory cell of the warp's A and B lists, the alignment target, and the
+theorem-predicted vs constructed aligned counts.
+
+Run:  python examples/worst_case_layout.py [w] [E ...]
+      python examples/worst_case_layout.py 16 7 9      # the paper's figure
+"""
+
+import sys
+
+from repro import aligned_elements, construct_warp_assignment
+from repro.bench.ascii_plot import bank_matrix_str
+
+
+def show(w: int, e: int) -> None:
+    wa = construct_warp_assignment(w, e)
+    case = "small" if e < w / 2 else ("large" if e < w else "power-of-two")
+    print(f"\n=== w={w}, E={e}  ({case} case) ===")
+    print(f"alignment target: banks {wa.target_bank}..{(wa.target_bank + e - 1) % w}")
+    print(f"aligned accesses: constructed {wa.aligned_count()}, "
+          f"theorem {aligned_elements(w, e)}, ceiling E² = {e * e}")
+    print("per-thread (A, B) assignments, * = reads its A chunk first:")
+    print("  " + " ".join(
+        f"({a},{b}){'*' if f else ''}" for (a, b), f in zip(wa.tuples, wa.a_first)
+    ))
+    a_owners, b_owners = wa.bank_matrix()
+    print(bank_matrix_str(a_owners, label="\nA list (cells show owning thread):"))
+    print(bank_matrix_str(b_owners, label="\nB list:"))
+
+
+def main() -> None:
+    args = [int(x) for x in sys.argv[1:]]
+    w = args[0] if args else 16
+    es = args[1:] if len(args) > 1 else [7, 9]
+    for e in es:
+        show(w, e)
+
+
+if __name__ == "__main__":
+    main()

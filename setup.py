@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in environments without the ``wheel`` package or
+network access (``python setup.py develop`` / ``pip install -e .
+--no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,87 @@
+"""repro — worst-case inputs for pairwise merge sort on GPUs.
+
+A from-scratch Python reproduction of
+
+    Kyle Berney and Nodari Sitchinava,
+    "Engineering Worst-Case Inputs for Pairwise Merge Sort on GPUs",
+    IPPS 2020,
+
+comprising the paper's constructive worst-case input generator
+(:mod:`repro.adversary`), the GPU pairwise merge sort it attacks —
+implemented as an instrumented simulator over an exact bank-conflict model
+(:mod:`repro.sort`, :mod:`repro.dmm`, :mod:`repro.gpu`,
+:mod:`repro.mergepath`) — and a benchmark harness that regenerates every
+figure of the paper's evaluation (:mod:`repro.bench`).
+
+Quick start::
+
+    import numpy as np
+    from repro import SortConfig, PairwiseMergeSort, worst_case_permutation
+
+    cfg = SortConfig(elements_per_thread=15, block_size=512)   # Thrust
+    n = cfg.tile_size * 64
+    sorter = PairwiseMergeSort(cfg)
+
+    adversarial = sorter.sort(worst_case_permutation(cfg, n), score_blocks=8)
+    random = sorter.sort(np.random.default_rng(0).permutation(n),
+                         score_blocks=8)
+    print(adversarial.total_shared_cycles() / random.total_shared_cycles())
+"""
+
+from repro.adversary import (
+    WarpAssignment,
+    aligned_elements,
+    construct_warp_assignment,
+    effective_threads,
+    verify_worst_case,
+    worst_case_permutation,
+)
+from repro.errors import (
+    ConfigurationError,
+    ConstructionError,
+    ReproError,
+    SimulationError,
+    ValidationError,
+)
+from repro.gpu import (
+    DEVICES,
+    GTX_770,
+    QUADRO_M4000,
+    RTX_2080_TI,
+    DeviceSpec,
+    TimingModel,
+    get_device,
+    occupancy,
+)
+from repro.inputs import generate
+from repro.sort import PairwiseMergeSort, SortConfig, SortResult, preset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigurationError",
+    "ConstructionError",
+    "DEVICES",
+    "DeviceSpec",
+    "GTX_770",
+    "PairwiseMergeSort",
+    "QUADRO_M4000",
+    "RTX_2080_TI",
+    "ReproError",
+    "SimulationError",
+    "SortConfig",
+    "SortResult",
+    "TimingModel",
+    "ValidationError",
+    "WarpAssignment",
+    "aligned_elements",
+    "construct_warp_assignment",
+    "effective_threads",
+    "generate",
+    "get_device",
+    "occupancy",
+    "preset",
+    "verify_worst_case",
+    "worst_case_permutation",
+    "__version__",
+]

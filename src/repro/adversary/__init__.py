@@ -1,0 +1,69 @@
+"""The paper's core contribution: constructive worst-case inputs.
+
+For every ``E < w`` co-prime with the warp width ``w``, this package builds
+an input permutation on which every warp of the pairwise merge sort
+serializes its shared-memory merging accesses down to ``⌈w/E⌉`` effective
+threads (paper Theorems 3 and 9):
+
+* :mod:`repro.adversary.sequences` — the modular sequences ``x_i``/``y_i``,
+  ``S``, and ``T`` of Section III-B;
+* :mod:`repro.adversary.assignment` — the per-warp assignment abstraction
+  (how many elements of each list every thread merges, and in which order);
+* :mod:`repro.adversary.small_e` — the ``E < w/2`` construction (Theorem 3);
+* :mod:`repro.adversary.large_e` — the ``w/2 < E < w`` construction
+  (Theorem 9);
+* :mod:`repro.adversary.power2` — the ``GCD(w, E) = E`` case, where sorted
+  order is already worst-case, and the general-``d`` analysis (Figure 1);
+* :mod:`repro.adversary.interleave` — warp → block → round interleavings;
+* :mod:`repro.adversary.permutation` — the top-down un-merge that turns
+  per-round interleavings into the actual ``N``-element input;
+* :mod:`repro.adversary.family` — permutation *families* (Conclusion §2);
+* :mod:`repro.adversary.theory` — closed-form predictions (aligned counts,
+  Lemma 1, effective parallelism, the ``A_g``/``A_s`` formulas);
+* :mod:`repro.adversary.metrics` — measuring alignment on simulated traces.
+"""
+
+from repro.adversary.assignment import WarpAssignment, construct_warp_assignment
+from repro.adversary.interleave import block_interleave, round_interleave, warp_interleave
+from repro.adversary.large_e import large_e_assignment
+from repro.adversary.metrics import measured_aligned_count
+from repro.adversary.permutation import worst_case_permutation
+from repro.adversary.power2 import power_of_two_assignment, sorted_aligned_count
+from repro.adversary.sequences import sequence_s, sequence_t, xy_sequences
+from repro.adversary.multiway_adversary import (
+    multiway_small_e_assignment,
+    multiway_worst_case_permutation,
+)
+from repro.adversary.small_e import small_e_assignment
+from repro.adversary.verify import VerificationReport, verify_worst_case
+from repro.adversary.theory import (
+    aligned_elements,
+    effective_threads,
+    lemma1_bound,
+    predicted_warp_transactions,
+)
+
+__all__ = [
+    "VerificationReport",
+    "WarpAssignment",
+    "aligned_elements",
+    "block_interleave",
+    "construct_warp_assignment",
+    "effective_threads",
+    "large_e_assignment",
+    "lemma1_bound",
+    "measured_aligned_count",
+    "multiway_small_e_assignment",
+    "multiway_worst_case_permutation",
+    "power_of_two_assignment",
+    "predicted_warp_transactions",
+    "round_interleave",
+    "sequence_s",
+    "sequence_t",
+    "small_e_assignment",
+    "sorted_aligned_count",
+    "verify_worst_case",
+    "warp_interleave",
+    "worst_case_permutation",
+    "xy_sequences",
+]

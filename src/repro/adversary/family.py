@@ -1,0 +1,146 @@
+"""Permutation families (paper Conclusion, items 2–3).
+
+The constructed input is one permutation, but the construction is robust:
+
+* **filler freedom** — the non-aligned (safe-bank) elements can be read by
+  their threads in any within-thread order without changing the aligned
+  count; each filler thread with ``a`` A-elements and ``b`` B-elements
+  admits ``C(a+b, a)`` interleavings, so the family is combinatorially
+  large (:func:`family_size_log2` quantifies it);
+* **relaxation** — swapping a few scan threads back to benign fillers
+  trades aligned accesses for "distance" from the canonical permutation,
+  giving near-worst-case inputs (:func:`relaxed_assignment`).
+
+Both are implemented as transformations of a
+:class:`~repro.adversary.assignment.WarpAssignment`, so everything
+downstream (interleaving, permutation, simulation) applies unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.adversary.assignment import WarpAssignment
+from repro.errors import ValidationError
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "family_size_log2",
+    "random_family_member",
+    "relaxed_assignment",
+]
+
+
+def family_size_log2(assignment: WarpAssignment) -> float:
+    """log₂ of the number of same-aligned-count warp variants.
+
+    Counts the within-thread interleaving freedom of every *mixed* thread
+    (one that takes from both lists): a thread whose chosen-order score has
+    no aligned accesses in its second chunk can interleave its two chunks
+    arbitrarily — ``C(a+b, a)`` ways. Scan threads (single-list) contribute
+    no freedom. This is a lower bound on the family size (it ignores
+    cross-warp freedoms).
+    """
+    total = 0.0
+    for a, b in assignment.tuples:
+        if a and b:
+            total += math.log2(math.comb(a + b, a))
+    return total
+
+
+def random_family_member(
+    assignment: WarpAssignment, seed=None
+) -> WarpAssignment:
+    """A random member of the permutation family.
+
+    Keeps every thread's ``(a_i, b_i)`` tuple and the scan threads' order,
+    but re-randomizes the *read order bit* of mixed threads whose aligned
+    count is order-insensitive (both orders score equally). The aligned
+    count is preserved by construction — tests assert it.
+    """
+    rng = as_generator(seed)
+    flags = list(assignment.a_first)
+    base = assignment.aligned_count()
+    for i, (a, b) in enumerate(assignment.tuples):
+        if not (a and b):
+            continue
+        flipped = flags.copy()
+        flipped[i] = not flipped[i]
+        candidate = WarpAssignment(
+            warp_size=assignment.warp_size,
+            elements_per_thread=assignment.elements_per_thread,
+            tuples=assignment.tuples,
+            a_first=tuple(flipped),
+            target_bank=assignment.target_bank,
+        )
+        if candidate.aligned_count() == base and rng.random() < 0.5:
+            flags[i] = not flags[i]
+    return WarpAssignment(
+        warp_size=assignment.warp_size,
+        elements_per_thread=assignment.elements_per_thread,
+        tuples=assignment.tuples,
+        a_first=tuple(flags),
+        target_bank=assignment.target_bank,
+    )
+
+
+def relaxed_assignment(
+    assignment: WarpAssignment, relax_fraction: float, seed=None
+) -> WarpAssignment:
+    """Trade aligned accesses for benignity (Conclusion item 3).
+
+    Swaps a ``relax_fraction`` of the alignment-contributing threads'
+    tuples with their successor's tuple. The swap shifts the cumulative
+    list offsets the contributor's scan relied on, pushing its column off
+    the lock-step schedule while preserving the warp's totals (the result
+    is still a valid assignment of the same list sizes). The result
+    interpolates between the worst case (fraction 0) and a mostly benign
+    input (fraction 1); the ablation bench sweeps this knob against
+    simulated slowdown.
+    """
+    if not 0.0 <= relax_fraction <= 1.0:
+        raise ValidationError(
+            f"relax_fraction must be in [0, 1], got {relax_fraction}"
+        )
+    rng = as_generator(seed)
+    w = assignment.warp_size
+    tuples = list(assignment.tuples)
+    contributors = [
+        i
+        for i in range(w - 1)
+        if _thread_aligned(assignment, i) > 0
+        and assignment.tuples[i] != assignment.tuples[i + 1]
+    ]
+    k = int(round(relax_fraction * len(contributors)))
+    if k and contributors:
+        chosen = rng.choice(
+            len(contributors), size=min(k, len(contributors)), replace=False
+        )
+        for idx in np.asarray(chosen).ravel():
+            i = contributors[int(idx)]
+            tuples[i], tuples[i + 1] = tuples[i + 1], tuples[i]
+    from repro.adversary.assignment import greedy_read_order
+
+    new_tuples = tuple(tuples)
+    return WarpAssignment(
+        warp_size=w,
+        elements_per_thread=assignment.elements_per_thread,
+        tuples=new_tuples,
+        a_first=greedy_read_order(
+            w, assignment.elements_per_thread, list(new_tuples),
+            assignment.target_bank,
+        ),
+        target_bank=assignment.target_bank,
+    )
+
+
+def _thread_aligned(assignment: WarpAssignment, thread: int) -> int:
+    """Aligned accesses contributed by one thread under the current order."""
+    banks = assignment.step_banks()[:, thread]
+    steps = (
+        np.arange(assignment.elements_per_thread, dtype=np.int64)
+        + assignment.target_bank
+    ) % assignment.warp_size
+    return int((banks == steps).sum())

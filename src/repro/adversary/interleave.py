@@ -1,0 +1,120 @@
+"""Composing warp assignments into block- and round-level interleavings.
+
+The hierarchy (DESIGN.md §5):
+
+* a **warp interleaving** is one assignment's ``{A, B}``-string of length
+  ``wE`` (:func:`warp_interleave`);
+* a **block interleaving** concatenates the block's ``b/w`` warps,
+  alternating the ``L`` (original) and ``R`` (mirrored) assignments so the
+  block consumes exactly ``bE/2`` from each list and every warp's slices
+  start at bank 0 (:func:`block_interleave`);
+* a **round interleaving** for a pairwise merge of two runs of length ``L``
+  repeats the block pattern across the ``2L/bE`` blocks of the pair
+  (:func:`round_interleave`). Merge rounds too narrow for the per-warp
+  construction (block-level rounds whose half-width is not a multiple of
+  ``w``, where a warp straddles merge groups whose lists cannot all start
+  at bank 0) fall back to the sorted interleaving, which the paper's
+  construction does not target either.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversary.assignment import WarpAssignment, construct_warp_assignment
+from repro.errors import ValidationError
+from repro.sort.config import SortConfig
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "adversarial_rounds",
+    "block_interleave",
+    "round_interleave",
+    "sorted_interleave",
+    "warp_interleave",
+]
+
+
+def warp_interleave(assignment: WarpAssignment) -> np.ndarray:
+    """One warp's merge interleaving (alias of
+    :meth:`WarpAssignment.interleaving`)."""
+    return assignment.interleaving()
+
+
+def block_interleave(assignment: WarpAssignment, block_size: int) -> np.ndarray:
+    """A thread block's interleaving: alternating ``L``/``R`` warps.
+
+    Returns a bool array of length ``bE`` with exactly ``bE/2`` ``True``
+    (from-``A``) entries.
+    """
+    block_size = check_positive_int(block_size, "block_size")
+    w = assignment.warp_size
+    warps = block_size // w
+    if block_size % w or warps % 2:
+        raise ValidationError(
+            f"block_size {block_size} must be an even number of warps of {w}"
+        )
+    left = assignment.interleaving()
+    right = assignment.mirrored().interleaving()
+    return np.concatenate([left, right] * (warps // 2))
+
+
+def sorted_interleave(pair_width: int) -> np.ndarray:
+    """The interleaving of already-ordered halves: all of ``A`` then ``B``."""
+    pair_width = check_positive_int(pair_width, "pair_width")
+    if pair_width % 2:
+        raise ValidationError(f"pair_width must be even, got {pair_width}")
+    out = np.zeros(pair_width, dtype=bool)
+    out[: pair_width // 2] = True
+    return out
+
+
+def adversarial_rounds(config: SortConfig, num_elements: int) -> list[int]:
+    """Run lengths ``L`` of the rounds the construction targets.
+
+    A round merging runs of length ``L`` is constructible when each warp's
+    two list slices can start at bank 0, i.e. ``w | L`` and each merge
+    group spans at least two full warps (``2L ≥ 2·wE``). All global rounds
+    (``L ≥ bE/2 ≥ wE``) qualify.
+    """
+    sizes = []
+    run = config.E
+    while run < num_elements:
+        if run % config.w == 0 and run >= config.w * config.E:
+            sizes.append(run)
+        run *= 2
+    return sizes
+
+
+def round_interleave(
+    config: SortConfig, run_length: int, assignment: WarpAssignment | None = None
+) -> np.ndarray:
+    """Interleaving for one merge round of runs of length ``run_length``.
+
+    Returns a bool array of length ``2·run_length``. Constructible rounds
+    (see :func:`adversarial_rounds`) tile the alternating ``L``/``R`` warp
+    pattern across the round — ``run_length/(wE/…)``… concretely, one
+    ``L``-warp + ``R``-warp pair covers ``2wE`` output ranks and consumes
+    ``wE`` from each list, so the pattern repeats ``run_length/(wE)``
+    times. Non-constructible rounds return the sorted interleaving.
+    """
+    run_length = check_positive_int(run_length, "run_length")
+    if assignment is None:
+        assignment = construct_warp_assignment(config.w, config.E)
+
+    warp_span = config.w * config.E
+    if run_length % config.w or run_length < warp_span:
+        return sorted_interleave(2 * run_length)
+
+    left = assignment.interleaving()
+    right = assignment.mirrored().interleaving()
+    pattern = np.concatenate([left, right])  # 2wE ranks, wE from each list
+    repeats = (2 * run_length) // pattern.size
+    if pattern.size * repeats != 2 * run_length:
+        # Defensive: run lengths are always E·2^k, so a constructible round
+        # is a whole number of L/R pairs; anything else is a logic error.
+        raise ValidationError(
+            f"run_length {run_length} is not a multiple of the warp-pair "
+            f"span {pattern.size // 2}"
+        )
+    return np.tile(pattern, repeats)

@@ -1,0 +1,46 @@
+"""The large-``E`` construction (Theorem 9): ``w/2 < E < w``, odd ``E``.
+
+With ``r = w − E < E`` there is no longer room to hide a full ``E``-element
+filler thread in the safe banks (only ``r`` safe banks exist), so the
+construction interleaves *partial* fillers and full scans using the
+number-theoretic sequence ``T`` (:mod:`repro.adversary.sequences`):
+``T``'s ``w`` tuples group into ``E`` runs that each advance a list by
+exactly ``w`` (one column), ``(E−1)/2 + 1`` of them in ``A`` and
+``(E−1)/2`` in ``B``. Elements are aligned to the *last* ``E`` banks
+(``s = r``); the ``r + 1`` perfectly aligned columns and the
+``E − r − 1`` partially misaligned ones yield
+
+    aligned = ½ (E² + E + 2Er − r² − r)            (Theorem 9)
+
+which is ``E² − 1`` at ``E = w/2 + 1`` and ``E²/2 + 3E/2 − 1 + …`` at
+``E = w − 1`` — always ``Θ(E²)``.
+"""
+
+from __future__ import annotations
+
+from repro.adversary.assignment import WarpAssignment, greedy_read_order
+from repro.adversary.sequences import check_large_e, sequence_t
+
+__all__ = ["large_e_assignment"]
+
+
+def large_e_assignment(w: int, e: int) -> WarpAssignment:
+    """Build the Theorem 9 worst-case warp assignment.
+
+    The warp takes ``(E+1)/2·w`` elements from ``A`` and ``(E−1)/2·w`` from
+    ``B`` (the ``L``-warp split; mirror for ``R``-warps).
+
+    >>> wa = large_e_assignment(16, 9)
+    >>> wa.aligned_count()   # ½(81 + 9 + 126 − 49 − 7) = 80
+    80
+    """
+    r = check_large_e(w, e)
+    tuples = tuple(sequence_t(w, e))
+    a_first = greedy_read_order(w, e, tuples, target_bank=r)
+    return WarpAssignment(
+        warp_size=w,
+        elements_per_thread=e,
+        tuples=tuples,
+        a_first=a_first,
+        target_bank=r,
+    )

@@ -1,0 +1,274 @@
+"""Worst-case inputs for K-way merge sort — beyond the paper.
+
+The paper's construction is pairwise-specific (and
+``bench_baseline_multiway.py`` shows it largely decoheres under K-way
+consumption). This module answers the natural follow-up the paper's
+conclusion invites: *the same collapse is constructible for multiway
+merging*. The small-``E`` argument generalizes verbatim:
+
+* a warp merging from ``K`` source runs still reads ``E`` elements per
+  thread in value order, one per lock-step;
+* a **scan thread** takes all ``E`` from one source whose consumption is
+  ``≡ 0 (mod w)`` — all aligned, regardless of which source;
+* **fillers** absorb each scanned column's ``w − E`` safe-bank elements,
+  now with ``K`` lists to draw from (more slack, not less).
+
+Element conservation is unchanged (``E`` scans + ``w − E`` fillers =
+``w`` threads; ``E²`` aligned), so every K-way merge round serializes to
+exactly ``E²`` cycles per warp — the same ``w → ⌈w/E⌉`` collapse.
+Balancing across a block rotates the source roles warp by warp, so each
+group of ``K`` warps consumes ``wE`` from every source.
+
+Scope: ``E < w/2`` co-prime with ``w`` (the regime where fillers fit), and
+input sizes whose tile count is a power of the fan-in.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.adversary.interleave import round_interleave
+from repro.errors import ConstructionError
+from repro.sort.config import SortConfig
+from repro.utils.validation import check_positive_int, check_power_of_two
+
+__all__ = [
+    "MultiwayWarpAssignment",
+    "multiway_small_e_assignment",
+    "multiway_worst_case_permutation",
+]
+
+
+@dataclass(frozen=True)
+class MultiwayWarpAssignment:
+    """One warp's thread-to-source assignment for a K-way merge.
+
+    ``tuples[i]`` is thread ``i``'s per-source element counts (length
+    ``K``, summing to ``E``); threads read their sources in ascending
+    source order (scan threads touch a single source, so only fillers'
+    within-thread order matters — and fillers live in safe banks).
+    """
+
+    warp_size: int
+    elements_per_thread: int
+    fan: int
+    tuples: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        w = check_power_of_two(self.warp_size, "warp_size")
+        e = check_positive_int(self.elements_per_thread, "elements_per_thread")
+        check_positive_int(self.fan, "fan")
+        if len(self.tuples) != w:
+            raise ConstructionError(f"expected {w} tuples, got {len(self.tuples)}")
+        for i, counts in enumerate(self.tuples):
+            if len(counts) != self.fan or sum(counts) != e or min(counts) < 0:
+                raise ConstructionError(
+                    f"thread {i} counts {counts} invalid for K={self.fan}, "
+                    f"E={e}"
+                )
+
+    @property
+    def w(self) -> int:  # noqa: N802 - paper notation
+        """Warp width."""
+        return self.warp_size
+
+    @property
+    def e(self) -> int:
+        """Elements per thread."""
+        return self.elements_per_thread
+
+    def source_totals(self) -> list[int]:
+        """Elements the warp consumes from each source."""
+        return [sum(t[k] for t in self.tuples) for k in range(self.fan)]
+
+    def rotated(self, shift: int) -> "MultiwayWarpAssignment":
+        """Source roles rotated by ``shift`` (for block balancing)."""
+        return MultiwayWarpAssignment(
+            warp_size=self.w,
+            elements_per_thread=self.e,
+            fan=self.fan,
+            tuples=tuple(
+                tuple(t[(k - shift) % self.fan] for k in range(self.fan))
+                for t in self.tuples
+            ),
+        )
+
+    def source_pattern(self) -> np.ndarray:
+        """The warp's merge pattern: source id of each output rank."""
+        out = np.empty(self.w * self.e, dtype=np.int8)
+        pos = 0
+        for counts in self.tuples:
+            for k, c in enumerate(counts):
+                out[pos : pos + c] = k
+                pos += c
+        return out
+
+    def step_banks(self) -> np.ndarray:
+        """``(E, w)`` bank matrix under the all-sources-at-bank-0 layout."""
+        banks = np.empty((self.e, self.w), dtype=np.int64)
+        cum = [0] * self.fan
+        for i, counts in enumerate(self.tuples):
+            seq = []
+            for k, c in enumerate(counts):
+                seq.extend((cum[k] + j) % self.w for j in range(c))
+                cum[k] += c
+            banks[:, i] = seq
+        return banks
+
+    def aligned_count(self, start: int = 0) -> int:
+        """Aligned accesses (step ``j`` on bank ``start + j``)."""
+        banks = self.step_banks()
+        steps = (np.arange(self.e, dtype=np.int64) + start) % self.w
+        return int((banks == steps[:, None]).sum())
+
+
+def multiway_small_e_assignment(w: int, e: int, fan: int) -> MultiwayWarpAssignment:
+    """Build the K-way worst-case warp assignment (small-``E`` regime).
+
+    >>> wa = multiway_small_e_assignment(16, 7, 4)
+    >>> wa.aligned_count()
+    49
+    """
+    w = check_power_of_two(w, "w")
+    e = check_positive_int(e, "E")
+    fan = check_positive_int(fan, "fan")
+    if not 1 <= e < w / 2:
+        raise ConstructionError(
+            f"K-way construction requires E < w/2, got E={e}, w={w}"
+        )
+    if math.gcd(w, e) != 1:
+        raise ConstructionError(
+            f"K-way construction requires GCD(w, E) = 1, got "
+            f"GCD({w}, {e}) = {math.gcd(w, e)}"
+        )
+    if fan < 2:
+        raise ConstructionError(f"fan must be >= 2, got {fan}")
+
+    # Columns to scan per source: as even as possible, E total.
+    scans = [e // fan + (1 if k < e % fan else 0) for k in range(fan)]
+    caps = [0] * fan  # safe-bank capacity per source
+    order = [k for k in range(fan) for _ in range(scans[k])]
+    # Interleave sources round-robin so refills stay spread out.
+    order = [k for i in range(max(scans)) for k in range(fan) if scans[k] > i]
+
+    tuples: list[tuple[int, ...]] = []
+    next_idx = 0
+    while next_idx < len(order) or any(caps):
+        target = order[next_idx] if next_idx < len(order) else None
+        if target is not None and caps[target] == 0:
+            counts = [0] * fan
+            counts[target] = e
+            tuples.append(tuple(counts))
+            caps[target] = w - e
+            next_idx += 1
+            continue
+        # Filler: drain the next-scan source first, then the rest.
+        counts = [0] * fan
+        need = e
+        drain_order = ([target] if target is not None else []) + [
+            k for k in range(fan) if k != target
+        ]
+        for k in drain_order:
+            take = min(need, caps[k])
+            counts[k] = take
+            caps[k] -= take
+            need -= take
+            if need == 0:
+                break
+        if need:
+            raise ConstructionError(
+                f"internal error: filler short by {need} safe elements "
+                f"(w={w}, E={e}, K={fan})"
+            )
+        tuples.append(tuple(counts))
+
+    if len(tuples) != w:
+        raise ConstructionError(
+            f"internal error: used {len(tuples)} threads, expected {w}"
+        )
+    return MultiwayWarpAssignment(
+        warp_size=w, elements_per_thread=e, fan=fan, tuples=tuple(tuples)
+    )
+
+
+def _group_pattern(
+    assignment: MultiwayWarpAssignment, num_warps: int
+) -> np.ndarray:
+    """Source pattern for a merge group of ``num_warps`` warps.
+
+    Warps rotate source roles so each run of ``K`` warps consumes ``wE``
+    from every source.
+    """
+    fan = assignment.fan
+    if num_warps % fan:
+        raise ConstructionError(
+            f"group of {num_warps} warps is not a multiple of the fan {fan}"
+        )
+    parts = [assignment.rotated(j % fan).source_pattern() for j in range(num_warps)]
+    return np.concatenate(parts)
+
+
+def multiway_worst_case_permutation(
+    config: SortConfig, num_elements: int, fan: int
+) -> np.ndarray:
+    """Construct the K-way worst-case input for
+    :class:`~repro.sort.multiway.MultiwaySort`.
+
+    Requires a tile count that is a power of ``fan`` (so every multiway
+    round runs at full fan-in) and enough warps per group for the source
+    rotation (``fan ≤ warps per tile``). Intra-tile (pairwise block)
+    rounds reuse the paper's construction.
+    """
+    cfg = config
+    n = cfg.validate_input_size(num_elements)
+    fan = check_power_of_two(fan, "fan")
+    tiles = n // cfg.tile_size
+    t = tiles
+    while t > 1:
+        if t % fan:
+            raise ConstructionError(
+                f"tile count {tiles} must be a power of the fan {fan}"
+            )
+        t //= fan
+    if cfg.warps_per_block % fan:
+        raise ConstructionError(
+            f"warps per block ({cfg.warps_per_block}) must be a multiple of "
+            f"the fan {fan} for source rotation"
+        )
+
+    assignment = multiway_small_e_assignment(cfg.w, cfg.E, fan)
+    arr = np.arange(n, dtype=np.int64)
+
+    # K-way rounds, top-down.
+    runs = []
+    run = cfg.tile_size
+    while run < n:
+        runs.append(run)
+        run *= fan
+    for run in reversed(runs):
+        group_width = fan * run
+        num_warps = group_width // (cfg.w * cfg.E)
+        pattern = _group_pattern(assignment, num_warps)
+        groups = arr.reshape(-1, group_width)
+        out = np.empty_like(groups)
+        for s in range(fan):
+            out[:, s * run : (s + 1) * run] = groups[:, pattern == s]
+        arr = out.reshape(-1)
+
+    # Intra-tile pairwise rounds, reusing the paper's construction.
+    from repro.adversary.assignment import construct_warp_assignment
+
+    pairwise = construct_warp_assignment(cfg.w, cfg.E)
+    run = cfg.tile_size // 2
+    while run >= cfg.E:
+        pattern = round_interleave(cfg, run, pairwise)
+        mat = arr.reshape(-1, 2 * run)
+        out = np.empty_like(mat)
+        out[:, :run] = mat[:, pattern]
+        out[:, run:] = mat[:, ~pattern]
+        arr = out.reshape(-1)
+        run //= 2
+    return arr

@@ -1,0 +1,130 @@
+"""From per-round interleavings to the actual worst-case input permutation.
+
+The sort's merge tree is fixed by ``(N, E, b)``: runs of ``E`` (after the
+register phase) double through block rounds to ``bE`` and through global
+rounds to ``N``. The adversary prescribes the interleaving of every
+constructible round; running every merge *backwards* from the sorted output
+(:func:`repro.mergepath.serial_merge.unmerge`) then yields an initial
+permutation that reproduces exactly those interleavings when sorted —
+because keys are distinct, a stable merge of the two un-merged halves
+regenerates the prescribed interleaving verbatim.
+
+The resulting permutation is periodic with the block's pattern at every
+round, which is what makes the sampled fast path of
+:class:`~repro.sort.pairwise.PairwiseMergeSort` exact on these inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversary.assignment import WarpAssignment, construct_warp_assignment
+from repro.adversary.interleave import round_interleave
+from repro.errors import ValidationError
+from repro.sort.config import SortConfig
+
+__all__ = ["unmerge_through_rounds", "worst_case_permutation"]
+
+
+def worst_case_permutation(
+    config: SortConfig,
+    num_elements: int,
+    *,
+    assignment: WarpAssignment | None = None,
+    values: np.ndarray | None = None,
+) -> np.ndarray:
+    """Construct the worst-case input for a configuration and size.
+
+    Parameters
+    ----------
+    config:
+        The sort parameters the input targets. The adversarial effect is
+        parameter-specific: an input constructed for ``(E=15, b=512)``
+        is not worst-case for ``(E=17, b=256)`` (the paper evaluates each
+        preset on its own constructed inputs).
+    num_elements:
+        Input size; must be ``bE · 2^k`` (the paper's sweep sizes all are).
+    assignment:
+        Optionally override the per-warp assignment (used by
+        :mod:`repro.adversary.family` to generate permutation families).
+    values:
+        Optionally, the sorted key array to permute (default
+        ``arange(N)``); must be strictly increasing so merges reproduce the
+        prescribed interleavings exactly.
+
+    Returns
+    -------
+    The adversarial input permutation (a new array).
+
+    Examples
+    --------
+    >>> from repro.sort.config import SortConfig
+    >>> cfg = SortConfig(elements_per_thread=3, block_size=8, warp_size=4)
+    >>> perm = worst_case_permutation(cfg, cfg.tile_size * 4)
+    >>> sorted(perm.tolist()) == list(range(cfg.tile_size * 4))
+    True
+    """
+    n = config.validate_input_size(num_elements)
+    if assignment is None:
+        assignment = construct_warp_assignment(config.w, config.E)
+    if values is None:
+        values = np.arange(n, dtype=np.int64)
+    else:
+        values = np.asarray(values)
+        if values.shape != (n,):
+            raise ValidationError(
+                f"values must have shape ({n},), got {values.shape}"
+            )
+        if values.size > 1 and np.any(values[1:] <= values[:-1]):
+            raise ValidationError("values must be strictly increasing")
+    return unmerge_through_rounds(config, values, assignment)
+
+
+def unmerge_through_rounds(
+    config: SortConfig,
+    sorted_values: np.ndarray,
+    assignment: WarpAssignment,
+    target_runs: set[int] | None = None,
+    off_target: str = "sorted",
+    seed=0,
+) -> np.ndarray:
+    """Apply the un-merge cascade from run length ``N`` down to ``E``.
+
+    At each level, every merged run of length ``2L`` is split into its two
+    pre-merge halves (``A`` in the first ``L`` slots, ``B`` in the second —
+    the in-memory layout the next-lower round reads). All pairs of a round
+    share one interleaving pattern, so each level is two fancy-indexing
+    operations over a ``(pairs, 2L)`` view.
+
+    ``target_runs`` restricts the adversarial interleaving to specific run
+    lengths — this is how partial adversaries like the Karsin-style
+    conflict-heavy inputs, which attack only chosen rounds, are built.
+    ``None`` targets every constructible round (the paper's full
+    construction). Untargeted rounds use ``off_target`` interleavings:
+    ``"sorted"`` (benign, the default) or ``"random"`` (each pair a uniform
+    random balanced interleaving, seeded by ``seed`` — making the input
+    look random except where attacked).
+    """
+    from repro.adversary.interleave import sorted_interleave
+    from repro.utils.rng import as_generator
+
+    rng = as_generator(seed)
+    arr = np.asarray(sorted_values).copy()
+    n = arr.size
+    run = n // 2
+    while run >= config.E:
+        if target_runs is None or run in target_runs:
+            pattern = round_interleave(config, run, assignment)
+        elif off_target == "random":
+            pattern = np.zeros(2 * run, dtype=bool)
+            pattern[rng.choice(2 * run, size=run, replace=False)] = True
+        else:
+            pattern = sorted_interleave(2 * run)
+        pair_width = 2 * run
+        mat = arr.reshape(-1, pair_width)
+        out = np.empty_like(mat)
+        out[:, :run] = mat[:, pattern]
+        out[:, run:] = mat[:, ~pattern]
+        arr = out.reshape(-1)
+        run //= 2
+    return arr

@@ -1,0 +1,92 @@
+"""The ``GCD(w, E) = d`` analysis and the power-of-two worst case.
+
+Section III's "Considered values of E": in *sorted order*, every ``d``-th
+chunk of ``E`` elements is aligned (Figure 1 shows ``w = 16, E = 12,
+d = 4``). When ``d = E`` — i.e. ``E`` is a power of two dividing ``w`` —
+sorted order is therefore already the worst-case input: every thread's
+chunk starts ``iE ≡ 0, E, 2E, … (mod w)``, and the ``w/E`` threads whose
+chunks share a start bank serialize completely.
+
+For ``1 < d < E`` the paper gives no exact construction (that is precisely
+why Thrust picks odd ``E``); :func:`sorted_aligned_count` quantifies the
+partial alignment sorted order achieves there.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.adversary.assignment import WarpAssignment
+from repro.errors import ConstructionError
+from repro.utils.validation import check_positive_int, check_power_of_two
+
+__all__ = ["power_of_two_assignment", "sorted_assignment", "sorted_aligned_count"]
+
+
+def sorted_assignment(w: int, e: int) -> WarpAssignment:
+    """The warp assignment induced by sorted input.
+
+    A sorted merge consumes all of ``A`` then all of ``B``; per-warp that
+    means the first ``w/2`` threads take everything from ``A`` and the rest
+    from ``B`` (sizes ``wE/2`` each, assuming the warp sits mid-list; the
+    alignment count does not depend on that boundary choice because the two
+    lists' chunks have identical bank patterns).
+    """
+    w = check_power_of_two(w, "w")
+    e = check_positive_int(e, "E")
+    half = w // 2
+    tuples = tuple([(e, 0)] * half + [(0, e)] * half)
+    return WarpAssignment(
+        warp_size=w,
+        elements_per_thread=e,
+        tuples=tuples,
+        a_first=tuple([True] * w),
+        target_bank=0,
+    )
+
+
+def power_of_two_assignment(w: int, e: int) -> WarpAssignment:
+    """Worst-case assignment for ``GCD(w, E) = E``: sorted order.
+
+    The aligned count is ``d·E = E²`` — the same bound Theorem 3 achieves
+    for co-prime ``E``, reached here with no engineering at all:
+
+    >>> power_of_two_assignment(16, 4).aligned_count()
+    16
+    """
+    w = check_power_of_two(w, "w")
+    e = check_positive_int(e, "E")
+    if e > w or w % e:
+        raise ConstructionError(
+            f"power-of-two case requires E | w, got E={e}, w={w}"
+        )
+    return sorted_assignment(w, e)
+
+
+def sorted_aligned_count(w: int, e: int) -> int:
+    """Aligned accesses per warp on sorted input, for any ``(w, E)``.
+
+    Thread ``i``'s chunk starts at in-list offset ``iE``; its step-``j``
+    access hits bank ``(iE + j) mod w`` and is aligned (to ``s = 0``) iff
+    ``iE ≡ 0 (mod w)``. With ``d = GCD(w, E)`` that holds for every
+    ``(w/d)``-th thread — ``d`` threads per warp, ``E`` aligned accesses
+    each:
+
+    >>> sorted_aligned_count(16, 12)   # Figure 1: d = 4
+    48
+    >>> sorted_aligned_count(16, 4)    # d = E: d*E = E^2 per warp
+    16
+    >>> sorted_aligned_count(32, 15)   # co-prime: only thread 0 aligns
+    15
+    """
+    w = check_power_of_two(w, "w")
+    e = check_positive_int(e, "E")
+    starts = (np.arange(w, dtype=np.int64) * e) % w
+    return int((starts == 0).sum()) * e
+
+
+def sorted_gcd_check(w: int, e: int) -> bool:
+    """Cross-check: ``sorted_aligned_count == d·E`` with ``d = GCD(w, E)``."""
+    return sorted_aligned_count(w, e) == math.gcd(w, e) * e

@@ -1,0 +1,151 @@
+"""The modular sequences of Section III-B.
+
+For odd ``E`` with ``w/2 < E < w`` and ``r = w − E`` (odd, co-prime with
+``E`` by Lemma 4), the paper defines, for ``i = 1 … E−1``:
+
+* ``x_i = −i·r mod E``  and  ``y_i = i·r mod E``,
+
+whose properties (Lemmas 7 and 8 — complementarity ``x_i + y_i = E``,
+uniqueness, the reflection ``x_i = y_{E−i}``, and the pair sums
+``x_i + y_{i+1} ∈ {r, w}``) drive the large-``E`` construction:
+
+* ``S`` — the base assignment sequence: entry ``i`` is ``(y_i, x_i)`` for
+  odd ``i`` and ``(x_i, y_i)`` for even ``i`` (an ``(A-count, B-count)``
+  tuple per thread);
+* ``T`` — ``S`` with ``r + 1`` full-scan tuples ``(E, 0)`` / ``(0, E)``
+  inserted after every completed sum of ``r`` safe-bank elements, giving
+  exactly ``w`` tuples that each sum to ``E``.
+
+Every lemma is checked by property tests in
+``tests/adversary/test_sequences.py``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConstructionError
+from repro.utils.validation import check_positive_int, check_power_of_two
+
+__all__ = ["check_large_e", "sequence_s", "sequence_t", "xy_sequences"]
+
+
+def check_large_e(w: int, e: int) -> int:
+    """Validate the large-``E`` preconditions; returns ``r = w − E``.
+
+    Requires ``w`` a power of two and ``w/2 < E < w`` with ``E`` odd (which,
+    by Lemma 4, makes ``E`` and ``r`` co-prime).
+    """
+    w = check_power_of_two(w, "w")
+    e = check_positive_int(e, "E")
+    if not w // 2 < e < w:
+        raise ConstructionError(
+            f"large-E construction requires w/2 < E < w, got E={e}, w={w}"
+        )
+    if e % 2 == 0:
+        raise ConstructionError(f"large-E construction requires odd E, got {e}")
+    r = w - e
+    # Lemma 4 guarantees this; assert it as an internal invariant.
+    if math.gcd(e, r) != 1:
+        raise ConstructionError(
+            f"internal error: GCD(E={e}, r={r}) != 1 contradicts Lemma 4"
+        )
+    return r
+
+
+def xy_sequences(w: int, e: int) -> tuple[list[int], list[int]]:
+    """The sequences ``x_i = −ir mod E`` and ``y_i = ir mod E``, ``i=1…E−1``.
+
+    >>> xy_sequences(16, 9)
+    ([2, 4, 6, 8, 1, 3, 5, 7], [7, 5, 3, 1, 8, 6, 4, 2])
+    """
+    r = check_large_e(w, e)
+    xs = [(-i * r) % e for i in range(1, e)]
+    ys = [(i * r) % e for i in range(1, e)]
+    return xs, ys
+
+
+def sequence_s(w: int, e: int) -> list[tuple[int, int]]:
+    """The sequence ``S`` of ``(a_i, b_i)`` thread assignments.
+
+    ``a_i`` counts elements of the ``A`` list, ``b_i`` of ``B``; each entry
+    sums to ``E`` (Lemma 7.1).
+
+    >>> sequence_s(16, 9)[:3]
+    [(7, 2), (4, 5), (3, 6)]
+    """
+    xs, ys = xy_sequences(w, e)
+    out: list[tuple[int, int]] = []
+    for i in range(1, e):
+        x, y = xs[i - 1], ys[i - 1]
+        out.append((x, y) if i % 2 == 0 else (y, x))
+    return out
+
+
+def sequence_t(w: int, e: int) -> list[tuple[int, int]]:
+    """The sequence ``T``: ``S`` plus ``r + 1`` inserted full-scan tuples.
+
+    Following the paper's three rules:
+
+    1. insert ``(E, 0)`` after the first entry ``(a_1, b_1) = (r, E−r)`` and
+       after the last entry ``(a_{E−1}, b_{E−1}) = (r, E−r)``;
+    2. for each ``k`` with ``a_{2k} + a_{2k+1} = x_{2k} + y_{2k+1} = r``,
+       insert ``(E, 0)`` after ``(a_{2k+1}, b_{2k+1})``;
+    3. for each ``k`` with ``b_{2k−1} + b_{2k} = x_{2k−1} + y_{2k} = r``,
+       insert ``(0, E)`` after ``(a_{2k}, b_{2k})``.
+
+    The result has exactly ``w`` tuples (one per thread of the warp), each
+    summing to ``E``; the ``A`` counts total ``(E+1)/2·w`` and the ``B``
+    counts ``(E−1)/2·w`` — the per-warp list split of Section III's general
+    strategy.
+
+    >>> t = sequence_t(16, 9)
+    >>> len(t), sum(a for a, _ in t), sum(b for _, b in t)
+    (16, 80, 64)
+    """
+    r = check_large_e(w, e)
+    xs, ys = xy_sequences(w, e)
+    s = sequence_s(w, e)
+
+    # insertions[i] = tuple to insert after S entry index i (0-based).
+    insertions: dict[int, tuple[int, int]] = {}
+    insertions[0] = (e, 0)  # after (a_1, b_1)
+
+    for k in range(1, (e - 1) // 2):
+        # x_{2k} + y_{2k+1}: 1-based indices 2k and 2k+1.
+        if xs[2 * k - 1] + ys[2 * k] == r:
+            insertions[2 * k] = (e, 0)  # after entry index 2k (= a_{2k+1})
+
+    last_b_insert = None
+    for k in range(1, (e - 1) // 2 + 1):
+        # x_{2k−1} + y_{2k}: 1-based indices 2k−1 and 2k.
+        if xs[2 * k - 2] + ys[2 * k - 1] == r:
+            idx = 2 * k - 1  # after entry index 2k−1 (= a_{2k})
+            if idx == e - 2:
+                last_b_insert = (0, e)  # shares the slot after the last entry
+            else:
+                insertions[idx] = (0, e)
+
+    out: list[tuple[int, int]] = []
+    for i, entry in enumerate(s):
+        out.append(entry)
+        if i in insertions:
+            out.append(insertions[i])
+        if i == e - 2:  # after the last entry: rule 1 then any rule-3 insert
+            out.append((e, 0))
+            if last_b_insert is not None:
+                out.append(last_b_insert)
+
+    if len(out) != w:
+        raise ConstructionError(
+            f"internal error: sequence T has {len(out)} tuples, expected w={w}"
+        )
+    if any(a + b != e for a, b in out):
+        raise ConstructionError("internal error: a T tuple does not sum to E")
+    total_a = sum(a for a, _ in out)
+    if total_a != (e + 1) // 2 * w:
+        raise ConstructionError(
+            f"internal error: T assigns {total_a} A elements, expected "
+            f"{(e + 1) // 2 * w}"
+        )
+    return out

@@ -1,0 +1,134 @@
+"""The small-``E`` construction (Theorem 3): ``E < w/2``, ``GCD(w, E) = 1``.
+
+Target: align elements to the first ``E`` banks (``s = 0``). The warp's
+``wE`` output ranks are produced by two kinds of threads:
+
+* ``E`` **scan threads**, each taking all ``E`` of its elements from one
+  list at a moment when that list's consumption is ``≡ 0 (mod w)`` — its
+  ``E`` accesses then walk banks ``0, 1, …, E−1`` in lock-step with the
+  iteration index, i.e. every access is aligned. ``(E+1)/2`` of them scan
+  ``A`` columns and ``(E−1)/2`` scan ``B`` columns, consuming the ``m``
+  "full columns" of Lemma 2.
+* ``w − E`` **filler threads**, which absorb the ``w − E`` elements per
+  column per list that live in the safe banks ``[E, w)`` (the
+  ``α``/``β`` buffers of Lemma 2), advancing each list's pointer to the
+  next column boundary without ever touching the target banks.
+
+Element conservation makes the thread budget exact: scan threads consume
+``E²`` elements, fillers ``wE − E² = (w−E)E``, i.e. exactly ``w − E``
+fillers of ``E`` elements each — ``w`` threads in total. The feasibility of
+always keeping fillers inside the safe banks is Lemma 2's
+``w − E ≥ E`` argument (this is where ``E < w/2`` is used).
+
+The scheduler below is the paper's "front-to-back" strategy run greedily;
+:func:`small_e_assignment` asserts the Theorem 3 invariants as it goes and
+the test suite verifies ``aligned == E²`` for every valid ``(w, E)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.adversary.assignment import WarpAssignment, greedy_read_order
+from repro.errors import ConstructionError
+from repro.utils.validation import check_positive_int, check_power_of_two
+
+__all__ = ["small_e_assignment"]
+
+
+def small_e_assignment(w: int, e: int) -> WarpAssignment:
+    """Build the Theorem 3 worst-case warp assignment.
+
+    The warp takes ``(E+1)/2·w`` elements from ``A`` and ``(E−1)/2·w`` from
+    ``B`` (the ``L``-warp split; use
+    :meth:`~repro.adversary.assignment.WarpAssignment.mirrored` for
+    ``R``-warps).
+
+    >>> wa = small_e_assignment(16, 7)
+    >>> wa.aligned_count()
+    49
+    """
+    w = check_power_of_two(w, "w")
+    e = check_positive_int(e, "E")
+    if not 1 <= e < w / 2:
+        raise ConstructionError(
+            f"small-E construction requires E < w/2, got E={e}, w={w}"
+        )
+    if math.gcd(w, e) != 1:
+        raise ConstructionError(
+            f"small-E construction requires GCD(w, E) = 1, got "
+            f"GCD({w}, {e}) = {math.gcd(w, e)}"
+        )
+
+    scans_a = (e + 1) // 2  # A columns to scan
+    scans_b = e // 2  # B columns to scan ((E−1)/2; 0 when E == 1)
+    # Safe capacity: elements of each list between the current pointer and
+    # the next column boundary, all within banks [E, w). A scan is legal
+    # exactly when its list's capacity has been fully consumed.
+    cap_a = 0  # both list pointers start at bank 0: scan-ready
+    cap_b = 0
+    next_scan_a = True  # columns alternate A, B, A, … (Lemma 2 strategies)
+
+    tuples: list[tuple[int, int]] = []
+    while scans_a or scans_b or cap_a or cap_b:
+        want_a = next_scan_a if (scans_a and scans_b) else bool(scans_a)
+        if want_a and cap_a == 0:
+            tuples.append((e, 0))
+            scans_a -= 1
+            # Refill: the w−E safe-bank elements up to the next column
+            # boundary (the trailing α↓ = w−E after the final column
+            # included — Theorem 3's accounting).
+            cap_a = w - e
+            next_scan_a = False
+            continue
+        if scans_b and not want_a and cap_b == 0:
+            tuples.append((0, e))
+            scans_b -= 1
+            cap_b = w - e
+            next_scan_a = True
+            continue
+        # Filler thread: drain the next-scan list first so its column
+        # boundary is reached; overflow goes to the other list, whose
+        # freshly refilled capacity (w − E ≥ E) always absorbs it — the
+        # Lemma 2 feasibility argument.
+        drain_a = next_scan_a if (scans_a or scans_b) else cap_a >= cap_b
+        if not scans_a and not scans_b:
+            drain_a = cap_a >= cap_b
+        elif not scans_a:
+            drain_a = False
+        elif not scans_b:
+            drain_a = True
+        primary = cap_a if drain_a else cap_b
+        secondary = cap_b if drain_a else cap_a
+        take_p = min(e, primary)
+        take_s = e - take_p
+        if take_s > secondary:
+            raise ConstructionError(
+                f"internal error: filler overflow of {take_s} exceeds the "
+                f"other list's safe capacity {secondary} (w={w}, E={e})"
+            )
+        take_a, take_b = (take_p, take_s) if drain_a else (take_s, take_p)
+        tuples.append((take_a, take_b))
+        cap_a -= take_a
+        cap_b -= take_b
+
+    if len(tuples) != w:
+        raise ConstructionError(
+            f"internal error: schedule used {len(tuples)} threads, "
+            f"expected w={w}"
+        )
+    total_a = sum(a for a, _ in tuples)
+    if total_a != (e + 1) // 2 * w:
+        raise ConstructionError(
+            f"internal error: schedule consumed {total_a} A elements, "
+            f"expected {(e + 1) // 2 * w}"
+        )
+
+    a_first = greedy_read_order(w, e, tuples, target_bank=0)
+    return WarpAssignment(
+        warp_size=w,
+        elements_per_thread=e,
+        tuples=tuple(tuples),
+        a_first=a_first,
+        target_bank=0,
+    )

@@ -1,0 +1,48 @@
+"""Average-case conflict analysis — the paper's closing open problem.
+
+The Conclusion asks: *can we analyze the expected number of bank conflicts
+for a given algorithm, for a specific input distribution?* This package
+takes the first steps the paper gestures at:
+
+* :mod:`repro.analysis.expected` — closed-form and Monte-Carlo results for
+  the balls-in-bins model of one warp step (expected replays is exact;
+  expected serialization is the classic max-load);
+* :mod:`repro.analysis.beta` — measuring Karsin et al.'s ``β₁``/``β₂``
+  (average conflicts per partition / merge iteration) on simulated runs,
+  including their observation that the numbers grow with the input's
+  inversion count;
+* :mod:`repro.analysis.inversions` — inversion counting for inputs;
+* :mod:`repro.analysis.variance` — the Conclusion's point 4: where the
+  constructed input sits in the random-runtime distribution (and why a
+  dozen random samples never find it).
+"""
+
+from repro.analysis.beta import BetaEstimate, measure_betas
+from repro.analysis.correlation import pearson_r, spearman_rho
+from repro.analysis.distributions import (
+    StepCostDistribution,
+    step_cost_distribution,
+)
+from repro.analysis.expected import (
+    expected_occupied_banks,
+    expected_replays_per_step,
+    max_load_monte_carlo,
+)
+from repro.analysis.inversions import count_inversions, inversion_fraction
+from repro.analysis.variance import VarianceStudy, variance_study
+
+__all__ = [
+    "BetaEstimate",
+    "StepCostDistribution",
+    "VarianceStudy",
+    "count_inversions",
+    "expected_occupied_banks",
+    "expected_replays_per_step",
+    "inversion_fraction",
+    "max_load_monte_carlo",
+    "measure_betas",
+    "pearson_r",
+    "spearman_rho",
+    "step_cost_distribution",
+    "variance_study",
+]

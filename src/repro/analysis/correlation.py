@@ -1,0 +1,74 @@
+"""Correlation statistics for the conflicts-predict-runtime claims.
+
+Karsin et al. "showed a strong correlation between the number of bank
+conflicts and the runtime" (paper Section II-C), and Figure 6 leans on the
+same relationship. This module provides the two statistics the claim needs:
+Pearson's r (linear association) and Spearman's rank correlation (the
+"relative performance predicts relative performance" form the paper
+actually uses).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["pearson_r", "spearman_rho"]
+
+
+def _validate(xs, ys) -> tuple[np.ndarray, np.ndarray]:
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if xs.ndim != 1 or xs.shape != ys.shape:
+        raise ValidationError(
+            f"series must be equal-length 1-D, got {xs.shape} and {ys.shape}"
+        )
+    if xs.size < 2:
+        raise ValidationError("correlation needs at least 2 points")
+    return xs, ys
+
+
+def pearson_r(xs, ys) -> float:
+    """Pearson's linear correlation coefficient.
+
+    >>> round(pearson_r([1, 2, 3], [2, 4, 6]), 6)
+    1.0
+    >>> round(pearson_r([1, 2, 3], [3, 2, 1]), 6)
+    -1.0
+    """
+    xs, ys = _validate(xs, ys)
+    dx = xs - xs.mean()
+    dy = ys - ys.mean()
+    denominator = float(np.sqrt((dx * dx).sum() * (dy * dy).sum()))
+    if denominator == 0.0:
+        raise ValidationError("correlation undefined for a constant series")
+    return float((dx * dy).sum() / denominator)
+
+
+def spearman_rho(xs, ys) -> float:
+    """Spearman's rank correlation (Pearson on average ranks).
+
+    >>> spearman_rho([1, 10, 100], [2, 3, 4])   # monotone -> 1.0
+    1.0
+    """
+    xs, ys = _validate(xs, ys)
+    return pearson_r(_ranks(xs), _ranks(ys))
+
+
+def _ranks(values: np.ndarray) -> np.ndarray:
+    """Average ranks (ties share their mean rank)."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(values.size, dtype=np.float64)
+    ranks[order] = np.arange(1, values.size + 1, dtype=np.float64)
+    # Average tied groups.
+    sorted_vals = values[order]
+    i = 0
+    while i < values.size:
+        j = i
+        while j + 1 < values.size and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = ranks[order[i : j + 1]].mean()
+        i = j + 1
+    return ranks

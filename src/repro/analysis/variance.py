@@ -1,0 +1,109 @@
+"""Runtime-variance study — the paper's Conclusion, point 4.
+
+The paper's closing argument for caring about worst cases: "the runtimes on
+the worst-case inputs represent an extreme end of the possible runtime
+variance", and a dozen random samples (the typical GPU-paper methodology it
+criticizes in Section II-C) say nothing about that tail. This module makes
+the argument quantitative: sample many random permutations, locate the
+constructed input in the resulting runtime distribution, and report how
+many sampled standard deviations it sits from the mean — i.e. how invisible
+it is to random testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.device import DeviceSpec
+from repro.gpu.occupancy import occupancy
+from repro.gpu.timing import TimingModel
+from repro.inputs.generators import generate
+from repro.sort.config import SortConfig
+from repro.sort.pairwise import PairwiseMergeSort
+from repro.utils.validation import check_positive_int
+
+__all__ = ["VarianceStudy", "variance_study"]
+
+
+@dataclass(frozen=True)
+class VarianceStudy:
+    """Distribution of random-input runtimes vs the constructed input."""
+
+    num_elements: int
+    samples_ms: np.ndarray
+    worst_ms: float
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean random-input runtime."""
+        return float(self.samples_ms.mean())
+
+    @property
+    def std_ms(self) -> float:
+        """Random-input runtime standard deviation."""
+        return float(self.samples_ms.std(ddof=1)) if self.samples_ms.size > 1 else 0.0
+
+    @property
+    def spread_percent(self) -> float:
+        """Max/min spread of the random samples, in percent."""
+        lo, hi = float(self.samples_ms.min()), float(self.samples_ms.max())
+        return (hi / lo - 1.0) * 100.0
+
+    @property
+    def worst_slowdown_percent(self) -> float:
+        """Constructed-input slowdown vs the random mean."""
+        return (self.worst_ms / self.mean_ms - 1.0) * 100.0
+
+    @property
+    def z_score(self) -> float:
+        """How many random-sample standard deviations the worst case sits
+        above the mean (∞ if the samples don't vary)."""
+        if self.std_ms == 0.0:
+            return float("inf")
+        return (self.worst_ms - self.mean_ms) / self.std_ms
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        return (
+            f"random runtimes {self.mean_ms:.3f}±{self.std_ms:.3f} ms "
+            f"(spread {self.spread_percent:.1f}%); constructed input "
+            f"{self.worst_ms:.3f} ms = +{self.worst_slowdown_percent:.1f}% "
+            f"({self.z_score:.0f} sigmas out)"
+        )
+
+
+def variance_study(
+    config: SortConfig,
+    device: DeviceSpec,
+    num_elements: int,
+    *,
+    num_samples: int = 12,
+    score_blocks: int | None = 8,
+    seed: int = 0,
+) -> VarianceStudy:
+    """Sample random-input runtimes and place the worst case among them.
+
+    ``num_samples`` defaults to 12 — "at most a dozen random inputs", the
+    methodology the paper's Section II-C calls statistically meaningless
+    for a space of ``n!`` permutations.
+    """
+    check_positive_int(num_samples, "num_samples")
+    n = config.validate_input_size(num_elements)
+    sorter = PairwiseMergeSort(config)
+    occ = occupancy(device, config.b, config.shared_bytes_per_block)
+    model = TimingModel(device)
+
+    def run_ms(data) -> float:
+        result = sorter.sort(data, score_blocks=score_blocks)
+        return model.milliseconds(result.kernel_cost(occ.warps_per_sm))
+
+    samples = np.array(
+        [
+            run_ms(generate("random", config, n, seed=seed + i))
+            for i in range(num_samples)
+        ]
+    )
+    worst_ms = run_ms(generate("worst-case", config, n))
+    return VarianceStudy(num_elements=n, samples_ms=samples, worst_ms=worst_ms)

@@ -1,0 +1,126 @@
+"""Terminal rendering of figure data: line plots and bank matrices.
+
+No plotting dependency is available offline, so the harness renders its
+figures as ASCII — good enough to eyeball the shapes the paper reports
+(crossovers, log growth, the random/worst gap) straight from the CLI.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["bank_matrix_str", "line_plot", "table"]
+
+
+def line_plot(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 72,
+    height: int = 20,
+    logx: bool = True,
+    title: str = "",
+) -> str:
+    """Render named ``(xs, ys)`` series as an ASCII chart.
+
+    Each series gets a distinct glyph; x can be log-scaled (the paper's
+    throughput plots all are).
+    """
+    if not series:
+        raise ValidationError("no series to plot")
+    glyphs = "*o+x#@%&"
+    all_x: list[float] = []
+    all_y: list[float] = []
+    for xs, ys in series.values():
+        if len(xs) != len(ys) or not xs:
+            raise ValidationError("each series needs equal-length nonempty x/y")
+        all_x.extend(float(v) for v in xs)
+        all_y.extend(float(v) for v in ys)
+
+    def tx(v: float) -> float:
+        return math.log10(v) if logx else v
+
+    x_lo, x_hi = min(map(tx, all_x)), max(map(tx, all_x))
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, (xs, ys)), glyph in zip(series.items(), glyphs):
+        for x, y in zip(xs, ys):
+            col = round((tx(float(x)) - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((float(y) - y_lo) / y_span * (height - 1))
+            grid[row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:12.4g} ┐")
+    for row in grid:
+        lines.append(" " * 12 + " │" + "".join(row))
+    lines.append(f"{y_lo:12.4g} ┘" + "─" * width)
+    lines.append(
+        " " * 14 + f"{all_x[0]:,.0f}".ljust(width - 14) + f"{max(all_x):,.0f}"
+    )
+    legend = "   ".join(
+        f"{glyph} {name}" for (name, _), glyph in zip(series.items(), glyphs)
+    )
+    lines.append(" " * 14 + legend)
+    return "\n".join(lines)
+
+
+def bank_matrix_str(owners: np.ndarray, *, highlight=None, label: str = "") -> str:
+    """Render a bank-major owner matrix like the paper's Figures 1 and 3.
+
+    ``owners`` is the ``(w, columns)`` thread-id matrix from
+    :meth:`~repro.adversary.assignment.WarpAssignment.bank_matrix`;
+    ``highlight`` is an optional same-shape boolean mask (aligned cells are
+    bracketed).
+    """
+    owners = np.asarray(owners)
+    if owners.ndim != 2:
+        raise ValidationError(f"owners must be 2-D, got shape {owners.shape}")
+    lines = []
+    if label:
+        lines.append(label)
+    for bank in range(owners.shape[0]):
+        cells = []
+        for col in range(owners.shape[1]):
+            v = owners[bank, col]
+            text = " . " if v < 0 else f"{int(v):2d} "
+            if highlight is not None and v >= 0 and highlight[bank, col]:
+                text = f"[{int(v):2d}]"[:4].ljust(4)
+            else:
+                text = text.ljust(4)
+            cells.append(text)
+        lines.append(f"bank {bank:2d} │ " + "".join(cells))
+    return "\n".join(lines)
+
+
+def table(rows: list[dict], columns: Sequence[str] | None = None) -> str:
+    """Render dict rows as a fixed-width text table."""
+    if not rows:
+        return "(empty)"
+    if columns is None:
+        columns = list(rows[0])
+    widths = {
+        c: max(len(str(c)), *(len(_fmt(r.get(c))) for r in rows)) for c in columns
+    }
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    sep = "  ".join("-" * widths[c] for c in columns)
+    body = [
+        "  ".join(_fmt(r.get(c)).ljust(widths[c]) for c in columns) for r in rows
+    ]
+    return "\n".join([header, sep, *body])
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)

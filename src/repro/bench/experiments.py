@@ -1,0 +1,254 @@
+"""The experiment registry: one-command reproduction with pass/fail bands.
+
+``python -m repro reproduce`` runs every claim of the paper (and this
+repo's extensions) against explicit acceptance bands and prints a verdict
+table — the executable version of EXPERIMENTS.md. Bands encode *shape*
+agreements (orderings, crossovers, growth, exact theorem counts), never
+absolute simulated milliseconds.
+
+Each experiment is a function returning an :class:`ExperimentResult`;
+``quick`` mode caps sweep sizes so the whole registry runs in ~a minute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ValidationError
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "run_all", "run_experiment"]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one registered experiment."""
+
+    experiment_id: str
+    passed: bool
+    details: list[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-line verdict."""
+        return f"[{'PASS' if self.passed else 'FAIL'}] {self.experiment_id}"
+
+
+def _check(details: list[str], ok: bool, message: str) -> bool:
+    details.append(f"  {'ok ' if ok else 'FAIL'} {message}")
+    return ok
+
+
+def _exp_theorem3(quick: bool) -> ExperimentResult:
+    """Theorem 3: E² aligned for every small co-prime E."""
+    import math
+
+    from repro.adversary.small_e import small_e_assignment
+
+    details: list[str] = []
+    ws = (8, 16, 32) if quick else (8, 16, 32, 64, 128, 256)
+    ok = True
+    checked = 0
+    for w in ws:
+        for e in range(1, (w + 1) // 2):
+            if math.gcd(w, e) != 1:
+                continue
+            checked += 1
+            ok &= small_e_assignment(w, e).aligned_count() == e * e
+    ok = _check(details, ok, f"{checked} (w, E) pairs align exactly E^2")
+    return ExperimentResult("theorem-3-small-E", ok, details)
+
+
+def _exp_theorem9(quick: bool) -> ExperimentResult:
+    """Theorem 9: the large-E formula, exhaustively."""
+    from repro.adversary.large_e import large_e_assignment
+
+    details: list[str] = []
+    ws = (8, 16, 32) if quick else (8, 16, 32, 64, 128, 256)
+    ok = True
+    checked = 0
+    for w in ws:
+        for e in range(w // 2 + 1, w, 2):
+            r = w - e
+            want = (e * e + e + 2 * e * r - r * r - r) // 2
+            checked += 1
+            ok &= large_e_assignment(w, e).aligned_count() == want
+    ok = _check(details, ok, f"{checked} (w, E) pairs match (E²+E+2Er−r²−r)/2")
+    return ExperimentResult("theorem-9-large-E", ok, details)
+
+
+def _exp_end_to_end(quick: bool) -> ExperimentResult:
+    """The simulated sort serializes every targeted round to the bound."""
+    from repro.adversary.permutation import worst_case_permutation
+    from repro.adversary.verify import verify_worst_case
+    from repro.sort.config import SortConfig
+
+    details: list[str] = []
+    ok = True
+    pairs = [(32, 15, 64), (32, 17, 64)] if quick else [
+        (32, 15, 64), (32, 17, 64), (16, 7, 32), (16, 9, 32),
+    ]
+    for w, e, b in pairs:
+        cfg = SortConfig(elements_per_thread=e, block_size=b, warp_size=w)
+        n = cfg.tile_size * 8
+        report = verify_worst_case(cfg, worst_case_permutation(cfg, n))
+        ok &= _check(details, report.ok,
+                     f"(w={w}, E={e}): {report.summary()}")
+    return ExperimentResult("end-to-end-serialization", ok, details)
+
+
+def _exp_fig1_fig3(quick: bool) -> ExperimentResult:
+    """Figures 1 and 3: exact layout facts."""
+    from repro.bench.figures import figure1, figure3
+
+    details: list[str] = []
+    f1 = figure1()
+    f3 = figure3()
+    ok = _check(details, f1["aligned"] == 48, "Fig 1: sorted w=16,E=12 aligns 48")
+    ok &= _check(details, f3["small"]["aligned"] == 49, "Fig 3L: E=7 aligns 49")
+    ok &= _check(details, f3["large"]["aligned"] == 80, "Fig 3R: E=9 aligns 80")
+    a = f3["small"]["a_owners"]
+    ok &= _check(details, a[0, :4].tolist() == [0, 4, 8, 13],
+                 "Fig 3L: A columns owned by threads 0,4,8,13 (as printed)")
+    return ExperimentResult("figures-1-and-3", ok, details)
+
+
+def _exp_fig4(quick: bool) -> ExperimentResult:
+    """Figure 4 shape: Quadro M4000 slowdowns and the library ordering."""
+    from repro.bench.figures import figure4
+
+    details: list[str] = []
+    data = figure4(
+        max_elements=4_000_000 if quick else 300_000_000,
+        exact_threshold=1 << 19,
+        score_blocks=4,
+    )
+    thrust = data["thrust"]["slowdown"]
+    mgpu = data["mgpu"]["slowdown"]
+    ok = _check(details, 25 < thrust.peak_percent < 90,
+                f"Thrust slowdown {thrust} [paper 50.49%/43.53%]")
+    ok &= _check(details, 10 < mgpu.peak_percent < 70,
+                 f"MGPU slowdown {mgpu} [paper 33.82%/27.3%]")
+    ok &= _check(details, thrust.peak_percent > mgpu.peak_percent,
+                 "Thrust hit harder than MGPU (matches paper)")
+    t_last = data["thrust"]["random"][-1].throughput_meps
+    m_last = data["mgpu"]["random"][-1].throughput_meps
+    ok &= _check(details, t_last > m_last,
+                 "Thrust outperforms MGPU on random inputs")
+    return ExperimentResult("figure-4-quadro", ok, details)
+
+
+def _exp_fig5(quick: bool) -> ExperimentResult:
+    """Figure 5 shape: RTX slowdowns + random-input preset ordering."""
+    from repro.bench.figures import figure5
+
+    details: list[str] = []
+    data = figure5(
+        max_elements=4_000_000 if quick else 300_000_000,
+        exact_threshold=1 << 19,
+        score_blocks=4,
+    )
+    s15 = data["e15_b512"]["slowdown"]
+    ok = _check(details, 15 < s15.peak_percent < 80,
+                f"E=15,b=512 slowdown {s15} [paper 42.43%/33.31%]")
+    t15 = data["e15_b512"]["random"][-1].throughput_meps
+    t17 = data["e17_b256"]["random"][-1].throughput_meps
+    ok &= _check(details, t15 > t17,
+                 "random inputs: E=15,b=512 beats E=17,b=256 (matches paper)")
+    details.append(
+        "  note: the paper's worst-case preset crossover does not reproduce "
+        "from DMM counts (see EXPERIMENTS.md)"
+    )
+    return ExperimentResult("figure-5-rtx", ok, details)
+
+
+def _exp_fig6(quick: bool) -> ExperimentResult:
+    """Figure 6 shape: logarithmic conflict growth tracking runtime."""
+    from repro.bench.figures import figure6
+
+    details: list[str] = []
+    data = figure6(
+        max_elements=8_000_000 if quick else 300_000_000,
+        exact_threshold=1 << 19,
+        score_blocks=4,
+    )
+    ok = True
+    for key in ("e15_b512", "e17_b256"):
+        cpe = data[key]["replays_per_element"]
+        ok &= _check(details, cpe == sorted(cpe),
+                     f"{key}: conflicts/elem increase with N")
+        increments = [b - a for a, b in zip(cpe, cpe[1:])]
+        flat = max(increments[2:]) <= 2.5 * min(increments[2:]) + 1e-9
+        ok &= _check(details, flat, f"{key}: ~constant increment per doubling "
+                                    "(logarithmic growth)")
+    return ExperimentResult("figure-6-per-element", ok, details)
+
+
+def _exp_expected_case(quick: bool) -> ExperimentResult:
+    """Extension: β₂ on random inputs in Karsin's ballpark; grows with
+    inversions; worst case drives it to Θ(E)."""
+    from repro.analysis.beta import measure_betas
+    from repro.inputs.generators import generate
+    from repro.sort.config import SortConfig
+
+    details: list[str] = []
+    cfg = SortConfig(elements_per_thread=15, block_size=128, warp_size=32)
+    n = cfg.tile_size * (16 if quick else 64)
+    betas = {
+        name: measure_betas(cfg, generate(name, cfg, n, seed=1))
+        for name in ("sorted", "random", "worst-case")
+    }
+    ok = _check(details, 1.5 < betas["random"].beta2 < 3.5,
+                f"random beta2 = {betas['random'].beta2:.2f} "
+                "[Karsin measured 2.2]")
+    ok &= _check(details, betas["sorted"].beta2 < 0.3,
+                 f"sorted beta2 = {betas['sorted'].beta2:.2f} (conflict free)")
+    ok &= _check(details, betas["worst-case"].beta2 > 0.4 * cfg.E,
+                 f"worst-case beta2 = {betas['worst-case'].beta2:.2f} = Θ(E)")
+    return ExperimentResult("expected-case-betas", ok, details)
+
+
+def _exp_variance(quick: bool) -> ExperimentResult:
+    """Conclusion point 4: the worst case is invisible to random sampling."""
+    from repro.analysis.variance import variance_study
+    from repro.gpu.device import QUADRO_M4000
+    from repro.sort.presets import THRUST_MAXWELL
+
+    details: list[str] = []
+    n = THRUST_MAXWELL.tile_size * (16 if quick else 64)
+    study = variance_study(
+        THRUST_MAXWELL, QUADRO_M4000, n,
+        num_samples=6 if quick else 12, score_blocks=4,
+    )
+    ok = _check(details, study.z_score > 10, study.summary())
+    return ExperimentResult("runtime-variance", ok, details)
+
+
+#: Registered experiments, in presentation order.
+EXPERIMENTS: dict[str, Callable[[bool], ExperimentResult]] = {
+    "theorem-3-small-E": _exp_theorem3,
+    "theorem-9-large-E": _exp_theorem9,
+    "end-to-end-serialization": _exp_end_to_end,
+    "figures-1-and-3": _exp_fig1_fig3,
+    "figure-4-quadro": _exp_fig4,
+    "figure-5-rtx": _exp_fig5,
+    "figure-6-per-element": _exp_fig6,
+    "expected-case-betas": _exp_expected_case,
+    "runtime-variance": _exp_variance,
+}
+
+
+def run_experiment(experiment_id: str, quick: bool = True) -> ExperimentResult:
+    """Run one registered experiment by id."""
+    try:
+        fn = EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(EXPERIMENTS)
+        raise ValidationError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+    return fn(quick)
+
+
+def run_all(quick: bool = True) -> list[ExperimentResult]:
+    """Run the whole registry in order."""
+    return [fn(quick) for fn in EXPERIMENTS.values()]

@@ -1,0 +1,102 @@
+"""JSON serialization of bench results.
+
+Sweeps and figure data become plain JSON-compatible structures so results
+can be archived, diffed across runs, or re-plotted elsewhere. NumPy arrays
+are converted to lists; :class:`~repro.bench.metrics.BenchPoint` and
+:class:`~repro.bench.metrics.SlowdownStats` become dicts. The inverse
+(:func:`points_from_json`) restores BenchPoint lists for re-analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.bench.metrics import BenchPoint, SlowdownStats
+from repro.errors import ValidationError
+
+__all__ = [
+    "figure_to_json",
+    "point_to_dict",
+    "points_from_json",
+    "write_json",
+]
+
+
+def point_to_dict(point: BenchPoint) -> dict:
+    """One sweep point as a JSON-compatible dict."""
+    return {
+        "config": point.config_name,
+        "device": point.device_name,
+        "input": point.input_name,
+        "n": point.num_elements,
+        "milliseconds": point.milliseconds,
+        "throughput_meps": point.throughput_meps,
+        "replays_per_element": point.replays_per_element,
+        "shared_cycles": point.shared_cycles,
+        "global_transactions": point.global_transactions,
+    }
+
+
+def _point_from_dict(data: dict) -> BenchPoint:
+    return BenchPoint(
+        config_name=data["config"],
+        device_name=data["device"],
+        input_name=data["input"],
+        num_elements=int(data["n"]),
+        milliseconds=float(data["milliseconds"]),
+        throughput_meps=float(data["throughput_meps"]),
+        replays_per_element=float(data["replays_per_element"]),
+        shared_cycles=int(data["shared_cycles"]),
+        global_transactions=int(data["global_transactions"]),
+    )
+
+
+def points_from_json(text: str) -> list[BenchPoint]:
+    """Restore a list of sweep points from a JSON string."""
+    data = json.loads(text)
+    if not isinstance(data, list):
+        raise ValidationError("expected a JSON array of sweep points")
+    return [_point_from_dict(d) for d in data]
+
+
+def _jsonify(value: Any) -> Any:
+    """Recursively convert bench structures to JSON-compatible values."""
+    if isinstance(value, BenchPoint):
+        return point_to_dict(value)
+    if isinstance(value, SlowdownStats):
+        return {
+            "peak_percent": value.peak_percent,
+            "peak_at": value.peak_at,
+            "average_percent": value.average_percent,
+        }
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    return value
+
+
+def figure_to_json(data: dict) -> str:
+    """Serialize a figure builder's output to a JSON string."""
+    return json.dumps(_jsonify(data), indent=2, sort_keys=True)
+
+
+def write_json(data: Any, path) -> Path:
+    """Serialize any bench structure to a file; returns the path."""
+    path = Path(path)
+    path.write_text(
+        figure_to_json(data) if isinstance(data, dict) else json.dumps(
+            _jsonify(data), indent=2
+        )
+    )
+    return path

@@ -1,0 +1,193 @@
+"""One builder per paper figure.
+
+Each builder returns a plain data structure (dict of series / matrices) so
+it can be rendered by :mod:`repro.bench.ascii_plot`, dumped by the CLI, or
+asserted on by the test suite. The figure numbering follows the paper:
+
+* **Figure 1** — sorted-order alignment pattern for ``w=16, E=12``
+  (``GCD = 4``): every 4th chunk aligned;
+* **Figure 3** — the constructed worst case for one warp, ``w=16`` with
+  ``E=7`` (small) and ``E=9`` (large);
+* **Figure 4** — throughput vs ``N`` on the Quadro M4000: Thrust
+  (``E=15, b=512``) and Modern GPU (``E=15, b=128``), random vs worst;
+* **Figure 5** — throughput vs ``N`` on the RTX 2080 Ti for both parameter
+  sets (``E=15, b=512`` and ``E=17, b=256``), random vs worst;
+* **Figure 6** — runtime per element and bank conflicts per element vs
+  ``N`` for both parameter sets on the RTX 2080 Ti (worst-case inputs).
+
+Figure 2 of the paper is a pure notation illustration with no data and is
+covered by the docstrings of :mod:`repro.adversary.assignment`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.adversary.assignment import construct_warp_assignment
+from repro.adversary.power2 import sorted_assignment
+from repro.bench.metrics import slowdown_stats
+from repro.bench.runner import SweepRunner
+from repro.gpu.device import QUADRO_M4000, RTX_2080_TI, DeviceSpec
+from repro.sort.config import SortConfig
+from repro.sort.presets import MGPU_MAXWELL, THRUST_CC60, THRUST_MAXWELL
+
+__all__ = ["figure1", "figure3", "figure4", "figure5", "figure6", "theory_table"]
+
+#: Default sweep ceiling — matches the paper's largest plotted sizes.
+MAX_ELEMENTS = 300_000_000
+#: Skip the tiny leading sizes the paper's log-x plots do not show.
+MIN_ELEMENTS = 100_000
+
+
+def _sweep_sizes(config: SortConfig, max_elements: int) -> list[int]:
+    return [n for n in config.valid_sizes(max_elements) if n >= MIN_ELEMENTS]
+
+
+def figure1(w: int = 16, e: int = 12) -> dict:
+    """Sorted-order alignment for composite ``GCD(w, E)`` (paper Fig. 1)."""
+    wa = sorted_assignment(w, e)
+    a_owners, b_owners = wa.bank_matrix()
+    return {
+        "w": w,
+        "E": e,
+        "a_owners": a_owners,
+        "b_owners": b_owners,
+        "aligned": wa.aligned_count(),
+        "step_banks": wa.step_banks(),
+    }
+
+
+def figure3(w: int = 16, small_e: int = 7, large_e: int = 9) -> dict:
+    """The constructed worst-case warp layouts (paper Fig. 3)."""
+    out = {}
+    for key, e in (("small", small_e), ("large", large_e)):
+        wa = construct_warp_assignment(w, e)
+        a_owners, b_owners = wa.bank_matrix()
+        out[key] = {
+            "w": w,
+            "E": e,
+            "tuples": wa.tuples,
+            "a_first": wa.a_first,
+            "target_bank": wa.target_bank,
+            "a_owners": a_owners,
+            "b_owners": b_owners,
+            "aligned": wa.aligned_count(),
+        }
+    return out
+
+
+def _throughput_panel(
+    config: SortConfig,
+    device: DeviceSpec,
+    max_elements: int,
+    exact_threshold: int,
+    score_blocks: int,
+) -> dict:
+    runner = SweepRunner(
+        config, device, exact_threshold=exact_threshold, score_blocks=score_blocks
+    )
+    sizes = _sweep_sizes(config, max_elements)
+    random = runner.sweep("random", sizes)
+    worst = runner.sweep("worst-case", sizes)
+    return {
+        "config": config.name,
+        "device": device.name,
+        "sizes": sizes,
+        "random": random,
+        "worst": worst,
+        "slowdown": slowdown_stats(random, worst),
+    }
+
+
+def figure4(
+    max_elements: int = MAX_ELEMENTS,
+    exact_threshold: int = 1 << 20,
+    score_blocks: int = 8,
+) -> dict:
+    """Quadro M4000 throughput: Thrust vs Modern GPU, random vs worst."""
+    return {
+        "device": QUADRO_M4000.name,
+        "thrust": _throughput_panel(
+            THRUST_MAXWELL, QUADRO_M4000, max_elements, exact_threshold, score_blocks
+        ),
+        "mgpu": _throughput_panel(
+            MGPU_MAXWELL, QUADRO_M4000, max_elements, exact_threshold, score_blocks
+        ),
+    }
+
+
+def figure5(
+    max_elements: int = MAX_ELEMENTS,
+    exact_threshold: int = 1 << 20,
+    score_blocks: int = 8,
+) -> dict:
+    """RTX 2080 Ti throughput for both parameter presets.
+
+    The paper plots Thrust and Modern GPU separately with the same two
+    parameter sets; our model treats the libraries as parameter presets of
+    one algorithm, so each panel here stands for both (the collapse is
+    recorded in EXPERIMENTS.md).
+    """
+    return {
+        "device": RTX_2080_TI.name,
+        "e15_b512": _throughput_panel(
+            THRUST_MAXWELL, RTX_2080_TI, max_elements, exact_threshold, score_blocks
+        ),
+        "e17_b256": _throughput_panel(
+            THRUST_CC60, RTX_2080_TI, max_elements, exact_threshold, score_blocks
+        ),
+    }
+
+
+def figure6(
+    max_elements: int = MAX_ELEMENTS,
+    exact_threshold: int = 1 << 20,
+    score_blocks: int = 8,
+    input_name: str = "worst-case",
+) -> dict:
+    """Per-element runtime and bank conflicts on the RTX 2080 Ti.
+
+    Both curves should show logarithmic growth in ``N`` (one more merge
+    round per doubling), and the conflict curve should predict the runtime
+    curve — the correlation the paper leans on.
+    """
+    panels = {}
+    for key, config in (("e15_b512", THRUST_MAXWELL), ("e17_b256", THRUST_CC60)):
+        runner = SweepRunner(
+            config,
+            RTX_2080_TI,
+            exact_threshold=exact_threshold,
+            score_blocks=score_blocks,
+        )
+        sizes = _sweep_sizes(config, max_elements)
+        points = runner.sweep(input_name, sizes)
+        panels[key] = {
+            "config": config.name,
+            "sizes": sizes,
+            "ms_per_element": [p.ms_per_element for p in points],
+            "replays_per_element": [p.replays_per_element for p in points],
+            "points": points,
+        }
+    return {"device": RTX_2080_TI.name, "input": input_name, **panels}
+
+
+def theory_table(w: int = 32, es: Sequence[int] | None = None) -> list[dict]:
+    """Theorem 3 / Theorem 9 verification rows for the theory benches."""
+    from repro.adversary.theory import aligned_elements, effective_threads
+
+    if es is None:
+        es = [e for e in range(1, w) if e % 2 == 1]
+    rows = []
+    for e in es:
+        wa = construct_warp_assignment(w, e)
+        rows.append(
+            {
+                "w": w,
+                "E": e,
+                "case": "small" if e < w / 2 else "large",
+                "predicted": aligned_elements(w, e),
+                "constructed": wa.aligned_count(),
+                "effective_threads": effective_threads(w, e),
+            }
+        )
+    return rows

@@ -1,0 +1,110 @@
+"""Parameter-grid exploration: the (E, b) design space as a library call.
+
+Section III-C closes with the engineering question behind Thrust's tuning:
+small ``E`` bounds worst-case damage, large ``E`` amortizes the global
+partitioning — "an E value which balances these factors seems to be the
+best choice". This module sweeps the grid and reports, per configuration:
+occupancy, random-input throughput, worst-case throughput, and the
+slowdown gap — the data a library maintainer would tune from (and the
+engine behind ``examples/occupancy_explorer.py`` and the CLI's ``grid``
+command).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.bench.runner import SweepRunner
+from repro.errors import ConfigurationError
+from repro.gpu.device import DeviceSpec
+from repro.gpu.occupancy import occupancy
+from repro.sort.config import SortConfig
+from repro.utils.validation import check_positive_int
+
+__all__ = ["GridPoint", "grid_search"]
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One (E, b) configuration's measured profile."""
+
+    elements_per_thread: int
+    block_size: int
+    occupancy: float
+    num_elements: int
+    random_meps: float
+    worst_meps: float
+
+    @property
+    def slowdown_percent(self) -> float:
+        """Worst-case slowdown vs random for this configuration."""
+        return (self.random_meps / self.worst_meps - 1.0) * 100.0
+
+    def as_row(self) -> dict:
+        """Table row for rendering."""
+        return {
+            "E": self.elements_per_thread,
+            "b": self.block_size,
+            "occupancy": self.occupancy,
+            "random Melem/s": self.random_meps,
+            "worst Melem/s": self.worst_meps,
+            "slowdown %": self.slowdown_percent,
+        }
+
+
+def grid_search(
+    device: DeviceSpec,
+    es: Sequence[int],
+    bs: Sequence[int],
+    *,
+    target_elements: int = 30_000_000,
+    exact_threshold: int = 1 << 19,
+    score_blocks: int = 4,
+    seed: int = 0,
+) -> list[GridPoint]:
+    """Profile every feasible (E, b) pair on a device.
+
+    Configurations whose tile exceeds the device's shared memory (or whose
+    block exceeds the thread limit) are skipped. Results are sorted by
+    random-input throughput, best first.
+    """
+    check_positive_int(target_elements, "target_elements")
+    points: list[GridPoint] = []
+    for b in bs:
+        for e in es:
+            cfg = SortConfig(
+                elements_per_thread=e,
+                block_size=b,
+                warp_size=device.warp_size,
+                name=f"e{e}-b{b}",
+            )
+            try:
+                occ = occupancy(device, b, cfg.shared_bytes_per_block)
+            except ConfigurationError:
+                continue
+            runner = SweepRunner(
+                cfg,
+                device,
+                exact_threshold=exact_threshold,
+                score_blocks=score_blocks,
+                seed=seed,
+            )
+            sizes = cfg.valid_sizes(target_elements)
+            if len(sizes) < 2:
+                continue
+            n = sizes[-1]
+            random_point = runner.run_point("random", n)
+            worst_point = runner.run_point("worst-case", n)
+            points.append(
+                GridPoint(
+                    elements_per_thread=e,
+                    block_size=b,
+                    occupancy=occ.occupancy,
+                    num_elements=n,
+                    random_meps=random_point.throughput_meps,
+                    worst_meps=worst_point.throughput_meps,
+                )
+            )
+    points.sort(key=lambda p: -p.random_meps)
+    return points

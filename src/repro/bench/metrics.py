@@ -1,0 +1,75 @@
+"""Bench point records and the paper's slowdown statistics.
+
+Section IV-B reports, per (library, device, parameter set): the *peak*
+slowdown of constructed inputs vs random (and the size it occurs at) and
+the *average* slowdown over the sweep. :func:`slowdown_stats` computes both
+from two aligned sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+__all__ = ["BenchPoint", "SlowdownStats", "slowdown_stats"]
+
+
+@dataclass(frozen=True)
+class BenchPoint:
+    """One measured sweep point."""
+
+    config_name: str
+    device_name: str
+    input_name: str
+    num_elements: int
+    milliseconds: float
+    throughput_meps: float
+    replays_per_element: float
+    shared_cycles: int
+    global_transactions: int
+
+    @property
+    def ms_per_element(self) -> float:
+        """Figure 6's left axis: runtime (ms) per element."""
+        return self.milliseconds / self.num_elements
+
+
+@dataclass(frozen=True)
+class SlowdownStats:
+    """Slowdown of a *slow* sweep relative to a *fast* baseline sweep."""
+
+    peak_percent: float
+    peak_at: int
+    average_percent: float
+
+    def __str__(self) -> str:
+        return (
+            f"peak {self.peak_percent:.2f}% (at {self.peak_at:,} elements), "
+            f"average {self.average_percent:.2f}%"
+        )
+
+
+def slowdown_stats(
+    baseline: list[BenchPoint], constructed: list[BenchPoint]
+) -> SlowdownStats:
+    """Peak and average slowdown of ``constructed`` vs ``baseline``.
+
+    Slowdown at a size is ``time_constructed / time_baseline − 1`` (equal to
+    the throughput drop ratio). Sweeps must cover identical sizes in order.
+    """
+    if len(baseline) != len(constructed) or not baseline:
+        raise ValidationError("sweeps must be nonempty and equally sized")
+    slowdowns = []
+    for base, worst in zip(baseline, constructed):
+        if base.num_elements != worst.num_elements:
+            raise ValidationError(
+                f"sweeps misaligned: {base.num_elements} vs {worst.num_elements}"
+            )
+        slowdowns.append((worst.milliseconds / base.milliseconds - 1.0) * 100.0)
+    peak_idx = max(range(len(slowdowns)), key=slowdowns.__getitem__)
+    return SlowdownStats(
+        peak_percent=slowdowns[peak_idx],
+        peak_at=baseline[peak_idx].num_elements,
+        average_percent=sum(slowdowns) / len(slowdowns),
+    )

@@ -1,0 +1,106 @@
+"""Markdown emission for EXPERIMENTS.md and the CLI's ``figure`` command."""
+
+from __future__ import annotations
+
+from repro.bench.metrics import BenchPoint, SlowdownStats
+
+__all__ = [
+    "markdown_sweep_table",
+    "render_figure4",
+    "render_figure5",
+    "render_figure6",
+    "render_theory_table",
+]
+
+
+def markdown_sweep_table(
+    random: list[BenchPoint], worst: list[BenchPoint]
+) -> str:
+    """Side-by-side random/worst sweep as a markdown table."""
+    lines = [
+        "| N | random Melem/s | worst Melem/s | slowdown % | "
+        "random confl/elem | worst confl/elem |",
+        "|---:|---:|---:|---:|---:|---:|",
+    ]
+    for r, w in zip(random, worst):
+        slow = (w.milliseconds / r.milliseconds - 1.0) * 100.0
+        lines.append(
+            f"| {r.num_elements:,} | {r.throughput_meps:.0f} | "
+            f"{w.throughput_meps:.0f} | {slow:.1f} | "
+            f"{r.replays_per_element:.2f} | {w.replays_per_element:.2f} |"
+        )
+    return "\n".join(lines)
+
+
+def _panel_md(title: str, panel: dict) -> str:
+    stats: SlowdownStats = panel["slowdown"]
+    return "\n".join(
+        [
+            f"### {title}",
+            "",
+            f"Constructed-input slowdown vs random: **{stats}**",
+            "",
+            markdown_sweep_table(panel["random"], panel["worst"]),
+            "",
+        ]
+    )
+
+
+def render_figure4(data: dict) -> str:
+    """Figure 4 markdown (Quadro M4000, Thrust + Modern GPU)."""
+    return "\n".join(
+        [
+            f"## Figure 4 — throughput on the {data['device']}",
+            "",
+            _panel_md("Thrust (E=15, b=512)", data["thrust"]),
+            _panel_md("Modern GPU (E=15, b=128)", data["mgpu"]),
+        ]
+    )
+
+
+def render_figure5(data: dict) -> str:
+    """Figure 5 markdown (RTX 2080 Ti, both parameter presets)."""
+    return "\n".join(
+        [
+            f"## Figure 5 — throughput on the {data['device']}",
+            "",
+            _panel_md("E=15, b=512", data["e15_b512"]),
+            _panel_md("E=17, b=256", data["e17_b256"]),
+        ]
+    )
+
+
+def render_figure6(data: dict) -> str:
+    """Figure 6 markdown (per-element runtime and conflicts)."""
+    lines = [
+        f"## Figure 6 — per-element runtime and conflicts "
+        f"({data['device']}, {data['input']} inputs)",
+        "",
+        "| N | ms/elem (E=15,b=512) | confl/elem (E=15,b=512) | "
+        "ms/elem (E=17,b=256) | confl/elem (E=17,b=256) |",
+        "|---:|---:|---:|---:|---:|",
+    ]
+    p15, p17 = data["e15_b512"], data["e17_b256"]
+    for i in range(min(len(p15["sizes"]), len(p17["sizes"]))):
+        lines.append(
+            f"| {p15['sizes'][i]:,} | {p15['ms_per_element'][i]:.3e} | "
+            f"{p15['replays_per_element'][i]:.2f} | "
+            f"{p17['ms_per_element'][i]:.3e} | "
+            f"{p17['replays_per_element'][i]:.2f} |"
+        )
+    return "\n".join(lines)
+
+
+def render_theory_table(rows: list[dict]) -> str:
+    """Theorem verification markdown table."""
+    lines = [
+        "| w | E | case | predicted aligned | constructed aligned | "
+        "effective threads |",
+        "|---:|---:|:--|---:|---:|---:|",
+    ]
+    for r in rows:
+        lines.append(
+            f"| {r['w']} | {r['E']} | {r['case']} | {r['predicted']} | "
+            f"{r['constructed']} | {r['effective_threads']} |"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,222 @@
+"""Sweep runner: one measured point per (config, device, input, N).
+
+Exact simulation is affordable up to a few million elements; the paper's
+sweeps reach ~2.9·10⁸. The runner therefore has two paths:
+
+* ``N ≤ exact_threshold`` — build the input, run the instrumented sort
+  (with block sampling), fold counters through the timing model;
+* ``N > exact_threshold`` — run one *calibration* sort at the threshold
+  size and synthesize the large-``N`` cost from measured per-round,
+  per-element rates. This is sound because the instrumentation rates are
+  ``N``-independent: the base case is a fixed per-element cost; global
+  rounds have statistically identical per-element conflict rates (exactly
+  identical for the periodic constructed inputs); and round counts /
+  global traffic are closed-form in ``N``. Tests verify synthesized and
+  exact costs agree at sizes where both are available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.metrics import BenchPoint
+from repro.errors import ValidationError
+from repro.gpu.device import DeviceSpec
+from repro.gpu.occupancy import occupancy
+from repro.gpu.timing import KernelCost, TimingModel
+from repro.inputs.generators import generate
+from repro.sort.config import SortConfig
+from repro.sort.pairwise import PairwiseMergeSort, SortResult
+from repro.utils.bits import ceil_log2
+from repro.utils.validation import check_positive_int
+
+__all__ = ["BenchPoint", "CalibratedRates", "SweepRunner"]
+
+
+@dataclass(frozen=True)
+class CalibratedRates:
+    """Per-element instrumentation rates measured at a calibration size.
+
+    ``base_*`` cover the whole base case (register phase + all ``log b``
+    block rounds — a fixed per-element cost for any ``N``); ``global_*``
+    are per global round per element.
+    """
+
+    base_shared_cycles: float
+    base_shared_steps: float
+    base_replays: float
+    global_shared_cycles: float
+    global_shared_steps: float
+    global_replays: float
+
+    @classmethod
+    def from_result(cls, result: SortResult) -> "CalibratedRates":
+        """Measure rates from an instrumented sort."""
+        n = result.num_elements
+        base = [r for r in result.rounds if r.kind in ("registers", "block")]
+        glob = [r for r in result.rounds if r.kind == "global"]
+        if not glob:
+            raise ValidationError(
+                "calibration run must include at least one global round "
+                "(use N >= 2 tiles)"
+            )
+        return cls(
+            base_shared_cycles=sum(r.shared_cycles for r in base) / n,
+            base_shared_steps=sum(r.shared_steps for r in base) / n,
+            base_replays=sum(r.replays for r in base) / n,
+            global_shared_cycles=sum(r.shared_cycles for r in glob) / (n * len(glob)),
+            global_shared_steps=sum(r.shared_steps for r in glob) / (n * len(glob)),
+            global_replays=sum(r.replays for r in glob) / (n * len(glob)),
+        )
+
+
+@dataclass
+class SweepRunner:
+    """Runs bench points for one (config, device) pair.
+
+    Parameters
+    ----------
+    config, device:
+        The sort parameters and simulated GPU.
+    exact_threshold:
+        Largest ``N`` simulated exactly (default ``2²¹``); larger sizes are
+        synthesized from a calibration run at the largest exact size.
+    score_blocks:
+        Blocks traced per round during simulation (the constructed inputs
+        are block-periodic, so small samples are exact for them).
+    seed:
+        Input-generation seed.
+    """
+
+    config: SortConfig
+    device: DeviceSpec
+    exact_threshold: int = 1 << 21
+    score_blocks: int = 8
+    seed: int = 0
+    _calibrations: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.exact_threshold, "exact_threshold")
+        if self.config.warp_size != self.device.warp_size:
+            raise ValidationError(
+                f"config warp size {self.config.warp_size} != device warp "
+                f"size {self.device.warp_size}"
+            )
+
+    # -- helpers -----------------------------------------------------------
+
+    @property
+    def timing(self) -> TimingModel:
+        """The timing model for this device."""
+        return TimingModel(self.device)
+
+    @property
+    def warps_per_sm(self) -> int:
+        """Resident warps per SM at this config's occupancy."""
+        occ = occupancy(
+            self.device, self.config.block_size, self.config.shared_bytes_per_block
+        )
+        return occ.warps_per_sm
+
+    def _calibration_size(self) -> int:
+        """Largest valid exact size (at least two tiles)."""
+        sizes = self.config.valid_sizes(self.exact_threshold)
+        if len(sizes) < 2:
+            raise ValidationError(
+                f"exact_threshold {self.exact_threshold} leaves no valid "
+                f"calibration size for tile {self.config.tile_size}"
+            )
+        return sizes[-1]
+
+    # -- the two paths -------------------------------------------------------
+
+    def run_point(self, input_name: str, num_elements: int) -> BenchPoint:
+        """Measure one sweep point (exact or synthesized as needed)."""
+        n = self.config.validate_input_size(num_elements)
+        if n <= self.exact_threshold:
+            return self._exact_point(input_name, n)
+        return self._synthesized_point(input_name, n)
+
+    def _exact_point(self, input_name: str, n: int) -> BenchPoint:
+        data = generate(input_name, self.config, n, seed=self.seed)
+        result = PairwiseMergeSort(self.config).sort(
+            data, score_blocks=self.score_blocks, seed=self.seed
+        )
+        cost = result.kernel_cost(self.warps_per_sm)
+        return self._to_point(input_name, n, cost, result.replays_per_element())
+
+    def _synthesized_point(self, input_name: str, n: int) -> BenchPoint:
+        rates = self._calibrate(input_name)
+        cost, replays_per_element = self._synthesize_cost(n, rates)
+        return self._to_point(input_name, n, cost, replays_per_element)
+
+    def _calibrate(self, input_name: str) -> CalibratedRates:
+        if input_name not in self._calibrations:
+            n_cal = self._calibration_size()
+            data = generate(input_name, self.config, n_cal, seed=self.seed)
+            result = PairwiseMergeSort(self.config).sort(
+                data, score_blocks=self.score_blocks, seed=self.seed
+            )
+            self._calibrations[input_name] = CalibratedRates.from_result(result)
+        return self._calibrations[input_name]
+
+    def _synthesize_cost(
+        self, n: int, rates: CalibratedRates
+    ) -> tuple[KernelCost, float]:
+        cfg = self.config
+        rounds = cfg.num_global_rounds(n)
+
+        shared_cycles = rates.base_shared_cycles * n
+        shared_steps = rates.base_shared_steps * n
+        replays = rates.base_replays * n
+        shared_cycles += rates.global_shared_cycles * n * rounds
+        shared_steps += rates.global_shared_steps * n * rounds
+        replays += rates.global_replays * n * rounds
+
+        # Global traffic, closed form (mirrors PairwiseMergeSort exactly):
+        # base: 2N words streamed; each global round: 2N streamed + the
+        # per-block mutual binary searches.
+        words = 2 * n
+        transactions = 2 * (-(-n // cfg.w))
+        blocks = n // cfg.tile_size
+        run = cfg.tile_size
+        for _ in range(rounds):
+            words += 2 * n
+            transactions += 2 * (-(-n // cfg.w))
+            probes = blocks * 2 * ceil_log2(run + 1)
+            transactions += probes
+            words += probes
+            run *= 2
+
+        compute = (3 * n // cfg.w) * rounds + (3 * n // cfg.w)  # merges + base
+        cost = KernelCost(
+            shared_cycles=round(shared_cycles),
+            shared_steps=round(shared_steps),
+            global_transactions=transactions,
+            global_words=words,
+            compute_warp_instructions=compute,
+            kernel_launches=1 + 2 * rounds,
+            warps_per_sm=self.warps_per_sm,
+            element_bytes=cfg.element_bytes,
+        )
+        return cost, replays / n
+
+    def _to_point(
+        self, input_name: str, n: int, cost: KernelCost, replays_per_element: float
+    ) -> BenchPoint:
+        ms = self.timing.milliseconds(cost)
+        return BenchPoint(
+            config_name=self.config.name,
+            device_name=self.device.name,
+            input_name=input_name,
+            num_elements=n,
+            milliseconds=ms,
+            throughput_meps=n / (ms * 1e-3) / 1e6,
+            replays_per_element=replays_per_element,
+            shared_cycles=cost.shared_cycles,
+            global_transactions=cost.global_transactions,
+        )
+
+    def sweep(self, input_name: str, sizes) -> list[BenchPoint]:
+        """Run a whole size sweep for one input kind."""
+        return [self.run_point(input_name, n) for n in sizes]

@@ -1,0 +1,353 @@
+"""Command-line interface: ``python -m repro`` / ``repro-mergesort``.
+
+Subcommands:
+
+* ``construct`` — print a worst-case warp layout (paper Fig. 3 style);
+* ``simulate`` — sort one input through the instrumented simulator and
+  report per-round conflicts and simulated runtime;
+* ``sweep`` — a throughput size sweep for one (preset, device, input);
+* ``figure`` — regenerate a paper figure (1, 3, 4, 5, 6, or ``theory``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.adversary.assignment import construct_warp_assignment
+from repro.bench import SweepRunner, slowdown_stats
+from repro.bench.ascii_plot import bank_matrix_str, line_plot, table
+from repro.bench.figures import figure1, figure3, figure4, figure5, figure6, theory_table
+from repro.bench.report import (
+    render_figure4,
+    render_figure5,
+    render_figure6,
+    render_theory_table,
+)
+from repro.gpu.device import get_device
+from repro.gpu.occupancy import occupancy
+from repro.inputs.generators import GENERATORS, generate
+from repro.sort.pairwise import PairwiseMergeSort
+from repro.sort.presets import preset
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mergesort",
+        description="Worst-case inputs for GPU pairwise merge sort "
+        "(Berney & Sitchinava, IPPS 2020) — simulator and bench harness.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("construct", help="print a worst-case warp layout")
+    p.add_argument("--warp", type=int, default=32, help="warp width w")
+    p.add_argument("--elements", "-E", type=int, default=15, help="E per thread")
+
+    p = sub.add_parser("simulate", help="run one instrumented sort")
+    p.add_argument("--preset", default="thrust-maxwell")
+    p.add_argument("--device", default="quadro-m4000")
+    p.add_argument("--input", default="worst-case", choices=sorted(GENERATORS))
+    p.add_argument("--tiles", type=int, default=64, help="input size in tiles (2^k)")
+    p.add_argument("--score-blocks", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("sweep", help="throughput sweep, random vs one input")
+    p.add_argument("--preset", default="thrust-maxwell")
+    p.add_argument("--device", default="quadro-m4000")
+    p.add_argument("--input", default="worst-case", choices=sorted(GENERATORS))
+    p.add_argument("--max-elements", type=int, default=300_000_000)
+    p.add_argument("--exact-threshold", type=int, default=1 << 20)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p.add_argument("which", choices=["1", "3", "4", "5", "6", "theory"])
+    p.add_argument("--max-elements", type=int, default=300_000_000)
+    p.add_argument("--markdown", action="store_true", help="emit markdown tables")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="also write the figure data as JSON")
+
+    p = sub.add_parser(
+        "grid",
+        help="profile an (E, b) grid on a device: occupancy, random/worst "
+        "throughput, slowdown",
+    )
+    p.add_argument("--device", default="quadro-m4000")
+    p.add_argument("--es", default="7,9,11,13,15,17,23,31")
+    p.add_argument("--bs", default="128,256,512")
+    p.add_argument("--target-elements", type=int, default=30_000_000)
+    p.add_argument("--top", type=int, default=12)
+
+    p = sub.add_parser(
+        "reproduce",
+        help="run the whole experiment registry against the paper's bands "
+        "and print PASS/FAIL verdicts",
+    )
+    p.add_argument("--full", action="store_true",
+                   help="paper-scale sweeps (minutes) instead of quick mode")
+    p.add_argument("--only", default=None,
+                   help="run a single experiment by id")
+
+    p = sub.add_parser(
+        "analyze",
+        help="expected-case analysis: measured beta1/beta2 vs inversions, "
+        "plus balls-in-bins predictions",
+    )
+    p.add_argument("--preset", default="mgpu-maxwell")
+    p.add_argument("--tiles", type=int, default=32)
+    p.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_construct(args) -> int:
+    wa = construct_warp_assignment(args.warp, args.elements)
+    print(
+        f"w={wa.warp_size} E={wa.elements_per_thread} target bank s="
+        f"{wa.target_bank} aligned={wa.aligned_count()} "
+        f"(max possible E^2={wa.elements_per_thread ** 2})"
+    )
+    print("thread tuples (A-count, B-count), * = scans A first:")
+    print(
+        "  "
+        + " ".join(
+            f"({a},{b}){'*' if f else ' '}"
+            for (a, b), f in zip(wa.tuples, wa.a_first)
+        )
+    )
+    a_owners, b_owners = wa.bank_matrix()
+    print(bank_matrix_str(a_owners, label="A list (entries are thread ids):"))
+    print(bank_matrix_str(b_owners, label="B list:"))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    config = preset(args.preset)
+    device = get_device(args.device)
+    n = config.tile_size * args.tiles
+    data = generate(args.input, config, n, seed=args.seed)
+    result = PairwiseMergeSort(config).sort(
+        data, score_blocks=args.score_blocks, seed=args.seed
+    )
+    ok = bool(np.array_equal(result.values, np.sort(data)))
+    occ = occupancy(device, config.block_size, config.shared_bytes_per_block)
+    cost = result.kernel_cost(occ.warps_per_sm)
+    from repro.gpu.timing import TimingModel
+
+    model = TimingModel(device)
+    rows = [
+        {
+            "round": r.label,
+            "kind": r.kind,
+            "merge cycles": round(r.merge_report.total_transactions * r.scale),
+            "partition cycles": round(r.partition_report.total_transactions * r.scale),
+            "replays": round(r.replays),
+        }
+        for r in result.rounds
+    ]
+    print(table(rows))
+    print(
+        f"\nsorted correctly: {ok}   occupancy: {occ.occupancy:.0%} "
+        f"({occ.blocks_per_sm} blocks/SM, limiter: {occ.limiter})"
+    )
+    print(
+        f"N={n:,}  conflicts/elem={result.replays_per_element():.2f}  "
+        f"simulated {model.milliseconds(cost):.3f} ms  "
+        f"({model.throughput_meps(cost, n):.0f} Melem/s on {device.name})"
+    )
+    if args.input == "worst-case":
+        from repro.adversary.verify import verify_worst_case
+
+        report = verify_worst_case(config, data, score_blocks=args.score_blocks)
+        print(f"worst-case verification: {report.summary()}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    config = preset(args.preset)
+    device = get_device(args.device)
+    runner = SweepRunner(config, device, exact_threshold=args.exact_threshold)
+    sizes = [n for n in config.valid_sizes(args.max_elements) if n >= 100_000]
+    base = runner.sweep("random", sizes)
+    other = runner.sweep(args.input, sizes)
+    rows = [
+        {
+            "N": p.num_elements,
+            "random Melem/s": p.throughput_meps,
+            f"{args.input} Melem/s": q.throughput_meps,
+            "slowdown %": (q.milliseconds / p.milliseconds - 1) * 100,
+        }
+        for p, q in zip(base, other)
+    ]
+    print(table(rows))
+    print(f"\n{args.input} vs random: {slowdown_stats(base, other)}")
+    print(
+        line_plot(
+            {
+                "random": (sizes, [p.throughput_meps for p in base]),
+                args.input: (sizes, [p.throughput_meps for p in other]),
+            },
+            title=f"{config.name} on {device.name} (Melem/s vs N, log x)",
+        )
+    )
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    def maybe_json(data) -> None:
+        if args.json:
+            from repro.bench.export import write_json
+
+            path = write_json(data, args.json)
+            print(f"\nfigure data written to {path}")
+
+    if args.which == "1":
+        data = figure1()
+        print(f"Figure 1: sorted order, w={data['w']}, E={data['E']}, "
+              f"aligned={data['aligned']}")
+        print(bank_matrix_str(data["a_owners"], label="A list:"))
+        print(bank_matrix_str(data["b_owners"], label="B list:"))
+        maybe_json(data)
+        return 0
+    if args.which == "3":
+        data = figure3()
+        for key, sub in data.items():
+            print(
+                f"Figure 3 ({key} E): w={sub['w']}, E={sub['E']}, "
+                f"s={sub['target_bank']}, aligned={sub['aligned']}"
+            )
+            print(bank_matrix_str(sub["a_owners"], label="A list:"))
+            print(bank_matrix_str(sub["b_owners"], label="B list:"))
+        maybe_json(data)
+        return 0
+    if args.which == "theory":
+        rows = theory_table()
+        print(render_theory_table(rows) if args.markdown else table(rows))
+        maybe_json({"rows": rows})
+        return 0
+
+    builders = {"4": (figure4, render_figure4), "5": (figure5, render_figure5),
+                "6": (figure6, render_figure6)}
+    build, render = builders[args.which]
+    data = build(max_elements=args.max_elements)
+    print(render(data))
+    maybe_json(data)
+    if args.which in ("4", "5") and not args.markdown:
+        panels = [k for k in data if k != "device"]
+        for key in panels:
+            panel = data[key]
+            print(
+                line_plot(
+                    {
+                        "random": (
+                            panel["sizes"],
+                            [p.throughput_meps for p in panel["random"]],
+                        ),
+                        "worst": (
+                            panel["sizes"],
+                            [p.throughput_meps for p in panel["worst"]],
+                        ),
+                    },
+                    title=f"{panel['config']} on {data['device']}",
+                )
+            )
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis.beta import measure_betas
+    from repro.analysis.expected import (
+        expected_replays_per_step,
+        max_load_monte_carlo,
+    )
+
+    config = preset(args.preset)
+    n = config.tile_size * args.tiles
+    rows = []
+    for name in ("sorted", "sawtooth", "random", "conflict-heavy",
+                 "worst-case"):
+        est = measure_betas(
+            config, generate(name, config, n, seed=args.seed),
+            with_inversions=True,
+        )
+        rows.append(
+            {
+                "input": name,
+                "inversions": est.inversion_count,
+                "beta1": est.beta1,
+                "beta2": est.beta2,
+            }
+        )
+    print(f"{config.name}, N = {n:,} (beta = extra cycles per warp step)\n")
+    print(table(rows))
+    mc, se = max_load_monte_carlo(config.w, trials=10000, seed=args.seed)
+    print(
+        f"\nballs-in-bins (one step, {config.w} uniform requests): expected "
+        f"serialization {mc:.2f} cycles (±{se:.3f}), expected replays "
+        f"{expected_replays_per_step(config.w):.2f}"
+    )
+    print("Karsin et al. measured beta1 = 3.1, beta2 = 2.2 on hardware "
+          "(paper Section II-A); the worst-case input drives beta2 to Θ(E).")
+    return 0
+
+
+def _cmd_grid(args) -> int:
+    from repro.bench.grid import grid_search
+
+    device = get_device(args.device)
+    es = [int(x) for x in args.es.split(",") if x]
+    bs = [int(x) for x in args.bs.split(",") if x]
+    points = grid_search(device, es, bs, target_elements=args.target_elements)
+    print(f"(E, b) grid on {device.name}, best random-input configs first:\n")
+    print(table([p.as_row() for p in points[: args.top]]))
+    if points:
+        best = points[0]
+        print(
+            f"\nbest random-input config: E={best.elements_per_thread}, "
+            f"b={best.block_size} (occupancy {best.occupancy:.0%}, "
+            f"worst-case slowdown {best.slowdown_percent:.1f}%)"
+        )
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    from repro.bench.experiments import run_all, run_experiment
+
+    quick = not args.full
+    results = (
+        [run_experiment(args.only, quick=quick)]
+        if args.only
+        else run_all(quick=quick)
+    )
+    print(f"reproduction run ({'quick' if quick else 'full'} mode):\n")
+    for result in results:
+        print(result.summary())
+        for line in result.details:
+            print(line)
+    failed = [r for r in results if not r.passed]
+    print(
+        f"\n{len(results) - len(failed)}/{len(results)} experiments passed"
+        + (f"; failed: {', '.join(r.experiment_id for r in failed)}"
+           if failed else "")
+    )
+    return 1 if failed else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "construct": _cmd_construct,
+        "simulate": _cmd_simulate,
+        "sweep": _cmd_sweep,
+        "figure": _cmd_figure,
+        "analyze": _cmd_analyze,
+        "grid": _cmd_grid,
+        "reproduce": _cmd_reproduce,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

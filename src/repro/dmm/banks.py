@@ -1,0 +1,98 @@
+"""Bank geometry: the address ↔ (bank, column) mapping of the DMM.
+
+The paper (and every CUDA generation since Fermi) maps address ``x`` to bank
+``x mod w`` where ``w`` is simultaneously the warp width and the number of
+banks. Viewing memory as a ``w × ⌈M/w⌉`` matrix with contiguous addresses
+column-major makes alignment arguments geometric: a "column" is one address
+per bank, and a warp scanning ``w`` consecutive addresses touches each bank
+exactly once.
+
+Addresses here are *element* addresses (the paper sorts 4-byte ints, and one
+bank serves one 4-byte word per cycle, so element address == word address).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.validation import check_nonnegative_int, check_power_of_two
+
+__all__ = ["BankGeometry"]
+
+
+@dataclass(frozen=True)
+class BankGeometry:
+    """Geometry of a banked memory with ``num_banks`` banks.
+
+    Parameters
+    ----------
+    num_banks:
+        Number of banks ``w``; must be a power of two (32 on all real CUDA
+        hardware, but the theory — and our tests — exercise other widths).
+
+    Examples
+    --------
+    >>> geo = BankGeometry(16)
+    >>> geo.bank_of(35)
+    3
+    >>> geo.column_of(35)
+    2
+    >>> geo.address_of(bank=3, column=2)
+    35
+    """
+
+    num_banks: int
+
+    def __post_init__(self) -> None:
+        check_power_of_two(self.num_banks, "num_banks")
+
+    def bank_of(self, address):
+        """Bank index of an element address (scalar or array)."""
+        if isinstance(address, np.ndarray):
+            if np.any(address < 0):
+                raise ValidationError("addresses must be nonnegative")
+            return address % self.num_banks
+        return check_nonnegative_int(address, "address") % self.num_banks
+
+    def column_of(self, address):
+        """Column (row offset within the bank) of an element address."""
+        if isinstance(address, np.ndarray):
+            if np.any(address < 0):
+                raise ValidationError("addresses must be nonnegative")
+            return address // self.num_banks
+        return check_nonnegative_int(address, "address") // self.num_banks
+
+    def address_of(self, bank: int, column: int) -> int:
+        """Element address of ``(bank, column)`` — inverse of the two maps."""
+        bank = check_nonnegative_int(bank, "bank")
+        column = check_nonnegative_int(column, "column")
+        if bank >= self.num_banks:
+            raise ValidationError(
+                f"bank must be < num_banks={self.num_banks}, got {bank}"
+            )
+        return column * self.num_banks + bank
+
+    def columns_for(self, size: int) -> int:
+        """Number of columns needed to hold ``size`` contiguous elements."""
+        size = check_nonnegative_int(size, "size")
+        return -(-size // self.num_banks)
+
+    def as_matrix(self, data: np.ndarray, fill=-1) -> np.ndarray:
+        """Lay ``data`` out as the paper's ``w × ⌈M/w⌉`` bank matrix.
+
+        Row ``i`` of the result is bank ``i``; contiguous addresses run down
+        the columns. Positions past ``len(data)`` are set to ``fill``. This is
+        the layout used by Figures 1–3 of the paper and by
+        :mod:`repro.bench.figures` to render them.
+        """
+        data = np.asarray(data)
+        if data.ndim != 1:
+            raise ValidationError(f"data must be 1-D, got shape {data.shape}")
+        cols = self.columns_for(data.size)
+        padded = np.full(cols * self.num_banks, fill, dtype=data.dtype)
+        padded[: data.size] = data
+        # Column-major: address a -> (bank a % w, column a // w).
+        return padded.reshape(cols, self.num_banks).T

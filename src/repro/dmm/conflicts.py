@@ -1,0 +1,231 @@
+"""Exact bank-conflict accounting over access traces.
+
+Three related metrics appear in the paper and in practice; this module
+computes all of them so every statement can be tested against the construct:
+
+* **transactions** — per warp-step, the number of serialized cycles the step
+  costs: ``max_b (#distinct-address requests to bank b)``. A conflict-free
+  step costs 1. The paper's "``E²`` total bank conflicts" for the small-``E``
+  construction is the *sum of transactions* over the ``E`` merge steps
+  contributed by the aligned accesses (``E`` steps × ``E``-way degree).
+* **replays** — what Nvidia's profilers count
+  (``l1tex__data_bank_conflicts`` / ``shared_ld_bank_conflict``): per step,
+  ``Σ_b max(#requests_b − 1, 0)``, i.e. extra cycles beyond the first.
+* **degree** — the worst per-step serialization ``max_j transactions_j``;
+  Lemma 1 bounds it by ``min(⌈k/w⌉, w)``.
+
+Concurrent reads of the *same address* broadcast (cost one request) —
+footnote 1 of the paper; concurrent writes to the same address are a CREW
+violation detected by :mod:`repro.dmm.machine`, not here.
+
+Everything is vectorized: the counter runs over a whole trace as three
+NumPy passes regardless of the number of steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dmm.trace import AccessKind, AccessTrace
+from repro.utils.validation import check_power_of_two
+
+__all__ = ["ConflictReport", "count_conflicts", "step_transactions"]
+
+
+@dataclass(frozen=True)
+class ConflictReport:
+    """Aggregate conflict metrics for one trace (or a merged set of traces).
+
+    Attributes
+    ----------
+    num_banks:
+        Bank count ``w`` the trace was scored against.
+    num_steps:
+        Lock-step iterations scored.
+    num_accesses:
+        Total element accesses (before broadcast deduplication).
+    num_requests:
+        Bank requests after broadcast deduplication.
+    total_transactions:
+        Serialized cycles: ``Σ_j max_b requests_b(j)``.
+    total_replays:
+        Profiler-style conflicts: ``Σ_j Σ_b (requests_b(j) − 1)⁺``.
+    max_degree:
+        Worst single-step serialization.
+    per_step_transactions:
+        Length-``num_steps`` int array of per-step costs.
+    """
+
+    num_banks: int
+    num_steps: int
+    num_accesses: int
+    num_requests: int
+    total_transactions: int
+    total_replays: int
+    max_degree: int
+    per_step_transactions: np.ndarray
+
+    @property
+    def conflict_free_cycles(self) -> int:
+        """Cycles the trace would cost with zero conflicts (= active steps)."""
+        return int(np.count_nonzero(self.per_step_transactions))
+
+    @property
+    def slowdown_factor(self) -> float:
+        """Serialized cycles / conflict-free cycles (1.0 = conflict free)."""
+        base = self.conflict_free_cycles
+        return float(self.total_transactions) / base if base else 1.0
+
+    @property
+    def replays_per_access(self) -> float:
+        """Average profiler-style conflicts per element access."""
+        return self.total_replays / self.num_accesses if self.num_accesses else 0.0
+
+    def merged(self, other: "ConflictReport") -> "ConflictReport":
+        """Combine two reports as if the traces ran back to back.
+
+        Used to aggregate per-warp reports into per-round and per-sort
+        totals. Requires matching bank counts.
+        """
+        if self.num_banks != other.num_banks:
+            from repro.errors import SimulationError
+
+            raise SimulationError(
+                f"cannot merge reports with {self.num_banks} and "
+                f"{other.num_banks} banks"
+            )
+        return ConflictReport(
+            num_banks=self.num_banks,
+            num_steps=self.num_steps + other.num_steps,
+            num_accesses=self.num_accesses + other.num_accesses,
+            num_requests=self.num_requests + other.num_requests,
+            total_transactions=self.total_transactions + other.total_transactions,
+            total_replays=self.total_replays + other.total_replays,
+            max_degree=max(self.max_degree, other.max_degree),
+            per_step_transactions=np.concatenate(
+                [self.per_step_transactions, other.per_step_transactions]
+            ),
+        )
+
+    def scaled(self, factor: int) -> "ConflictReport":
+        """Report for ``factor`` identical copies of this trace.
+
+        The fast simulation path uses this: the constructed adversarial input
+        is periodic across warps/blocks, so one representative trace scored
+        once stands in for all of them.
+        """
+        if factor < 0:
+            from repro.errors import ValidationError
+
+            raise ValidationError(f"factor must be nonnegative, got {factor}")
+        return ConflictReport(
+            num_banks=self.num_banks,
+            num_steps=self.num_steps * factor,
+            num_accesses=self.num_accesses * factor,
+            num_requests=self.num_requests * factor,
+            total_transactions=self.total_transactions * factor,
+            total_replays=self.total_replays * factor,
+            max_degree=self.max_degree if factor else 0,
+            per_step_transactions=np.tile(self.per_step_transactions, factor),
+        )
+
+    @staticmethod
+    def empty(num_banks: int) -> "ConflictReport":
+        """The identity element for :meth:`merged`."""
+        return ConflictReport(
+            num_banks=num_banks,
+            num_steps=0,
+            num_accesses=0,
+            num_requests=0,
+            total_transactions=0,
+            total_replays=0,
+            max_degree=0,
+            per_step_transactions=np.empty(0, dtype=np.int64),
+        )
+
+
+def _request_counts(trace: AccessTrace, num_banks: int) -> np.ndarray:
+    """Per-(step, bank) request counts after broadcast deduplication.
+
+    Returns a ``(num_steps, num_banks)`` int64 matrix.
+    """
+    steps = trace.num_steps
+    counts = np.zeros((steps, num_banks), dtype=np.int64)
+    if trace.num_accesses == 0:
+        return counts
+
+    step_idx, lane_idx = np.nonzero(trace.active)
+    addrs = trace.addresses[step_idx, lane_idx]
+
+    if trace.kind is AccessKind.READ:
+        # Broadcast: identical (step, address) pairs collapse to one request.
+        span = int(addrs.max()) + 1
+        keys = step_idx * span + addrs
+        unique_keys = np.unique(keys)
+        step_idx = unique_keys // span
+        addrs = unique_keys % span
+    # Writes to the same address never broadcast (and same-address concurrent
+    # writes are illegal under CREW — caught by the machine, not scored here).
+
+    banks = addrs % num_banks
+    flat = np.bincount(step_idx * num_banks + banks, minlength=steps * num_banks)
+    counts[:] = flat.reshape(steps, num_banks)
+    return counts
+
+
+def step_transactions(trace: AccessTrace, num_banks: int) -> np.ndarray:
+    """Per-step serialized cycle counts (``max_b requests_b``)."""
+    num_banks = check_power_of_two(num_banks, "num_banks")
+    counts = _request_counts(trace, num_banks)
+    if counts.size == 0:
+        return np.zeros(trace.num_steps, dtype=np.int64)
+    return counts.max(axis=1)
+
+
+def count_conflicts(trace: AccessTrace, num_banks: int) -> ConflictReport:
+    """Score a trace against ``num_banks`` banks.
+
+    Examples
+    --------
+    A warp of 4 lanes reading one full column is conflict free:
+
+    >>> import numpy as np
+    >>> from repro.dmm.trace import AccessTrace
+    >>> t = AccessTrace.from_dense(np.array([[0, 1, 2, 3]]))
+    >>> count_conflicts(t, 4).total_replays
+    0
+
+    All four lanes hitting bank 0 with distinct addresses serialize 4-way:
+
+    >>> t = AccessTrace.from_dense(np.array([[0, 4, 8, 12]]))
+    >>> r = count_conflicts(t, 4)
+    >>> (r.total_transactions, r.total_replays, r.max_degree)
+    (4, 3, 4)
+
+    Reading the *same* address broadcasts:
+
+    >>> t = AccessTrace.from_dense(np.array([[4, 4, 4, 4]]))
+    >>> count_conflicts(t, 4).total_transactions
+    1
+    """
+    num_banks = check_power_of_two(num_banks, "num_banks")
+    counts = _request_counts(trace, num_banks)
+    per_step = (
+        counts.max(axis=1)
+        if counts.size
+        else np.zeros(trace.num_steps, dtype=np.int64)
+    )
+    num_requests = int(counts.sum())
+    replays = int(np.maximum(counts - 1, 0).sum())
+    return ConflictReport(
+        num_banks=num_banks,
+        num_steps=trace.num_steps,
+        num_accesses=trace.num_accesses,
+        num_requests=num_requests,
+        total_transactions=int(per_step.sum()),
+        total_replays=replays,
+        max_degree=int(per_step.max()) if per_step.size else 0,
+        per_step_transactions=per_step.astype(np.int64),
+    )

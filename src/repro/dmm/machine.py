@@ -1,0 +1,135 @@
+"""A small executable CREW DMM.
+
+:mod:`repro.dmm.conflicts` *scores* traces combinatorially; this module
+additionally *executes* them against a memory image, which gives us an
+independent check that the simulated kernels read/write what they think they
+do, and a place to enforce the CREW rule (concurrent same-address writes are
+forbidden).
+
+The machine is deliberately simple: ``w`` processors issue at most one
+request per step; the memory responds in ``transactions`` serialized cycles
+(per :func:`repro.dmm.conflicts.step_transactions`); reads return values,
+writes commit values. Arbitrary inter-step computation stays in the kernels —
+the machine models only the memory system, exactly like the DMM of Mehlhorn
+and Vishkin as used in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dmm.conflicts import ConflictReport, count_conflicts
+from repro.dmm.trace import AccessKind, AccessTrace
+from repro.errors import SimulationError, ValidationError
+from repro.utils.validation import check_positive_int, check_power_of_two
+
+__all__ = ["DMM", "MemoryImage"]
+
+
+@dataclass
+class MemoryImage:
+    """A flat word-addressed memory holding int64 values."""
+
+    size: int
+    _words: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.size, "size")
+        self._words = np.zeros(self.size, dtype=np.int64)
+
+    @classmethod
+    def from_array(cls, data) -> "MemoryImage":
+        """Create an image initialized with ``data``."""
+        data = np.asarray(data, dtype=np.int64)
+        if data.ndim != 1:
+            raise ValidationError(f"data must be 1-D, got shape {data.shape}")
+        image = cls(size=max(int(data.size), 1))
+        image._words[: data.size] = data
+        return image
+
+    def read(self, addresses: np.ndarray) -> np.ndarray:
+        """Gather values at ``addresses`` (bounds-checked)."""
+        self._check_bounds(addresses)
+        return self._words[addresses]
+
+    def write(self, addresses: np.ndarray, values: np.ndarray) -> None:
+        """Scatter ``values`` to ``addresses`` (bounds-checked)."""
+        self._check_bounds(addresses)
+        self._words[addresses] = np.asarray(values, dtype=np.int64)
+
+    def snapshot(self) -> np.ndarray:
+        """A copy of the full memory contents."""
+        return self._words.copy()
+
+    def _check_bounds(self, addresses: np.ndarray) -> None:
+        addresses = np.asarray(addresses)
+        if addresses.size and (
+            int(addresses.min()) < 0 or int(addresses.max()) >= self.size
+        ):
+            raise SimulationError(
+                f"address out of bounds for memory of size {self.size}: "
+                f"range [{addresses.min()}, {addresses.max()}]"
+            )
+
+
+@dataclass
+class DMM:
+    """A ``w``-processor, ``w``-bank CREW Distributed Memory Machine.
+
+    Parameters
+    ----------
+    num_processors:
+        Processor and bank count ``w`` (power of two).
+    memory:
+        The backing :class:`MemoryImage`.
+    """
+
+    num_processors: int
+    memory: MemoryImage
+    cycles: int = 0
+
+    def __post_init__(self) -> None:
+        check_power_of_two(self.num_processors, "num_processors")
+
+    def execute(self, trace: AccessTrace) -> tuple[np.ndarray, ConflictReport]:
+        """Run a trace against memory, accumulating serialized cycles.
+
+        Returns
+        -------
+        values:
+            For READ traces, a ``(steps, lanes)`` array of the values read
+            (0 where the lane was inactive). For WRITE traces the lanes'
+            *written* values echoed back (the kernels use traces whose
+            addresses double as values in self-check mode).
+        report:
+            The conflict accounting for the trace.
+        """
+        if trace.num_lanes != self.num_processors:
+            raise SimulationError(
+                f"trace has {trace.num_lanes} lanes but machine has "
+                f"{self.num_processors} processors"
+            )
+        report = count_conflicts(trace, self.num_processors)
+        self.cycles += report.total_transactions
+
+        values = np.zeros_like(trace.addresses)
+        if trace.kind is AccessKind.READ:
+            active = trace.active
+            if active.any():
+                values[active] = self.memory.read(trace.addresses[active])
+            return values, report
+
+        # WRITE: enforce exclusive write per step.
+        for j in range(trace.num_steps):
+            mask = trace.active[j]
+            addrs = trace.addresses[j, mask]
+            if addrs.size != np.unique(addrs).size:
+                raise SimulationError(
+                    f"CREW violation: concurrent writes to the same address "
+                    f"in step {j}"
+                )
+            self.memory.write(addrs, addrs)
+            values[j, mask] = addrs
+        return values, report

@@ -1,0 +1,150 @@
+"""Access traces: what a warp asked of shared memory, step by step.
+
+A trace is a dense ``(steps, w)`` int64 matrix of element addresses plus a
+same-shaped boolean activity mask: entry ``(j, i)`` is the address processor
+(lane) ``i`` requested in lock-step iteration ``j``; inactive lanes are
+masked out and conventionally hold :data:`NO_ACCESS`.
+
+Traces are the hand-off format between the simulated kernels
+(:mod:`repro.mergepath.kernels`, :mod:`repro.sort`) and the conflict counter
+(:mod:`repro.dmm.conflicts`): kernels *record*, the counter *scores*. Keeping
+them as plain arrays keeps the whole pipeline vectorizable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import SimulationError, ValidationError
+from repro.utils.validation import check_positive_int
+
+__all__ = ["AccessKind", "AccessTrace", "NO_ACCESS", "TraceBuilder"]
+
+#: Sentinel address for an inactive lane in a trace step.
+NO_ACCESS: int = -1
+
+
+class AccessKind(Enum):
+    """Whether a trace records loads or stores (CREW treats them differently:
+    concurrent same-address *reads* broadcast, concurrent same-address
+    *writes* are forbidden)."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class AccessTrace:
+    """An immutable per-warp access trace.
+
+    Attributes
+    ----------
+    addresses:
+        ``(steps, lanes)`` int64 array of element addresses; ``NO_ACCESS``
+        where ``active`` is ``False``.
+    active:
+        ``(steps, lanes)`` bool array marking which lanes issued a request.
+    kind:
+        Whether the trace records reads or writes.
+    """
+
+    addresses: np.ndarray
+    active: np.ndarray
+    kind: AccessKind = AccessKind.READ
+
+    def __post_init__(self) -> None:
+        addresses = np.asarray(self.addresses, dtype=np.int64)
+        active = np.asarray(self.active, dtype=bool)
+        if addresses.ndim != 2:
+            raise ValidationError(
+                f"trace addresses must be 2-D (steps, lanes), got {addresses.shape}"
+            )
+        if active.shape != addresses.shape:
+            raise ValidationError(
+                f"active mask shape {active.shape} != addresses shape "
+                f"{addresses.shape}"
+            )
+        if np.any(addresses[active] < 0):
+            raise ValidationError("active lanes must carry nonnegative addresses")
+        object.__setattr__(self, "addresses", addresses)
+        object.__setattr__(self, "active", active)
+
+    @property
+    def num_steps(self) -> int:
+        """Number of lock-step iterations recorded."""
+        return self.addresses.shape[0]
+
+    @property
+    def num_lanes(self) -> int:
+        """Warp width ``w`` of the recording kernel."""
+        return self.addresses.shape[1]
+
+    @property
+    def num_accesses(self) -> int:
+        """Total number of element accesses (active lane-steps)."""
+        return int(self.active.sum())
+
+    @classmethod
+    def from_dense(cls, addresses, kind: AccessKind = AccessKind.READ) -> "AccessTrace":
+        """Build a trace from a dense address matrix.
+
+        Entries equal to :data:`NO_ACCESS` (or any negative value) are treated
+        as inactive lanes.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if addresses.ndim == 1:
+            addresses = addresses[None, :]
+        active = addresses >= 0
+        clean = np.where(active, addresses, NO_ACCESS)
+        return cls(addresses=clean, active=active, kind=kind)
+
+    def concat(self, other: "AccessTrace") -> "AccessTrace":
+        """Concatenate two traces of the same width and kind in time."""
+        if self.num_lanes != other.num_lanes:
+            raise SimulationError(
+                f"cannot concatenate traces with {self.num_lanes} and "
+                f"{other.num_lanes} lanes"
+            )
+        if self.kind is not other.kind:
+            raise SimulationError("cannot concatenate READ and WRITE traces")
+        return AccessTrace(
+            addresses=np.vstack([self.addresses, other.addresses]),
+            active=np.vstack([self.active, other.active]),
+            kind=self.kind,
+        )
+
+
+@dataclass
+class TraceBuilder:
+    """Mutable accumulator for building an :class:`AccessTrace` step by step.
+
+    Kernels append one row per lock-step iteration; lanes that did not issue
+    a request in that iteration pass :data:`NO_ACCESS`.
+    """
+
+    num_lanes: int
+    kind: AccessKind = AccessKind.READ
+    _rows: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_lanes, "num_lanes")
+
+    def add_step(self, addresses) -> None:
+        """Record one lock-step iteration (length-``num_lanes`` addresses)."""
+        row = np.asarray(addresses, dtype=np.int64)
+        if row.shape != (self.num_lanes,):
+            raise ValidationError(
+                f"step must have shape ({self.num_lanes},), got {row.shape}"
+            )
+        self._rows.append(row)
+
+    def build(self) -> AccessTrace:
+        """Freeze the accumulated steps into an immutable trace."""
+        if not self._rows:
+            dense = np.empty((0, self.num_lanes), dtype=np.int64)
+        else:
+            dense = np.vstack(self._rows)
+        return AccessTrace.from_dense(dense, kind=self.kind)

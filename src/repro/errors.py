@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised deliberately by this library derive from :class:`ReproError`
+so callers can catch library failures without also swallowing programming
+errors (``TypeError``/``ValueError`` raised by NumPy, etc.). Input-validation
+failures additionally derive from the matching builtin so that idiomatic
+``except ValueError`` call sites keep working.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ConstructionError",
+    "SimulationError",
+    "ValidationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong range, parity, type, ...)."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A sort/device configuration is internally inconsistent.
+
+    Example: a thread-block size ``b`` that is not a power of two, or a
+    shared-memory tile that exceeds the device's per-SM shared memory.
+    """
+
+
+class ConstructionError(ReproError):
+    """The adversarial input construction could not be carried out.
+
+    Raised when the requested ``(w, E)`` pair falls outside the regime the
+    paper's theorems cover (e.g. ``GCD(w, E) not in {1, E}`` for an exact
+    construction) and no fallback was requested.
+    """
+
+
+class SimulationError(ReproError):
+    """The GPU simulator detected an internal inconsistency.
+
+    Example: a warp trace whose step count disagrees with the kernel's
+    declared number of lock-step iterations.
+    """

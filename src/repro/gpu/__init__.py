@@ -1,0 +1,48 @@
+"""GPU hardware model: devices, occupancy, memory systems, timing.
+
+This package is the stand-in for the physical GPUs of the paper's Section IV
+(a Quadro M4000 and an RTX 2080 Ti). It models exactly the architectural
+features the paper's analysis depends on:
+
+* **devices** (:mod:`repro.gpu.device`) — per-device resource limits (SMs,
+  cores, shared memory per SM, resident-thread limits, clocks, bandwidth);
+* **occupancy** (:mod:`repro.gpu.occupancy`) — how many thread blocks of a
+  given shape fit on an SM, reproducing the paper's 100 % vs 75 % occupancy
+  arithmetic for the two Thrust parameter presets;
+* **shared memory** (:mod:`repro.gpu.shared_memory`) — the banked scratchpad,
+  delegating conflict accounting to :mod:`repro.dmm`;
+* **global memory** (:mod:`repro.gpu.global_memory`) — the coalescing model
+  counting 32-word transactions per warp access;
+* **timing** (:mod:`repro.gpu.timing`) — a calibrated latency/throughput
+  model mapping instruction and transaction counts to simulated
+  milliseconds, from which the throughput figures are regenerated.
+"""
+
+from repro.gpu.device import (
+    DEVICES,
+    GTX_770,
+    QUADRO_M4000,
+    RTX_2080_TI,
+    DeviceSpec,
+    get_device,
+)
+from repro.gpu.global_memory import CoalescingModel, GlobalTraffic
+from repro.gpu.occupancy import OccupancyResult, occupancy
+from repro.gpu.shared_memory import SharedMemory
+from repro.gpu.timing import KernelCost, TimingModel
+
+__all__ = [
+    "CoalescingModel",
+    "DEVICES",
+    "DeviceSpec",
+    "GTX_770",
+    "GlobalTraffic",
+    "KernelCost",
+    "OccupancyResult",
+    "QUADRO_M4000",
+    "RTX_2080_TI",
+    "SharedMemory",
+    "TimingModel",
+    "get_device",
+    "occupancy",
+]

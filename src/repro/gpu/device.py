@@ -1,0 +1,206 @@
+"""Device catalog: the GPUs of the paper's evaluation, as resource specs.
+
+Only the parameters the paper's analysis actually touches are modeled:
+warp width / bank count, SM count and per-SM limits (for occupancy), core
+count ``P`` (the divisor in the ``A_g``/``A_s`` formulas of Section II-A),
+clock and memory bandwidth (for the timing model). Numbers come from the
+paper's Section IV-A and Nvidia's published specifications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.utils.validation import (
+    check_positive_int,
+    check_power_of_two,
+)
+
+__all__ = [
+    "DEVICES",
+    "DeviceSpec",
+    "GTX_770",
+    "QUADRO_M4000",
+    "RTX_2080_TI",
+    "get_device",
+]
+
+KIB = 1024
+GB = 10**9  # the paper uses GB = 1e9 B and KiB = 2^10 B (footnote 3)
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Resource description of one GPU.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, e.g. ``"Quadro M4000"``.
+    compute_capability:
+        CUDA compute capability as ``(major, minor)``.
+    num_sms:
+        Streaming multiprocessor count.
+    cores_per_sm:
+        CUDA cores per SM; ``num_cores`` is the paper's ``P``.
+    warp_size:
+        Threads per warp = shared-memory banks ``w`` (32 on all real CUDA
+        devices; the theory supports any power of two).
+    shared_mem_per_sm:
+        Usable shared memory per SM in bytes.
+    max_threads_per_sm:
+        Resident-thread limit per SM.
+    max_blocks_per_sm:
+        Resident-block limit per SM.
+    global_mem_bytes:
+        Global memory capacity.
+    core_clock_hz:
+        Boost core clock (shared-memory cycles are issued at this rate).
+    mem_bandwidth_bytes_per_s:
+        Peak global-memory bandwidth.
+    global_latency_cycles:
+        Typical global-memory load latency in core cycles (used by the
+        timing model's latency-hiding term).
+    shared_latency_cycles:
+        Shared-memory load latency in core cycles for a conflict-free access.
+    shared_tx_per_cycle:
+        Sustained shared-memory warp transactions issued per SM per cycle.
+        1.0 on Maxwell/Kepler (dedicated shared-memory path, up to 64
+        resident warps hiding issue latency); lower on Turing, whose
+        load/store units are shared with the unified L1 and whose
+        resident-warp pool is half Maxwell's.
+    """
+
+    name: str
+    compute_capability: tuple[int, int]
+    num_sms: int
+    cores_per_sm: int
+    warp_size: int
+    shared_mem_per_sm: int
+    max_threads_per_sm: int
+    max_blocks_per_sm: int
+    global_mem_bytes: int
+    core_clock_hz: float
+    mem_bandwidth_bytes_per_s: float
+    global_latency_cycles: int = 400
+    shared_latency_cycles: int = 24
+    shared_tx_per_cycle: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.shared_tx_per_cycle <= 2.0:
+            raise ValidationError(
+                f"shared_tx_per_cycle must be in (0, 2], got "
+                f"{self.shared_tx_per_cycle}"
+            )
+        check_positive_int(self.num_sms, "num_sms")
+        check_positive_int(self.cores_per_sm, "cores_per_sm")
+        check_power_of_two(self.warp_size, "warp_size")
+        check_positive_int(self.shared_mem_per_sm, "shared_mem_per_sm")
+        check_positive_int(self.max_threads_per_sm, "max_threads_per_sm")
+        check_positive_int(self.max_blocks_per_sm, "max_blocks_per_sm")
+        if self.core_clock_hz <= 0 or self.mem_bandwidth_bytes_per_s <= 0:
+            raise ValidationError("clock and bandwidth must be positive")
+
+    @property
+    def num_cores(self) -> int:
+        """Total physical cores — the ``P`` of the Section II-A formulas."""
+        return self.num_sms * self.cores_per_sm
+
+    @property
+    def num_banks(self) -> int:
+        """Shared-memory banks per SM (equal to the warp size)."""
+        return self.warp_size
+
+    @property
+    def max_warps_per_sm(self) -> int:
+        """Resident-warp limit per SM."""
+        return self.max_threads_per_sm // self.warp_size
+
+    def fits_in_global(self, num_elements: int, element_bytes: int = 4) -> bool:
+        """Whether a problem (input + output buffers) fits in global memory.
+
+        Pairwise merge sort is not in-place: it ping-pongs between two
+        ``N``-element buffers, so the footprint is ``2·N·element_bytes``.
+        """
+        num_elements = check_positive_int(num_elements, "num_elements")
+        element_bytes = check_positive_int(element_bytes, "element_bytes")
+        return 2 * num_elements * element_bytes <= self.global_mem_bytes
+
+
+#: Quadro M4000 (Maxwell, CC 5.2) — paper Section IV-A.
+QUADRO_M4000 = DeviceSpec(
+    name="Quadro M4000",
+    compute_capability=(5, 2),
+    num_sms=13,
+    cores_per_sm=128,  # 13 SMs x 128 = 1664 cores, per the paper
+    warp_size=32,
+    shared_mem_per_sm=96 * KIB,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    global_mem_bytes=8 * GB,
+    core_clock_hz=773e6,
+    mem_bandwidth_bytes_per_s=192e9,
+    global_latency_cycles=368,
+    shared_latency_cycles=24,
+    shared_tx_per_cycle=0.8,
+)
+
+#: RTX 2080 Ti (Turing, CC 7.5) — paper Section IV-A. The 96 KiB unified
+#: L1/shared is configured as 64 KiB shared + 32 KiB L1, as the paper's
+#: occupancy arithmetic implies (3 x 17 KiB blocks resident, 13 KiB unused).
+RTX_2080_TI = DeviceSpec(
+    name="RTX 2080 Ti",
+    compute_capability=(7, 5),
+    num_sms=68,
+    cores_per_sm=64,  # 68 SMs x 64 = 4352 cores, per the paper
+    warp_size=32,
+    shared_mem_per_sm=64 * KIB,
+    max_threads_per_sm=1024,  # Turing: "up to 1024 resident threads per SM"
+    max_blocks_per_sm=16,
+    global_mem_bytes=11 * GB,
+    core_clock_hz=1545e6,
+    mem_bandwidth_bytes_per_s=616e9,
+    global_latency_cycles=434,
+    shared_latency_cycles=19,
+    shared_tx_per_cycle=0.3,
+)
+
+#: GTX 770 (Kepler, CC 3.0) — the device of Karsin et al.'s conflict-heavy
+#: experiments that this paper generalizes (Section II-C).
+GTX_770 = DeviceSpec(
+    name="GTX 770",
+    compute_capability=(3, 0),
+    num_sms=8,
+    cores_per_sm=192,
+    warp_size=32,
+    shared_mem_per_sm=48 * KIB,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=16,
+    global_mem_bytes=2 * GB,
+    core_clock_hz=1046e6,
+    mem_bandwidth_bytes_per_s=224e9,
+    global_latency_cycles=301,
+    shared_latency_cycles=33,
+)
+
+#: All known devices, keyed by a normalized short name.
+DEVICES: dict[str, DeviceSpec] = {
+    "quadro-m4000": QUADRO_M4000,
+    "rtx-2080-ti": RTX_2080_TI,
+    "gtx-770": GTX_770,
+}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device by (case/space-insensitive) name.
+
+    >>> get_device("Quadro M4000").num_cores
+    1664
+    """
+    key = name.strip().lower().replace(" ", "-").replace("_", "-")
+    try:
+        return DEVICES[key]
+    except KeyError:
+        known = ", ".join(sorted(DEVICES))
+        raise ValidationError(f"unknown device {name!r}; known: {known}") from None

@@ -1,0 +1,117 @@
+"""Global-memory coalescing model.
+
+Global memory serves warp accesses in *transactions* of ``warp_size``
+consecutive words: a warp reading ``warp_size`` contiguous aligned words
+costs one transaction; a warp gathering from ``k`` distinct
+``warp_size``-word segments costs ``k``. This is the access model behind the
+paper's ``A_g`` metric (Section II-A) — the pairwise merge sort is engineered
+so tile loads and stores are fully coalesced, while the partitioning stage's
+mutual binary searches are scattered.
+
+The model here only *counts* transactions; values move through plain NumPy
+arrays. Counting is exact and vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.validation import check_positive_int, check_power_of_two
+
+__all__ = ["CoalescingModel", "GlobalTraffic"]
+
+
+@dataclass
+class GlobalTraffic:
+    """Accumulated global-memory traffic counters.
+
+    Attributes
+    ----------
+    transactions:
+        Number of ``warp_size``-word memory transactions issued.
+    words:
+        Number of useful words actually transferred (≤ transactions × w).
+    """
+
+    transactions: int = 0
+    words: int = 0
+
+    def merged(self, other: "GlobalTraffic") -> "GlobalTraffic":
+        """Sum of two traffic counters."""
+        return GlobalTraffic(
+            transactions=self.transactions + other.transactions,
+            words=self.words + other.words,
+        )
+
+    def scaled(self, factor: int) -> "GlobalTraffic":
+        """Traffic for ``factor`` identical repetitions."""
+        if factor < 0:
+            raise ValidationError(f"factor must be nonnegative, got {factor}")
+        return GlobalTraffic(
+            transactions=self.transactions * factor, words=self.words * factor
+        )
+
+    def efficiency(self, warp_size: int) -> float:
+        """Useful words per transferred word (1.0 = perfectly coalesced)."""
+        if self.transactions == 0:
+            return 1.0
+        return self.words / (self.transactions * warp_size)
+
+
+@dataclass
+class CoalescingModel:
+    """Counts transactions for warp-shaped global accesses.
+
+    Parameters
+    ----------
+    warp_size:
+        Words per transaction segment (power of two).
+    """
+
+    warp_size: int
+    traffic: GlobalTraffic = field(default_factory=GlobalTraffic)
+
+    def __post_init__(self) -> None:
+        check_power_of_two(self.warp_size, "warp_size")
+
+    def warp_access(self, addresses: np.ndarray) -> int:
+        """Account one warp access at the given word addresses.
+
+        Negative addresses mark inactive lanes. Returns the number of
+        transactions the access cost (number of distinct
+        ``warp_size``-aligned segments touched).
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        active = addresses >= 0
+        if not active.any():
+            return 0
+        segments = np.unique(addresses[active] // self.warp_size)
+        self.traffic.transactions += int(segments.size)
+        self.traffic.words += int(active.sum())
+        return int(segments.size)
+
+    def streamed_copy(self, num_words: int) -> int:
+        """Account a fully coalesced bulk copy of ``num_words`` words
+        (tile loads/stores, which the merge sort performs with unit-stride
+        warp accesses). Returns the transaction count."""
+        num_words = check_positive_int(num_words, "num_words")
+        transactions = -(-num_words // self.warp_size)
+        self.traffic.transactions += transactions
+        self.traffic.words += num_words
+        return transactions
+
+    def scattered_access(self, num_accesses: int) -> int:
+        """Account ``num_accesses`` independent scattered word accesses
+        (binary-search probes: each probe touches its own segment)."""
+        num_accesses = check_positive_int(num_accesses, "num_accesses")
+        self.traffic.transactions += num_accesses
+        self.traffic.words += num_accesses
+        return num_accesses
+
+    def reset(self) -> GlobalTraffic:
+        """Return the accumulated traffic and start a fresh counter."""
+        traffic, self.traffic = self.traffic, GlobalTraffic()
+        return traffic

@@ -1,0 +1,113 @@
+"""Occupancy calculator.
+
+Reproduces the paper's Section IV-A arithmetic: with ``E = 17, b = 256``
+each block needs 17 KiB of shared memory, so 3 blocks (768 threads) fit per
+RTX 2080 Ti SM — 75 % theoretical occupancy; with ``E = 15, b = 512`` each
+block needs 30 KiB, so 2 blocks (1024 threads) fit — 100 % occupancy.
+
+Occupancy matters to the timing model because resident warps are what hides
+global-memory latency: the paper expects (and finds, on random inputs) the
+100 %-occupancy preset to win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.gpu.device import DeviceSpec
+from repro.utils.validation import check_positive_int
+
+__all__ = ["OccupancyResult", "occupancy"]
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Resolved residency of one kernel configuration on one device."""
+
+    device: DeviceSpec
+    threads_per_block: int
+    shared_bytes_per_block: int
+    blocks_per_sm: int
+    #: Binding constraint: "shared", "threads", or "blocks".
+    limiter: str
+
+    @property
+    def threads_per_sm(self) -> int:
+        """Resident threads per SM."""
+        return self.blocks_per_sm * self.threads_per_block
+
+    @property
+    def warps_per_sm(self) -> int:
+        """Resident warps per SM."""
+        return self.threads_per_sm // self.device.warp_size
+
+    @property
+    def occupancy(self) -> float:
+        """Theoretical occupancy: resident threads / device limit."""
+        return self.threads_per_sm / self.device.max_threads_per_sm
+
+    @property
+    def shared_bytes_used(self) -> int:
+        """Shared memory consumed per SM."""
+        return self.blocks_per_sm * self.shared_bytes_per_block
+
+    @property
+    def shared_bytes_unused(self) -> int:
+        """Shared memory left idle per SM."""
+        return self.device.shared_mem_per_sm - self.shared_bytes_used
+
+
+def occupancy(
+    device: DeviceSpec,
+    threads_per_block: int,
+    shared_bytes_per_block: int,
+) -> OccupancyResult:
+    """Compute how many blocks of the given shape are resident per SM.
+
+    Raises
+    ------
+    ConfigurationError
+        If a single block already exceeds a per-SM resource.
+
+    Examples
+    --------
+    The paper's two RTX 2080 Ti presets:
+
+    >>> from repro.gpu.device import RTX_2080_TI
+    >>> occupancy(RTX_2080_TI, 256, 17 * 1024).occupancy
+    0.75
+    >>> occupancy(RTX_2080_TI, 512, 30 * 1024).occupancy
+    1.0
+    """
+    threads_per_block = check_positive_int(threads_per_block, "threads_per_block")
+    shared_bytes_per_block = check_positive_int(
+        shared_bytes_per_block, "shared_bytes_per_block"
+    )
+    if threads_per_block > device.max_threads_per_sm:
+        raise ConfigurationError(
+            f"block of {threads_per_block} threads exceeds the per-SM limit "
+            f"of {device.max_threads_per_sm} on {device.name}"
+        )
+    if shared_bytes_per_block > device.shared_mem_per_sm:
+        raise ConfigurationError(
+            f"block needs {shared_bytes_per_block} B of shared memory but "
+            f"{device.name} has {device.shared_mem_per_sm} B per SM"
+        )
+
+    by_shared = device.shared_mem_per_sm // shared_bytes_per_block
+    by_threads = device.max_threads_per_sm // threads_per_block
+    by_blocks = device.max_blocks_per_sm
+    blocks = min(by_shared, by_threads, by_blocks)
+    limiter = (
+        "shared"
+        if blocks == by_shared
+        else ("threads" if blocks == by_threads else "blocks")
+    )
+    return OccupancyResult(
+        device=device,
+        threads_per_block=threads_per_block,
+        shared_bytes_per_block=shared_bytes_per_block,
+        blocks_per_sm=blocks,
+        limiter=limiter,
+    )

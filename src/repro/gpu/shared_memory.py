@@ -1,0 +1,127 @@
+"""Shared memory: a banked, conflict-scored scratchpad for one thread block.
+
+This is the bridge between the GPU layer and the DMM model: a
+:class:`SharedMemory` holds the block's tile (the ``bE`` keys being merged),
+answers reads/writes, and scores every warp access through
+:mod:`repro.dmm.conflicts`. Kernels talk to it in warp-sized vectorized
+requests — one call per lock-step iteration — which keeps the simulation
+NumPy-bound rather than Python-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dmm.banks import BankGeometry
+from repro.dmm.conflicts import ConflictReport, count_conflicts
+from repro.dmm.trace import AccessKind, AccessTrace
+from repro.errors import SimulationError, ValidationError
+from repro.utils.validation import check_positive_int, check_power_of_two
+
+__all__ = ["SharedMemory"]
+
+
+@dataclass
+class SharedMemory:
+    """A banked scratchpad of ``size`` elements with ``num_banks`` banks.
+
+    Parameters
+    ----------
+    size:
+        Capacity in elements (the block tile, typically ``bE``).
+    num_banks:
+        Bank count ``w`` (power of two).
+
+    The object accumulates a :class:`~repro.dmm.conflicts.ConflictReport`
+    across all accesses made through it; kernels snapshot/merge these into
+    per-round instrumentation.
+    """
+
+    size: int
+    num_banks: int
+    _data: np.ndarray = field(init=False, repr=False)
+    _report: ConflictReport = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.size, "size")
+        check_power_of_two(self.num_banks, "num_banks")
+        self._data = np.zeros(self.size, dtype=np.int64)
+        self._report = ConflictReport.empty(self.num_banks)
+
+    @property
+    def geometry(self) -> BankGeometry:
+        """The bank geometry of this scratchpad."""
+        return BankGeometry(self.num_banks)
+
+    @property
+    def report(self) -> ConflictReport:
+        """Conflicts accumulated so far."""
+        return self._report
+
+    def reset_report(self) -> ConflictReport:
+        """Return the accumulated report and start a fresh one."""
+        report, self._report = self._report, ConflictReport.empty(self.num_banks)
+        return report
+
+    def load_tile(self, data: np.ndarray, offset: int = 0) -> None:
+        """Bulk-initialize the tile (models the coalesced global→shared copy;
+        conflict accounting for that copy is handled by the caller since a
+        strided coalesced copy is conflict-free by construction)."""
+        data = np.asarray(data, dtype=np.int64)
+        if offset < 0 or offset + data.size > self.size:
+            raise ValidationError(
+                f"tile of {data.size} elements at offset {offset} does not "
+                f"fit in shared memory of size {self.size}"
+            )
+        self._data[offset : offset + data.size] = data
+
+    def contents(self) -> np.ndarray:
+        """A copy of the full tile."""
+        return self._data.copy()
+
+    def warp_read(self, addresses: np.ndarray) -> np.ndarray:
+        """One warp lock-step read: ``addresses`` is one address per lane,
+        negative = inactive. Returns the values (0 for inactive lanes) and
+        accounts the conflicts."""
+        trace = AccessTrace.from_dense(
+            np.asarray(addresses, dtype=np.int64)[None, :], kind=AccessKind.READ
+        )
+        self._score(trace)
+        out = np.zeros(trace.num_lanes, dtype=np.int64)
+        mask = trace.active[0]
+        addrs = trace.addresses[0, mask]
+        self._check_bounds(addrs)
+        out[mask] = self._data[addrs]
+        return out
+
+    def warp_write(self, addresses: np.ndarray, values: np.ndarray) -> None:
+        """One warp lock-step write (CREW: same-address concurrent writes
+        raise)."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        trace = AccessTrace.from_dense(addresses[None, :], kind=AccessKind.WRITE)
+        mask = trace.active[0]
+        addrs = trace.addresses[0, mask]
+        if addrs.size != np.unique(addrs).size:
+            raise SimulationError("CREW violation: concurrent writes to one address")
+        self._score(trace)
+        self._check_bounds(addrs)
+        self._data[addrs] = np.asarray(values, dtype=np.int64)[mask]
+
+    def score_trace(self, trace: AccessTrace) -> ConflictReport:
+        """Score a whole pre-recorded trace (the batched fast path) and fold
+        it into the accumulated report."""
+        report = count_conflicts(trace, self.num_banks)
+        self._report = self._report.merged(report)
+        return report
+
+    def _score(self, trace: AccessTrace) -> None:
+        self._report = self._report.merged(count_conflicts(trace, self.num_banks))
+
+    def _check_bounds(self, addrs: np.ndarray) -> None:
+        if addrs.size and (int(addrs.min()) < 0 or int(addrs.max()) >= self.size):
+            raise SimulationError(
+                f"shared-memory address out of bounds (size {self.size}): "
+                f"[{addrs.min()}, {addrs.max()}]"
+            )

@@ -1,0 +1,33 @@
+"""Input generators for experiments.
+
+One registry of named generators covering everything the paper (and its
+related work) sorts: uniform random permutations, sorted / reverse-sorted
+data, few-unique keys, Karsin-style conflict-heavy heuristics, and the
+constructed worst case of :mod:`repro.adversary`.
+"""
+
+from repro.inputs.generators import (
+    GENERATORS,
+    conflict_heavy_input,
+    few_unique_input,
+    generate,
+    pad_to_tiles,
+    random_input,
+    reverse_sorted_input,
+    sawtooth_input,
+    sorted_input,
+    worst_case_input,
+)
+
+__all__ = [
+    "GENERATORS",
+    "conflict_heavy_input",
+    "few_unique_input",
+    "generate",
+    "pad_to_tiles",
+    "random_input",
+    "reverse_sorted_input",
+    "sawtooth_input",
+    "sorted_input",
+    "worst_case_input",
+]

@@ -1,0 +1,46 @@
+"""GPU Merge Path (Green, McColl, Bader 2012) — the pairwise-merge substrate.
+
+The pairwise merge sort of the paper merges two sorted lists with ``t``
+threads in two stages:
+
+* **partitioning** (:mod:`repro.mergepath.partition`) — each thread finds,
+  via a mutual binary search along its "diagonal", the start of its
+  ``n/t``-element quantile in both lists;
+* **merging** (:mod:`repro.mergepath.serial_merge`) — each thread serially
+  merges its quantile, reading its elements in increasing value order.
+
+:mod:`repro.mergepath.kernels` assembles these into warp-shaped access
+traces for conflict scoring.
+"""
+
+from repro.mergepath.partition import (
+    merge_path_partition,
+    merge_path_search,
+    partition_many_with_trace,
+    partition_with_trace,
+)
+from repro.mergepath.serial_merge import (
+    interleaving_addresses,
+    merge_values,
+    stable_merge_interleaving,
+    unmerge,
+)
+from repro.mergepath.kernels import (
+    merge_stage_trace,
+    stack_warp_steps,
+    thread_rank_addresses,
+)
+
+__all__ = [
+    "interleaving_addresses",
+    "merge_path_partition",
+    "merge_path_search",
+    "merge_stage_trace",
+    "merge_values",
+    "partition_many_with_trace",
+    "partition_with_trace",
+    "stable_merge_interleaving",
+    "stack_warp_steps",
+    "thread_rank_addresses",
+    "unmerge",
+]

@@ -1,0 +1,111 @@
+"""Warp-shaped trace assembly for the merging stage.
+
+After partitioning, thread ``t`` of a merge reads its ``E`` assigned
+elements in increasing value order — one element per lock-step iteration
+``j``. In trace terms: the address matrix has shape ``(E, num_threads)``
+with entry ``(j, t)`` = address of the ``j``-th smallest element of thread
+``t``'s quantile. Splitting that matrix into ``w``-lane column groups gives
+the per-warp traces the conflict model scores.
+
+The address of output rank ``r`` comes straight from the merge interleaving
+(:func:`repro.mergepath.serial_merge.interleaving_addresses`); thread ``t``
+owns ranks ``tE … tE+E−1``. This makes the whole merging stage one reshape —
+no per-element Python.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dmm.trace import AccessTrace
+from repro.errors import ValidationError
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "merge_stage_trace",
+    "stack_warp_steps",
+    "thread_rank_addresses",
+    "warp_traces",
+]
+
+
+def stack_warp_steps(step_matrix: np.ndarray, warp_size: int) -> np.ndarray:
+    """Fold a ``(steps, num_threads)`` matrix into ``(steps·warps, warp_size)``.
+
+    Warps execute independently, and total conflict metrics are additive
+    across warps, so scoring the *stacked* matrix as a single trace equals
+    scoring each warp separately and merging — at a fraction of the Python
+    overhead. ``num_threads`` must be a multiple of ``warp_size``.
+    """
+    step_matrix = np.asarray(step_matrix, dtype=np.int64)
+    if step_matrix.ndim != 2:
+        raise ValidationError(
+            f"step matrix must be 2-D (steps, threads), got {step_matrix.shape}"
+        )
+    steps, threads = step_matrix.shape
+    if threads % warp_size:
+        raise ValidationError(
+            f"thread count {threads} is not a multiple of warp size {warp_size}"
+        )
+    num_warps = threads // warp_size
+    return (
+        step_matrix.reshape(steps, num_warps, warp_size)
+        .transpose(1, 0, 2)
+        .reshape(steps * num_warps, warp_size)
+    )
+
+
+def thread_rank_addresses(
+    rank_addresses: np.ndarray, elements_per_thread: int
+) -> np.ndarray:
+    """Reshape per-rank addresses into the ``(E, num_threads)`` step matrix.
+
+    ``rank_addresses[r]`` is where output rank ``r`` lives; thread ``t``
+    reads ranks ``tE+j`` at step ``j``.
+    """
+    rank_addresses = np.asarray(rank_addresses, dtype=np.int64)
+    e = check_positive_int(elements_per_thread, "elements_per_thread")
+    if rank_addresses.ndim != 1 or rank_addresses.size % e:
+        raise ValidationError(
+            f"rank addresses of size {rank_addresses.size} do not divide into "
+            f"threads of {e} elements"
+        )
+    # (threads, E) -> transpose -> (E, threads): row j = step j.
+    return rank_addresses.reshape(-1, e).T
+
+
+def merge_stage_trace(
+    rank_addresses: np.ndarray,
+    elements_per_thread: int,
+    warp_size: int,
+) -> list[AccessTrace]:
+    """Per-warp merging-stage traces for one merge.
+
+    Threads are grouped into warps of ``warp_size`` in thread order; a
+    trailing partial warp is padded with inactive lanes. Returns one trace
+    per warp, each with ``E`` steps.
+    """
+    warp_size = check_positive_int(warp_size, "warp_size")
+    matrix = thread_rank_addresses(rank_addresses, elements_per_thread)
+    return warp_traces(matrix, warp_size)
+
+
+def warp_traces(step_matrix: np.ndarray, warp_size: int) -> list[AccessTrace]:
+    """Split a ``(steps, num_threads)`` address matrix into per-warp traces.
+
+    Negative addresses mark inactive lanes; a trailing partial warp is
+    padded to full width with inactive lanes.
+    """
+    step_matrix = np.asarray(step_matrix, dtype=np.int64)
+    if step_matrix.ndim != 2:
+        raise ValidationError(
+            f"step matrix must be 2-D (steps, threads), got {step_matrix.shape}"
+        )
+    steps, threads = step_matrix.shape
+    num_warps = -(-threads // warp_size)
+    padded = np.full((steps, num_warps * warp_size), -1, dtype=np.int64)
+    padded[:, :threads] = step_matrix
+    return [
+        AccessTrace.from_dense(padded[:, k * warp_size : (k + 1) * warp_size])
+        for k in range(num_warps)
+    ]

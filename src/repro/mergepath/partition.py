@@ -1,0 +1,245 @@
+"""Merge Path partitioning: diagonal (mutual) binary searches.
+
+For sorted lists ``A`` and ``B`` and a *diagonal* ``d`` (an output rank),
+the merge-path split point is the unique ``i`` such that the first ``d``
+elements of the stable merge consist of ``A[:i]`` and ``B[:d−i]``. Stability
+follows Thrust: on equal keys, ``A`` elements come first.
+
+Two entry points:
+
+* :func:`merge_path_search` — one diagonal, pure Python ints, the reference
+  implementation the property tests check everything against;
+* :func:`partition_with_trace` — all threads' diagonals at once, vectorized,
+  recording every probe address so the partition stage's bank conflicts
+  (the paper's ``β₁``) can be scored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dmm.trace import NO_ACCESS, AccessTrace
+from repro.errors import ValidationError
+from repro.utils.validation import check_nonnegative_int
+
+__all__ = ["PartitionResult", "merge_path_partition", "merge_path_search", "partition_with_trace"]
+
+
+def merge_path_search(a: np.ndarray, b: np.ndarray, diagonal: int) -> tuple[int, int]:
+    """Split point ``(i, j)`` with ``i + j = diagonal`` for a stable merge.
+
+    ``i`` is the number of elements the first ``diagonal`` output slots take
+    from ``a`` (ties resolved a-first, matching Thrust).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> merge_path_search(np.array([1, 3, 5]), np.array([2, 4, 6]), 3)
+    (2, 1)
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    diagonal = check_nonnegative_int(diagonal, "diagonal")
+    if diagonal > a.size + b.size:
+        raise ValidationError(
+            f"diagonal {diagonal} exceeds |A| + |B| = {a.size + b.size}"
+        )
+    lo = max(0, diagonal - b.size)
+    hi = min(diagonal, a.size)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        # Stable (a-first) split: a[mid] belongs to the first `diagonal`
+        # outputs iff a[mid] <= b[diagonal - mid - 1].
+        if a[mid] <= b[diagonal - mid - 1]:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo, diagonal - lo
+
+
+def merge_path_partition(
+    a: np.ndarray, b: np.ndarray, num_parts: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split points for ``num_parts`` equal quantiles of the merged output.
+
+    Returns arrays ``ai``, ``bj`` of length ``num_parts + 1``: part ``p``
+    merges ``a[ai[p]:ai[p+1]]`` with ``b[bj[p]:bj[p+1]]``. The total length
+    must divide evenly by ``num_parts``.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if num_parts < 1:
+        raise ValidationError(f"num_parts must be >= 1, got {num_parts}")
+    total = a.size + b.size
+    if total % num_parts:
+        raise ValidationError(
+            f"|A| + |B| = {total} is not divisible by num_parts = {num_parts}"
+        )
+    quantile = total // num_parts
+    diagonals = np.arange(num_parts + 1, dtype=np.int64) * quantile
+    ai, bj, _ = partition_with_trace(a, b, diagonals)
+    return ai, bj
+
+
+@dataclass(frozen=True)
+class PartitionResult:
+    """Vectorized partition output plus its probe trace."""
+
+    a_index: np.ndarray
+    b_index: np.ndarray
+    trace: AccessTrace
+
+
+def partition_many_with_trace(
+    values: np.ndarray,
+    a_base: np.ndarray,
+    a_len: np.ndarray,
+    b_base: np.ndarray,
+    b_len: np.ndarray,
+    diagonals: np.ndarray,
+    trace_a_base: np.ndarray | None = None,
+    trace_b_base: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Many independent merge-path searches over windows of one flat buffer.
+
+    Each *lane* ``t`` searches its own ``(A, B)`` pair: ``A`` is
+    ``values[a_base[t] : a_base[t] + a_len[t]]`` (sorted), ``B`` likewise,
+    and ``diagonals[t]`` is the output rank to split at. This is the shape
+    of the block-level merge rounds, where one thread block hosts many
+    sub-warp merge groups and every thread bisects simultaneously in
+    lock-step.
+
+    ``trace_a_base`` / ``trace_b_base`` translate probe indices into the
+    *addresses* recorded in the trace (tile-local shared-memory addresses,
+    which differ from the flat-buffer indices when the trace is scored
+    against a per-tile address space); they default to ``a_base``/``b_base``.
+
+    Returns
+    -------
+    (a_split, dense_steps):
+        Per-lane ``A`` split counts, and the dense ``(steps, lanes)`` probe
+        address matrix (``NO_ACCESS`` where a lane's search had converged).
+        Each bisection iteration contributes two steps (the ``A`` probe and
+        the ``B`` probe — separate load instructions).
+    """
+    values = np.asarray(values)
+    a_base = np.asarray(a_base, dtype=np.int64)
+    a_len = np.asarray(a_len, dtype=np.int64)
+    b_base = np.asarray(b_base, dtype=np.int64)
+    b_len = np.asarray(b_len, dtype=np.int64)
+    diagonals = np.asarray(diagonals, dtype=np.int64)
+    if trace_a_base is None:
+        trace_a_base = a_base
+    if trace_b_base is None:
+        trace_b_base = b_base
+    trace_a_base = np.asarray(trace_a_base, dtype=np.int64)
+    trace_b_base = np.asarray(trace_b_base, dtype=np.int64)
+
+    lanes = diagonals.size
+    shapes = {
+        a_base.shape, a_len.shape, b_base.shape, b_len.shape,
+        diagonals.shape, trace_a_base.shape, trace_b_base.shape,
+    }
+    if shapes != {(lanes,)}:
+        raise ValidationError("all per-lane arrays must share one 1-D shape")
+    if np.any(diagonals < 0) or np.any(diagonals > a_len + b_len):
+        raise ValidationError("diagonals out of range [0, |A| + |B|]")
+
+    lo = np.maximum(0, diagonals - b_len)
+    hi = np.minimum(diagonals, a_len)
+
+    rows: list[np.ndarray] = []
+    while True:
+        active = lo < hi
+        if not active.any():
+            break
+        mid = (lo + hi) // 2
+        b_probe = diagonals - mid - 1
+
+        a_row = np.full(lanes, NO_ACCESS, dtype=np.int64)
+        b_row = np.full(lanes, NO_ACCESS, dtype=np.int64)
+        a_row[active] = trace_a_base[active] + mid[active]
+        b_row[active] = trace_b_base[active] + b_probe[active]
+        rows.append(a_row)
+        rows.append(b_row)
+
+        take_a = np.zeros(lanes, dtype=bool)
+        take_a[active] = (
+            values[(a_base + mid)[active]] <= values[(b_base + b_probe)[active]]
+        )
+        lo = np.where(take_a, mid + 1, lo)
+        hi = np.where(active & ~take_a, mid, hi)
+
+    dense = np.vstack(rows) if rows else np.empty((0, lanes), dtype=np.int64)
+    return lo, dense
+
+
+def partition_with_trace(
+    a: np.ndarray,
+    b: np.ndarray,
+    diagonals: np.ndarray,
+    a_base: int = 0,
+    b_base: int = 0,
+) -> tuple[np.ndarray, np.ndarray, AccessTrace]:
+    """All diagonals' split points at once, with probe addresses recorded.
+
+    Each bisection iteration issues two lock-step accesses per active lane —
+    a probe of ``a[mid]`` and of ``b[d − mid − 1]`` — recorded as two trace
+    steps (they are separate load instructions on the GPU). Lanes whose
+    search has converged go inactive.
+
+    Parameters
+    ----------
+    a, b:
+        The sorted lists.
+    diagonals:
+        Output ranks to split at (one per searching thread).
+    a_base, b_base:
+        Address offsets of the two lists within the memory the trace is
+        scored against (shared-memory tile or global buffer).
+
+    Returns
+    -------
+    (a_index, b_index, trace)
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    diagonals = np.asarray(diagonals, dtype=np.int64)
+    if diagonals.ndim != 1:
+        raise ValidationError("diagonals must be 1-D")
+    if diagonals.size and (
+        int(diagonals.min()) < 0 or int(diagonals.max()) > a.size + b.size
+    ):
+        raise ValidationError("diagonals out of range [0, |A| + |B|]")
+
+    lo = np.maximum(0, diagonals - b.size).astype(np.int64)
+    hi = np.minimum(diagonals, a.size).astype(np.int64)
+
+    rows: list[np.ndarray] = []
+    lanes = diagonals.size
+    while True:
+        active = lo < hi
+        if not active.any():
+            break
+        mid = (lo + hi) // 2
+        b_probe = diagonals - mid - 1
+
+        a_row = np.full(lanes, NO_ACCESS, dtype=np.int64)
+        b_row = np.full(lanes, NO_ACCESS, dtype=np.int64)
+        a_row[active] = a_base + mid[active]
+        b_row[active] = b_base + b_probe[active]
+        rows.append(a_row)
+        rows.append(b_row)
+
+        take_a = np.zeros(lanes, dtype=bool)
+        take_a[active] = a[mid[active]] <= b[b_probe[active]]
+        lo = np.where(take_a, mid + 1, lo)
+        hi = np.where(active & ~take_a, mid, hi)
+
+    dense = (
+        np.vstack(rows) if rows else np.empty((0, lanes), dtype=np.int64)
+    )
+    trace = AccessTrace.from_dense(dense)
+    return lo, diagonals - lo, trace

@@ -1,0 +1,123 @@
+"""Stable pairwise merging as interleavings.
+
+The key representation trick of the whole reproduction: a stable merge of
+sorted ``A`` and ``B`` is fully described by its **interleaving** — a boolean
+array ``src_a`` over output ranks, ``True`` where the element came from
+``A``. From the interleaving we can
+
+* reconstruct the merged values (:func:`merge_values` uses it implicitly),
+* compute the *address* each output rank was read from
+  (:func:`interleaving_addresses`) — which is all the conflict model needs,
+* and, crucially for the adversary, run the merge *backwards*
+  (:func:`unmerge`): split a sorted array into the two inputs that would
+  merge into it with a prescribed interleaving.
+
+All functions are O(n) or O(n log n) NumPy, no Python-level loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "interleaving_addresses",
+    "merge_values",
+    "stable_merge_interleaving",
+    "unmerge",
+]
+
+
+def _check_sorted(x: np.ndarray, name: str) -> np.ndarray:
+    x = np.asarray(x)
+    if x.ndim != 1:
+        raise ValidationError(f"{name} must be 1-D, got shape {x.shape}")
+    if x.size > 1 and np.any(x[1:] < x[:-1]):
+        raise ValidationError(f"{name} must be sorted nondecreasing")
+    return x
+
+
+def stable_merge_interleaving(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Interleaving of the stable (a-first) merge of two sorted lists.
+
+    Returns a bool array of length ``|A| + |B|``; ``True`` marks output
+    ranks taken from ``a``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> stable_merge_interleaving(np.array([1, 4]), np.array([2, 3]))
+    array([ True, False, False,  True])
+    """
+    a = _check_sorted(a, "a")
+    b = _check_sorted(b, "b")
+    # Output rank of a[k] = k + (# of b-elements strictly smaller), because
+    # ties resolve a-first; rank of b[m] = m + (# of a-elements <= b[m]).
+    rank_a = np.arange(a.size, dtype=np.int64) + np.searchsorted(b, a, side="left")
+    src_a = np.zeros(a.size + b.size, dtype=bool)
+    src_a[rank_a] = True
+    return src_a
+
+
+def merge_values(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """The stable merge of two sorted lists (values)."""
+    a = _check_sorted(a, "a")
+    b = _check_sorted(b, "b")
+    src_a = stable_merge_interleaving(a, b)
+    out = np.empty(a.size + b.size, dtype=np.result_type(a, b))
+    out[src_a] = a
+    out[~src_a] = b
+    return out
+
+
+def interleaving_addresses(
+    src_a: np.ndarray, a_base: int = 0, b_base: int | None = None
+) -> np.ndarray:
+    """Address each output rank is read from, given the interleaving.
+
+    ``A`` occupies addresses ``a_base, a_base+1, …``; ``B`` occupies
+    ``b_base, …``. By default ``B`` sits immediately after ``A`` (the
+    shared-memory tile layout of the block merge kernels: keys of ``A``
+    then keys of ``B``).
+
+    >>> import numpy as np
+    >>> src = np.array([True, False, False, True])
+    >>> interleaving_addresses(src).tolist()
+    [0, 2, 3, 1]
+    """
+    src_a = np.asarray(src_a, dtype=bool)
+    if src_a.ndim != 1:
+        raise ValidationError("interleaving must be 1-D")
+    num_a = int(src_a.sum())
+    if b_base is None:
+        b_base = a_base + num_a
+    # Within-list consumption index: how many same-list elements precede me.
+    csum = np.cumsum(src_a)
+    idx_in_a = csum - 1  # valid where src_a
+    idx_in_b = np.arange(src_a.size, dtype=np.int64) - csum  # valid where ~src_a
+    return np.where(src_a, a_base + idx_in_a, b_base + idx_in_b).astype(np.int64)
+
+
+def unmerge(merged: np.ndarray, src_a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Run a merge backwards: split ``merged`` per the interleaving.
+
+    If ``merged`` is sorted, then ``merge_values(a, b) == merged`` and —
+    provided the keys are distinct — ``stable_merge_interleaving(a, b) ==
+    src_a``. This is the engine of the adversarial input construction
+    (DESIGN.md §5): prescribe the interleaving at each merge round, then
+    unmerge the sorted output top-down into the initial permutation.
+
+    >>> import numpy as np
+    >>> a, b = unmerge(np.array([10, 20, 30, 40]),
+    ...               np.array([True, False, False, True]))
+    >>> a.tolist(), b.tolist()
+    ([10, 40], [20, 30])
+    """
+    merged = np.asarray(merged)
+    src_a = np.asarray(src_a, dtype=bool)
+    if merged.shape != src_a.shape:
+        raise ValidationError(
+            f"merged shape {merged.shape} != interleaving shape {src_a.shape}"
+        )
+    return merged[src_a], merged[~src_a]

@@ -1,0 +1,22 @@
+"""Bank-conflict mitigations — the other side of the paper's argument.
+
+Section I recalls that *bank-conflict-free* algorithms avoid worst cases at
+the price of extra complexity; the canonical lightweight mitigation is the
+Dotsenko et al. **co-prime padding** trick the paper cites: skew the shared
+memory layout so logical column walks no longer pile onto one bank. This
+package implements it for the merge sort simulator, which lets the bench
+suite quantify both sides of the trade-off against the constructed inputs:
+
+* padding neutralizes the adversarial alignment (conflicts collapse to the
+  random-input level, input-independently), but
+* it inflates the shared-memory tile, which costs occupancy — exactly the
+  "comes at a price" the paper warns about.
+"""
+
+from repro.mitigation.padding import (
+    pad_addresses,
+    padded_size,
+    padded_shared_bytes,
+)
+
+__all__ = ["pad_addresses", "padded_shared_bytes", "padded_size"]

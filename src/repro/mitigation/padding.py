@@ -1,0 +1,64 @@
+"""Dotsenko-style shared-memory padding.
+
+Logical tile index ``a`` is stored at physical address
+``a + (a // w) · pad``: every ``w`` contiguous elements, ``pad`` unused
+cells are skipped, rotating subsequent columns across banks. With
+``GCD(w, w + pad) = ...`` — for the standard ``pad = 1`` — a logical column
+walk ``kw, kw+1, …`` maps to banks ``(k + j) mod w``: the column index
+enters the bank, so the adversarial "many threads scanning same-bank
+columns" pattern spreads across all banks.
+
+The transform is applied to recorded traces *before* scoring (addresses are
+logical tile indices everywhere in the simulator), which models a kernel
+whose shared arrays are declared with the padded pitch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sort.config import SortConfig
+from repro.utils.validation import check_nonnegative_int, check_power_of_two
+
+__all__ = ["pad_addresses", "padded_shared_bytes", "padded_size"]
+
+
+def pad_addresses(addresses: np.ndarray, warp_size: int, padding: int) -> np.ndarray:
+    """Map logical tile indices to padded physical addresses.
+
+    Negative entries (inactive lanes) pass through unchanged. ``padding=0``
+    is the identity.
+
+    >>> import numpy as np
+    >>> pad_addresses(np.array([0, 3, 4, 8, -1]), 4, 1).tolist()
+    [0, 3, 5, 10, -1]
+    """
+    warp_size = check_power_of_two(warp_size, "warp_size")
+    padding = check_nonnegative_int(padding, "padding")
+    addresses = np.asarray(addresses, dtype=np.int64)
+    if padding == 0:
+        return addresses
+    active = addresses >= 0
+    out = addresses.copy()
+    out[active] += (addresses[active] // warp_size) * padding
+    return out
+
+
+def padded_size(logical_size: int, warp_size: int, padding: int) -> int:
+    """Physical elements needed for a padded tile of ``logical_size``."""
+    logical_size = check_nonnegative_int(logical_size, "logical_size")
+    warp_size = check_power_of_two(warp_size, "warp_size")
+    padding = check_nonnegative_int(padding, "padding")
+    if logical_size == 0:
+        return 0
+    last = logical_size - 1
+    return int(last + (last // warp_size) * padding) + 1
+
+
+def padded_shared_bytes(config: SortConfig, padding: int) -> int:
+    """Shared-memory footprint of a padded block tile — the occupancy cost
+    of the mitigation."""
+    return (
+        padded_size(config.tile_size, config.warp_size, padding)
+        * config.element_bytes
+    )

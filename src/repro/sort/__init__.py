@@ -1,0 +1,55 @@
+"""Instrumented GPU pairwise merge sort — the Thrust / Modern GPU analogue.
+
+The algorithm (paper Section II-A):
+
+1. **Base case** — tiles of ``bE`` consecutive elements are sorted by one
+   thread block each: every thread sorts ``E`` elements in registers with an
+   odd-even sorting network, then ``log b`` block-level pairwise merge
+   rounds run in shared memory.
+2. **Global rounds** — ``⌈log(N/bE)⌉`` pairwise merge rounds; in each, pairs
+   of sorted runs are merged, every thread block finding its ``bE``-element
+   quantile via mutual binary search in global memory and merging it in
+   shared memory with one round of GPU Merge Path.
+
+Every shared-memory access of the partitioning (β₁) and merging (β₂) stages
+is recorded and scored through :mod:`repro.dmm`; global traffic is counted
+through :mod:`repro.gpu.global_memory`. ``Thrust`` and ``Modern GPU`` are
+modeled as parameter presets of this one algorithm (see
+:mod:`repro.sort.presets`), which is precisely how the paper treats them.
+"""
+
+from repro.sort.any_length import sort_any_length
+from repro.sort.bitonic import BitonicSort
+from repro.sort.config import SortConfig
+from repro.sort.cpu_reference import cpu_merge_sort, is_sorted
+from repro.sort.multiway import MultiwaySort
+from repro.sort.networks import apply_oddeven_network, oddeven_network
+from repro.sort.pairwise import PairwiseMergeSort, RoundStats, SortResult
+from repro.sort.reference_kernel import reference_block_merge
+from repro.sort.presets import (
+    MGPU_MAXWELL,
+    THRUST_CC60,
+    THRUST_MAXWELL,
+    default_presets_for,
+    preset,
+)
+
+__all__ = [
+    "BitonicSort",
+    "MGPU_MAXWELL",
+    "MultiwaySort",
+    "PairwiseMergeSort",
+    "RoundStats",
+    "SortConfig",
+    "SortResult",
+    "THRUST_CC60",
+    "THRUST_MAXWELL",
+    "apply_oddeven_network",
+    "cpu_merge_sort",
+    "default_presets_for",
+    "is_sorted",
+    "oddeven_network",
+    "preset",
+    "reference_block_merge",
+    "sort_any_length",
+]

@@ -1,0 +1,142 @@
+"""Sort configuration: the paper's tuning parameters ``E``, ``b``, ``w``.
+
+``E`` is the number of elements each thread merges per round; ``b`` the
+threads per block (a power of two); ``w`` the warp width. The block tile is
+``bE`` elements; the total thread count for an ``N``-element sort is
+``N/E``. These three numbers drive everything: the shared-memory footprint,
+the occupancy, the merge-round count, and — via ``GCD(w, E)`` — the
+worst-case bank-conflict structure the paper constructs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.utils.bits import ceil_log2, ilog2, is_power_of_two
+from repro.utils.validation import check_positive_int, check_power_of_two
+
+__all__ = ["SortConfig"]
+
+
+@dataclass(frozen=True)
+class SortConfig:
+    """Parameters of one pairwise-merge-sort configuration.
+
+    Parameters
+    ----------
+    elements_per_thread:
+        The paper's ``E``.
+    block_size:
+        Threads per block ``b`` (power of two, multiple of ``warp_size``).
+    warp_size:
+        Threads per warp = shared-memory banks ``w`` (power of two).
+    element_bytes:
+        Key size (4 for the paper's experiments).
+    name:
+        Optional label (e.g. ``"thrust"``) used in reports.
+    """
+
+    elements_per_thread: int
+    block_size: int
+    warp_size: int = 32
+    element_bytes: int = 4
+    name: str = "pairwise"
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.elements_per_thread, "elements_per_thread")
+        check_power_of_two(self.block_size, "block_size")
+        check_power_of_two(self.warp_size, "warp_size")
+        check_positive_int(self.element_bytes, "element_bytes")
+        if self.block_size < self.warp_size:
+            raise ConfigurationError(
+                f"block_size {self.block_size} must be >= warp_size "
+                f"{self.warp_size}"
+            )
+
+    # -- shorthand matching the paper's notation ----------------------------
+
+    @property
+    def E(self) -> int:  # noqa: N802 - paper notation
+        """Elements per thread per merge round."""
+        return self.elements_per_thread
+
+    @property
+    def b(self) -> int:  # noqa: N802 - paper notation
+        """Threads per block."""
+        return self.block_size
+
+    @property
+    def w(self) -> int:  # noqa: N802 - paper notation
+        """Warp width / bank count."""
+        return self.warp_size
+
+    # -- derived quantities --------------------------------------------------
+
+    @property
+    def tile_size(self) -> int:
+        """Elements per block tile: ``bE``."""
+        return self.block_size * self.elements_per_thread
+
+    @property
+    def warps_per_block(self) -> int:
+        """Warps per block: ``b / w``."""
+        return self.block_size // self.warp_size
+
+    @property
+    def shared_bytes_per_block(self) -> int:
+        """Shared-memory footprint of the merge kernel's tile."""
+        return self.tile_size * self.element_bytes
+
+    @property
+    def gcd_we(self) -> int:
+        """``GCD(w, E)`` — the paper's alignment parameter ``d``."""
+        return math.gcd(self.warp_size, self.elements_per_thread)
+
+    @property
+    def is_coprime(self) -> bool:
+        """Whether ``w`` and ``E`` are co-prime (the regime of Section III)."""
+        return self.gcd_we == 1
+
+    @property
+    def num_block_rounds(self) -> int:
+        """Block-level merge rounds in the base case: ``log b``."""
+        return ilog2(self.block_size)
+
+    def num_global_rounds(self, num_elements: int) -> int:
+        """Global merge rounds for an ``N``-element sort: ``⌈log(N/bE)⌉``."""
+        num_elements = self.validate_input_size(num_elements)
+        return ceil_log2(num_elements // self.tile_size)
+
+    def num_threads(self, num_elements: int) -> int:
+        """Total threads launched per round: ``N / E``."""
+        return self.validate_input_size(num_elements) // self.elements_per_thread
+
+    def validate_input_size(self, num_elements: int) -> int:
+        """Check that ``N`` is a tile multiple with a power-of-two tile count.
+
+        The simulator (like the paper's size sweeps, all of which are
+        ``bE · 2^k``) requires clean pairwise rounds; ragged inputs should be
+        padded by the caller (``repro.inputs.pad_to_tiles``).
+        """
+        num_elements = check_positive_int(num_elements, "num_elements")
+        tiles, rem = divmod(num_elements, self.tile_size)
+        if rem or not is_power_of_two(tiles):
+            raise ConfigurationError(
+                f"N = {num_elements} must be tile_size ({self.tile_size}) "
+                f"x a power of two; nearest valid sizes are "
+                f"{self.tile_size * (1 << max(0, (tiles or 1).bit_length() - 1))} "
+                f"and {self.tile_size * (1 << (tiles or 1).bit_length())}"
+            )
+        return num_elements
+
+    def valid_sizes(self, max_elements: int) -> list[int]:
+        """All valid input sizes ``bE · 2^k`` up to ``max_elements``."""
+        check_positive_int(max_elements, "max_elements")
+        sizes = []
+        n = self.tile_size
+        while n <= max_elements:
+            sizes.append(n)
+            n *= 2
+        return sizes

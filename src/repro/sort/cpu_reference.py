@@ -1,0 +1,56 @@
+"""CPU reference sorts and order checks.
+
+The simulator's correctness oracle: every simulated sort must agree with a
+straightforward, obviously-correct host-side merge sort (and with
+``np.sort``). The bottom-up reference here mirrors the GPU algorithm's
+merge tree, which makes divergences easy to localize when a test fails.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.mergepath.serial_merge import merge_values
+
+__all__ = ["cpu_merge_sort", "is_sorted"]
+
+
+def is_sorted(values: np.ndarray) -> bool:
+    """Whether a 1-D array is nondecreasing."""
+    values = np.asarray(values)
+    if values.ndim != 1:
+        raise ValidationError(f"values must be 1-D, got shape {values.shape}")
+    return bool(values.size < 2 or np.all(values[1:] >= values[:-1]))
+
+
+def cpu_merge_sort(values: np.ndarray, run_length: int = 1) -> np.ndarray:
+    """Bottom-up pairwise merge sort on the host.
+
+    Starts from sorted runs of ``run_length`` (sorting each run with
+    ``np.sort``) and doubles, mirroring the GPU algorithm's merge tree.
+    Requires ``len(values)`` to be ``run_length × a power of two``.
+    """
+    values = np.asarray(values)
+    if values.ndim != 1:
+        raise ValidationError(f"values must be 1-D, got shape {values.shape}")
+    n = values.size
+    if n == 0:
+        return values.copy()
+    if run_length < 1 or n % run_length:
+        raise ValidationError(
+            f"run_length {run_length} must divide the input size {n}"
+        )
+    runs = n // run_length
+    if runs & (runs - 1):
+        raise ValidationError(f"number of runs {runs} must be a power of two")
+
+    out = np.sort(values.reshape(runs, run_length), axis=1).reshape(-1).copy()
+    width = run_length
+    while width < n:
+        for base in range(0, n, 2 * width):
+            out[base : base + 2 * width] = merge_values(
+                out[base : base + width], out[base + width : base + 2 * width]
+            )
+        width *= 2
+    return out

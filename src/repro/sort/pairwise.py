@@ -1,0 +1,515 @@
+"""The instrumented pairwise merge sort simulator.
+
+This is the system under test: a faithful functional model of the Thrust /
+Modern GPU pairwise merge sort (paper Section II-A) that, besides sorting,
+records every shared-memory access of every warp and scores it through the
+DMM conflict model, and counts all global-memory traffic.
+
+Structure of a sort of ``N = bE·2^k`` elements:
+
+* **base case** — every thread sorts ``E`` register-resident elements with
+  the odd-even network (the loads/stores that stage them through shared
+  memory are traced), then ``log b`` *block rounds* merge runs
+  ``E → 2E → … → bE`` inside each tile;
+* ``k`` **global rounds** merge runs ``bE → 2bE → … → N``; each round every
+  thread block finds its ``bE`` output quantile (mutual binary search in
+  global memory — counted as scattered traffic), loads it to shared memory
+  (coalesced), partitions it among its ``b`` threads (mutual binary search
+  in shared memory — traced, the paper's β₁ stage), and merges ``E``
+  elements per thread (traced, the β₂ stage).
+
+Implementation notes (why this is fast enough to sweep):
+
+* A merge round is computed for *all* pairs at once with one stable
+  row-wise ``argsort`` — for two sorted halves this reproduces the stable
+  (A-first) merge exactly, and the resulting ``order`` array doubles as the
+  per-rank shared-memory address map (DESIGN.md §5).
+* Conflict scoring is warp-additive, so all scored blocks of a round are
+  folded into a single stacked trace (`stack_warp_steps`) and scored with
+  one ``bincount`` pass.
+* ``score_blocks`` caps how many tiles/blocks per round are scored
+  (merging still processes all of them); the constructed adversarial
+  inputs are periodic across blocks, so a small sample is *exact* for
+  them and an unbiased estimate for random inputs. ``RoundStats`` keeps
+  the scored/total counts so every aggregate can be rescaled honestly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dmm.conflicts import ConflictReport, count_conflicts
+from repro.dmm.trace import AccessTrace
+from repro.errors import SimulationError
+from repro.gpu.global_memory import CoalescingModel, GlobalTraffic
+from repro.gpu.timing import KernelCost
+from repro.mergepath.kernels import stack_warp_steps, thread_rank_addresses
+from repro.mergepath.partition import partition_many_with_trace
+from repro.sort.config import SortConfig
+from repro.sort.networks import apply_oddeven_network
+from repro.utils.bits import ceil_log2
+from repro.utils.rng import as_generator
+
+__all__ = ["PairwiseMergeSort", "RoundStats", "SortResult"]
+
+
+@dataclass(frozen=True)
+class RoundStats:
+    """Instrumentation for one merge round (or the base register phase).
+
+    ``merge_report`` / ``partition_report`` cover only the ``blocks_scored``
+    sampled tiles; multiply by :attr:`scale` for whole-round estimates.
+    ``staging_report`` (register load/store, base phase only) is already
+    whole-round exact.
+    """
+
+    label: str
+    kind: str  # "registers" | "block" | "global"
+    run_length: int
+    merge_report: ConflictReport
+    partition_report: ConflictReport
+    staging_report: ConflictReport
+    global_traffic: GlobalTraffic
+    compute_instructions: int
+    blocks_total: int
+    blocks_scored: int
+
+    @property
+    def scale(self) -> float:
+        """Whole-round / scored-sample ratio for the traced reports."""
+        if self.blocks_scored == 0:
+            return 0.0 if self.blocks_total == 0 else float("nan")
+        return self.blocks_total / self.blocks_scored
+
+    @property
+    def shared_cycles(self) -> float:
+        """Estimated serialized shared-memory cycles for the whole round."""
+        traced = (
+            self.merge_report.total_transactions
+            + self.partition_report.total_transactions
+        )
+        return traced * self.scale + self.staging_report.total_transactions
+
+    @property
+    def shared_steps(self) -> float:
+        """Conflict-free cycle count for the same accesses."""
+        traced = (
+            self.merge_report.conflict_free_cycles
+            + self.partition_report.conflict_free_cycles
+        )
+        return traced * self.scale + self.staging_report.conflict_free_cycles
+
+    @property
+    def replays(self) -> float:
+        """Estimated profiler-style bank conflicts for the whole round."""
+        traced = (
+            self.merge_report.total_replays + self.partition_report.total_replays
+        )
+        return traced * self.scale + self.staging_report.total_replays
+
+    @property
+    def merge_replays(self) -> float:
+        """Whole-round merging-stage (β₂) conflicts."""
+        return self.merge_report.total_replays * self.scale
+
+    @property
+    def partition_replays(self) -> float:
+        """Whole-round partition-stage (β₁) conflicts."""
+        return self.partition_report.total_replays * self.scale
+
+
+@dataclass
+class SortResult:
+    """Output of one simulated sort: the values plus full instrumentation."""
+
+    values: np.ndarray
+    config: SortConfig
+    num_elements: int
+    rounds: list[RoundStats] = field(default_factory=list)
+
+    @property
+    def num_rounds(self) -> int:
+        """Merge rounds executed (excluding the register phase)."""
+        return sum(1 for r in self.rounds if r.kind != "registers")
+
+    def total_shared_cycles(self) -> float:
+        """Serialized shared-memory cycles across the whole sort."""
+        return sum(r.shared_cycles for r in self.rounds)
+
+    def total_replays(self) -> float:
+        """Profiler-style bank conflicts across the whole sort."""
+        return sum(r.replays for r in self.rounds)
+
+    def replays_per_element(self) -> float:
+        """The paper's Figure 6 metric: bank conflicts per input element."""
+        return self.total_replays() / self.num_elements
+
+    def total_global_traffic(self) -> GlobalTraffic:
+        """Global transactions/words across the whole sort."""
+        traffic = GlobalTraffic()
+        for r in self.rounds:
+            traffic = traffic.merged(r.global_traffic)
+        return traffic
+
+    def kernel_cost(self, warps_per_sm: int = 32) -> KernelCost:
+        """Fold instrumentation into a :class:`~repro.gpu.timing.KernelCost`.
+
+        ``warps_per_sm`` comes from the occupancy calculator for the
+        configuration/device pair (see :mod:`repro.bench.runner`).
+        """
+        traffic = self.total_global_traffic()
+        launches = 1 + 2 * sum(1 for r in self.rounds if r.kind == "global")
+        return KernelCost(
+            shared_cycles=round(self.total_shared_cycles()),
+            shared_steps=round(sum(r.shared_steps for r in self.rounds)),
+            global_transactions=traffic.transactions,
+            global_words=traffic.words,
+            compute_warp_instructions=sum(r.compute_instructions for r in self.rounds),
+            kernel_launches=launches,
+            warps_per_sm=warps_per_sm,
+            element_bytes=self.config.element_bytes,
+        )
+
+
+class PairwiseMergeSort:
+    """Simulated GPU pairwise merge sort for one :class:`SortConfig`.
+
+    Parameters
+    ----------
+    config:
+        The sort parameters.
+    padding:
+        Dotsenko-style shared-memory padding (elements skipped per ``w``
+        logical cells — see :mod:`repro.mitigation.padding`). 0 models the
+        stock Thrust/Modern GPU layout the paper attacks; 1 is the
+        conflict-free mitigation the paper's related work discusses.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.sort.config import SortConfig
+    >>> cfg = SortConfig(elements_per_thread=3, block_size=4, warp_size=4)
+    >>> sorter = PairwiseMergeSort(cfg)
+    >>> rng = np.random.default_rng(0)
+    >>> data = rng.permutation(48)
+    >>> result = sorter.sort(data)
+    >>> bool(np.array_equal(result.values, np.sort(data)))
+    True
+    """
+
+    def __init__(self, config: SortConfig, padding: int = 0):
+        from repro.utils.validation import check_nonnegative_int
+
+        self.config = config
+        self.padding = check_nonnegative_int(padding, "padding")
+
+    def _physical(self, step_matrix: np.ndarray) -> np.ndarray:
+        """Logical tile addresses → physical (possibly padded) addresses."""
+        if not self.padding:
+            return step_matrix
+        from repro.mitigation.padding import pad_addresses
+
+        return pad_addresses(step_matrix, self.config.warp_size, self.padding)
+
+    # -- public API ----------------------------------------------------------
+
+    def sort(
+        self,
+        values: np.ndarray,
+        *,
+        score_blocks: int | None = None,
+        seed: int | None = 0,
+    ) -> SortResult:
+        """Sort ``values``, recording full instrumentation.
+
+        Parameters
+        ----------
+        values:
+            Input keys; length must be ``bE × 2^k``.
+        score_blocks:
+            If given, trace at most this many tiles/blocks per round
+            (deterministically spread via ``seed``); ``None`` traces all.
+        seed:
+            Seed for the sampled-block selection.
+        """
+        cfg = self.config
+        arr = np.ascontiguousarray(values)
+        n = cfg.validate_input_size(arr.size)
+        rng = as_generator(seed)
+
+        result = SortResult(values=arr, config=cfg, num_elements=n)
+        arr = self._base_register_phase(arr, result)
+
+        run = cfg.E
+        while run < n:
+            arr = self._merge_round(arr, run, result, score_blocks, rng)
+            run *= 2
+
+        result.values = arr
+        return result
+
+    # -- phases ----------------------------------------------------------
+
+    def _base_register_phase(self, arr: np.ndarray, result: SortResult) -> np.ndarray:
+        """Register-level odd-even sort of each thread's ``E`` elements."""
+        cfg = self.config
+        n = arr.size
+        tiles = n // cfg.tile_size
+
+        sorted_rows, comparator_ops = apply_oddeven_network(arr.reshape(-1, cfg.E))
+        out = sorted_rows.reshape(-1)
+
+        # Staging: thread t loads (then stores) addresses tE+j at step j.
+        # The pattern is identical in every tile, so score one tile and
+        # scale exactly by 2·tiles (load + store phases).
+        step_matrix = thread_rank_addresses(
+            np.arange(cfg.tile_size, dtype=np.int64), cfg.E
+        )
+        stacked = self._physical(stack_warp_steps(step_matrix, cfg.w))
+        staging = count_conflicts(AccessTrace.from_dense(stacked), cfg.w)
+        staging = staging.scaled(2 * tiles)
+
+        # The base-case kernel reads and writes each element once.
+        coalescing = CoalescingModel(cfg.w)
+        coalescing.streamed_copy(n)
+        coalescing.streamed_copy(n)
+
+        result.rounds.append(
+            RoundStats(
+                label="base-registers",
+                kind="registers",
+                run_length=cfg.E,
+                merge_report=ConflictReport.empty(cfg.w),
+                partition_report=ConflictReport.empty(cfg.w),
+                staging_report=staging,
+                global_traffic=coalescing.reset(),
+                compute_instructions=comparator_ops // cfg.w,
+                blocks_total=tiles,
+                blocks_scored=tiles,
+            )
+        )
+        return out
+
+    def _merge_round(
+        self,
+        arr: np.ndarray,
+        run: int,
+        result: SortResult,
+        score_blocks: int | None,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """One pairwise merge round of runs of length ``run``."""
+        cfg = self.config
+        n = arr.size
+        pair_width = 2 * run
+        num_pairs = n // pair_width
+
+        mat = arr.reshape(num_pairs, pair_width)
+        # Stable argsort of [A | B] rows == stable (A-first) merge: equal
+        # keys keep index order, and A occupies the lower indices.
+        order = np.argsort(mat, axis=1, kind="stable")
+        merged = np.take_along_axis(mat, order, axis=1)
+
+        if pair_width <= cfg.tile_size:
+            self._score_block_round(arr, mat, order, run, result, score_blocks, rng)
+        else:
+            self._score_global_round(mat, order, run, result, score_blocks, rng)
+
+        return merged.reshape(-1)
+
+    # -- block (base-case) rounds ---------------------------------------
+
+    def _score_block_round(
+        self,
+        flat_pre: np.ndarray,
+        mat: np.ndarray,
+        order: np.ndarray,
+        run: int,
+        result: SortResult,
+        score_blocks: int | None,
+        rng: np.random.Generator,
+    ) -> None:
+        """Score a block-level round: merges happen inside each tile.
+
+        Tile layout during block rounds: pair ``g`` of a tile occupies the
+        contiguous window ``[g·2L, (g+1)·2L)`` with its ``A`` run first, so
+        the concatenated-pair index produced by ``order`` *is* the
+        tile-local offset within the pair window.
+        """
+        cfg = self.config
+        n = flat_pre.size
+        pair_width = 2 * run
+        tiles = n // cfg.tile_size
+        pairs_per_tile = cfg.tile_size // pair_width
+        scored = _choose_blocks(tiles, score_blocks, rng)
+
+        merge_rows = []
+        part_rows = []
+        for tile in scored:
+            p_lo = tile * pairs_per_tile
+            p_hi = p_lo + pairs_per_tile
+            # Tile-local address of each output rank = pair base + order.
+            pair_bases = (
+                np.arange(pairs_per_tile, dtype=np.int64)[:, None] * pair_width
+            )
+            addr_by_rank = (order[p_lo:p_hi] + pair_bases).reshape(-1)
+            merge_rows.append(
+                self._physical(
+                    stack_warp_steps(
+                        thread_rank_addresses(addr_by_rank, cfg.E), cfg.w
+                    )
+                )
+            )
+
+            # Thread-level partition: every thread bisects its diagonal of
+            # its pair. Thread t -> pair (t·E // 2L), diagonal (t·E mod 2L).
+            t_ranks = np.arange(cfg.b, dtype=np.int64) * cfg.E
+            lane_pair = p_lo + t_ranks // pair_width
+            diagonals = t_ranks % pair_width
+            a_base = lane_pair * pair_width
+            b_base = a_base + run
+            lens = np.full(cfg.b, run, dtype=np.int64)
+            local_base = (t_ranks // pair_width) * pair_width
+            _, probe_steps = partition_many_with_trace(
+                flat_pre,
+                a_base=a_base,
+                a_len=lens,
+                b_base=b_base,
+                b_len=lens,
+                diagonals=diagonals,
+                trace_a_base=local_base,
+                trace_b_base=local_base + run,
+            )
+            if probe_steps.size:
+                part_rows.append(
+                    self._physical(stack_warp_steps(probe_steps, cfg.w))
+                )
+
+        merge_report = _score_stacked(merge_rows, cfg.w)
+        part_report = _score_stacked(part_rows, cfg.w)
+
+        result.rounds.append(
+            RoundStats(
+                label=f"block-round-L{run}",
+                kind="block",
+                run_length=run,
+                merge_report=merge_report,
+                partition_report=part_report,
+                staging_report=ConflictReport.empty(cfg.w),
+                global_traffic=GlobalTraffic(),  # block rounds stay on-chip
+                compute_instructions=3 * n // cfg.w,
+                blocks_total=tiles,
+                blocks_scored=len(scored),
+            )
+        )
+
+    # -- global rounds -----------------------------------------------------
+
+    def _score_global_round(
+        self,
+        mat: np.ndarray,
+        order: np.ndarray,
+        run: int,
+        result: SortResult,
+        score_blocks: int | None,
+        rng: np.random.Generator,
+    ) -> None:
+        """Score a global round: each block merges a ``bE`` output quantile."""
+        cfg = self.config
+        num_pairs, pair_width = mat.shape
+        n = num_pairs * pair_width
+        blocks_per_pair = pair_width // cfg.tile_size
+        blocks_total = num_pairs * blocks_per_pair
+        scored = _choose_blocks(blocks_total, score_blocks, rng)
+
+        # Per-pair prefix counts of A-sourced ranks, for window arithmetic.
+        src_a = order < run
+
+        merge_rows = []
+        part_rows = []
+        for blk in scored:
+            pair, x = divmod(int(blk), blocks_per_pair)
+            r_lo = x * cfg.tile_size
+            r_hi = r_lo + cfg.tile_size
+            s = order[pair, r_lo:r_hi]
+            from_a = src_a[pair, r_lo:r_hi]
+            a_lo = int(src_a[pair, :r_lo].sum())
+            na = int(from_a.sum())
+            b_lo = r_lo - a_lo
+            # Tile layout: the block's A window at [0, na), B at [na, bE).
+            local = np.where(s < run, s - a_lo, na + (s - run - b_lo))
+            merge_rows.append(
+                self._physical(
+                    stack_warp_steps(
+                        thread_rank_addresses(local.astype(np.int64), cfg.E),
+                        cfg.w,
+                    )
+                )
+            )
+
+            # β₁ stage: b threads bisect their diagonals over the tile.
+            nb = cfg.tile_size - na
+            diagonals = np.arange(cfg.b, dtype=np.int64) * cfg.E
+            _, probe_steps = partition_many_with_trace(
+                mat[pair],
+                a_base=np.full(cfg.b, a_lo, dtype=np.int64),
+                a_len=np.full(cfg.b, na, dtype=np.int64),
+                b_base=np.full(cfg.b, run + b_lo, dtype=np.int64),
+                b_len=np.full(cfg.b, nb, dtype=np.int64),
+                diagonals=diagonals,
+                trace_a_base=np.zeros(cfg.b, dtype=np.int64),
+                trace_b_base=np.full(cfg.b, na, dtype=np.int64),
+            )
+            if probe_steps.size:
+                part_rows.append(
+                    self._physical(stack_warp_steps(probe_steps, cfg.w))
+                )
+
+        merge_report = _score_stacked(merge_rows, cfg.w)
+        part_report = _score_stacked(part_rows, cfg.w)
+
+        # Global traffic: every element is read and written once (coalesced),
+        # plus the block-level mutual binary searches in global memory.
+        coalescing = CoalescingModel(cfg.w)
+        coalescing.streamed_copy(n)
+        coalescing.streamed_copy(n)
+        probes_per_block = 2 * ceil_log2(run + 1)
+        coalescing.scattered_access(blocks_total * probes_per_block)
+
+        result.rounds.append(
+            RoundStats(
+                label=f"global-round-L{run}",
+                kind="global",
+                run_length=run,
+                merge_report=merge_report,
+                partition_report=part_report,
+                staging_report=ConflictReport.empty(cfg.w),
+                global_traffic=coalescing.reset(),
+                compute_instructions=3 * n // cfg.w,
+                blocks_total=blocks_total,
+                blocks_scored=len(scored),
+            )
+        )
+
+
+def _choose_blocks(
+    total: int, score_blocks: int | None, rng: np.random.Generator
+) -> np.ndarray:
+    """Pick which blocks of a round to trace."""
+    if score_blocks is None or score_blocks >= total:
+        return np.arange(total, dtype=np.int64)
+    if score_blocks < 1:
+        raise SimulationError(f"score_blocks must be >= 1, got {score_blocks}")
+    return np.sort(rng.choice(total, size=score_blocks, replace=False)).astype(
+        np.int64
+    )
+
+
+def _score_stacked(rows: list[np.ndarray], num_banks: int) -> ConflictReport:
+    """Score a list of stacked warp-step matrices as one trace."""
+    if not rows:
+        return ConflictReport.empty(num_banks)
+    dense = rows[0] if len(rows) == 1 else np.vstack(rows)
+    return count_conflicts(AccessTrace.from_dense(dense), num_banks)

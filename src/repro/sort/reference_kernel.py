@@ -1,0 +1,162 @@
+"""An executable, step-by-step block merge — the differential oracle.
+
+:class:`~repro.sort.pairwise.PairwiseMergeSort` computes traces *en masse*
+(argsort → address map → batched scoring). This module re-implements one
+block-level pairwise merge the slow, obvious way: warp by warp, lock-step
+by lock-step, with every access actually executed against a
+:class:`~repro.gpu.shared_memory.SharedMemory` (values read back and
+checked, CREW enforced, conflicts accumulated by the scratchpad itself).
+
+``tests/sort/test_reference_kernel.py`` asserts that for arbitrary inputs
+the fast path and this reference produce identical merged values, identical
+partition splits, and identical conflict counts — the strongest internal
+consistency check the simulator has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dmm.conflicts import ConflictReport
+from repro.errors import SimulationError, ValidationError
+from repro.gpu.shared_memory import SharedMemory
+from repro.mitigation.padding import pad_addresses, padded_size
+from repro.sort.config import SortConfig
+from repro.utils.bits import ceil_div
+
+__all__ = ["ReferenceMergeResult", "reference_block_merge"]
+
+
+@dataclass(frozen=True)
+class ReferenceMergeResult:
+    """Outcome of one executed block merge."""
+
+    merged: np.ndarray
+    a_split: np.ndarray  # per-thread count taken from A (partition result)
+    partition_report: ConflictReport
+    merge_report: ConflictReport
+
+
+def reference_block_merge(
+    a: np.ndarray,
+    b: np.ndarray,
+    config: SortConfig,
+    padding: int = 0,
+) -> ReferenceMergeResult:
+    """Execute one block merge of sorted ``a`` and ``b`` in shared memory.
+
+    ``|a| + |b|`` must be a multiple of ``E``; the merge uses
+    ``(|a|+|b|)/E`` threads grouped into warps of ``w`` (a trailing partial
+    warp is allowed, mirroring the kernels).
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    cfg = config
+    tile = a.size + b.size
+    if tile == 0 or tile % cfg.E:
+        raise ValidationError(
+            f"|A| + |B| = {tile} must be a positive multiple of E = {cfg.E}"
+        )
+    if np.any(a[1:] < a[:-1]) or np.any(b[1:] < b[:-1]):
+        raise ValidationError("inputs must be sorted")
+
+    threads = tile // cfg.E
+    na = a.size
+
+    # Stage the tile: A at logical [0, na), B at [na, tile), both mapped
+    # through the (possibly padded) physical layout.
+    shared = SharedMemory(size=max(padded_size(tile, cfg.w, padding), 1),
+                          num_banks=cfg.w)
+    logical = np.arange(tile, dtype=np.int64)
+    physical = pad_addresses(logical, cfg.w, padding)
+    staged = np.zeros(shared.size, dtype=np.int64)
+    staged[physical] = np.concatenate([a, b])
+    shared.load_tile(staged)
+    shared.reset_report()  # the bulk stage is coalesced; not scored here
+
+    def phys(logical_addr: np.ndarray) -> np.ndarray:
+        out = np.full(logical_addr.shape, -1, dtype=np.int64)
+        active = logical_addr >= 0
+        out[active] = pad_addresses(logical_addr[active], cfg.w, padding)
+        return out
+
+    # ---- partition stage: per-warp lock-step mutual binary search -------
+    diagonals = np.arange(threads, dtype=np.int64) * cfg.E
+    lo = np.maximum(0, diagonals - b.size)
+    hi = np.minimum(diagonals, na)
+    for warp_base in range(0, threads, cfg.w):
+        lanes = np.arange(warp_base, min(warp_base + cfg.w, threads))
+        pad_lanes = cfg.w - lanes.size
+        while True:
+            active = lo[lanes] < hi[lanes]
+            if not active.any():
+                break
+            mid = (lo[lanes] + hi[lanes]) // 2
+            d = diagonals[lanes]
+            a_addr = np.where(active, mid, -1)
+            b_addr = np.where(active, na + d - mid - 1, -1)
+            if pad_lanes:
+                a_addr = np.concatenate([a_addr, np.full(pad_lanes, -1)])
+                b_addr = np.concatenate([b_addr, np.full(pad_lanes, -1)])
+            a_val = shared.warp_read(phys(a_addr))[: lanes.size]
+            b_val = shared.warp_read(phys(b_addr))[: lanes.size]
+            take_a = active & (a_val <= b_val)
+            lo[lanes] = np.where(take_a, mid + 1, lo[lanes])
+            hi[lanes] = np.where(active & ~take_a, mid, hi[lanes])
+    partition_report = shared.reset_report()
+
+    # ---- merging stage: E lock-step iterations per warp ------------------
+    ai = lo.copy()  # next unconsumed A index per thread
+    bi = diagonals - lo  # next unconsumed B index per thread
+    ai_end = np.empty(threads, dtype=np.int64)
+    ai_end[:-1] = lo[1:]
+    ai_end[-1] = na
+    bi_end = np.empty(threads, dtype=np.int64)
+    bi_end[:-1] = (diagonals - lo)[1:]
+    bi_end[-1] = b.size
+
+    merged = np.empty(tile, dtype=np.int64)
+    for warp_base in range(0, threads, cfg.w):
+        lanes = np.arange(warp_base, min(warp_base + cfg.w, threads))
+        pad_lanes = cfg.w - lanes.size
+        for j in range(cfg.E):
+            can_a = ai[lanes] < ai_end[lanes]
+            can_b = bi[lanes] < bi_end[lanes]
+            # Registers hold the current heads; consume the smaller (ties
+            # to A — Thrust's stability). Clip guards empty lists.
+            head_a = np.where(
+                can_a, a[np.minimum(ai[lanes], max(na - 1, 0))], 0
+            ) if na else np.zeros(lanes.size, dtype=np.int64)
+            head_b = np.where(
+                can_b, b[np.minimum(bi[lanes], max(b.size - 1, 0))], 0
+            ) if b.size else np.zeros(lanes.size, dtype=np.int64)
+            take_a = can_a & (~can_b | (head_a <= head_b))
+            addr = np.where(take_a, ai[lanes], na + bi[lanes])
+            values = shared.warp_read(
+                phys(
+                    np.concatenate([addr, np.full(pad_lanes, -1)])
+                    if pad_lanes
+                    else addr
+                )
+            )[: lanes.size]
+            expected = np.where(take_a, head_a, head_b)
+            if not np.array_equal(values, expected):
+                raise SimulationError(
+                    "reference kernel read back unexpected values"
+                )
+            merged[diagonals[lanes] + j] = values
+            ai[lanes] = np.where(take_a, ai[lanes] + 1, ai[lanes])
+            bi[lanes] = np.where(~take_a, bi[lanes] + 1, bi[lanes])
+    merge_report = shared.reset_report()
+
+    if np.any(ai != ai_end) or np.any(bi != bi_end):
+        raise SimulationError("reference kernel did not consume its quantiles")
+
+    return ReferenceMergeResult(
+        merged=merged,
+        a_split=lo,
+        partition_report=partition_report,
+        merge_report=merge_report,
+    )

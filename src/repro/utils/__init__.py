@@ -1,0 +1,42 @@
+"""Shared low-level utilities: bit tricks, modular arithmetic, validation.
+
+These helpers back both the theory side (the paper's number-theoretic
+machinery: Facts 5 and 6, Lemma 4) and the simulator side (power-of-two
+checks for warp and block sizes).
+"""
+
+from repro.utils.bits import (
+    ceil_div,
+    ceil_log2,
+    ilog2,
+    is_power_of_two,
+    next_power_of_two,
+)
+from repro.utils.modmath import (
+    are_coprime,
+    mod_inverse,
+    solve_linear_congruence,
+)
+from repro.utils.rng import as_generator
+from repro.utils.validation import (
+    check_in_range,
+    check_nonnegative_int,
+    check_positive_int,
+    check_power_of_two,
+)
+
+__all__ = [
+    "are_coprime",
+    "as_generator",
+    "ceil_div",
+    "ceil_log2",
+    "check_in_range",
+    "check_nonnegative_int",
+    "check_positive_int",
+    "check_power_of_two",
+    "ilog2",
+    "is_power_of_two",
+    "mod_inverse",
+    "next_power_of_two",
+    "solve_linear_congruence",
+]

@@ -1,0 +1,66 @@
+"""Integer bit-manipulation helpers.
+
+The GPU model is saturated with powers of two — warp width ``w = 2^x``,
+block size ``b = 2^y``, merge-round widths ``2^i E`` — so these tiny helpers
+appear in nearly every module. They operate on plain Python ints (arbitrary
+precision), never on NumPy scalars, to avoid silent overflow in the
+``N ~ 10^8``-element size sweeps.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "ceil_div",
+    "ceil_log2",
+    "ilog2",
+    "is_power_of_two",
+    "next_power_of_two",
+]
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return ``True`` iff ``n`` is a positive power of two (1, 2, 4, ...)."""
+    return isinstance(n, int) and n > 0 and (n & (n - 1)) == 0
+
+
+def ilog2(n: int) -> int:
+    """Exact base-2 logarithm of a power of two.
+
+    Raises
+    ------
+    ValidationError
+        If ``n`` is not a positive power of two.
+    """
+    check_positive_int(n, "n")
+    if not is_power_of_two(n):
+        from repro.errors import ValidationError
+
+        raise ValidationError(f"ilog2 requires a power of two, got {n}")
+    return n.bit_length() - 1
+
+
+def ceil_log2(n: int) -> int:
+    """Smallest ``k`` with ``2**k >= n`` (``n >= 1``)."""
+    check_positive_int(n, "n")
+    return (n - 1).bit_length()
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two ``>= n`` (``n >= 1``)."""
+    check_positive_int(n, "n")
+    return 1 << ceil_log2(n)
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling division ``⌈a / b⌉`` for nonnegative ``a`` and positive ``b``."""
+    if b <= 0:
+        from repro.errors import ValidationError
+
+        raise ValidationError(f"ceil_div divisor must be positive, got {b}")
+    if a < 0:
+        from repro.errors import ValidationError
+
+        raise ValidationError(f"ceil_div dividend must be nonnegative, got {a}")
+    return -(-a // b)

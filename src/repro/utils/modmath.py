@@ -1,0 +1,87 @@
+"""Elementary number theory used by the worst-case construction.
+
+The large-``E`` construction (Section III-B of the paper) rests on three
+classical facts about the ring ``Z_m``:
+
+* **Fact 5** — for ``GCD(a, m) = 1`` the linear congruence
+  ``a·x ≡ b (mod m)`` has exactly one solution in ``Z_m``;
+* **Fact 6** — the modular inverse ``a⁻¹ (mod m)`` exists and is unique;
+* **Lemma 4** — for ``w`` a power of two and odd ``E < w``,
+  ``GCD(E, w − E) = 1``.
+
+These are implemented here on plain Python integers. ``math.gcd`` supplies
+the GCD; the inverse uses the extended Euclidean algorithm rather than
+``pow(a, -1, m)`` only to also expose the Bézout coefficients for tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ValidationError
+from repro.utils.validation import as_int, check_positive_int
+
+__all__ = [
+    "are_coprime",
+    "extended_gcd",
+    "mod_inverse",
+    "solve_linear_congruence",
+]
+
+
+def are_coprime(a: int, b: int) -> bool:
+    """Return ``True`` iff ``GCD(a, b) == 1``."""
+    return math.gcd(as_int(a, "a"), as_int(b, "b")) == 1
+
+
+def extended_gcd(a: int, b: int) -> tuple[int, int, int]:
+    """Extended Euclidean algorithm.
+
+    Returns ``(g, x, y)`` with ``g = GCD(a, b)`` and ``a·x + b·y = g``.
+    Accepts nonnegative ``a`` and ``b`` (not both zero).
+    """
+    a = as_int(a, "a")
+    b = as_int(b, "b")
+    if a < 0 or b < 0:
+        raise ValidationError(f"extended_gcd requires nonnegative inputs, got {a}, {b}")
+    if a == 0 and b == 0:
+        raise ValidationError("extended_gcd(0, 0) is undefined")
+    old_r, r = a, b
+    old_x, x = 1, 0
+    old_y, y = 0, 1
+    while r != 0:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_x, x = x, old_x - q * x
+        old_y, y = y, old_y - q * y
+    return old_r, old_x, old_y
+
+
+def mod_inverse(a: int, m: int) -> int:
+    """The unique inverse of ``a`` modulo ``m`` (Fact 6).
+
+    Raises
+    ------
+    ValidationError
+        If ``GCD(a, m) != 1`` (no inverse exists) or ``m < 2``.
+    """
+    a = as_int(a, "a")
+    m = check_positive_int(m, "m")
+    if m < 2:
+        raise ValidationError(f"modulus must be >= 2, got {m}")
+    g, x, _ = extended_gcd(a % m, m)
+    if g != 1:
+        raise ValidationError(f"{a} has no inverse modulo {m} (GCD = {g})")
+    return x % m
+
+
+def solve_linear_congruence(a: int, b: int, m: int) -> int:
+    """The unique ``x ∈ Z_m`` with ``a·x ≡ b (mod m)`` (Fact 5).
+
+    Requires ``GCD(a, m) = 1``; under that hypothesis the solution is
+    ``x = a⁻¹·b mod m``.
+    """
+    a = as_int(a, "a")
+    b = as_int(b, "b")
+    m = check_positive_int(m, "m")
+    return (mod_inverse(a, m) * (b % m)) % m

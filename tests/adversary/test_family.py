@@ -1,0 +1,67 @@
+"""Tests for permutation families and relaxation (Conclusion items 2–3)."""
+
+import pytest
+
+from repro.adversary.assignment import construct_warp_assignment
+from repro.adversary.family import (
+    family_size_log2,
+    random_family_member,
+    relaxed_assignment,
+)
+from repro.errors import ValidationError
+
+
+class TestFamilySize:
+    def test_positive_for_real_parameters(self):
+        """The family is combinatorially large for the Thrust presets."""
+        wa = construct_warp_assignment(32, 15)
+        assert family_size_log2(wa) > 20
+
+    def test_zero_when_no_mixed_threads(self):
+        from repro.adversary.power2 import sorted_assignment
+
+        assert family_size_log2(sorted_assignment(8, 4)) == 0.0
+
+
+class TestRandomFamilyMember:
+    @pytest.mark.parametrize("w,e", [(16, 7), (16, 9), (32, 15), (32, 17)])
+    def test_preserves_aligned_count(self, w, e):
+        wa = construct_warp_assignment(w, e)
+        for seed in range(5):
+            member = random_family_member(wa, seed=seed)
+            assert member.aligned_count() == wa.aligned_count()
+            assert member.tuples == wa.tuples
+
+    def test_deterministic_per_seed(self):
+        wa = construct_warp_assignment(32, 15)
+        a = random_family_member(wa, seed=3)
+        b = random_family_member(wa, seed=3)
+        assert a == b
+
+
+class TestRelaxedAssignment:
+    def test_fraction_zero_is_identity(self):
+        wa = construct_warp_assignment(32, 15)
+        assert relaxed_assignment(wa, 0.0, seed=0) == wa
+
+    def test_relaxation_reduces_alignment(self):
+        wa = construct_warp_assignment(32, 15)
+        relaxed = relaxed_assignment(wa, 1.0, seed=0)
+        assert relaxed.aligned_count() < wa.aligned_count()
+
+    def test_monotone_in_expectation(self):
+        """More relaxation, fewer aligned accesses (averaged over seeds)."""
+        wa = construct_warp_assignment(32, 15)
+
+        def avg(fraction):
+            return sum(
+                relaxed_assignment(wa, fraction, seed=s).aligned_count()
+                for s in range(8)
+            ) / 8
+
+        assert avg(0.0) >= avg(0.5) >= avg(1.0)
+
+    def test_rejects_bad_fraction(self):
+        wa = construct_warp_assignment(16, 7)
+        with pytest.raises(ValidationError):
+            relaxed_assignment(wa, 1.5)

@@ -1,0 +1,82 @@
+"""Unit tests for warp/block/round interleavings."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.assignment import construct_warp_assignment
+from repro.adversary.interleave import (
+    adversarial_rounds,
+    block_interleave,
+    round_interleave,
+    sorted_interleave,
+)
+from repro.errors import ValidationError
+from repro.sort.config import SortConfig
+
+
+class TestBlockInterleave:
+    def test_balanced_split(self, small_config):
+        wa = construct_warp_assignment(small_config.w, small_config.E)
+        inter = block_interleave(wa, small_config.b)
+        assert inter.size == small_config.tile_size
+        assert int(inter.sum()) == small_config.tile_size // 2
+
+    def test_alternates_l_and_r(self, small_config):
+        wa = construct_warp_assignment(small_config.w, small_config.E)
+        inter = block_interleave(wa, small_config.b)
+        span = small_config.w * small_config.E
+        left = inter[:span]
+        right = inter[span : 2 * span]
+        assert int(left.sum()) == wa.num_a
+        assert int(right.sum()) == wa.num_b  # mirrored warp
+
+    def test_rejects_odd_warp_count(self):
+        wa = construct_warp_assignment(8, 3)
+        with pytest.raises(ValidationError):
+            block_interleave(wa, 24)  # 3 warps
+        with pytest.raises(ValidationError):
+            block_interleave(wa, 8)  # 1 warp
+
+
+class TestSortedInterleave:
+    def test_halves(self):
+        inter = sorted_interleave(8)
+        assert inter.tolist() == [True] * 4 + [False] * 4
+
+    def test_rejects_odd(self):
+        with pytest.raises(ValidationError):
+            sorted_interleave(7)
+
+
+class TestAdversarialRounds:
+    def test_small_config(self, small_config):
+        # w=8, E=3: constructible rounds need L multiple of wE=24 -> L=24,48
+        n = small_config.tile_size * 4  # 192
+        assert adversarial_rounds(small_config, n) == [24, 48, 96]
+
+    def test_all_global_rounds_qualify(self, thrust_config):
+        n = thrust_config.tile_size * 8
+        rounds = adversarial_rounds(thrust_config, n)
+        # Global rounds merge runs of bE/2·2^k... run lengths from bE up:
+        tile = thrust_config.tile_size
+        for run in (tile, tile * 2, tile * 4):
+            assert run in rounds
+
+
+class TestRoundInterleave:
+    def test_narrow_round_falls_back_to_sorted(self, small_config):
+        inter = round_interleave(small_config, small_config.E)
+        assert inter.tolist() == [True] * 3 + [False] * 3
+
+    def test_constructible_round_tiles_pattern(self, small_config):
+        wa = construct_warp_assignment(small_config.w, small_config.E)
+        span = small_config.w * small_config.E
+        inter = round_interleave(small_config, 2 * span, wa)
+        assert inter.size == 4 * span
+        # Pattern repeats every 2·span (one L/R warp pair).
+        assert np.array_equal(inter[: 2 * span], inter[2 * span :])
+
+    def test_balanced_consumption(self, small_config):
+        run = small_config.w * small_config.E * 4
+        inter = round_interleave(small_config, run)
+        assert int(inter.sum()) == run  # half of 2·run from A

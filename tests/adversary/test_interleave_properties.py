@@ -1,0 +1,66 @@
+"""Property tests for round interleavings across arbitrary configs."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.assignment import construct_warp_assignment
+from repro.adversary.interleave import adversarial_rounds, round_interleave
+from repro.sort.config import SortConfig
+
+
+@st.composite
+def coprime_configs(draw):
+    w = draw(st.sampled_from([4, 8, 16, 32]))
+    e = draw(st.integers(min_value=1, max_value=w - 1))
+    if math.gcd(w, e) != 1 or e == w // 2:
+        e = 1  # always valid
+    b = w * draw(st.sampled_from([2, 4]))
+    return SortConfig(elements_per_thread=e, block_size=b, warp_size=w)
+
+
+class TestRoundInterleaveProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(coprime_configs(), st.integers(min_value=0, max_value=8))
+    def test_balanced_and_sized(self, cfg, k):
+        run = cfg.E * (1 << k)
+        pattern = round_interleave(cfg, run)
+        assert pattern.size == 2 * run
+        assert int(pattern.sum()) == run  # exactly half from A
+
+    @settings(max_examples=40, deadline=None)
+    @given(coprime_configs())
+    def test_targeted_rounds_use_warp_pattern(self, cfg):
+        n = cfg.tile_size * 8
+        wa = construct_warp_assignment(cfg.w, cfg.E)
+        span = cfg.w * cfg.E
+        for run in adversarial_rounds(cfg, n):
+            pattern = round_interleave(cfg, run, wa)
+            # First warp's slice realizes the L assignment's A-count.
+            assert int(pattern[:span].sum()) == wa.num_a
+            # Second warp's slice realizes the mirrored (R) assignment.
+            assert int(pattern[span : 2 * span].sum()) == wa.num_b
+
+    @settings(max_examples=40, deadline=None)
+    @given(coprime_configs())
+    def test_untargeted_rounds_are_sorted_split(self, cfg):
+        n = cfg.tile_size * 4
+        targeted = set(adversarial_rounds(cfg, n))
+        run = cfg.E
+        while run < n:
+            if run not in targeted:
+                pattern = round_interleave(cfg, run)
+                assert pattern[: run].all() and not pattern[run:].any()
+            run *= 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(coprime_configs())
+    def test_adversarial_rounds_are_wide_multiples(self, cfg):
+        n = cfg.tile_size * 8
+        span = cfg.w * cfg.E
+        for run in adversarial_rounds(cfg, n):
+            assert run % cfg.w == 0
+            assert run >= span
+            assert (2 * run) % (2 * span) == 0  # whole L/R warp pairs

@@ -1,0 +1,57 @@
+"""Theorem 9 verification: the large-E construction aligns exactly
+½(E² + E + 2Er − r² − r) accesses for every valid (w, E)."""
+
+import pytest
+
+from repro.adversary.large_e import large_e_assignment
+from repro.adversary.theory import aligned_elements
+
+
+def large_e_pairs():
+    pairs = []
+    for w in (8, 16, 32, 64, 128):
+        pairs.extend((w, e) for e in range(w // 2 + 1, w, 2))
+    return pairs
+
+
+class TestTheorem9:
+    @pytest.mark.parametrize("w,e", large_e_pairs())
+    def test_aligned_matches_formula(self, w, e):
+        r = w - e
+        wa = large_e_assignment(w, e)
+        want = (e * e + e + 2 * e * r - r * r - r) // 2
+        assert wa.aligned_count() == want
+
+    @pytest.mark.parametrize("w,e", large_e_pairs())
+    def test_theta_e_squared(self, w, e):
+        """Section III-C: the count sits between E²/2 and E²."""
+        wa = large_e_assignment(w, e)
+        assert e * e / 2 <= wa.aligned_count() <= e * e
+
+    def test_boundary_min_e(self):
+        """E = w/2 + 1 gives E² − 1 (paper, after Theorem 9)."""
+        for w in (8, 16, 32, 64):
+            e = w // 2 + 1
+            assert large_e_assignment(w, e).aligned_count() == e * e - 1
+
+    def test_boundary_max_e(self):
+        """E = w − 1 gives E²/2 + 3E/2 − 1 (paper, after Theorem 9)."""
+        for w in (8, 16, 32, 64):
+            e = w - 1
+            want = (e * e + 3 * e - 2) // 2
+            assert large_e_assignment(w, e).aligned_count() == want
+
+    @pytest.mark.parametrize("w,e", large_e_pairs())
+    def test_warp_structure(self, w, e):
+        wa = large_e_assignment(w, e)
+        assert len(wa.tuples) == w
+        assert wa.num_a == (e + 1) // 2 * w
+        assert wa.target_bank == w - e
+
+    def test_figure3_right_aligned_count(self):
+        """w=16, E=9: ½(81 + 9 + 126 − 49 − 7) = 80 aligned elements."""
+        assert large_e_assignment(16, 9).aligned_count() == 80
+
+    @pytest.mark.parametrize("w,e", large_e_pairs())
+    def test_matches_theory_module(self, w, e):
+        assert large_e_assignment(w, e).aligned_count() == aligned_elements(w, e)

@@ -1,0 +1,52 @@
+"""Tests for trace-based alignment measurement — closing the loop between
+the assignment-level prediction and what a recorded trace shows."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.assignment import construct_warp_assignment
+from repro.adversary.metrics import aligned_count_for_start, measured_aligned_count
+from repro.dmm.trace import AccessTrace
+
+
+def trace_from_assignment(wa):
+    """Turn an assignment's step-bank matrix into a trace whose addresses
+    are the banks themselves (valid: address mod w == bank)."""
+    return AccessTrace.from_dense(wa.step_banks())
+
+
+class TestAlignedCountForStart:
+    def test_simple_diagonal(self):
+        t = AccessTrace.from_dense(np.array([[2], [3], [4]]))
+        assert aligned_count_for_start(t, 8, 2) == 3
+        assert aligned_count_for_start(t, 8, 3) == 0
+
+    def test_counts_elements_not_requests(self):
+        """Two lanes on the target bank both count (no broadcast dedup)."""
+        t = AccessTrace.from_dense(np.array([[0, 8]]))
+        assert aligned_count_for_start(t, 8, 0) == 2
+
+    def test_inactive_ignored(self):
+        t = AccessTrace.from_dense(np.array([[0, -1]]))
+        assert aligned_count_for_start(t, 8, 0) == 1
+
+
+class TestMeasuredAlignedCount:
+    @pytest.mark.parametrize("w,e", [(16, 7), (16, 9), (32, 15), (32, 17)])
+    def test_trace_measurement_matches_assignment(self, w, e):
+        """measured(trace) == assignment.aligned_count() at the declared
+        start bank, and no other start bank does better."""
+        wa = construct_warp_assignment(w, e)
+        count, start = measured_aligned_count(trace_from_assignment(wa), w)
+        assert count == wa.aligned_count()
+        assert start == wa.target_bank
+
+    def test_empty_trace(self):
+        t = AccessTrace.from_dense(np.empty((0, 4), dtype=np.int64))
+        assert measured_aligned_count(t, 4) == (0, 0)
+
+    def test_wraparound_start(self):
+        """Alignment wraps modulo w."""
+        t = AccessTrace.from_dense(np.array([[7], [0], [1]]))
+        count, start = measured_aligned_count(t, 8)
+        assert (count, start) == (3, 7)

@@ -1,0 +1,131 @@
+"""Tests for the K-way worst-case construction (beyond-paper extension)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.adversary.multiway_adversary import (
+    MultiwayWarpAssignment,
+    multiway_small_e_assignment,
+    multiway_worst_case_permutation,
+)
+from repro.errors import ConstructionError
+from repro.sort.config import SortConfig
+from repro.sort.multiway import MultiwaySort
+
+
+def small_coprime_pairs():
+    pairs = []
+    for w in (8, 16, 32):
+        pairs.extend(
+            (w, e) for e in range(1, w // 2) if math.gcd(w, e) == 1
+        )
+    return pairs
+
+
+class TestAssignment:
+    @pytest.mark.parametrize("w,e", small_coprime_pairs())
+    @pytest.mark.parametrize("fan", [2, 4])
+    def test_aligns_e_squared(self, w, e, fan):
+        """The pairwise bound carries over unchanged to K-way merging."""
+        wa = multiway_small_e_assignment(w, e, fan)
+        assert wa.aligned_count() == e * e
+
+    def test_thread_budget(self):
+        wa = multiway_small_e_assignment(32, 15, 4)
+        assert len(wa.tuples) == 32
+        scans = sum(1 for t in wa.tuples if max(t) == 15)
+        assert scans >= 15  # E scan threads
+
+    def test_source_totals_are_column_multiples(self):
+        wa = multiway_small_e_assignment(32, 15, 4)
+        for total in wa.source_totals():
+            assert total % 32 == 0
+
+    def test_rotation_preserves_alignment_and_permutes_sources(self):
+        wa = multiway_small_e_assignment(16, 7, 4)
+        rot = wa.rotated(1)
+        assert rot.aligned_count() == wa.aligned_count()
+        assert rot.source_totals() == (
+            wa.source_totals()[-1:] + wa.source_totals()[:-1]
+        )
+
+    def test_source_pattern_counts(self):
+        wa = multiway_small_e_assignment(16, 7, 2)
+        pattern = wa.source_pattern()
+        for k, total in enumerate(wa.source_totals()):
+            assert int((pattern == k).sum()) == total
+
+    def test_rejects_large_e(self):
+        with pytest.raises(ConstructionError):
+            multiway_small_e_assignment(16, 9, 4)
+
+    def test_rejects_composite_gcd(self):
+        with pytest.raises(ConstructionError):
+            multiway_small_e_assignment(16, 6, 4)
+
+    def test_rejects_fan_one(self):
+        with pytest.raises(ConstructionError):
+            multiway_small_e_assignment(16, 7, 1)
+
+    def test_validates_tuple_sums(self):
+        with pytest.raises(ConstructionError):
+            MultiwayWarpAssignment(
+                warp_size=4, elements_per_thread=3, fan=2,
+                tuples=(((2, 2),) * 4),
+            )
+
+
+class TestEndToEnd:
+    @pytest.fixture
+    def cfg(self):
+        return SortConfig(elements_per_thread=7, block_size=64, warp_size=16)
+
+    def test_permutation_is_valid(self, cfg):
+        n = cfg.tile_size * 16
+        perm = multiway_worst_case_permutation(cfg, n, fan=4)
+        assert np.array_equal(np.sort(perm), np.arange(n))
+
+    def test_multiway_rounds_hit_e_squared(self, cfg):
+        """Every K-way round serializes to exactly E² cycles per warp."""
+        n = cfg.tile_size * 16
+        perm = multiway_worst_case_permutation(cfg, n, fan=4)
+        result = MultiwaySort(cfg, k=4).sort(perm)
+        assert np.array_equal(result.values, np.arange(n))
+        warps = n // (cfg.w * cfg.E)
+        rounds = [r for r in result.rounds if "multiway" in r.label]
+        assert rounds
+        for r in rounds:
+            assert r.merge_report.total_transactions / warps == cfg.E**2
+
+    def test_beats_the_pairwise_adversary_on_multiway(self, cfg):
+        """The K-way-specific input hurts the K-way sort more than the
+        paper's pairwise input does."""
+        from repro.adversary.permutation import worst_case_permutation
+
+        n = cfg.tile_size * 16
+        sorter = MultiwaySort(cfg, k=4)
+
+        def multiway_merge_cycles(data):
+            result = sorter.sort(data)
+            return sum(
+                r.merge_report.total_transactions
+                for r in result.rounds
+                if "multiway" in r.label
+            )
+
+        kway = multiway_merge_cycles(
+            multiway_worst_case_permutation(cfg, n, fan=4)
+        )
+        pairwise = multiway_merge_cycles(worst_case_permutation(cfg, n))
+        assert kway > 1.3 * pairwise
+
+    def test_rejects_non_power_tile_count(self, cfg):
+        with pytest.raises(ConstructionError):
+            multiway_worst_case_permutation(cfg, cfg.tile_size * 8, fan=4)
+
+    def test_rejects_too_few_warps(self):
+        cfg = SortConfig(elements_per_thread=7, block_size=32, warp_size=16)
+        with pytest.raises(ConstructionError):
+            multiway_worst_case_permutation(cfg, cfg.tile_size * 16, fan=4)

@@ -1,0 +1,60 @@
+"""Tests for the GCD(w, E) = d analysis and power-of-two worst case."""
+
+import math
+
+import pytest
+
+from repro.adversary.power2 import (
+    power_of_two_assignment,
+    sorted_aligned_count,
+    sorted_assignment,
+    sorted_gcd_check,
+)
+from repro.errors import ConstructionError
+
+
+class TestSortedAlignedCount:
+    def test_figure1(self):
+        """Figure 1: w=16, E=12, d=4 — every 4th chunk (4 threads) aligned,
+        12 accesses each."""
+        assert sorted_aligned_count(16, 12) == 48
+
+    def test_coprime_only_first_thread(self):
+        assert sorted_aligned_count(32, 15) == 15
+        assert sorted_aligned_count(32, 17) == 17
+
+    @pytest.mark.parametrize("w", [8, 16, 32, 64])
+    def test_equals_d_times_e(self, w):
+        for e in range(1, w + 1):
+            assert sorted_gcd_check(w, e)
+            assert sorted_aligned_count(w, e) == math.gcd(w, e) * e
+
+
+class TestPowerOfTwoAssignment:
+    @pytest.mark.parametrize("w,e", [(8, 2), (8, 4), (16, 4), (32, 8), (32, 32)])
+    def test_sorted_is_worst_case(self, w, e):
+        """d = E: sorted order aligns d·E = E² — the Theorem 3 maximum,
+        with no engineering."""
+        wa = power_of_two_assignment(w, e)
+        assert wa.aligned_count() == e * e
+
+    def test_rejects_non_divisor(self):
+        with pytest.raises(ConstructionError):
+            power_of_two_assignment(32, 12)
+
+    def test_rejects_oversized(self):
+        with pytest.raises(ConstructionError):
+            power_of_two_assignment(16, 32)
+
+
+class TestSortedAssignment:
+    def test_shape(self):
+        wa = sorted_assignment(8, 5)
+        assert wa.num_a == wa.num_b == 20
+        assert wa.tuples[:4] == ((5, 0),) * 4
+        assert wa.tuples[4:] == ((0, 5),) * 4
+
+    def test_interleaving_is_a_then_b(self):
+        wa = sorted_assignment(4, 3)
+        inter = wa.interleaving()
+        assert inter[:6].all() and not inter[6:].any()

@@ -1,0 +1,147 @@
+"""Property tests for the Section III-B sequences — Lemmas 4, 7, and 8
+verified verbatim, plus the structure of S and T."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.sequences import (
+    check_large_e,
+    sequence_s,
+    sequence_t,
+    xy_sequences,
+)
+from repro.errors import ConstructionError
+
+
+def large_e_pairs():
+    """All (w, E) in the large-E regime for small warps."""
+    pairs = []
+    for w in (8, 16, 32, 64):
+        pairs.extend((w, e) for e in range(w // 2 + 1, w, 2))
+    return pairs
+
+
+class TestCheckLargeE:
+    def test_rejects_small_e(self):
+        with pytest.raises(ConstructionError):
+            check_large_e(32, 7)
+
+    def test_rejects_even_e(self):
+        with pytest.raises(ConstructionError):
+            check_large_e(32, 20)
+
+    def test_rejects_e_ge_w(self):
+        with pytest.raises(ConstructionError):
+            check_large_e(32, 33)
+
+    @pytest.mark.parametrize("w,e", large_e_pairs())
+    def test_lemma4_coprime(self, w, e):
+        """Lemma 4: GCD(E, w − E) = 1 for odd E with w a power of two."""
+        r = check_large_e(w, e)
+        assert math.gcd(e, r) == 1
+
+
+class TestLemma7:
+    @pytest.mark.parametrize("w,e", large_e_pairs())
+    def test_complement_uniqueness_reflection(self, w, e):
+        xs, ys = xy_sequences(w, e)
+        # 7.1: x_i + y_i = E (and neither is ever zero)
+        assert all(x + y == e for x, y in zip(xs, ys))
+        assert 0 not in xs and 0 not in ys
+        # 7.2: all values distinct
+        assert len(set(xs)) == e - 1
+        assert len(set(ys)) == e - 1
+        # 7.3: x_i = y_{E−i}
+        for i in range(1, e):
+            assert xs[i - 1] == ys[e - i - 1]
+
+
+class TestLemma8:
+    @pytest.mark.parametrize("w,e", large_e_pairs())
+    def test_pair_sums(self, w, e):
+        """8.3: x_i + y_{i+1} is r when x_i < r and w when x_i > r."""
+        r = w - e
+        xs, ys = xy_sequences(w, e)
+        for i in range(1, e - 1):
+            x, y_next = xs[i - 1], ys[i]
+            assert x != r  # x_{E−1} = r is the only r, excluded from range
+            assert x + y_next == (r if x < r else w)
+
+    @pytest.mark.parametrize("w,e", large_e_pairs())
+    def test_sum_type_counts(self, w, e):
+        """Exactly r−1 pairs sum to r and E−r−1 pairs sum to w."""
+        r = w - e
+        xs, ys = xy_sequences(w, e)
+        sums = [xs[i - 1] + ys[i] for i in range(1, e - 1)]
+        assert sums.count(r) == r - 1
+        assert sums.count(w) == e - r - 1
+
+
+class TestSequenceS:
+    @pytest.mark.parametrize("w,e", large_e_pairs())
+    def test_entries_sum_to_e(self, w, e):
+        assert all(a + b == e for a, b in sequence_s(w, e))
+
+    def test_first_entry(self):
+        """S starts with (y_1, x_1) = (r, E − r)."""
+        s = sequence_s(16, 9)
+        assert s[0] == (7, 2)
+
+    def test_paper_example(self):
+        """The full w=16, E=9 sequence implied by Figure 3 (right)."""
+        assert sequence_s(16, 9) == [
+            (7, 2), (4, 5), (3, 6), (8, 1), (8, 1), (3, 6), (4, 5), (7, 2),
+        ]
+
+
+class TestSequenceT:
+    @pytest.mark.parametrize("w,e", large_e_pairs())
+    def test_has_w_tuples_summing_to_e(self, w, e):
+        t = sequence_t(w, e)
+        assert len(t) == w
+        assert all(a + b == e for a, b in t)
+
+    @pytest.mark.parametrize("w,e", large_e_pairs())
+    def test_list_split(self, w, e):
+        """A gets (E+1)/2·w elements, B gets (E−1)/2·w (Section III)."""
+        t = sequence_t(w, e)
+        assert sum(a for a, _ in t) == (e + 1) // 2 * w
+        assert sum(b for _, b in t) == (e - 1) // 2 * w
+
+    @pytest.mark.parametrize("w,e", large_e_pairs())
+    def test_insert_count(self, w, e):
+        """r + 1 full-scan tuples are inserted (Theorem 9's accounting)."""
+        r = w - e
+        t = sequence_t(w, e)
+        full_scans = sum(1 for a, b in t if e in (a, b) and 0 in (a, b))
+        # S itself has no (E, 0) entries (x_i, y_i are never 0), so every
+        # full-scan tuple is an insertion.
+        assert full_scans == r + 1
+
+    @pytest.mark.parametrize("w,e", large_e_pairs())
+    def test_column_structure(self, w, e):
+        """Theorem 9: 'T is comprised of E groups of consecutive entries
+        which sum up to w, with ((E−1)/2 + 1) groups in the A list and
+        ((E−1)/2) groups in the B list' — i.e. each list's cumulative
+        consumption lands exactly on every multiple of w (never straddles
+        a column boundary), with the stated group counts."""
+        t = sequence_t(w, e)
+        for counts, groups_wanted in (
+            ([a for a, _ in t], (e - 1) // 2 + 1),
+            ([b for _, b in t], (e - 1) // 2),
+        ):
+            total = 0
+            groups = 0
+            for c in counts:
+                before = total % w
+                total += c
+                # A tuple never straddles a column boundary: if it crosses
+                # a multiple of w it must land exactly on it.
+                assert before + c <= w
+                if total % w == 0 and c:
+                    groups += 1
+            # Final group counting: total consumption is groups·w exactly.
+            assert total == groups_wanted * w

@@ -1,0 +1,95 @@
+"""Unit tests for the closed-form predictions."""
+
+import pytest
+
+from repro.adversary.theory import (
+    a_g,
+    a_s,
+    aligned_elements,
+    effective_threads,
+    lemma1_bound,
+    parallel_time_blowup,
+    predicted_warp_transactions,
+)
+from repro.errors import ConstructionError
+
+
+class TestLemma1:
+    def test_paper_regime(self):
+        """k = wE contiguous addresses: the bound is E (for E <= w)."""
+        assert lemma1_bound(32, 32 * 15) == 15
+        assert lemma1_bound(32, 32 * 17) == 17
+
+    def test_caps_at_w(self):
+        assert lemma1_bound(32, 32 * 100) == 32
+
+    def test_small_k(self):
+        assert lemma1_bound(32, 5) == 1
+
+
+class TestAlignedElements:
+    def test_small_e(self):
+        assert aligned_elements(32, 15) == 225
+        assert aligned_elements(32, 1) == 1
+
+    def test_large_e(self):
+        assert aligned_elements(16, 9) == 80
+        assert aligned_elements(32, 17) == 288
+
+    def test_power_of_two(self):
+        assert aligned_elements(32, 8) == 64
+        assert aligned_elements(32, 32) == 1024
+
+    def test_rejects_uncovered(self):
+        with pytest.raises(ConstructionError):
+            aligned_elements(32, 12)
+        with pytest.raises(ConstructionError):
+            aligned_elements(32, 35)
+
+    def test_large_e_bounds(self):
+        """Section III-C: between E²/2 and E² across the large range."""
+        for w in (16, 32, 64):
+            for e in range(w // 2 + 1, w, 2):
+                v = aligned_elements(w, e)
+                assert e * e / 2 <= v <= e * e
+
+
+class TestEffectiveThreads:
+    def test_paper_values(self):
+        assert effective_threads(32, 15) == 3
+        assert effective_threads(32, 17) == 2
+        assert effective_threads(32, 31) == 2
+
+    def test_e_one_keeps_full_warp(self):
+        assert effective_threads(32, 1) == 32
+
+
+class TestBlowup:
+    def test_small_e_is_exactly_e(self):
+        assert parallel_time_blowup(32, 15) == 15.0
+
+    def test_large_e_is_theta_e(self):
+        blowup = parallel_time_blowup(32, 17)
+        assert 17 / 2 <= blowup <= 17
+
+    def test_predicted_transactions_equal_aligned(self):
+        assert predicted_warp_transactions(32, 15) == 225
+
+
+class TestAccessBounds:
+    def test_a_g_grows_with_n(self):
+        assert a_g(2**24, 32, 1664, 512, 15) > a_g(2**20, 32, 1664, 512, 15)
+
+    def test_a_s_grows_with_beta2(self):
+        base = a_s(2**24, 1664, 512, 15, beta1=3.1, beta2=2.2)
+        worst = a_s(2**24, 1664, 512, 15, beta1=3.1, beta2=15.0)
+        assert worst > 3 * base
+
+    def test_a_s_merge_dominates_partition(self):
+        """Section III's premise: for the real parameters, E >= log(bE), so
+        the merge term (β₂E) dominates the partition term (β₁ log bE) for
+        comparable βs."""
+        import math
+
+        for e, b in ((15, 512), (17, 256), (15, 128)):
+            assert e >= math.log2(b * e) - 1  # within a round of the claim

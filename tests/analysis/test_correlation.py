@@ -1,0 +1,75 @@
+"""Tests for the correlation statistics, including the Fig. 6 claim."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.correlation import pearson_r, spearman_rho
+from repro.errors import ValidationError
+
+
+class TestPearson:
+    def test_perfect_lines(self):
+        assert pearson_r([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+        assert pearson_r([1, 2, 3, 4], [8, 6, 4, 2]) == pytest.approx(-1.0)
+
+    def test_independent_is_small(self, rng):
+        xs = rng.normal(size=5000)
+        ys = rng.normal(size=5000)
+        assert abs(pearson_r(xs, ys)) < 0.1
+
+    def test_constant_rejected(self):
+        with pytest.raises(ValidationError):
+            pearson_r([1, 1, 1], [1, 2, 3])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValidationError):
+            pearson_r([1, 2], [1, 2, 3])
+        with pytest.raises(ValidationError):
+            pearson_r([1], [1])
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.floats(-100, 100), min_size=3, max_size=30),
+           st.floats(0.1, 10), st.floats(-50, 50))
+    def test_affine_invariance(self, xs, scale, shift):
+        xs = np.array(xs)
+        if np.ptp(xs) < 1e-3:  # near-constant: denominator may underflow
+            return
+        r = pearson_r(xs, scale * xs + shift)
+        assert r == pytest.approx(1.0, abs=1e-6)
+
+
+class TestSpearman:
+    def test_monotone_nonlinear(self):
+        xs = [1, 2, 3, 4, 5]
+        ys = [1, 8, 27, 64, 125]  # nonlinear but monotone
+        assert spearman_rho(xs, ys) == pytest.approx(1.0)
+        assert pearson_r(xs, ys) < 1.0
+
+    def test_ties_average(self):
+        rho = spearman_rho([1, 1, 2], [1, 2, 3])
+        assert -1.0 <= rho <= 1.0
+
+    def test_reversed(self):
+        assert spearman_rho([1, 2, 3], [9, 5, 1]) == pytest.approx(-1.0)
+
+
+class TestFigure6Claim:
+    def test_conflicts_track_runtime(self):
+        """The Karsin correlation on our own sweep: conflicts/elem and
+        ms/elem rank-correlate strongly at scale."""
+        from repro.bench.runner import SweepRunner
+        from repro.gpu.device import RTX_2080_TI
+        from repro.sort.presets import THRUST_MAXWELL
+
+        runner = SweepRunner(THRUST_MAXWELL, RTX_2080_TI,
+                             exact_threshold=1 << 19, score_blocks=4)
+        sizes = THRUST_MAXWELL.valid_sizes(30_000_000)[6:]
+        points = runner.sweep("worst-case", sizes)
+        tail = [p for p in points if p.num_elements >= 1_000_000]
+        rho = spearman_rho(
+            [p.replays_per_element for p in tail],
+            [p.ms_per_element for p in tail],
+        )
+        assert rho > 0.9

@@ -1,0 +1,84 @@
+"""Tests for per-step cost distributions."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distributions import (
+    StepCostDistribution,
+    step_cost_distribution,
+)
+from repro.errors import ValidationError
+from repro.inputs.generators import generate
+from repro.sort.config import SortConfig
+from repro.sort.pairwise import PairwiseMergeSort
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return SortConfig(elements_per_thread=15, block_size=64, warp_size=32)
+
+
+@pytest.fixture(scope="module")
+def results(cfg):
+    n = cfg.tile_size * 16
+    sorter = PairwiseMergeSort(cfg)
+    return {
+        name: sorter.sort(generate(name, cfg, n, seed=0), score_blocks=4)
+        for name in ("sorted", "random", "worst-case")
+    }
+
+
+class TestStepCostDistribution:
+    def test_basic_stats(self):
+        dist = StepCostDistribution(counts=np.array([0, 5, 3, 0, 2]))
+        assert dist.num_steps == 10
+        assert dist.max_cost == 4
+        assert dist.mean_cost() == pytest.approx((5 + 6 + 8) / 10)
+        assert dist.fraction_at_least(2) == pytest.approx(0.5)
+        assert dist.quantile(0.0) <= dist.quantile(1.0) == 4
+
+    def test_empty(self):
+        dist = StepCostDistribution(counts=np.zeros(1, dtype=np.int64))
+        assert dist.num_steps == 0
+        assert dist.mean_cost() == 0.0
+        assert dist.fraction_at_least(1) == 0.0
+
+    def test_validation(self):
+        dist = StepCostDistribution(counts=np.array([1]))
+        with pytest.raises(ValidationError):
+            dist.fraction_at_least(-1)
+        with pytest.raises(ValidationError):
+            dist.quantile(1.5)
+
+    def test_as_rows_skips_zeros(self):
+        dist = StepCostDistribution(counts=np.array([0, 3, 0, 1]))
+        rows = dist.as_rows()
+        assert [r["cost"] for r in rows] == [1, 3]
+
+
+class TestOnSimulatedSorts:
+    def test_worst_case_mass_at_e(self, cfg, results):
+        """The construction puts (nearly) every targeted step at exactly
+        E serialized cycles."""
+        dist = step_cost_distribution(results["worst-case"])
+        assert dist.fraction_at_least(cfg.E) > 0.95
+        assert dist.quantile(0.5) == cfg.E
+
+    def test_sorted_is_conflict_free(self, results):
+        dist = step_cost_distribution(results["sorted"])
+        assert dist.max_cost <= 2
+
+    def test_random_follows_max_load(self, results):
+        """Random steps cluster at the 32-ball max load (3–4)."""
+        dist = step_cost_distribution(results["random"])
+        assert 3.0 < dist.mean_cost() < 4.0
+        assert dist.fraction_at_least(8) < 0.02
+
+    def test_partition_stage_selectable(self, results):
+        merge = step_cost_distribution(results["random"], stage="merge")
+        part = step_cost_distribution(results["random"], stage="partition")
+        assert part.num_steps != merge.num_steps
+
+    def test_rejects_unknown_stage(self, results):
+        with pytest.raises(ValidationError):
+            step_cost_distribution(results["random"], stage="bogus")

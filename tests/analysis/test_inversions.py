@@ -1,0 +1,63 @@
+"""Tests for inversion counting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.inversions import (
+    count_inversions,
+    inversion_fraction,
+    max_inversions,
+)
+from repro.errors import ValidationError
+
+
+def brute_force(values):
+    n = len(values)
+    return sum(
+        1 for i in range(n) for j in range(i + 1, n) if values[i] > values[j]
+    )
+
+
+class TestCountInversions:
+    def test_sorted_is_zero(self):
+        assert count_inversions(np.arange(100)) == 0
+
+    def test_reversed_is_max(self):
+        n = 50
+        assert count_inversions(np.arange(n)[::-1].copy()) == max_inversions(n)
+
+    def test_single_swap(self):
+        assert count_inversions(np.array([0, 2, 1, 3])) == 1
+
+    def test_duplicates_not_inversions(self):
+        assert count_inversions(np.array([1, 1, 1])) == 0
+
+    def test_tiny(self):
+        assert count_inversions(np.array([])) == 0
+        assert count_inversions(np.array([5])) == 0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            count_inversions(np.zeros((2, 2)))
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(-20, 20), min_size=0, max_size=60))
+    def test_matches_brute_force(self, values):
+        assert count_inversions(np.array(values, dtype=np.int64)) == brute_force(
+            values
+        )
+
+
+class TestInversionFraction:
+    def test_endpoints(self):
+        assert inversion_fraction(np.arange(10)) == 0.0
+        assert inversion_fraction(np.arange(10)[::-1].copy()) == 1.0
+
+    def test_random_near_half(self, rng):
+        frac = inversion_fraction(rng.permutation(2000))
+        assert 0.45 < frac < 0.55
+
+    def test_empty(self):
+        assert inversion_fraction(np.array([])) == 0.0

@@ -1,0 +1,52 @@
+"""Tests for the runtime-variance study."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.variance import VarianceStudy, variance_study
+from repro.gpu.device import QUADRO_M4000
+from repro.sort.config import SortConfig
+
+
+@pytest.fixture(scope="module")
+def study():
+    cfg = SortConfig(elements_per_thread=15, block_size=128, warp_size=32)
+    return variance_study(
+        cfg, QUADRO_M4000, cfg.tile_size * 32, num_samples=6, score_blocks=4
+    )
+
+
+class TestVarianceStudy:
+    def test_worst_is_an_extreme_outlier(self, study):
+        """The paper's point: random sampling never finds the tail."""
+        assert study.worst_ms > study.samples_ms.max()
+        assert study.z_score > 5
+
+    def test_random_spread_is_tiny(self, study):
+        """Random permutations all run alike — which is exactly why a
+        dozen of them carries no information about the worst case."""
+        assert study.spread_percent < 5
+        assert study.worst_slowdown_percent > 4 * study.spread_percent
+
+    def test_summary_format(self, study):
+        s = study.summary()
+        assert "sigmas out" in s and "ms" in s
+
+    def test_dataclass_stats(self):
+        samples = np.array([10.0, 10.2, 9.8])
+        s = VarianceStudy(num_elements=4, samples_ms=samples, worst_ms=15.0)
+        assert s.mean_ms == pytest.approx(10.0)
+        assert s.worst_slowdown_percent == pytest.approx(50.0)
+
+    def test_degenerate_zero_variance(self):
+        s = VarianceStudy(
+            num_elements=4, samples_ms=np.array([1.0, 1.0]), worst_ms=2.0
+        )
+        assert s.z_score == float("inf")
+
+    def test_validates_samples(self):
+        from repro.errors import ValidationError
+
+        cfg = SortConfig(elements_per_thread=3, block_size=32, warp_size=32)
+        with pytest.raises(ValidationError):
+            variance_study(cfg, QUADRO_M4000, cfg.tile_size, num_samples=0)

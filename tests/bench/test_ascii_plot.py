@@ -1,0 +1,65 @@
+"""Unit tests for the ASCII renderers."""
+
+import numpy as np
+import pytest
+
+from repro.bench.ascii_plot import bank_matrix_str, line_plot, table
+from repro.errors import ValidationError
+
+
+class TestLinePlot:
+    def test_contains_series_glyphs_and_legend(self):
+        out = line_plot(
+            {"up": ([1, 10, 100], [1.0, 2.0, 3.0]),
+             "down": ([1, 10, 100], [3.0, 2.0, 1.0])},
+            title="demo",
+        )
+        assert "demo" in out
+        assert "* up" in out and "o down" in out
+
+    def test_flat_series_does_not_crash(self):
+        out = line_plot({"flat": ([1, 2], [5.0, 5.0])}, logx=False)
+        assert "flat" in out
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            line_plot({})
+        with pytest.raises(ValidationError):
+            line_plot({"a": ([], [])})
+
+    def test_rejects_ragged(self):
+        with pytest.raises(ValidationError):
+            line_plot({"a": ([1, 2], [1.0])})
+
+
+class TestBankMatrixStr:
+    def test_rows_per_bank(self):
+        owners = np.array([[0, 1], [2, -1]])
+        out = bank_matrix_str(owners, label="L")
+        lines = out.splitlines()
+        assert lines[0] == "L"
+        assert lines[1].startswith("bank  0")
+        assert " . " in lines[2]  # -1 rendered as dot
+
+    def test_highlight_brackets(self):
+        owners = np.array([[3]])
+        out = bank_matrix_str(owners, highlight=np.array([[True]]))
+        assert "[ 3]" in out
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            bank_matrix_str(np.array([1, 2]))
+
+
+class TestTable:
+    def test_formats_rows(self):
+        out = table([{"a": 1234, "b": 0.5}, {"a": 5, "b": 1.25}])
+        assert "1,234" in out
+        assert "0.500" in out
+
+    def test_empty(self):
+        assert table([]) == "(empty)"
+
+    def test_column_selection(self):
+        out = table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in out.splitlines()[0]

@@ -1,0 +1,47 @@
+"""Tests for the experiment registry (the `reproduce` command's engine)."""
+
+import pytest
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    run_all,
+    run_experiment,
+)
+from repro.errors import ValidationError
+
+
+class TestRegistry:
+    def test_known_ids(self):
+        assert "theorem-3-small-E" in EXPERIMENTS
+        assert "figure-4-quadro" in EXPERIMENTS
+        assert len(EXPERIMENTS) >= 9
+
+    def test_unknown_id(self):
+        with pytest.raises(ValidationError, match="known:"):
+            run_experiment("bogus")
+
+    def test_theorem_experiments_pass_quick(self):
+        for exp_id in ("theorem-3-small-E", "theorem-9-large-E",
+                       "figures-1-and-3"):
+            result = run_experiment(exp_id, quick=True)
+            assert result.passed, result.details
+
+    def test_end_to_end_passes_quick(self):
+        result = run_experiment("end-to-end-serialization", quick=True)
+        assert result.passed
+        assert len(result.details) == 2
+
+    def test_summary_format(self):
+        r = ExperimentResult("x", True, ["  ok y"])
+        assert r.summary() == "[PASS] x"
+        assert ExperimentResult("x", False).summary() == "[FAIL] x"
+
+
+@pytest.mark.slow
+class TestFullRegistry:
+    def test_run_all_quick(self):
+        results = run_all(quick=True)
+        assert len(results) == len(EXPERIMENTS)
+        failed = [r.experiment_id for r in results if not r.passed]
+        assert not failed, failed

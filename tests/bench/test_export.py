@@ -1,0 +1,82 @@
+"""Tests for JSON export/import of bench results."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.export import (
+    figure_to_json,
+    point_to_dict,
+    points_from_json,
+    write_json,
+)
+from repro.bench.metrics import BenchPoint, SlowdownStats
+from repro.errors import ValidationError
+
+
+def point(n=100, ms=10.0):
+    return BenchPoint(
+        config_name="cfg",
+        device_name="dev",
+        input_name="random",
+        num_elements=n,
+        milliseconds=ms,
+        throughput_meps=n / ms / 1e3,
+        replays_per_element=1.5,
+        shared_cycles=123,
+        global_transactions=45,
+    )
+
+
+class TestPointRoundtrip:
+    def test_dict_fields(self):
+        d = point_to_dict(point())
+        assert d["n"] == 100 and d["shared_cycles"] == 123
+
+    def test_roundtrip(self):
+        pts = [point(100), point(200, 5.0)]
+        text = json.dumps([point_to_dict(p) for p in pts])
+        restored = points_from_json(text)
+        assert restored == pts
+
+    def test_rejects_non_array(self):
+        with pytest.raises(ValidationError):
+            points_from_json('{"a": 1}')
+
+
+class TestFigureSerialization:
+    def test_numpy_and_stats_handled(self):
+        data = {
+            "matrix": np.arange(4).reshape(2, 2),
+            "scalar": np.int64(7),
+            "float": np.float64(1.5),
+            "stats": SlowdownStats(peak_percent=50.0, peak_at=100,
+                                   average_percent=40.0),
+            "points": [point()],
+            "nested": {"tuple": (1, 2)},
+        }
+        parsed = json.loads(figure_to_json(data))
+        assert parsed["matrix"] == [[0, 1], [2, 3]]
+        assert parsed["scalar"] == 7
+        assert parsed["stats"]["peak_percent"] == 50.0
+        assert parsed["points"][0]["n"] == 100
+        assert parsed["nested"]["tuple"] == [1, 2]
+
+    def test_write_json(self, tmp_path):
+        target = tmp_path / "fig.json"
+        write_json({"x": [1, 2, 3]}, target)
+        assert json.loads(target.read_text()) == {"x": [1, 2, 3]}
+
+    def test_write_json_list(self, tmp_path):
+        target = tmp_path / "sweep.json"
+        write_json([point()], target)
+        parsed = json.loads(target.read_text())
+        assert parsed[0]["device"] == "dev"
+
+    def test_real_figure_serializes(self):
+        from repro.bench.figures import figure3
+
+        text = figure_to_json(figure3())
+        parsed = json.loads(text)
+        assert parsed["small"]["aligned"] == 49

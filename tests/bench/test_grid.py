@@ -1,0 +1,51 @@
+"""Tests for the (E, b) grid search."""
+
+import pytest
+
+from repro.bench.grid import GridPoint, grid_search
+from repro.gpu.device import QUADRO_M4000, RTX_2080_TI
+
+
+@pytest.fixture(scope="module")
+def points():
+    # Meaningful E only: at tiny E the worst case barely clears the random
+    # balls-in-bins level and can land a hair faster.
+    return grid_search(
+        QUADRO_M4000, es=[7, 15], bs=[64, 128],
+        target_elements=200_000, exact_threshold=1 << 17, score_blocks=2,
+    )
+
+
+class TestGridSearch:
+    def test_covers_feasible_grid(self, points):
+        combos = {(p.elements_per_thread, p.block_size) for p in points}
+        assert combos == {(7, 64), (7, 128), (15, 64), (15, 128)}
+
+    def test_sorted_by_random_throughput(self, points):
+        meps = [p.random_meps for p in points]
+        assert meps == sorted(meps, reverse=True)
+
+    def test_worst_never_faster(self, points):
+        for p in points:
+            assert p.worst_meps <= p.random_meps
+            assert p.slowdown_percent >= 0
+
+    def test_occupancy_in_range(self, points):
+        for p in points:
+            assert 0 < p.occupancy <= 1
+
+    def test_as_row(self, points):
+        row = points[0].as_row()
+        assert set(row) == {"E", "b", "occupancy", "random Melem/s",
+                            "worst Melem/s", "slowdown %"}
+
+    def test_skips_oversized_tiles(self):
+        # E=512, b=512 -> 1 MiB tile: no device fits it.
+        out = grid_search(RTX_2080_TI, es=[512], bs=[512],
+                          target_elements=10**6)
+        assert out == []
+
+    def test_gridpoint_slowdown(self):
+        p = GridPoint(elements_per_thread=15, block_size=512, occupancy=1.0,
+                      num_elements=100, random_meps=150.0, worst_meps=100.0)
+        assert p.slowdown_percent == pytest.approx(50.0)

@@ -1,0 +1,53 @@
+"""Unit tests for slowdown statistics."""
+
+import pytest
+
+from repro.bench.metrics import BenchPoint, slowdown_stats
+from repro.errors import ValidationError
+
+
+def point(n, ms, name="random"):
+    return BenchPoint(
+        config_name="cfg",
+        device_name="dev",
+        input_name=name,
+        num_elements=n,
+        milliseconds=ms,
+        throughput_meps=n / ms / 1e3,
+        replays_per_element=1.0,
+        shared_cycles=0,
+        global_transactions=0,
+    )
+
+
+class TestSlowdownStats:
+    def test_peak_and_average(self):
+        base = [point(100, 10.0), point(200, 20.0), point(400, 40.0)]
+        worst = [point(100, 15.0), point(200, 22.0), point(400, 60.0)]
+        st = slowdown_stats(base, worst)
+        assert st.peak_percent == pytest.approx(50.0)
+        assert st.peak_at == 100
+        assert st.average_percent == pytest.approx((50 + 10 + 50) / 3)
+
+    def test_str_format(self):
+        st = slowdown_stats([point(100, 10.0)], [point(100, 15.0)])
+        assert "peak 50.00%" in str(st)
+        assert "100" in str(st)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            slowdown_stats([], [])
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValidationError):
+            slowdown_stats([point(100, 1.0)], [point(200, 1.0)])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            slowdown_stats([point(100, 1.0)], [point(100, 1.0), point(200, 1.0)])
+
+
+class TestBenchPoint:
+    def test_ms_per_element(self):
+        p = point(1000, 2.0)
+        assert p.ms_per_element == pytest.approx(0.002)

@@ -1,0 +1,46 @@
+"""Unit tests for markdown report emission."""
+
+from repro.bench.metrics import BenchPoint
+from repro.bench.report import (
+    markdown_sweep_table,
+    render_theory_table,
+)
+
+
+def point(n, ms, name="random"):
+    return BenchPoint(
+        config_name="cfg",
+        device_name="dev",
+        input_name=name,
+        num_elements=n,
+        milliseconds=ms,
+        throughput_meps=n / ms / 1e3,
+        replays_per_element=2.5,
+        shared_cycles=100,
+        global_transactions=50,
+    )
+
+
+class TestSweepTable:
+    def test_rows_and_slowdown(self):
+        md = markdown_sweep_table(
+            [point(100, 10.0)], [point(100, 15.0, "worst-case")]
+        )
+        lines = md.splitlines()
+        assert lines[0].startswith("| N |")
+        assert "| 100 |" in lines[2]
+        assert "50.0" in lines[2]
+
+    def test_is_valid_markdown_table(self):
+        md = markdown_sweep_table([point(1, 1.0)], [point(1, 1.0)])
+        for line in md.splitlines():
+            assert line.startswith("|") and line.endswith("|")
+
+
+class TestTheoryTable:
+    def test_renders_rows(self):
+        md = render_theory_table(
+            [{"w": 32, "E": 15, "case": "small", "predicted": 225,
+              "constructed": 225, "effective_threads": 3}]
+        )
+        assert "| 32 | 15 | small | 225 | 225 | 3 |" in md

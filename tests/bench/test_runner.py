@@ -1,0 +1,89 @@
+"""Tests for the sweep runner — most importantly, that the synthesized
+large-N path agrees with exact simulation where both are available."""
+
+import pytest
+
+from repro.bench.runner import CalibratedRates, SweepRunner
+from repro.errors import ValidationError
+from repro.gpu.device import QUADRO_M4000
+from repro.sort.config import SortConfig
+from repro.sort.pairwise import PairwiseMergeSort
+from repro.inputs.generators import generate
+
+
+def small_runner(**kwargs):
+    cfg = SortConfig(elements_per_thread=3, block_size=32, warp_size=32)
+    defaults = dict(exact_threshold=cfg.tile_size * 32, score_blocks=4, seed=0)
+    defaults.update(kwargs)
+    return SweepRunner(cfg, QUADRO_M4000, **defaults)
+
+
+class TestExactPath:
+    def test_point_fields(self):
+        runner = small_runner()
+        n = runner.config.tile_size * 4
+        p = runner.run_point("random", n)
+        assert p.num_elements == n
+        assert p.milliseconds > 0
+        assert p.throughput_meps == pytest.approx(n / p.milliseconds / 1e3)
+
+    def test_warp_mismatch_rejected(self):
+        cfg = SortConfig(elements_per_thread=3, block_size=32, warp_size=16)
+        with pytest.raises(ValidationError):
+            SweepRunner(cfg, QUADRO_M4000)
+
+
+class TestSynthesizedPath:
+    @pytest.mark.parametrize("input_name", ["random", "worst-case", "sorted"])
+    def test_matches_exact_at_overlap_size(self, input_name):
+        """Synthesize a size we can also simulate exactly; the two cost
+        estimates must agree closely (exactly, for periodic inputs)."""
+        runner_exact = small_runner()
+        cfg = runner_exact.config
+        n = cfg.tile_size * 32  # == exact threshold
+        exact = runner_exact.run_point(input_name, n)
+
+        runner_synth = small_runner(exact_threshold=cfg.tile_size * 8)
+        synth = runner_synth.run_point(input_name, n)
+
+        assert synth.milliseconds == pytest.approx(exact.milliseconds, rel=0.06)
+        assert synth.replays_per_element == pytest.approx(
+            exact.replays_per_element, rel=0.06
+        )
+        assert synth.global_transactions == exact.global_transactions
+
+    def test_monotone_in_n(self):
+        runner = small_runner(exact_threshold=small_runner().config.tile_size * 4)
+        sizes = runner.config.valid_sizes(10**7)[-4:]
+        points = runner.sweep("worst-case", sizes)
+        ms = [p.milliseconds for p in points]
+        assert ms == sorted(ms)
+        # conflicts/element grow ~ logarithmically: increasing, concave-ish.
+        cpe = [p.replays_per_element for p in points]
+        assert cpe == sorted(cpe)
+
+    def test_calibration_cached(self):
+        runner = small_runner(exact_threshold=small_runner().config.tile_size * 4)
+        n = runner.config.tile_size * 64
+        runner.run_point("random", n)
+        assert "random" in runner._calibrations
+        cal = runner._calibrations["random"]
+        runner.run_point("random", n * 2)
+        assert runner._calibrations["random"] is cal
+
+
+class TestCalibratedRates:
+    def test_requires_global_round(self):
+        cfg = SortConfig(elements_per_thread=3, block_size=32, warp_size=32)
+        data = generate("random", cfg, cfg.tile_size, seed=0)
+        result = PairwiseMergeSort(cfg).sort(data)
+        with pytest.raises(ValidationError):
+            CalibratedRates.from_result(result)
+
+    def test_rates_positive(self):
+        cfg = SortConfig(elements_per_thread=3, block_size=32, warp_size=32)
+        data = generate("random", cfg, cfg.tile_size * 8, seed=0)
+        result = PairwiseMergeSort(cfg).sort(data)
+        rates = CalibratedRates.from_result(result)
+        assert rates.base_shared_cycles > 0
+        assert rates.global_shared_cycles > 0

@@ -1,0 +1,60 @@
+"""Tests for the trace heat-map renderer."""
+
+import numpy as np
+import pytest
+
+from repro.bench.traceviz import bank_pressure, heat_map
+from repro.dmm.trace import AccessTrace
+from repro.errors import ValidationError
+
+
+class TestBankPressure:
+    def test_counts_elements(self):
+        t = AccessTrace.from_dense(np.array([[0, 4, 8, 1]]))
+        p = bank_pressure(t, 4)
+        assert p[0, 0] == 3  # banks 0, 0, 0
+        assert p[1, 0] == 1
+
+    def test_no_broadcast_dedup(self):
+        t = AccessTrace.from_dense(np.array([[4, 4]]))
+        assert bank_pressure(t, 4)[0, 0] == 2
+
+    def test_inactive_ignored(self):
+        t = AccessTrace.from_dense(np.array([[-1, 3]]))
+        assert bank_pressure(t, 4).sum() == 1
+
+    def test_empty(self):
+        t = AccessTrace.from_dense(np.empty((0, 4), dtype=np.int64))
+        assert bank_pressure(t, 4).shape == (4, 0)
+
+
+class TestHeatMap:
+    def test_diagonal_is_visible(self):
+        """The worst-case signature: a hot diagonal."""
+        from repro.adversary.assignment import construct_warp_assignment
+
+        wa = construct_warp_assignment(16, 7)
+        t = AccessTrace.from_dense(wa.step_banks())
+        out = heat_map(t, 16)
+        # Step j's target bank j carries E = 7 requests -> ramp glyph '#'.
+        lines = [ln for ln in out.splitlines() if ln.startswith("bank")]
+        for j in range(7):
+            assert lines[j][len("bank  0 │") + j] == "#"
+
+    def test_title_and_truncation(self):
+        t = AccessTrace.from_dense(np.zeros((100, 2), dtype=np.int64))
+        out = heat_map(t, 4, title="demo", max_steps=8)
+        assert out.splitlines()[0] == "demo"
+        assert "steps 0..7" in out
+
+    def test_rejects_bad_max_steps(self):
+        t = AccessTrace.from_dense(np.array([[0]]))
+        with pytest.raises(ValidationError):
+            heat_map(t, 4, max_steps=0)
+
+    def test_saturates_ramp(self):
+        t = AccessTrace.from_dense(
+            np.arange(0, 512, 4, dtype=np.int64)[None, :] * 0
+        )
+        out = heat_map(t, 4)
+        assert "@" in out  # 128 same-bank requests saturate the ramp

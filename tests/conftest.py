@@ -1,0 +1,46 @@
+"""Shared fixtures: small, fast configurations used across the suite."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import QUADRO_M4000, RTX_2080_TI
+from repro.sort.config import SortConfig
+
+
+@pytest.fixture
+def tiny_config() -> SortConfig:
+    """w=4, E=3, b=8 — smallest config exercising every code path."""
+    return SortConfig(elements_per_thread=3, block_size=8, warp_size=4)
+
+
+@pytest.fixture
+def small_config() -> SortConfig:
+    """w=8, E=3, b=16 — small-E regime (3 < 8/2), multi-warp blocks."""
+    return SortConfig(elements_per_thread=3, block_size=16, warp_size=8)
+
+
+@pytest.fixture
+def large_e_config() -> SortConfig:
+    """w=8, E=5, b=16 — large-E regime (8/2 < 5 < 8)."""
+    return SortConfig(elements_per_thread=5, block_size=16, warp_size=8)
+
+
+@pytest.fixture
+def thrust_config() -> SortConfig:
+    """The paper's Thrust Maxwell parameters (E=15, b=512, w=32)."""
+    return SortConfig(elements_per_thread=15, block_size=512, warp_size=32)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def m4000():
+    return QUADRO_M4000
+
+
+@pytest.fixture
+def rtx():
+    return RTX_2080_TI

@@ -1,0 +1,71 @@
+"""Unit tests for repro.dmm.banks."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dmm.banks import BankGeometry
+from repro.errors import ValidationError
+
+
+class TestBankGeometry:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValidationError):
+            BankGeometry(24)
+
+    def test_bank_and_column_scalar(self):
+        geo = BankGeometry(16)
+        assert geo.bank_of(0) == 0
+        assert geo.bank_of(17) == 1
+        assert geo.column_of(17) == 1
+
+    def test_bank_array(self):
+        geo = BankGeometry(8)
+        addrs = np.arange(24)
+        assert np.array_equal(geo.bank_of(addrs), addrs % 8)
+        assert np.array_equal(geo.column_of(addrs), addrs // 8)
+
+    def test_rejects_negative_address(self):
+        geo = BankGeometry(8)
+        with pytest.raises(ValidationError):
+            geo.bank_of(-1)
+        with pytest.raises(ValidationError):
+            geo.bank_of(np.array([0, -2]))
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_roundtrip(self, addr):
+        geo = BankGeometry(32)
+        assert geo.address_of(geo.bank_of(addr), geo.column_of(addr)) == addr
+
+    def test_address_of_validates_bank(self):
+        geo = BankGeometry(8)
+        with pytest.raises(ValidationError):
+            geo.address_of(bank=8, column=0)
+
+    def test_columns_for(self):
+        geo = BankGeometry(8)
+        assert geo.columns_for(0) == 0
+        assert geo.columns_for(1) == 1
+        assert geo.columns_for(8) == 1
+        assert geo.columns_for(9) == 2
+
+    def test_as_matrix_column_major(self):
+        """Contiguous addresses run down banks, then to the next column."""
+        geo = BankGeometry(4)
+        m = geo.as_matrix(np.arange(8))
+        # address a sits at [bank a%4, column a//4]
+        assert m.shape == (4, 2)
+        assert m[1, 0] == 1
+        assert m[1, 1] == 5
+
+    def test_as_matrix_pads_with_fill(self):
+        geo = BankGeometry(4)
+        m = geo.as_matrix(np.arange(6), fill=-7)
+        assert m[2, 1] == -7
+        assert m[3, 1] == -7
+
+    def test_as_matrix_rejects_2d(self):
+        geo = BankGeometry(4)
+        with pytest.raises(ValidationError):
+            geo.as_matrix(np.zeros((2, 2)))

@@ -1,0 +1,171 @@
+"""Unit and property tests for the conflict accounting — the paper's core
+measurement. Includes a brute-force reference implementation that the
+vectorized counter must agree with on arbitrary traces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.dmm.conflicts import ConflictReport, count_conflicts, step_transactions
+from repro.dmm.trace import AccessKind, AccessTrace
+from repro.errors import SimulationError
+
+
+def brute_force(trace: AccessTrace, num_banks: int):
+    """Obvious per-step reference for transactions and replays."""
+    transactions = []
+    replays = 0
+    requests = 0
+    for j in range(trace.num_steps):
+        addrs = trace.addresses[j][trace.active[j]]
+        if trace.kind is AccessKind.READ:
+            addrs = np.unique(addrs)
+        counts = {}
+        for a in addrs.tolist():
+            counts[a % num_banks] = counts.get(a % num_banks, 0) + 1
+        requests += sum(counts.values())
+        transactions.append(max(counts.values()) if counts else 0)
+        replays += sum(c - 1 for c in counts.values())
+    return transactions, replays, requests
+
+
+class TestCountConflictsBasics:
+    def test_conflict_free_column(self):
+        t = AccessTrace.from_dense(np.array([[0, 1, 2, 3]]))
+        r = count_conflicts(t, 4)
+        assert r.total_transactions == 1
+        assert r.total_replays == 0
+        assert r.max_degree == 1
+
+    def test_full_serialization(self):
+        t = AccessTrace.from_dense(np.array([[0, 4, 8, 12]]))
+        r = count_conflicts(t, 4)
+        assert (r.total_transactions, r.total_replays, r.max_degree) == (4, 3, 4)
+
+    def test_broadcast_reads_are_free(self):
+        t = AccessTrace.from_dense(np.array([[5, 5, 5, 5]]))
+        r = count_conflicts(t, 4)
+        assert r.total_transactions == 1
+        assert r.num_requests == 1
+        assert r.num_accesses == 4
+
+    def test_writes_do_not_broadcast(self):
+        t = AccessTrace.from_dense(np.array([[4, 4, 12, 1]]), kind=AccessKind.WRITE)
+        r = count_conflicts(t, 4)
+        # Bank 0 receives 3 write requests (two to addr 4, one to 12).
+        assert r.max_degree == 3
+
+    def test_inactive_lanes_ignored(self):
+        t = AccessTrace.from_dense(np.array([[0, -1, -1, 8]]))
+        r = count_conflicts(t, 4)
+        assert r.num_accesses == 2
+        assert r.total_transactions == 2  # both on bank 0
+
+    def test_empty_trace(self):
+        t = AccessTrace.from_dense(np.empty((0, 4), dtype=np.int64))
+        r = count_conflicts(t, 4)
+        assert r.total_transactions == 0
+        assert r.max_degree == 0
+
+    def test_all_inactive_step_costs_zero(self):
+        t = AccessTrace.from_dense(np.array([[-1, -1], [0, 1]]))
+        per_step = step_transactions(t, 2)
+        assert per_step.tolist() == [0, 1]
+
+    def test_slowdown_factor(self):
+        t = AccessTrace.from_dense(np.array([[0, 4], [1, 2]]))
+        r = count_conflicts(t, 4)
+        # step 0: 2-way; step 1: conflict free -> 3 cycles / 2 steps
+        assert r.slowdown_factor == pytest.approx(1.5)
+
+    def test_replays_per_access(self):
+        t = AccessTrace.from_dense(np.array([[0, 4, 8, 1]]))
+        r = count_conflicts(t, 4)
+        assert r.replays_per_access == pytest.approx(2 / 4)
+
+
+class TestMergeAndScale:
+    def test_merged_adds(self):
+        a = count_conflicts(AccessTrace.from_dense(np.array([[0, 4]])), 4)
+        b = count_conflicts(AccessTrace.from_dense(np.array([[0, 1]])), 4)
+        m = a.merged(b)
+        assert m.total_transactions == 3
+        assert m.num_steps == 2
+        assert m.max_degree == 2
+
+    def test_merged_rejects_bank_mismatch(self):
+        a = ConflictReport.empty(4)
+        b = ConflictReport.empty(8)
+        with pytest.raises(SimulationError):
+            a.merged(b)
+
+    def test_scaled(self):
+        r = count_conflicts(AccessTrace.from_dense(np.array([[0, 4]])), 4)
+        s = r.scaled(3)
+        assert s.total_transactions == 6
+        assert s.num_steps == 3
+        assert s.max_degree == 2
+
+    def test_scaled_zero(self):
+        r = count_conflicts(AccessTrace.from_dense(np.array([[0, 4]])), 4)
+        assert r.scaled(0).max_degree == 0
+
+    def test_empty_is_identity(self):
+        r = count_conflicts(AccessTrace.from_dense(np.array([[0, 4, 8]])), 4)
+        m = ConflictReport.empty(4).merged(r)
+        assert m.total_transactions == r.total_transactions
+
+
+@st.composite
+def traces(draw):
+    steps = draw(st.integers(min_value=0, max_value=6))
+    lanes = draw(st.sampled_from([2, 4, 8]))
+    dense = draw(
+        hnp.arrays(
+            np.int64,
+            (steps, lanes),
+            elements=st.integers(min_value=-1, max_value=63),
+        )
+    )
+    kind = draw(st.sampled_from([AccessKind.READ, AccessKind.WRITE]))
+    if kind is AccessKind.WRITE:
+        # CREW: avoid duplicate addresses within a step for write traces.
+        for j in range(steps):
+            row = dense[j]
+            seen = set()
+            for i in range(lanes):
+                while row[i] >= 0 and int(row[i]) in seen:
+                    row[i] += 1
+                if row[i] >= 0:
+                    seen.add(int(row[i]))
+    return AccessTrace.from_dense(dense, kind=kind)
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=200, deadline=None)
+    @given(traces(), st.sampled_from([2, 4, 8, 16]))
+    def test_matches_reference(self, trace, num_banks):
+        ref_tx, ref_replays, ref_requests = brute_force(trace, num_banks)
+        r = count_conflicts(trace, num_banks)
+        assert r.per_step_transactions.tolist() == ref_tx
+        assert r.total_replays == ref_replays
+        assert r.num_requests == ref_requests
+        assert r.max_degree == (max(ref_tx) if ref_tx else 0)
+
+    @settings(max_examples=100, deadline=None)
+    @given(traces(), st.sampled_from([4, 8]))
+    def test_invariants(self, trace, num_banks):
+        """Cost bounds that must hold for any trace whatsoever."""
+        r = count_conflicts(trace, num_banks)
+        # Serialized cycles: at least one per active step, at most the
+        # request count (every request fully serialized).
+        assert r.conflict_free_cycles <= r.total_transactions <= r.num_requests
+        # Replays never exceed requests and are zero iff every step's cost
+        # equals... at least: replays <= requests - active steps.
+        assert 0 <= r.total_replays <= max(0, r.num_requests - r.conflict_free_cycles)
+        # A step's serialization can't exceed its lane count.
+        assert r.max_degree <= trace.num_lanes
+        # Broadcast can only reduce requests.
+        assert r.num_requests <= r.num_accesses

@@ -1,0 +1,82 @@
+"""Unit tests for the executable CREW DMM."""
+
+import numpy as np
+import pytest
+
+from repro.dmm.machine import DMM, MemoryImage
+from repro.dmm.trace import AccessKind, AccessTrace
+from repro.errors import SimulationError, ValidationError
+
+
+class TestMemoryImage:
+    def test_from_array_roundtrip(self):
+        img = MemoryImage.from_array([5, 6, 7])
+        assert np.array_equal(img.read(np.array([2, 0])), [7, 5])
+
+    def test_write(self):
+        img = MemoryImage(size=4)
+        img.write(np.array([1, 3]), np.array([10, 30]))
+        assert img.snapshot().tolist() == [0, 10, 0, 30]
+
+    def test_bounds_check(self):
+        img = MemoryImage(size=4)
+        with pytest.raises(SimulationError):
+            img.read(np.array([4]))
+        with pytest.raises(SimulationError):
+            img.read(np.array([-1]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            MemoryImage.from_array(np.zeros((2, 2)))
+
+
+class TestDMM:
+    def test_read_values_and_cycles(self):
+        img = MemoryImage.from_array(np.arange(100, 116))
+        dmm = DMM(num_processors=4, memory=img)
+        trace = AccessTrace.from_dense(np.array([[0, 1, 2, 3], [0, 4, 8, 12]]))
+        values, report = dmm.execute(trace)
+        assert values[0].tolist() == [100, 101, 102, 103]
+        assert values[1].tolist() == [100, 104, 108, 112]
+        # Step 0 conflict free (1 cycle) + step 1 fully serialized (4).
+        assert dmm.cycles == 5
+        assert report.total_transactions == 5
+
+    def test_cycles_accumulate(self):
+        img = MemoryImage.from_array(np.arange(8))
+        dmm = DMM(num_processors=4, memory=img)
+        t = AccessTrace.from_dense(np.array([[0, 1, 2, 3]]))
+        dmm.execute(t)
+        dmm.execute(t)
+        assert dmm.cycles == 2
+
+    def test_crew_write_violation(self):
+        img = MemoryImage(size=16)
+        dmm = DMM(num_processors=4, memory=img)
+        trace = AccessTrace.from_dense(
+            np.array([[3, 3, 1, 2]]), kind=AccessKind.WRITE
+        )
+        with pytest.raises(SimulationError, match="CREW"):
+            dmm.execute(trace)
+
+    def test_distinct_writes_commit(self):
+        img = MemoryImage(size=16)
+        dmm = DMM(num_processors=4, memory=img)
+        trace = AccessTrace.from_dense(
+            np.array([[3, 7, 1, 2]]), kind=AccessKind.WRITE
+        )
+        dmm.execute(trace)
+        snap = img.snapshot()
+        assert snap[3] == 3 and snap[7] == 7
+
+    def test_lane_count_mismatch(self):
+        dmm = DMM(num_processors=4, memory=MemoryImage(size=4))
+        with pytest.raises(SimulationError):
+            dmm.execute(AccessTrace.from_dense(np.array([[0, 1]])))
+
+    def test_concurrent_same_address_read_is_one_cycle(self):
+        img = MemoryImage.from_array(np.arange(8))
+        dmm = DMM(num_processors=4, memory=img)
+        values, _ = dmm.execute(AccessTrace.from_dense(np.array([[5, 5, 5, 5]])))
+        assert dmm.cycles == 1
+        assert values[0].tolist() == [5, 5, 5, 5]

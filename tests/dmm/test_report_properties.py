@@ -1,0 +1,78 @@
+"""Algebraic property tests for ConflictReport combination."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.dmm.conflicts import ConflictReport, count_conflicts
+from repro.dmm.trace import AccessTrace
+
+
+@st.composite
+def reports(draw):
+    steps = draw(st.integers(min_value=0, max_value=5))
+    dense = draw(
+        hnp.arrays(np.int64, (steps, 4),
+                   elements=st.integers(min_value=-1, max_value=31))
+    )
+    return count_conflicts(AccessTrace.from_dense(dense), 4)
+
+
+EXTENSIVE = (
+    "num_steps",
+    "num_accesses",
+    "num_requests",
+    "total_transactions",
+    "total_replays",
+)
+
+
+class TestMergeAlgebra:
+    @settings(max_examples=100, deadline=None)
+    @given(reports(), reports())
+    def test_merge_adds_extensive_counters(self, a, b):
+        m = a.merged(b)
+        for attr in EXTENSIVE:
+            assert getattr(m, attr) == getattr(a, attr) + getattr(b, attr)
+        assert m.max_degree == max(a.max_degree, b.max_degree)
+
+    @settings(max_examples=50, deadline=None)
+    @given(reports(), reports(), reports())
+    def test_merge_associative_on_counters(self, a, b, c):
+        left = a.merged(b).merged(c)
+        right = a.merged(b.merged(c))
+        for attr in EXTENSIVE + ("max_degree",):
+            assert getattr(left, attr) == getattr(right, attr)
+
+    @settings(max_examples=50, deadline=None)
+    @given(reports())
+    def test_empty_is_identity(self, r):
+        m = ConflictReport.empty(4).merged(r)
+        for attr in EXTENSIVE + ("max_degree",):
+            assert getattr(m, attr) == getattr(r, attr)
+
+
+class TestScaleAlgebra:
+    @settings(max_examples=50, deadline=None)
+    @given(reports(), st.integers(min_value=0, max_value=5))
+    def test_scaled_equals_repeated_merge(self, r, k):
+        scaled = r.scaled(k)
+        repeated = ConflictReport.empty(4)
+        for _ in range(k):
+            repeated = repeated.merged(r)
+        for attr in EXTENSIVE + ("max_degree",):
+            assert getattr(scaled, attr) == getattr(repeated, attr)
+
+    @settings(max_examples=50, deadline=None)
+    @given(reports())
+    def test_derived_metrics_consistent(self, r):
+        assert r.conflict_free_cycles == int(
+            np.count_nonzero(r.per_step_transactions)
+        )
+        if r.num_accesses:
+            assert r.replays_per_access == pytest.approx(
+                r.total_replays / r.num_accesses
+            )
+        assert r.slowdown_factor >= 1.0 or r.conflict_free_cycles == 0

@@ -1,0 +1,80 @@
+"""Unit tests for repro.dmm.trace."""
+
+import numpy as np
+import pytest
+
+from repro.dmm.trace import NO_ACCESS, AccessKind, AccessTrace, TraceBuilder
+from repro.errors import SimulationError, ValidationError
+
+
+class TestAccessTrace:
+    def test_from_dense_masks_negatives(self):
+        t = AccessTrace.from_dense(np.array([[0, -1, 2]]))
+        assert t.num_steps == 1
+        assert t.num_lanes == 3
+        assert t.num_accesses == 2
+        assert not t.active[0, 1]
+
+    def test_from_dense_promotes_1d(self):
+        t = AccessTrace.from_dense(np.array([1, 2, 3]))
+        assert t.num_steps == 1
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValidationError):
+            AccessTrace(
+                addresses=np.zeros((1, 2, 3), dtype=np.int64),
+                active=np.ones((1, 2, 3), dtype=bool),
+            )
+
+    def test_rejects_mismatched_mask(self):
+        with pytest.raises(ValidationError):
+            AccessTrace(
+                addresses=np.zeros((2, 3), dtype=np.int64),
+                active=np.ones((3, 2), dtype=bool),
+            )
+
+    def test_rejects_negative_active_address(self):
+        with pytest.raises(ValidationError):
+            AccessTrace(
+                addresses=np.full((1, 2), -5, dtype=np.int64),
+                active=np.ones((1, 2), dtype=bool),
+            )
+
+    def test_concat(self):
+        a = AccessTrace.from_dense(np.array([[0, 1]]))
+        b = AccessTrace.from_dense(np.array([[2, 3], [4, 5]]))
+        c = a.concat(b)
+        assert c.num_steps == 3
+        assert c.addresses[2, 1] == 5
+
+    def test_concat_rejects_width_mismatch(self):
+        a = AccessTrace.from_dense(np.array([[0, 1]]))
+        b = AccessTrace.from_dense(np.array([[0, 1, 2]]))
+        with pytest.raises(SimulationError):
+            a.concat(b)
+
+    def test_concat_rejects_kind_mismatch(self):
+        a = AccessTrace.from_dense(np.array([[0, 1]]), kind=AccessKind.READ)
+        b = AccessTrace.from_dense(np.array([[0, 1]]), kind=AccessKind.WRITE)
+        with pytest.raises(SimulationError):
+            a.concat(b)
+
+
+class TestTraceBuilder:
+    def test_builds_steps_in_order(self):
+        builder = TraceBuilder(num_lanes=3)
+        builder.add_step([0, 1, 2])
+        builder.add_step([NO_ACCESS, 4, 5])
+        t = builder.build()
+        assert t.num_steps == 2
+        assert t.num_accesses == 5
+
+    def test_empty_build(self):
+        t = TraceBuilder(num_lanes=4).build()
+        assert t.num_steps == 0
+        assert t.num_lanes == 4
+
+    def test_rejects_wrong_width(self):
+        builder = TraceBuilder(num_lanes=3)
+        with pytest.raises(ValidationError):
+            builder.add_step([0, 1])

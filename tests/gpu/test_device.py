@@ -1,0 +1,94 @@
+"""Unit tests for the device catalog."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.gpu.device import (
+    DEVICES,
+    GTX_770,
+    QUADRO_M4000,
+    RTX_2080_TI,
+    DeviceSpec,
+    get_device,
+)
+
+
+class TestCatalog:
+    def test_paper_core_counts(self):
+        """Section IV-A: 1664 cores / 13 SMs and 4352 cores / 68 SMs."""
+        assert QUADRO_M4000.num_cores == 1664
+        assert QUADRO_M4000.num_sms == 13
+        assert RTX_2080_TI.num_cores == 4352
+        assert RTX_2080_TI.num_sms == 68
+
+    def test_compute_capabilities(self):
+        assert QUADRO_M4000.compute_capability == (5, 2)
+        assert RTX_2080_TI.compute_capability == (7, 5)
+        assert GTX_770.compute_capability == (3, 0)
+
+    def test_warp_is_banks(self):
+        for dev in DEVICES.values():
+            assert dev.num_banks == dev.warp_size == 32
+
+    def test_rtx_resident_thread_limit(self):
+        """Paper: 'up to 1024 resident threads per SM' on the RTX 2080 Ti."""
+        assert RTX_2080_TI.max_threads_per_sm == 1024
+        assert RTX_2080_TI.max_warps_per_sm == 32
+
+    def test_global_capacity(self):
+        """8 GB and 11 GB (paper footnote: GB = 1e9 B)."""
+        assert QUADRO_M4000.global_mem_bytes == 8 * 10**9
+        assert RTX_2080_TI.global_mem_bytes == 11 * 10**9
+
+
+class TestFitsInGlobal:
+    def test_double_buffering_accounted(self):
+        # 1e9 elements x 4 B x 2 buffers = 8 GB: exactly fits the M4000.
+        assert QUADRO_M4000.fits_in_global(10**9)
+        assert not QUADRO_M4000.fits_in_global(10**9 + 1)
+
+
+class TestGetDevice:
+    def test_lookup_variants(self):
+        assert get_device("Quadro M4000") is QUADRO_M4000
+        assert get_device("quadro-m4000") is QUADRO_M4000
+        assert get_device("RTX_2080_TI") is RTX_2080_TI
+
+    def test_unknown_raises_with_catalog(self):
+        with pytest.raises(ValidationError, match="known:"):
+            get_device("H100")
+
+
+class TestValidation:
+    def test_rejects_bad_warp(self):
+        with pytest.raises(ValidationError):
+            DeviceSpec(
+                name="bad",
+                compute_capability=(1, 0),
+                num_sms=1,
+                cores_per_sm=32,
+                warp_size=24,
+                shared_mem_per_sm=1024,
+                max_threads_per_sm=1024,
+                max_blocks_per_sm=8,
+                global_mem_bytes=1 << 30,
+                core_clock_hz=1e9,
+                mem_bandwidth_bytes_per_s=1e11,
+            )
+
+    def test_rejects_bad_shared_rate(self):
+        with pytest.raises(ValidationError):
+            DeviceSpec(
+                name="bad",
+                compute_capability=(1, 0),
+                num_sms=1,
+                cores_per_sm=32,
+                warp_size=32,
+                shared_mem_per_sm=1024,
+                max_threads_per_sm=1024,
+                max_blocks_per_sm=8,
+                global_mem_bytes=1 << 30,
+                core_clock_hz=1e9,
+                mem_bandwidth_bytes_per_s=1e11,
+                shared_tx_per_cycle=0.0,
+            )

@@ -1,0 +1,77 @@
+"""Unit tests for the coalescing model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.gpu.global_memory import CoalescingModel, GlobalTraffic
+
+
+class TestWarpAccess:
+    def test_contiguous_is_one_transaction(self):
+        model = CoalescingModel(warp_size=4)
+        assert model.warp_access(np.arange(4)) == 1
+
+    def test_aligned_segments(self):
+        model = CoalescingModel(warp_size=4)
+        # addresses 3 and 4 straddle a segment boundary.
+        assert model.warp_access(np.array([3, 4, 5, 6])) == 2
+
+    def test_fully_scattered(self):
+        model = CoalescingModel(warp_size=4)
+        assert model.warp_access(np.array([0, 100, 200, 300])) == 4
+
+    def test_duplicate_segment_counts_once(self):
+        model = CoalescingModel(warp_size=4)
+        assert model.warp_access(np.array([0, 1, 0, 1])) == 1
+
+    def test_inactive_lanes(self):
+        model = CoalescingModel(warp_size=4)
+        assert model.warp_access(np.array([-1, -1, -1, -1])) == 0
+        assert model.warp_access(np.array([8, -1, -1, -1])) == 1
+
+    def test_words_counted(self):
+        model = CoalescingModel(warp_size=4)
+        model.warp_access(np.array([0, 1, 2, -1]))
+        assert model.traffic.words == 3
+
+
+class TestBulkHelpers:
+    def test_streamed_copy(self):
+        model = CoalescingModel(warp_size=32)
+        assert model.streamed_copy(64) == 2
+        assert model.streamed_copy(65) == 3
+        assert model.traffic.words == 129
+
+    def test_scattered_access(self):
+        model = CoalescingModel(warp_size=32)
+        assert model.scattered_access(10) == 10
+        assert model.traffic.transactions == 10
+
+    def test_reset(self):
+        model = CoalescingModel(warp_size=32)
+        model.streamed_copy(32)
+        old = model.reset()
+        assert old.transactions == 1
+        assert model.traffic.transactions == 0
+
+
+class TestGlobalTraffic:
+    def test_merged(self):
+        a = GlobalTraffic(transactions=2, words=40)
+        b = GlobalTraffic(transactions=3, words=50)
+        m = a.merged(b)
+        assert (m.transactions, m.words) == (5, 90)
+
+    def test_scaled(self):
+        t = GlobalTraffic(transactions=2, words=40).scaled(3)
+        assert (t.transactions, t.words) == (6, 120)
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            GlobalTraffic(transactions=1, words=1).scaled(-1)
+
+    def test_efficiency(self):
+        t = GlobalTraffic(transactions=2, words=32)
+        assert t.efficiency(32) == 0.5
+        assert GlobalTraffic().efficiency(32) == 1.0

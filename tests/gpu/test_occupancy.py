@@ -1,0 +1,60 @@
+"""Occupancy tests — pinned to the paper's Section IV-A arithmetic."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.device import QUADRO_M4000, RTX_2080_TI
+from repro.gpu.occupancy import occupancy
+
+KIB = 1024
+
+
+class TestPaperArithmetic:
+    def test_rtx_e17_b256(self):
+        """17 KiB/block -> 3 resident blocks, 768 threads, 75 % occupancy,
+        13 KiB unused (paper Section IV-A, verbatim numbers)."""
+        occ = occupancy(RTX_2080_TI, 256, 17 * KIB)
+        assert occ.blocks_per_sm == 3
+        assert occ.threads_per_sm == 768
+        assert occ.occupancy == 0.75
+        assert occ.shared_bytes_unused == 13 * KIB
+
+    def test_rtx_e15_b512(self):
+        """30 KiB/block -> 2 resident blocks, 1024 threads, 100 % occupancy,
+        4 KiB unused."""
+        occ = occupancy(RTX_2080_TI, 512, 30 * KIB)
+        assert occ.blocks_per_sm == 2
+        assert occ.threads_per_sm == 1024
+        assert occ.occupancy == 1.0
+        assert occ.shared_bytes_unused == 4 * KIB
+
+    def test_rtx_limiters(self):
+        assert occupancy(RTX_2080_TI, 256, 17 * KIB).limiter == "shared"
+        # For E=15, b=512 the shared and thread limits tie at 2 blocks;
+        # ties report the shared constraint.
+        assert occupancy(RTX_2080_TI, 512, 30 * KIB).limiter == "shared"
+        assert occupancy(RTX_2080_TI, 512, 16 * KIB).limiter == "threads"
+
+
+class TestGeneral:
+    def test_block_limit_binds(self):
+        occ = occupancy(QUADRO_M4000, 32, 64)
+        assert occ.blocks_per_sm == QUADRO_M4000.max_blocks_per_sm
+        assert occ.limiter == "blocks"
+
+    def test_warps_per_sm(self):
+        occ = occupancy(RTX_2080_TI, 512, 30 * KIB)
+        assert occ.warps_per_sm == 32
+
+    def test_oversized_block_rejected(self):
+        with pytest.raises(ConfigurationError):
+            occupancy(RTX_2080_TI, 2048, KIB)
+
+    def test_oversized_shared_rejected(self):
+        with pytest.raises(ConfigurationError):
+            occupancy(RTX_2080_TI, 256, 65 * KIB)
+
+    def test_shared_usage_accounting(self):
+        occ = occupancy(RTX_2080_TI, 256, 17 * KIB)
+        assert occ.shared_bytes_used == 51 * KIB
+        assert occ.shared_bytes_used + occ.shared_bytes_unused == 64 * KIB

@@ -1,0 +1,70 @@
+"""Unit tests for the banked shared-memory scratchpad."""
+
+import numpy as np
+import pytest
+
+from repro.dmm.trace import AccessTrace
+from repro.errors import SimulationError, ValidationError
+from repro.gpu.shared_memory import SharedMemory
+
+
+class TestDataPath:
+    def test_load_and_read(self):
+        sm = SharedMemory(size=16, num_banks=4)
+        sm.load_tile(np.arange(100, 116))
+        vals = sm.warp_read(np.array([0, 5, 10, 15]))
+        assert vals.tolist() == [100, 105, 110, 115]
+
+    def test_load_tile_offset(self):
+        sm = SharedMemory(size=8, num_banks=4)
+        sm.load_tile(np.array([7, 8]), offset=4)
+        assert sm.contents()[4:6].tolist() == [7, 8]
+
+    def test_load_tile_overflow_rejected(self):
+        sm = SharedMemory(size=4, num_banks=4)
+        with pytest.raises(ValidationError):
+            sm.load_tile(np.arange(5))
+
+    def test_write_then_read(self):
+        sm = SharedMemory(size=8, num_banks=4)
+        sm.warp_write(np.array([0, 1, 2, 3]), np.array([9, 8, 7, 6]))
+        assert sm.contents()[:4].tolist() == [9, 8, 7, 6]
+
+    def test_inactive_lanes(self):
+        sm = SharedMemory(size=8, num_banks=4)
+        sm.load_tile(np.arange(8))
+        vals = sm.warp_read(np.array([3, -1, -1, 7]))
+        assert vals.tolist() == [3, 0, 0, 7]
+
+    def test_out_of_bounds(self):
+        sm = SharedMemory(size=4, num_banks=4)
+        with pytest.raises(SimulationError):
+            sm.warp_read(np.array([0, 1, 2, 4]))
+
+
+class TestConflictAccounting:
+    def test_reads_accumulate(self):
+        sm = SharedMemory(size=16, num_banks=4)
+        sm.warp_read(np.array([0, 4, 8, 12]))  # 4-way
+        sm.warp_read(np.array([0, 1, 2, 3]))  # free
+        assert sm.report.total_transactions == 5
+        assert sm.report.total_replays == 3
+
+    def test_crew_write_violation(self):
+        sm = SharedMemory(size=8, num_banks=4)
+        with pytest.raises(SimulationError, match="CREW"):
+            sm.warp_write(np.array([2, 2, 1, 0]), np.array([1, 1, 1, 1]))
+
+    def test_score_trace_batch(self):
+        sm = SharedMemory(size=16, num_banks=4)
+        trace = AccessTrace.from_dense(np.array([[0, 4, 8, 12], [1, 2, 3, 0]]))
+        report = sm.score_trace(trace)
+        assert report.total_transactions == 5
+        assert sm.report.total_transactions == 5
+
+    def test_reset_report(self):
+        sm = SharedMemory(size=8, num_banks=4)
+        sm.warp_read(np.array([0, 4, 1, 2]))
+        first = sm.reset_report()
+        assert first.total_replays == 1
+        assert sm.report.total_replays == 0

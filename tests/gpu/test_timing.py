@@ -1,0 +1,100 @@
+"""Unit tests for the timing model — monotonicity and calibration facts."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.gpu.device import QUADRO_M4000, RTX_2080_TI
+from repro.gpu.timing import KernelCost, TimingModel
+
+
+def cost(**kwargs) -> KernelCost:
+    base = dict(
+        shared_cycles=1_000_000,
+        shared_steps=400_000,
+        global_transactions=100_000,
+        global_words=3_000_000,
+        compute_warp_instructions=500_000,
+        kernel_launches=10,
+        warps_per_sm=32,
+    )
+    base.update(kwargs)
+    return KernelCost(**base)
+
+
+class TestStreams:
+    def test_more_conflicts_more_time(self):
+        model = TimingModel(QUADRO_M4000)
+        fast = model.seconds(cost(shared_cycles=500_000))
+        slow = model.seconds(cost(shared_cycles=5_000_000))
+        assert slow > fast
+
+    def test_more_traffic_more_time(self):
+        model = TimingModel(QUADRO_M4000)
+        assert model.global_seconds(cost(global_transactions=2_000_000)) > (
+            model.global_seconds(cost(global_transactions=1_000_000))
+        )
+
+    def test_low_occupancy_hurts_global(self):
+        model = TimingModel(QUADRO_M4000)
+        assert model.global_seconds(cost(warps_per_sm=4)) > model.global_seconds(
+            cost(warps_per_sm=32)
+        )
+
+    def test_occupancy_above_knee_is_free(self):
+        model = TimingModel(QUADRO_M4000)
+        assert model.global_seconds(cost(warps_per_sm=16)) == pytest.approx(
+            model.global_seconds(cost(warps_per_sm=32))
+        )
+
+    def test_launch_overhead_additive(self):
+        model = TimingModel(QUADRO_M4000)
+        delta = model.seconds(cost(kernel_launches=11)) - model.seconds(
+            cost(kernel_launches=10)
+        )
+        assert delta == pytest.approx(model.launch_overhead_s)
+
+    def test_overlap_bounds(self):
+        serial = TimingModel(QUADRO_M4000, overlap=0.0)
+        perfect = TimingModel(QUADRO_M4000, overlap=1.0)
+        default = TimingModel(QUADRO_M4000)
+        c = cost()
+        assert perfect.seconds(c) <= default.seconds(c) <= serial.seconds(c)
+
+    def test_throughput_consistent_with_seconds(self):
+        model = TimingModel(RTX_2080_TI)
+        c = cost()
+        meps = model.throughput_meps(c, 10_000_000)
+        assert meps == pytest.approx(10_000_000 / model.seconds(c) / 1e6)
+
+
+class TestKernelCost:
+    def test_merged_sums_and_keeps_min_residency(self):
+        a = cost(warps_per_sm=32)
+        b = cost(warps_per_sm=16)
+        m = a.merged(b)
+        assert m.shared_cycles == 2_000_000
+        assert m.warps_per_sm == 16
+        assert m.kernel_launches == 20
+
+    def test_scaled(self):
+        s = cost().scaled(2.0)
+        assert s.shared_cycles == 2_000_000
+        assert s.kernel_launches == 10  # launches don't scale with sampling
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            cost().scaled(-1.0)
+
+
+class TestValidation:
+    def test_bad_overlap(self):
+        with pytest.raises(ValidationError):
+            TimingModel(QUADRO_M4000, overlap=1.5)
+
+    def test_bad_knee(self):
+        with pytest.raises(ValidationError):
+            TimingModel(QUADRO_M4000, latency_knee_warps=0)
+
+    def test_bad_ipc(self):
+        with pytest.raises(ValidationError):
+            TimingModel(QUADRO_M4000, compute_ipc=0)

@@ -1,0 +1,142 @@
+"""Unit tests for the input generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.inputs.generators import (
+    GENERATORS,
+    conflict_heavy_input,
+    few_unique_input,
+    generate,
+    pad_to_tiles,
+    random_input,
+    sawtooth_input,
+)
+from repro.sort.config import SortConfig
+
+
+class TestRegistry:
+    def test_all_names_dispatch(self, small_config):
+        n = small_config.tile_size * 2
+        for name in GENERATORS:
+            data = generate(name, small_config, n, seed=0)
+            assert data.shape == (n,)
+
+    def test_unknown_name(self, small_config):
+        with pytest.raises(ValidationError, match="known:"):
+            generate("bogus", small_config, 48)
+
+
+class TestRandomInput:
+    def test_is_permutation(self, small_config):
+        data = random_input(small_config, 100, seed=1)
+        assert sorted(data.tolist()) == list(range(100))
+
+    def test_seeded_reproducible(self, small_config):
+        a = random_input(small_config, 64, seed=9)
+        b = random_input(small_config, 64, seed=9)
+        assert np.array_equal(a, b)
+
+
+class TestShapes:
+    def test_sorted_reverse(self, small_config):
+        assert generate("sorted", small_config, 5).tolist() == [0, 1, 2, 3, 4]
+        assert generate("reverse", small_config, 3).tolist() == [2, 1, 0]
+
+    def test_few_unique_alphabet(self, small_config):
+        data = few_unique_input(small_config, 1000, seed=0, num_values=4)
+        assert set(np.unique(data)) <= {0, 1, 2, 3}
+
+    def test_sawtooth_has_runs(self, small_config):
+        data = sawtooth_input(small_config, 64, teeth=4)
+        assert len(set(data.tolist())) == 64  # distinct keys
+        # Each tooth is ascending.
+        period = 16
+        for t in range(4):
+            tooth = data[t * period : (t + 1) * period]
+            assert (np.diff(tooth) > 0).all()
+
+
+class TestConflictHeavy:
+    def test_is_permutation(self, small_config):
+        n = small_config.tile_size * 2
+        data = conflict_heavy_input(small_config, n)
+        assert sorted(data.tolist()) == list(range(n))
+
+    def test_attacks_only_final_rounds(self):
+        """Partial adversary: the last two merge rounds serialize like the
+        full construction, earlier global rounds stay at the random level.
+        (Uses a meaningful E — at tiny E the E² target barely clears the
+        random max-load and the contrast washes out.)"""
+        from repro.sort.config import SortConfig
+        from repro.sort.pairwise import PairwiseMergeSort
+
+        cfg = SortConfig(elements_per_thread=7, block_size=32, warp_size=16)
+        n = cfg.tile_size * 16
+        data = conflict_heavy_input(cfg, n)
+        result = PairwiseMergeSort(cfg).sort(data)
+        glob = [r for r in result.rounds if r.kind == "global"]
+        costs = [r.merge_report.total_transactions for r in glob]
+        assert min(costs[-2:]) > 1.5 * max(costs[:-2])
+
+    def test_between_random_and_full_construction(self, rng):
+        """Karsin's regime: slower than random, short of the worst case —
+        on the targeted merge stages."""
+        from repro.inputs.generators import worst_case_input
+        from repro.sort.config import SortConfig
+        from repro.sort.pairwise import PairwiseMergeSort
+
+        cfg = SortConfig(elements_per_thread=7, block_size=32, warp_size=16)
+        n = cfg.tile_size * 16
+        sorter = PairwiseMergeSort(cfg)
+
+        def merge_cycles(result):
+            return sum(
+                r.merge_report.total_transactions
+                for r in result.rounds
+                if r.kind == "global"
+            )
+
+        heavy = merge_cycles(sorter.sort(conflict_heavy_input(cfg, n)))
+        worst = merge_cycles(sorter.sort(worst_case_input(cfg, n)))
+        random = merge_cycles(sorter.sort(rng.permutation(n)))
+        assert random < heavy < worst
+
+    def test_rejects_ragged(self, small_config):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            conflict_heavy_input(small_config, small_config.tile_size + 1)
+
+
+class TestPadToTiles:
+    def test_pads_to_valid_size(self, small_config):
+        data = np.arange(50)
+        padded = pad_to_tiles(data, small_config)
+        small_config.validate_input_size(padded.size)
+        assert np.array_equal(padded[:50], data)
+        assert (padded[50:] == 50).all()
+
+    def test_exact_size_is_copy(self, small_config):
+        data = np.arange(small_config.tile_size)
+        padded = pad_to_tiles(data, small_config)
+        assert padded is not data
+        assert np.array_equal(padded, data)
+
+    def test_rounds_tile_count_to_power_of_two(self, small_config):
+        data = np.arange(small_config.tile_size * 3)
+        padded = pad_to_tiles(data, small_config)
+        assert padded.size == small_config.tile_size * 4
+
+    def test_pad_sorts_to_tail(self, small_config):
+        from repro.sort.pairwise import PairwiseMergeSort
+
+        data = np.random.default_rng(0).permutation(50)
+        padded = pad_to_tiles(data, small_config)
+        result = PairwiseMergeSort(small_config).sort(padded)
+        assert np.array_equal(result.values[:50], np.arange(50))
+
+    def test_rejects_empty(self, small_config):
+        with pytest.raises(ValidationError):
+            pad_to_tiles(np.array([]), small_config)

@@ -1,0 +1,80 @@
+"""Unit tests for warp-trace assembly."""
+
+import numpy as np
+import pytest
+
+from repro.dmm.conflicts import count_conflicts
+from repro.dmm.trace import AccessTrace
+from repro.errors import ValidationError
+from repro.mergepath.kernels import (
+    merge_stage_trace,
+    stack_warp_steps,
+    thread_rank_addresses,
+    warp_traces,
+)
+
+
+class TestThreadRankAddresses:
+    def test_layout(self):
+        """Thread t reads rank tE+j at step j: matrix[j, t]."""
+        m = thread_rank_addresses(np.arange(6), 2)
+        assert m.shape == (2, 3)
+        assert m[:, 0].tolist() == [0, 1]
+        assert m[:, 2].tolist() == [4, 5]
+
+    def test_rejects_ragged(self):
+        with pytest.raises(ValidationError):
+            thread_rank_addresses(np.arange(5), 2)
+
+
+class TestWarpTraces:
+    def test_split_and_pad(self):
+        matrix = np.arange(12).reshape(2, 6)
+        traces = warp_traces(matrix, warp_size=4)
+        assert len(traces) == 2
+        assert traces[0].num_lanes == 4
+        assert traces[1].num_accesses == 4  # 2 real lanes x 2 steps
+
+    def test_negative_means_inactive(self):
+        traces = warp_traces(np.array([[-1, 3]]), warp_size=2)
+        assert traces[0].num_accesses == 1
+
+
+class TestMergeStageTrace:
+    def test_one_warp_per_group(self):
+        traces = merge_stage_trace(np.arange(8), 2, 4)
+        assert len(traces) == 1
+        assert traces[0].num_steps == 2
+
+    def test_conflict_equivalence_with_manual(self):
+        """Scoring the stage trace equals scoring addresses by hand."""
+        addrs = np.array([0, 4, 1, 5, 2, 6, 3, 7])
+        traces = merge_stage_trace(addrs, 2, 4)
+        r = count_conflicts(traces[0], 4)
+        # step 0: threads read ranks 0,2,4,6 -> addrs 0,1,2,3: free
+        # step 1: ranks 1,3,5,7 -> addrs 4,5,6,7: free
+        assert r.total_replays == 0
+
+
+class TestStackWarpSteps:
+    def test_equivalent_to_separate_scoring(self, rng):
+        matrix = rng.integers(0, 64, size=(3, 8)).astype(np.int64)
+        stacked = stack_warp_steps(matrix, 4)
+        assert stacked.shape == (6, 4)
+        combined = count_conflicts(AccessTrace.from_dense(stacked), 4)
+        separate = [
+            count_conflicts(t, 4) for t in warp_traces(matrix, 4)
+        ]
+        assert combined.total_transactions == sum(
+            s.total_transactions for s in separate
+        )
+        assert combined.total_replays == sum(s.total_replays for s in separate)
+        assert combined.max_degree == max(s.max_degree for s in separate)
+
+    def test_rejects_partial_warp(self):
+        with pytest.raises(ValidationError):
+            stack_warp_steps(np.zeros((2, 6), dtype=np.int64), 4)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            stack_warp_steps(np.zeros(4, dtype=np.int64), 4)

@@ -1,0 +1,174 @@
+"""Unit and property tests for Merge Path partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dmm.conflicts import count_conflicts
+from repro.errors import ValidationError
+from repro.mergepath.partition import (
+    merge_path_partition,
+    merge_path_search,
+    partition_many_with_trace,
+    partition_with_trace,
+)
+
+sorted_lists = st.lists(
+    st.integers(min_value=0, max_value=100), min_size=0, max_size=40
+).map(lambda xs: np.array(sorted(xs), dtype=np.int64))
+
+
+class TestMergePathSearch:
+    def test_interleaved(self):
+        a = np.array([1, 3, 5])
+        b = np.array([2, 4, 6])
+        assert merge_path_search(a, b, 0) == (0, 0)
+        assert merge_path_search(a, b, 3) == (2, 1)
+        assert merge_path_search(a, b, 6) == (3, 3)
+
+    def test_all_a_smaller(self):
+        a = np.array([1, 2])
+        b = np.array([10, 20])
+        assert merge_path_search(a, b, 2) == (2, 0)
+
+    def test_stability_ties_go_to_a(self):
+        a = np.array([5, 5])
+        b = np.array([5, 5])
+        assert merge_path_search(a, b, 1) == (1, 0)
+        assert merge_path_search(a, b, 2) == (2, 0)
+        assert merge_path_search(a, b, 3) == (2, 1)
+
+    def test_diagonal_out_of_range(self):
+        with pytest.raises(ValidationError):
+            merge_path_search(np.array([1]), np.array([2]), 3)
+
+    @settings(max_examples=200, deadline=None)
+    @given(sorted_lists, sorted_lists, st.data())
+    def test_split_is_correct_prefix(self, a, b, data):
+        """The split (i, j) must be exactly the stable-merge prefix."""
+        d = data.draw(st.integers(min_value=0, max_value=a.size + b.size))
+        i, j = merge_path_search(a, b, d)
+        assert i + j == d
+        assert 0 <= i <= a.size and 0 <= j <= b.size
+        # Prefix property: every taken element <= every untaken element,
+        # with a-priority on ties.
+        if i < a.size and j > 0:
+            assert b[j - 1] < a[i]  # b elements taken strictly before a[i]
+        if j < b.size and i > 0:
+            assert a[i - 1] <= b[j]  # ties go to a
+
+
+class TestPartition:
+    def test_quantiles_cover(self):
+        a = np.arange(0, 20, 2)
+        b = np.arange(1, 21, 2)
+        ai, bj = merge_path_partition(a, b, 4)
+        assert ai[0] == 0 and bj[0] == 0
+        assert ai[-1] == a.size and bj[-1] == b.size
+        sizes = np.diff(ai) + np.diff(bj)
+        assert (sizes == 5).all()
+
+    def test_rejects_ragged(self):
+        with pytest.raises(ValidationError):
+            merge_path_partition(np.arange(3), np.arange(4), 4)
+
+
+class TestPartitionWithTrace:
+    def test_matches_scalar_search(self, rng):
+        a = np.sort(rng.integers(0, 1000, size=64))
+        b = np.sort(rng.integers(0, 1000, size=64))
+        diagonals = np.arange(0, 129, 8)
+        ai, bj, _ = partition_with_trace(a, b, diagonals)
+        for d, i, j in zip(diagonals, ai, bj):
+            assert (i, j) == merge_path_search(a, b, int(d))
+
+    def test_trace_probes_are_in_bounds(self, rng):
+        a = np.sort(rng.integers(0, 100, size=32))
+        b = np.sort(rng.integers(0, 100, size=32))
+        ai, bj, trace = partition_with_trace(a, b, np.arange(0, 65, 4),
+                                             a_base=100, b_base=200)
+        active_addrs = trace.addresses[trace.active]
+        in_a = (active_addrs >= 100) & (active_addrs < 132)
+        in_b = (active_addrs >= 200) & (active_addrs < 232)
+        assert (in_a | in_b).all()
+
+    def test_trace_steps_bounded_by_log(self, rng):
+        a = np.sort(rng.integers(0, 100, size=64))
+        b = np.sort(rng.integers(0, 100, size=64))
+        _, _, trace = partition_with_trace(a, b, np.arange(0, 129, 2))
+        # ceil(log2(65)) = 7 bisection iterations x 2 probe steps each.
+        assert trace.num_steps <= 14
+
+    def test_trace_scoreable(self, rng):
+        a = np.sort(rng.integers(0, 100, size=32))
+        b = np.sort(rng.integers(0, 100, size=32))
+        _, _, trace = partition_with_trace(a, b, np.arange(32))
+        report = count_conflicts(trace, 32)
+        assert report.total_transactions >= trace.num_steps - 2
+
+    def test_diagonal_validation(self):
+        with pytest.raises(ValidationError):
+            partition_with_trace(np.arange(4), np.arange(4), np.array([9]))
+
+
+class TestPartitionManyWithTrace:
+    def test_matches_single_list_version(self, rng):
+        values = np.sort(rng.integers(0, 1000, size=128)).astype(np.int64)
+        a, b = values[:64], values[64:]
+        flat = np.concatenate([a, b])
+        lanes = 16
+        diagonals = np.arange(lanes, dtype=np.int64) * 8
+        lo, steps = partition_many_with_trace(
+            flat,
+            a_base=np.zeros(lanes, dtype=np.int64),
+            a_len=np.full(lanes, 64, dtype=np.int64),
+            b_base=np.full(lanes, 64, dtype=np.int64),
+            b_len=np.full(lanes, 64, dtype=np.int64),
+            diagonals=diagonals,
+        )
+        ai, bj, _ = partition_with_trace(a, b, diagonals)
+        assert np.array_equal(lo, ai)
+
+    def test_independent_windows(self, rng):
+        """Two lanes searching two different pairs of the same buffer."""
+        pair0 = np.sort(rng.integers(0, 50, size=8))
+        pair1 = np.sort(rng.integers(50, 99, size=8))
+        flat = np.concatenate([pair0, pair1]).astype(np.int64)
+        lo, _ = partition_many_with_trace(
+            flat,
+            a_base=np.array([0, 8]),
+            a_len=np.array([4, 4]),
+            b_base=np.array([4, 12]),
+            b_len=np.array([4, 4]),
+            diagonals=np.array([4, 4]),
+        )
+        want0, _ = merge_path_search(pair0[:4], pair0[4:], 4)
+        want1, _ = merge_path_search(pair1[:4], pair1[4:], 4)
+        assert lo.tolist() == [want0, want1]
+
+    def test_shape_validation(self):
+        with pytest.raises(ValidationError):
+            partition_many_with_trace(
+                np.arange(8),
+                a_base=np.array([0]),
+                a_len=np.array([4, 4]),
+                b_base=np.array([4]),
+                b_len=np.array([4]),
+                diagonals=np.array([2]),
+            )
+
+    def test_trace_base_remapping(self, rng):
+        values = np.sort(rng.integers(0, 100, size=16)).astype(np.int64)
+        _, steps = partition_many_with_trace(
+            values,
+            a_base=np.array([0]),
+            a_len=np.array([8]),
+            b_base=np.array([8]),
+            b_len=np.array([8]),
+            diagonals=np.array([8]),
+            trace_a_base=np.array([1000]),
+            trace_b_base=np.array([2000]),
+        )
+        active = steps[steps >= 0]
+        assert ((active >= 1000) & (active < 1008) | (active >= 2000)).all()

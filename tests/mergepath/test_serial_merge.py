@@ -1,0 +1,101 @@
+"""Unit and property tests for merges-as-interleavings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.mergepath.serial_merge import (
+    interleaving_addresses,
+    merge_values,
+    stable_merge_interleaving,
+    unmerge,
+)
+
+sorted_arrays = st.lists(
+    st.integers(min_value=-100, max_value=100), min_size=0, max_size=50
+).map(lambda xs: np.array(sorted(xs), dtype=np.int64))
+
+
+class TestStableMergeInterleaving:
+    def test_simple(self):
+        src = stable_merge_interleaving(np.array([1, 4]), np.array([2, 3]))
+        assert src.tolist() == [True, False, False, True]
+
+    def test_ties_take_a_first(self):
+        src = stable_merge_interleaving(np.array([5]), np.array([5]))
+        assert src.tolist() == [True, False]
+
+    def test_empty_sides(self):
+        assert stable_merge_interleaving(np.array([]), np.array([1])).tolist() == [
+            False
+        ]
+        assert stable_merge_interleaving(np.array([1]), np.array([])).tolist() == [
+            True
+        ]
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValidationError):
+            stable_merge_interleaving(np.array([2, 1]), np.array([]))
+
+    @settings(max_examples=200, deadline=None)
+    @given(sorted_arrays, sorted_arrays)
+    def test_matches_numpy(self, a, b):
+        merged = merge_values(a, b)
+        assert np.array_equal(merged, np.sort(np.concatenate([a, b]), kind="stable"))
+
+    @settings(max_examples=200, deadline=None)
+    @given(sorted_arrays, sorted_arrays)
+    def test_counts(self, a, b):
+        src = stable_merge_interleaving(a, b)
+        assert int(src.sum()) == a.size
+        assert src.size == a.size + b.size
+
+
+class TestInterleavingAddresses:
+    def test_default_layout(self):
+        src = np.array([True, False, False, True])
+        assert interleaving_addresses(src).tolist() == [0, 2, 3, 1]
+
+    def test_custom_bases(self):
+        src = np.array([False, True])
+        assert interleaving_addresses(src, a_base=10, b_base=20).tolist() == [20, 10]
+
+    def test_all_addresses_unique_and_complete(self, rng):
+        src = rng.random(64) < 0.5
+        addrs = interleaving_addresses(src)
+        assert sorted(addrs.tolist()) == list(range(64))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            interleaving_addresses(np.zeros((2, 2), dtype=bool))
+
+
+class TestUnmerge:
+    def test_roundtrip_simple(self):
+        a = np.array([1, 4])
+        b = np.array([2, 3])
+        merged = merge_values(a, b)
+        src = stable_merge_interleaving(a, b)
+        a2, b2 = unmerge(merged, src)
+        assert np.array_equal(a2, a) and np.array_equal(b2, b)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(min_value=0, max_value=60), st.data())
+    def test_unmerge_then_merge_is_identity(self, n, data):
+        """For distinct keys, unmerge(sorted, pattern) then merge == sorted,
+        and the merge reproduces the pattern exactly (the property the whole
+        adversarial construction rests on)."""
+        pattern = np.array(
+            data.draw(st.lists(st.booleans(), min_size=n, max_size=n)), dtype=bool
+        )
+        merged = np.arange(n, dtype=np.int64) * 3 + 7
+        a, b = unmerge(merged, pattern)
+        assert np.array_equal(merge_values(a, b), merged)
+        if n:
+            assert np.array_equal(stable_merge_interleaving(a, b), pattern)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            unmerge(np.arange(4), np.array([True, False]))

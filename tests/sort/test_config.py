@@ -1,0 +1,78 @@
+"""Unit tests for SortConfig."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ValidationError
+from repro.sort.config import SortConfig
+
+
+class TestValidation:
+    def test_block_must_be_power_of_two(self):
+        with pytest.raises(ValidationError):
+            SortConfig(elements_per_thread=15, block_size=500)
+
+    def test_block_at_least_warp(self):
+        with pytest.raises(ConfigurationError):
+            SortConfig(elements_per_thread=15, block_size=16, warp_size=32)
+
+    def test_positive_e(self):
+        with pytest.raises(ValidationError):
+            SortConfig(elements_per_thread=0, block_size=32)
+
+
+class TestDerived:
+    def test_paper_thrust_maxwell(self):
+        cfg = SortConfig(elements_per_thread=15, block_size=512)
+        assert cfg.tile_size == 7680
+        assert cfg.warps_per_block == 16
+        assert cfg.shared_bytes_per_block == 30720  # 30 KiB, per the paper
+        assert cfg.is_coprime
+        assert cfg.num_block_rounds == 9
+
+    def test_paper_thrust_cc60(self):
+        cfg = SortConfig(elements_per_thread=17, block_size=256)
+        assert cfg.shared_bytes_per_block == 17408  # 17 KiB, per the paper
+        assert cfg.is_coprime
+
+    def test_gcd(self):
+        assert SortConfig(elements_per_thread=12, block_size=64,
+                          warp_size=16).gcd_we == 4
+
+    def test_num_global_rounds(self):
+        cfg = SortConfig(elements_per_thread=15, block_size=512)
+        assert cfg.num_global_rounds(7680) == 0
+        assert cfg.num_global_rounds(7680 * 1024) == 10
+
+    def test_num_threads(self):
+        cfg = SortConfig(elements_per_thread=15, block_size=512)
+        assert cfg.num_threads(7680 * 2) == 1024
+
+
+class TestInputSizes:
+    def test_accepts_tile_times_power_of_two(self):
+        cfg = SortConfig(elements_per_thread=3, block_size=8, warp_size=4)
+        for k in range(5):
+            assert cfg.validate_input_size(24 * (1 << k)) == 24 * (1 << k)
+
+    def test_rejects_non_multiple(self):
+        cfg = SortConfig(elements_per_thread=3, block_size=8, warp_size=4)
+        with pytest.raises(ConfigurationError, match="nearest valid"):
+            cfg.validate_input_size(25)
+
+    def test_rejects_non_power_tile_count(self):
+        cfg = SortConfig(elements_per_thread=3, block_size=8, warp_size=4)
+        with pytest.raises(ConfigurationError):
+            cfg.validate_input_size(24 * 3)
+
+    def test_valid_sizes(self):
+        cfg = SortConfig(elements_per_thread=3, block_size=8, warp_size=4)
+        assert cfg.valid_sizes(200) == [24, 48, 96, 192]
+
+    def test_paper_sweep_sizes_are_valid(self):
+        """Every N the paper reports a peak at is bE·2^k for its preset."""
+        thrust = SortConfig(elements_per_thread=15, block_size=512)
+        for n in (7_864_320, 31_457_280, 62_914_560, 3_932_160):
+            assert thrust.validate_input_size(n) == n
+        cc60 = SortConfig(elements_per_thread=17, block_size=256)
+        for n in (35_651_584, 285_212_672):
+            assert cc60.validate_input_size(n) == n

@@ -1,0 +1,51 @@
+"""Unit tests for the host-side reference sort."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.sort.cpu_reference import cpu_merge_sort, is_sorted
+
+
+class TestIsSorted:
+    def test_cases(self):
+        assert is_sorted(np.array([]))
+        assert is_sorted(np.array([1]))
+        assert is_sorted(np.array([1, 1, 2]))
+        assert not is_sorted(np.array([2, 1]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            is_sorted(np.zeros((2, 2)))
+
+
+class TestCpuMergeSort:
+    def test_empty(self):
+        assert cpu_merge_sort(np.array([], dtype=np.int64)).size == 0
+
+    def test_matches_numpy(self, rng):
+        data = rng.integers(0, 1000, size=64)
+        assert np.array_equal(cpu_merge_sort(data), np.sort(data))
+
+    def test_run_length_base(self, rng):
+        data = rng.integers(0, 1000, size=48)
+        assert np.array_equal(cpu_merge_sort(data, run_length=3), np.sort(data))
+
+    def test_rejects_bad_run_length(self):
+        with pytest.raises(ValidationError):
+            cpu_merge_sort(np.arange(10), run_length=3)
+
+    def test_rejects_non_power_of_two_runs(self):
+        with pytest.raises(ValidationError):
+            cpu_merge_sort(np.arange(12), run_length=4)  # 3 runs
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=5), st.data())
+    def test_random_power_of_two_sizes(self, k, data):
+        n = 1 << k
+        values = np.array(
+            data.draw(st.lists(st.integers(-50, 50), min_size=n, max_size=n))
+        )
+        assert np.array_equal(cpu_merge_sort(values), np.sort(values))

@@ -1,0 +1,191 @@
+"""Unit, integration, and property tests for the pairwise merge sort
+simulator — correctness of the sort itself plus instrumentation sanity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.inputs.generators import generate
+from repro.sort.config import SortConfig
+from repro.sort.pairwise import PairwiseMergeSort
+
+
+class TestSortCorrectness:
+    def test_identity_on_sorted(self, tiny_config):
+        n = tiny_config.tile_size * 2
+        data = np.arange(n)
+        result = PairwiseMergeSort(tiny_config).sort(data)
+        assert np.array_equal(result.values, data)
+
+    def test_random_permutation(self, small_config, rng):
+        n = small_config.tile_size * 8
+        data = rng.permutation(n)
+        result = PairwiseMergeSort(small_config).sort(data)
+        assert np.array_equal(result.values, np.arange(n))
+
+    def test_duplicates(self, small_config, rng):
+        n = small_config.tile_size * 4
+        data = rng.integers(0, 7, size=n)
+        result = PairwiseMergeSort(small_config).sort(data)
+        assert np.array_equal(result.values, np.sort(data))
+
+    def test_all_equal(self, tiny_config):
+        n = tiny_config.tile_size * 2
+        data = np.full(n, 42)
+        result = PairwiseMergeSort(tiny_config).sort(data)
+        assert np.array_equal(result.values, data)
+
+    def test_reverse_sorted(self, large_e_config):
+        n = large_e_config.tile_size * 4
+        data = np.arange(n)[::-1]
+        result = PairwiseMergeSort(large_e_config).sort(data)
+        assert np.array_equal(result.values, np.arange(n))
+
+    def test_negative_values(self, tiny_config, rng):
+        n = tiny_config.tile_size * 2
+        data = rng.integers(-1000, 1000, size=n)
+        result = PairwiseMergeSort(tiny_config).sort(data)
+        assert np.array_equal(result.values, np.sort(data))
+
+    def test_single_tile_no_global_rounds(self, tiny_config, rng):
+        data = rng.permutation(tiny_config.tile_size)
+        result = PairwiseMergeSort(tiny_config).sort(data)
+        assert np.array_equal(result.values, np.arange(tiny_config.tile_size))
+        assert result.num_rounds == tiny_config.num_block_rounds
+
+    def test_rejects_invalid_size(self, tiny_config):
+        with pytest.raises(ConfigurationError):
+            PairwiseMergeSort(tiny_config).sort(np.arange(100))
+
+    def test_input_not_mutated(self, tiny_config, rng):
+        data = rng.permutation(tiny_config.tile_size * 2)
+        copy = data.copy()
+        PairwiseMergeSort(tiny_config).sort(data)
+        assert np.array_equal(data, copy)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.data())
+    def test_property_sorts_anything(self, data):
+        cfg = SortConfig(elements_per_thread=3, block_size=4, warp_size=4)
+        tiles = data.draw(st.sampled_from([1, 2, 4, 8]))
+        n = cfg.tile_size * tiles
+        values = np.array(
+            data.draw(st.lists(st.integers(-50, 50), min_size=n, max_size=n))
+        )
+        result = PairwiseMergeSort(cfg).sort(values)
+        assert np.array_equal(result.values, np.sort(values))
+
+
+class TestRoundStructure:
+    def test_round_labels_and_counts(self, small_config, rng):
+        n = small_config.tile_size * 4
+        result = PairwiseMergeSort(small_config).sort(rng.permutation(n))
+        kinds = [r.kind for r in result.rounds]
+        assert kinds[0] == "registers"
+        assert kinds.count("block") == small_config.num_block_rounds
+        assert kinds.count("global") == 2
+
+    def test_run_lengths_double(self, small_config, rng):
+        n = small_config.tile_size * 2
+        result = PairwiseMergeSort(small_config).sort(rng.permutation(n))
+        merges = [r for r in result.rounds if r.kind != "registers"]
+        lengths = [r.run_length for r in merges]
+        assert lengths == [small_config.E * (1 << i) for i in range(len(merges))]
+
+
+class TestInstrumentation:
+    def test_register_staging_coprime_is_conflict_free(self, rng):
+        """GCD(E, w) = 1 makes the E-strided register loads conflict free —
+        the Dotsenko observation the paper cites."""
+        cfg = SortConfig(elements_per_thread=3, block_size=8, warp_size=4)
+        result = PairwiseMergeSort(cfg).sort(rng.permutation(cfg.tile_size))
+        assert result.rounds[0].staging_report.total_replays == 0
+
+    def test_register_staging_power_of_two_conflicts(self, rng):
+        """E = w makes every register load a full-warp conflict."""
+        cfg = SortConfig(elements_per_thread=4, block_size=8, warp_size=4)
+        result = PairwiseMergeSort(cfg).sort(rng.permutation(cfg.tile_size))
+        staging = result.rounds[0].staging_report
+        assert staging.max_degree == 4
+
+    def test_global_traffic_words(self, small_config, rng):
+        n = small_config.tile_size * 4
+        result = PairwiseMergeSort(small_config).sort(rng.permutation(n))
+        traffic = result.total_global_traffic()
+        # base (2N) + 2 global rounds x (2N + probes)
+        assert traffic.words >= 6 * n
+
+    def test_block_rounds_have_no_global_traffic(self, small_config, rng):
+        n = small_config.tile_size * 2
+        result = PairwiseMergeSort(small_config).sort(rng.permutation(n))
+        for r in result.rounds:
+            if r.kind == "block":
+                assert r.global_traffic.transactions == 0
+
+    def test_kernel_cost_aggregation(self, small_config, rng):
+        n = small_config.tile_size * 4
+        result = PairwiseMergeSort(small_config).sort(rng.permutation(n))
+        cost = result.kernel_cost(32)
+        assert cost.shared_cycles == round(result.total_shared_cycles())
+        assert cost.kernel_launches == 1 + 2 * 2
+        assert cost.warps_per_sm == 32
+
+    def test_replays_per_element_positive_for_random(self, small_config, rng):
+        n = small_config.tile_size * 4
+        result = PairwiseMergeSort(small_config).sort(rng.permutation(n))
+        assert result.replays_per_element() > 0
+
+
+class TestSampledScoring:
+    def test_sampling_estimates_exact(self, small_config, rng):
+        """Sampled scoring must estimate full scoring within noise."""
+        n = small_config.tile_size * 32
+        data = rng.permutation(n)
+        sorter = PairwiseMergeSort(small_config)
+        exact = sorter.sort(data)
+        sampled = sorter.sort(data, score_blocks=8)
+        assert np.array_equal(exact.values, sampled.values)
+        ratio = sampled.total_shared_cycles() / exact.total_shared_cycles()
+        assert 0.9 < ratio < 1.1
+
+    def test_sampling_exact_on_periodic_input(self, small_config):
+        """The constructed input is block-periodic: a 2-block sample is
+        exact for merge-stage cycles."""
+        from repro.adversary.permutation import worst_case_permutation
+
+        n = small_config.tile_size * 16
+        data = worst_case_permutation(small_config, n)
+        sorter = PairwiseMergeSort(small_config)
+        exact = sorter.sort(data)
+        sampled = sorter.sort(data, score_blocks=2)
+        for r_exact, r_sampled in zip(exact.rounds, sampled.rounds):
+            if r_exact.kind == "global":
+                per_block_exact = (
+                    r_exact.merge_report.total_transactions / r_exact.blocks_scored
+                )
+                per_block_sampled = (
+                    r_sampled.merge_report.total_transactions
+                    / r_sampled.blocks_scored
+                )
+                assert per_block_exact == per_block_sampled
+
+    def test_invalid_score_blocks(self, small_config, rng):
+        with pytest.raises(SimulationError):
+            PairwiseMergeSort(small_config).sort(
+                rng.permutation(small_config.tile_size * 2), score_blocks=0
+            )
+
+
+class TestAllGenerators:
+    @pytest.mark.parametrize(
+        "name",
+        ["random", "sorted", "reverse", "few-unique", "sawtooth",
+         "conflict-heavy", "worst-case"],
+    )
+    def test_sorts_every_generator(self, small_config, name):
+        n = small_config.tile_size * 4
+        data = generate(name, small_config, n, seed=7)
+        result = PairwiseMergeSort(small_config).sort(data)
+        assert np.array_equal(result.values, np.sort(data))

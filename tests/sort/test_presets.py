@@ -1,0 +1,53 @@
+"""Unit tests for the library presets."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.gpu.device import QUADRO_M4000, RTX_2080_TI
+from repro.sort.presets import (
+    MGPU_MAXWELL,
+    THRUST_CC60,
+    THRUST_MAXWELL,
+    default_presets_for,
+    preset,
+)
+
+
+class TestPaperParameters:
+    def test_thrust_maxwell(self):
+        """CUDA 10.1 Thrust on the Quadro M4000: E=15, b=512."""
+        assert THRUST_MAXWELL.E == 15
+        assert THRUST_MAXWELL.b == 512
+
+    def test_thrust_cc60(self):
+        """Thrust compute-6.0 defaults (RTX 2080 Ti fallback): E=17, b=256."""
+        assert THRUST_CC60.E == 17
+        assert THRUST_CC60.b == 256
+
+    def test_mgpu_maxwell(self):
+        """Modern GPU on the Quadro M4000: E=15, b=128."""
+        assert MGPU_MAXWELL.E == 15
+        assert MGPU_MAXWELL.b == 128
+
+    def test_all_coprime_with_warp(self):
+        for cfg in (THRUST_MAXWELL, THRUST_CC60, MGPU_MAXWELL):
+            assert cfg.is_coprime  # odd E — why the constructions apply
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert preset("thrust-maxwell") is THRUST_MAXWELL
+        assert preset("THRUST-E15-B512") is THRUST_MAXWELL
+        assert preset("mgpu-e15-b128") is MGPU_MAXWELL
+
+    def test_unknown(self):
+        with pytest.raises(ValidationError, match="known:"):
+            preset("radix")
+
+
+class TestDefaults:
+    def test_rtx_gets_both_parameter_sets(self):
+        assert default_presets_for(RTX_2080_TI) == [THRUST_MAXWELL, THRUST_CC60]
+
+    def test_maxwell_gets_library_tunings(self):
+        assert default_presets_for(QUADRO_M4000) == [THRUST_MAXWELL, MGPU_MAXWELL]

@@ -1,0 +1,136 @@
+"""Differential tests: the executable reference kernel vs the fast path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dmm.conflicts import count_conflicts
+from repro.dmm.trace import AccessTrace
+from repro.errors import ValidationError
+from repro.mergepath.kernels import stack_warp_steps, thread_rank_addresses
+from repro.mergepath.partition import merge_path_search, partition_with_trace
+from repro.mergepath.serial_merge import (
+    interleaving_addresses,
+    merge_values,
+    stable_merge_interleaving,
+)
+from repro.sort.config import SortConfig
+from repro.sort.reference_kernel import reference_block_merge
+
+
+def fast_path(a, b, cfg):
+    """The batched computation PairwiseMergeSort uses, for one merge."""
+    src_a = stable_merge_interleaving(a, b)
+    merged = merge_values(a, b)
+    addr = interleaving_addresses(src_a)  # A at [0, na), B after
+    threads = (a.size + b.size) // cfg.E
+    matrix = thread_rank_addresses(addr, cfg.E)
+    num_warps = -(-threads // cfg.w)
+    padded = np.full((cfg.E, num_warps * cfg.w), -1, dtype=np.int64)
+    padded[:, :threads] = matrix
+    merge_report = count_conflicts(
+        AccessTrace.from_dense(stack_warp_steps(padded, cfg.w)), cfg.w
+    )
+    diagonals = np.arange(threads, dtype=np.int64) * cfg.E
+    ai, _, _ = partition_with_trace(a, b, diagonals, a_base=0, b_base=a.size)
+    return merged, ai, merge_report
+
+
+@pytest.fixture
+def cfg():
+    return SortConfig(elements_per_thread=3, block_size=8, warp_size=8)
+
+
+class TestReferenceMerge:
+    def test_values_match_numpy(self, cfg, rng):
+        a = np.sort(rng.integers(0, 100, size=12))
+        b = np.sort(rng.integers(0, 100, size=12))
+        result = reference_block_merge(a, b, cfg)
+        assert np.array_equal(result.merged, np.sort(np.concatenate([a, b]),
+                                                     kind="stable"))
+
+    def test_unbalanced_lists(self, cfg, rng):
+        a = np.sort(rng.integers(0, 50, size=3))
+        b = np.sort(rng.integers(0, 50, size=21))
+        result = reference_block_merge(a, b, cfg)
+        assert np.array_equal(result.merged, merge_values(a, b))
+
+    def test_empty_a(self, cfg):
+        b = np.arange(24)
+        result = reference_block_merge(np.array([], dtype=np.int64), b, cfg)
+        assert np.array_equal(result.merged, b)
+
+    def test_partition_matches_scalar_search(self, cfg, rng):
+        a = np.sort(rng.integers(0, 30, size=12))
+        b = np.sort(rng.integers(0, 30, size=12))
+        result = reference_block_merge(a, b, cfg)
+        for t, split in enumerate(result.a_split):
+            want, _ = merge_path_search(a, b, t * cfg.E)
+            assert split == want
+
+    def test_rejects_ragged(self, cfg):
+        with pytest.raises(ValidationError):
+            reference_block_merge(np.arange(4), np.arange(3), cfg)
+
+    def test_rejects_unsorted(self, cfg):
+        with pytest.raises(ValidationError):
+            reference_block_merge(np.array([2, 1, 0]), np.arange(3), cfg)
+
+
+class TestDifferentialAgainstFastPath:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_merge_conflicts_agree(self, data):
+        """Reference execution and batched scoring count identically."""
+        cfg = SortConfig(elements_per_thread=3, block_size=8, warp_size=8)
+        tile = 48
+        na = data.draw(st.integers(min_value=0, max_value=tile))
+        keys = np.array(
+            data.draw(
+                st.lists(st.integers(0, 40), min_size=tile, max_size=tile)
+            )
+        )
+        a = np.sort(keys[:na])
+        b = np.sort(keys[na:])
+        reference = reference_block_merge(a, b, cfg)
+        merged, ai, merge_report = fast_path(a, b, cfg)
+        assert np.array_equal(reference.merged, merged)
+        assert np.array_equal(reference.a_split, ai)
+        assert (
+            reference.merge_report.total_transactions
+            == merge_report.total_transactions
+        )
+        assert reference.merge_report.total_replays == merge_report.total_replays
+
+    def test_adversarial_block_agrees(self):
+        """The constructed warp input scores identically both ways — and at
+        exactly the theorem count."""
+        from repro.adversary.assignment import construct_warp_assignment
+        from repro.mergepath.serial_merge import unmerge
+
+        w, e = 16, 7
+        cfg = SortConfig(elements_per_thread=e, block_size=16, warp_size=w)
+        wa = construct_warp_assignment(w, e)
+        pattern = wa.interleaving()
+        a, b = unmerge(np.arange(w * e, dtype=np.int64), pattern)
+        reference = reference_block_merge(a, b, cfg)
+        # One warp, E steps, each with an E-way aligned pile-up: E² cycles.
+        assert reference.merge_report.total_transactions == e * e
+
+    def test_padding_agrees_with_fast_path_counts(self, rng):
+        """Padded reference execution matches the padded batched scoring."""
+        from repro.mitigation.padding import pad_addresses
+
+        cfg = SortConfig(elements_per_thread=3, block_size=8, warp_size=8)
+        keys = rng.permutation(48)
+        a = np.sort(keys[:24])
+        b = np.sort(keys[24:])
+        reference = reference_block_merge(a, b, cfg, padding=1)
+
+        src_a = stable_merge_interleaving(a, b)
+        addr = interleaving_addresses(src_a)
+        matrix = thread_rank_addresses(addr, cfg.E)
+        padded = pad_addresses(stack_warp_steps(matrix, cfg.w), cfg.w, 1)
+        want = count_conflicts(AccessTrace.from_dense(padded), cfg.w)
+        assert reference.merge_report.total_transactions == want.total_transactions

@@ -1,0 +1,91 @@
+"""Unit tests for RoundStats / SortResult aggregation arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.dmm.conflicts import ConflictReport, count_conflicts
+from repro.dmm.trace import AccessTrace
+from repro.gpu.global_memory import GlobalTraffic
+from repro.sort.config import SortConfig
+from repro.sort.pairwise import RoundStats, SortResult
+
+
+def report(dense):
+    return count_conflicts(AccessTrace.from_dense(np.asarray(dense)), 4)
+
+
+def make_round(label="r", kind="global", scored=2, total=6, **kwargs):
+    defaults = dict(
+        label=label,
+        kind=kind,
+        run_length=8,
+        merge_report=report([[0, 4, 8, 1]]),  # 3 tx, 2 replays
+        partition_report=report([[0, 1, 2, 3]]),  # 1 tx, 0 replays
+        staging_report=ConflictReport.empty(4),
+        global_traffic=GlobalTraffic(transactions=10, words=40),
+        compute_instructions=100,
+        blocks_total=total,
+        blocks_scored=scored,
+    )
+    defaults.update(kwargs)
+    return RoundStats(**defaults)
+
+
+class TestRoundStats:
+    def test_scale(self):
+        assert make_round(scored=2, total=6).scale == 3.0
+        assert make_round(scored=6, total=6).scale == 1.0
+
+    def test_scaled_cycles(self):
+        r = make_round(scored=2, total=6)
+        # merge 3 + partition 1 = 4 traced transactions, x3 scale.
+        assert r.shared_cycles == 12.0
+        assert r.replays == 6.0  # 2 replays x3
+
+    def test_staging_not_scaled(self):
+        staging = report([[0, 4, 8, 12]]).scaled(5)
+        r = make_round(scored=1, total=10, staging_report=staging)
+        assert r.shared_cycles == (3 + 1) * 10 + staging.total_transactions
+
+    def test_stage_specific_replays(self):
+        r = make_round(scored=3, total=6)
+        assert r.merge_replays == 4.0  # 2 x2
+        assert r.partition_replays == 0.0
+
+    def test_zero_scored(self):
+        r = make_round(scored=0, total=0)
+        assert r.scale == 0.0
+
+
+class TestSortResult:
+    def make_result(self):
+        cfg = SortConfig(elements_per_thread=3, block_size=8, warp_size=4)
+        result = SortResult(values=np.arange(48), config=cfg, num_elements=48)
+        result.rounds = [
+            make_round("base", kind="registers", scored=2, total=2,
+                       global_traffic=GlobalTraffic(4, 16)),
+            make_round("g1", kind="global", scored=2, total=2),
+            make_round("g2", kind="global", scored=2, total=2),
+        ]
+        return result
+
+    def test_num_rounds_excludes_registers(self):
+        assert self.make_result().num_rounds == 2
+
+    def test_totals(self):
+        result = self.make_result()
+        assert result.total_shared_cycles() == 3 * 4.0
+        assert result.total_replays() == 3 * 2.0
+        assert result.replays_per_element() == pytest.approx(6 / 48)
+
+    def test_traffic_merged(self):
+        traffic = self.make_result().total_global_traffic()
+        assert traffic.transactions == 10 + 10 + 4
+        assert traffic.words == 40 + 40 + 16
+
+    def test_kernel_cost_launches(self):
+        cost = self.make_result().kernel_cost(warps_per_sm=16)
+        assert cost.kernel_launches == 1 + 2 * 2
+        assert cost.warps_per_sm == 16
+        assert cost.shared_cycles == 12
+        assert cost.compute_warp_instructions == 300

@@ -1,0 +1,112 @@
+"""CLI smoke tests (everything runs through main() with small sizes)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestConstruct:
+    def test_small_e(self, capsys):
+        assert main(["construct", "--warp", "16", "-E", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "aligned=49" in out
+        assert "bank 15" in out
+
+    def test_large_e(self, capsys):
+        assert main(["construct", "--warp", "16", "-E", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "aligned=80" in out
+
+
+class TestSimulate:
+    def test_worst_case_run(self, capsys):
+        assert (
+            main(
+                ["simulate", "--preset", "mgpu-maxwell", "--tiles", "4",
+                 "--input", "worst-case", "--score-blocks", "2"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "sorted correctly: True" in out
+        assert "Melem/s" in out
+
+    def test_random_run(self, capsys):
+        assert (
+            main(["simulate", "--preset", "mgpu-maxwell", "--tiles", "2",
+                  "--input", "random"])
+            == 0
+        )
+        assert "sorted correctly: True" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_small_sweep(self, capsys):
+        assert (
+            main(
+                ["sweep", "--preset", "mgpu-maxwell",
+                 "--max-elements", "1000000",
+                 "--exact-threshold", "262144"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "worst-case vs random" in out
+        assert "slowdown" in out
+
+
+class TestFigure:
+    def test_figure1(self, capsys):
+        assert main(["figure", "1"]) == 0
+        assert "aligned=48" in capsys.readouterr().out
+
+    def test_figure3(self, capsys):
+        assert main(["figure", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "aligned=49" in out and "aligned=80" in out
+
+    def test_theory(self, capsys):
+        assert main(["figure", "theory", "--markdown"]) == 0
+        assert "| 32 | 15 | small | 225 | 225 |" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_figure6_small(self, capsys):
+        assert main(["figure", "6", "--max-elements", "2000000"]) == 0
+        assert "Figure 6" in capsys.readouterr().out
+
+
+class TestAnalyze:
+    def test_table_and_theory_lines(self, capsys):
+        assert main(["analyze", "--preset", "mgpu-maxwell", "--tiles", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "beta1" in out and "worst-case" in out
+        assert "balls-in-bins" in out
+
+
+class TestJsonExport:
+    def test_figure3_json(self, tmp_path, capsys):
+        target = tmp_path / "fig3.json"
+        assert main(["figure", "3", "--json", str(target)]) == 0
+        import json
+
+        data = json.loads(target.read_text())
+        assert data["small"]["aligned"] == 49
+        assert data["large"]["aligned"] == 80
+
+    def test_theory_json(self, tmp_path):
+        target = tmp_path / "theory.json"
+        assert main(["figure", "theory", "--json", str(target)]) == 0
+        import json
+
+        rows = json.loads(target.read_text())["rows"]
+        assert any(r["E"] == 15 and r["predicted"] == 225 for r in rows)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_rejects_unknown_input(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--input", "bogus"])

@@ -1,0 +1,95 @@
+"""CLI tests for the reproduce command and remaining error paths."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestReproduce:
+    def test_single_experiment(self, capsys):
+        assert main(["reproduce", "--only", "figures-1-and-3"]) == 0
+        out = capsys.readouterr().out
+        assert "[PASS] figures-1-and-3" in out
+        assert "1/1 experiments passed" in out
+
+    def test_theorem_experiments(self, capsys):
+        assert main(["reproduce", "--only", "theorem-3-small-E"]) == 0
+        assert "align exactly E^2" in capsys.readouterr().out
+
+    def test_unknown_experiment(self):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            main(["reproduce", "--only", "bogus"])
+
+
+class TestGridCli:
+    def test_small_grid(self, capsys):
+        assert (
+            main(
+                ["grid", "--es", "7", "--bs", "128",
+                 "--target-elements", "200000"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "best random-input config" in out
+        assert "E=7" in out
+
+
+class TestRunnerErrorPaths:
+    def test_calibration_size_needs_two_tiles(self):
+        from repro.bench.runner import SweepRunner
+        from repro.errors import ValidationError
+        from repro.gpu.device import QUADRO_M4000
+        from repro.sort.config import SortConfig
+
+        cfg = SortConfig(elements_per_thread=15, block_size=512, warp_size=32)
+        runner = SweepRunner(cfg, QUADRO_M4000,
+                             exact_threshold=cfg.tile_size)  # one tile only
+        with pytest.raises(ValidationError, match="calibration"):
+            runner.run_point("random", cfg.tile_size * 4)
+
+
+class TestTimingComputeStream:
+    def test_compute_can_dominate(self):
+        from repro.gpu.device import QUADRO_M4000
+        from repro.gpu.timing import KernelCost, TimingModel
+
+        model = TimingModel(QUADRO_M4000, compute_ipc=0.001)
+        cost = KernelCost(
+            shared_cycles=10,
+            shared_steps=10,
+            global_transactions=10,
+            global_words=320,
+            compute_warp_instructions=10**9,
+            kernel_launches=1,
+            warps_per_sm=32,
+        )
+        assert model.compute_seconds(cost) > model.shared_seconds(cost)
+        assert model.seconds(cost) >= model.compute_seconds(cost)
+
+    def test_low_occupancy_hurts_compute(self):
+        from repro.gpu.device import QUADRO_M4000
+        from repro.gpu.timing import KernelCost, TimingModel
+
+        model = TimingModel(QUADRO_M4000)
+        hi = KernelCost(compute_warp_instructions=10**6, warps_per_sm=32)
+        lo = KernelCost(compute_warp_instructions=10**6, warps_per_sm=2)
+        assert model.compute_seconds(lo) > model.compute_seconds(hi)
+
+
+class TestBitonicKernelCost:
+    def test_cost_and_timing(self):
+        import numpy as np
+
+        from repro.gpu.device import QUADRO_M4000
+        from repro.gpu.timing import TimingModel
+        from repro.sort.bitonic import BitonicSort
+
+        result = BitonicSort(block_size=64, warp_size=32).sort(
+            np.random.default_rng(0).permutation(1 << 12)
+        )
+        cost = result.kernel_cost(32)
+        assert cost.shared_cycles > 0
+        assert TimingModel(QUADRO_M4000).milliseconds(cost) > 0

@@ -1,0 +1,23 @@
+"""Run every module's doctests — all docstring examples must stay true."""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("name", _all_modules())
+def test_module_doctests(name):
+    module = importlib.import_module(name)
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{result.failed} doctest failures in {name}"

@@ -1,0 +1,87 @@
+"""Unit tests for repro.utils.bits."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.utils.bits import (
+    ceil_div,
+    ceil_log2,
+    ilog2,
+    is_power_of_two,
+    next_power_of_two,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        for k in range(20):
+            assert is_power_of_two(1 << k)
+
+    def test_non_powers(self):
+        for n in [0, -1, -2, 3, 5, 6, 7, 9, 12, 100]:
+            assert not is_power_of_two(n)
+
+    def test_non_int(self):
+        assert not is_power_of_two(2.0)
+        assert not is_power_of_two("2")
+
+
+class TestIlog2:
+    def test_exact(self):
+        for k in range(16):
+            assert ilog2(1 << k) == k
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValidationError):
+            ilog2(6)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            ilog2(0)
+
+
+class TestCeilLog2:
+    def test_small_values(self):
+        assert ceil_log2(1) == 0
+        assert ceil_log2(2) == 1
+        assert ceil_log2(3) == 2
+        assert ceil_log2(4) == 2
+        assert ceil_log2(5) == 3
+
+    @given(st.integers(min_value=1, max_value=10**12))
+    def test_definition(self, n):
+        k = ceil_log2(n)
+        assert 2**k >= n
+        assert k == 0 or 2 ** (k - 1) < n
+
+
+class TestNextPowerOfTwo:
+    @given(st.integers(min_value=1, max_value=10**12))
+    def test_definition(self, n):
+        p = next_power_of_two(n)
+        assert is_power_of_two(p)
+        assert p >= n
+        assert p // 2 < n
+
+
+class TestCeilDiv:
+    def test_basic(self):
+        assert ceil_div(0, 3) == 0
+        assert ceil_div(1, 3) == 1
+        assert ceil_div(3, 3) == 1
+        assert ceil_div(4, 3) == 2
+
+    def test_rejects_bad_divisor(self):
+        with pytest.raises(ValidationError):
+            ceil_div(1, 0)
+
+    def test_rejects_negative_dividend(self):
+        with pytest.raises(ValidationError):
+            ceil_div(-1, 2)
+
+    @given(st.integers(min_value=0, max_value=10**9),
+           st.integers(min_value=1, max_value=10**6))
+    def test_matches_math(self, a, b):
+        assert ceil_div(a, b) == (a + b - 1) // b

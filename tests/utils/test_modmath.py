@@ -1,0 +1,80 @@
+"""Unit and property tests for repro.utils.modmath (Facts 5 and 6)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.utils.modmath import (
+    are_coprime,
+    extended_gcd,
+    mod_inverse,
+    solve_linear_congruence,
+)
+
+
+class TestAreCoprime:
+    def test_examples(self):
+        assert are_coprime(15, 32)
+        assert are_coprime(17, 32)
+        assert not are_coprime(12, 16)
+        assert are_coprime(1, 1)
+
+
+class TestExtendedGcd:
+    @given(st.integers(min_value=0, max_value=10**9),
+           st.integers(min_value=0, max_value=10**9))
+    def test_bezout_identity(self, a, b):
+        if a == 0 and b == 0:
+            return
+        g, x, y = extended_gcd(a, b)
+        assert g == math.gcd(a, b)
+        assert a * x + b * y == g
+
+    def test_rejects_both_zero(self):
+        with pytest.raises(ValidationError):
+            extended_gcd(0, 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            extended_gcd(-1, 2)
+
+
+class TestModInverse:
+    @given(st.integers(min_value=2, max_value=10**6),
+           st.integers(min_value=1, max_value=10**6))
+    def test_fact6_inverse(self, m, a):
+        """Fact 6: when GCD(a, m) = 1 the inverse exists, is unique mod m."""
+        if math.gcd(a, m) != 1:
+            with pytest.raises(ValidationError):
+                mod_inverse(a, m)
+            return
+        inv = mod_inverse(a, m)
+        assert 0 <= inv < m
+        assert (a * inv) % m == 1
+
+    def test_rejects_modulus_one(self):
+        with pytest.raises(ValidationError):
+            mod_inverse(3, 1)
+
+
+class TestSolveLinearCongruence:
+    @given(st.integers(min_value=2, max_value=10**5),
+           st.integers(min_value=1, max_value=10**5),
+           st.integers(min_value=0, max_value=10**5))
+    def test_fact5_unique_solution(self, m, a, b):
+        """Fact 5: for GCD(a, m) = 1, ax ≡ b (mod m) has one solution."""
+        if math.gcd(a, m) != 1:
+            return
+        x = solve_linear_congruence(a, b, m)
+        assert 0 <= x < m
+        assert (a * x - b) % m == 0
+
+    def test_uniqueness_exhaustive(self):
+        """Brute-force uniqueness for a small modulus."""
+        m, a = 9, 7
+        for b in range(m):
+            solutions = [x for x in range(m) if (a * x - b) % m == 0]
+            assert solutions == [solve_linear_congruence(a, b, m)]

@@ -1,0 +1,34 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.rng import as_generator
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a = as_generator(42).integers(0, 1 << 30, size=16)
+        b = as_generator(42).integers(0, 1 << 30, size=16)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 1 << 30, size=16)
+        b = as_generator(2).integers(0, 1 << 30, size=16)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence(self):
+        gen = as_generator(np.random.SeedSequence(7))
+        assert isinstance(gen, np.random.Generator)
+
+    def test_rejects_other_types(self):
+        with pytest.raises(ValidationError):
+            as_generator("seed")

@@ -1,0 +1,75 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.validation import (
+    as_int,
+    check_in_range,
+    check_nonnegative_int,
+    check_positive_int,
+    check_power_of_two,
+)
+
+
+class TestAsInt:
+    def test_accepts_python_int(self):
+        assert as_int(7, "x") == 7
+
+    def test_accepts_numpy_int(self):
+        assert as_int(np.int64(7), "x") == 7
+        assert isinstance(as_int(np.int32(3), "x"), int)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError, match="bool"):
+            as_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError):
+            as_int(7.0, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(ValidationError, match="x must be"):
+            as_int("7", "x")
+
+
+class TestCheckPositiveInt:
+    def test_accepts(self):
+        assert check_positive_int(1, "x") == 1
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(0, "x")
+
+    def test_error_names_argument(self):
+        with pytest.raises(ValidationError, match="E must be"):
+            check_positive_int(-3, "E")
+
+
+class TestCheckNonnegativeInt:
+    def test_accepts_zero(self):
+        assert check_nonnegative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_nonnegative_int(-1, "x")
+
+
+class TestCheckPowerOfTwo:
+    def test_accepts(self):
+        assert check_power_of_two(32, "w") == 32
+
+    def test_rejects(self):
+        with pytest.raises(ValidationError):
+            check_power_of_two(24, "w")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(0, "x", 0, 5) == 0
+        assert check_in_range(5, "x", 0, 5) == 5
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValidationError):
+            check_in_range(6, "x", 0, 5)
