@@ -5,6 +5,11 @@
   simulation budget is synthesized from a calibration run (per-round rates
   are N-independent; round counts and global traffic are analytic), which
   is how the harness reaches the paper's 10⁸-element sweep sizes;
+* :mod:`repro.bench.parallel` — fans independent sweep points out over a
+  process pool (``--jobs``), with per-point progress events;
+* :mod:`repro.bench.cache` — content-addressed on-disk cache for bench
+  points and calibration rates (``--cache`` / ``--cache-dir``), making
+  repeat figure regeneration near-instant;
 * :mod:`repro.bench.metrics` — peak/average slowdown statistics exactly as
   Section IV-B reports them;
 * :mod:`repro.bench.figures` — one builder per paper figure (1, 3, 4, 5,
@@ -13,7 +18,21 @@
 * :mod:`repro.bench.report` — markdown emission for EXPERIMENTS.md.
 """
 
+from repro.bench.cache import BenchCache, CacheStats
 from repro.bench.metrics import SlowdownStats, slowdown_stats
-from repro.bench.runner import BenchPoint, SweepRunner
+from repro.bench.parallel import ProgressEvent, WorkItem, run_points, sweep_items
+from repro.bench.runner import BenchPoint, CalibratedRates, SweepRunner
 
-__all__ = ["BenchPoint", "SlowdownStats", "SweepRunner", "slowdown_stats"]
+__all__ = [
+    "BenchCache",
+    "BenchPoint",
+    "CacheStats",
+    "CalibratedRates",
+    "ProgressEvent",
+    "SlowdownStats",
+    "SweepRunner",
+    "WorkItem",
+    "run_points",
+    "slowdown_stats",
+    "sweep_items",
+]

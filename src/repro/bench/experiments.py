@@ -38,7 +38,7 @@ def _check(details: list[str], ok: bool, message: str) -> bool:
     return ok
 
 
-def _exp_theorem3(quick: bool) -> ExperimentResult:
+def _exp_theorem3(quick: bool, jobs: int = 1, cache=None) -> ExperimentResult:
     """Theorem 3: E² aligned for every small co-prime E."""
     import math
 
@@ -58,7 +58,7 @@ def _exp_theorem3(quick: bool) -> ExperimentResult:
     return ExperimentResult("theorem-3-small-E", ok, details)
 
 
-def _exp_theorem9(quick: bool) -> ExperimentResult:
+def _exp_theorem9(quick: bool, jobs: int = 1, cache=None) -> ExperimentResult:
     """Theorem 9: the large-E formula, exhaustively."""
     from repro.adversary.large_e import large_e_assignment
 
@@ -76,7 +76,7 @@ def _exp_theorem9(quick: bool) -> ExperimentResult:
     return ExperimentResult("theorem-9-large-E", ok, details)
 
 
-def _exp_end_to_end(quick: bool) -> ExperimentResult:
+def _exp_end_to_end(quick: bool, jobs: int = 1, cache=None) -> ExperimentResult:
     """The simulated sort serializes every targeted round to the bound."""
     from repro.adversary.permutation import worst_case_permutation
     from repro.adversary.verify import verify_worst_case
@@ -96,7 +96,7 @@ def _exp_end_to_end(quick: bool) -> ExperimentResult:
     return ExperimentResult("end-to-end-serialization", ok, details)
 
 
-def _exp_fig1_fig3(quick: bool) -> ExperimentResult:
+def _exp_fig1_fig3(quick: bool, jobs: int = 1, cache=None) -> ExperimentResult:
     """Figures 1 and 3: exact layout facts."""
     from repro.bench.figures import figure1, figure3
 
@@ -112,7 +112,7 @@ def _exp_fig1_fig3(quick: bool) -> ExperimentResult:
     return ExperimentResult("figures-1-and-3", ok, details)
 
 
-def _exp_fig4(quick: bool) -> ExperimentResult:
+def _exp_fig4(quick: bool, jobs: int = 1, cache=None) -> ExperimentResult:
     """Figure 4 shape: Quadro M4000 slowdowns and the library ordering."""
     from repro.bench.figures import figure4
 
@@ -121,6 +121,8 @@ def _exp_fig4(quick: bool) -> ExperimentResult:
         max_elements=4_000_000 if quick else 300_000_000,
         exact_threshold=1 << 19,
         score_blocks=4,
+        jobs=jobs,
+        cache=cache,
     )
     thrust = data["thrust"]["slowdown"]
     mgpu = data["mgpu"]["slowdown"]
@@ -137,7 +139,7 @@ def _exp_fig4(quick: bool) -> ExperimentResult:
     return ExperimentResult("figure-4-quadro", ok, details)
 
 
-def _exp_fig5(quick: bool) -> ExperimentResult:
+def _exp_fig5(quick: bool, jobs: int = 1, cache=None) -> ExperimentResult:
     """Figure 5 shape: RTX slowdowns + random-input preset ordering."""
     from repro.bench.figures import figure5
 
@@ -146,6 +148,8 @@ def _exp_fig5(quick: bool) -> ExperimentResult:
         max_elements=4_000_000 if quick else 300_000_000,
         exact_threshold=1 << 19,
         score_blocks=4,
+        jobs=jobs,
+        cache=cache,
     )
     s15 = data["e15_b512"]["slowdown"]
     ok = _check(details, 15 < s15.peak_percent < 80,
@@ -161,7 +165,7 @@ def _exp_fig5(quick: bool) -> ExperimentResult:
     return ExperimentResult("figure-5-rtx", ok, details)
 
 
-def _exp_fig6(quick: bool) -> ExperimentResult:
+def _exp_fig6(quick: bool, jobs: int = 1, cache=None) -> ExperimentResult:
     """Figure 6 shape: logarithmic conflict growth tracking runtime."""
     from repro.bench.figures import figure6
 
@@ -170,6 +174,8 @@ def _exp_fig6(quick: bool) -> ExperimentResult:
         max_elements=8_000_000 if quick else 300_000_000,
         exact_threshold=1 << 19,
         score_blocks=4,
+        jobs=jobs,
+        cache=cache,
     )
     ok = True
     for key in ("e15_b512", "e17_b256"):
@@ -183,7 +189,7 @@ def _exp_fig6(quick: bool) -> ExperimentResult:
     return ExperimentResult("figure-6-per-element", ok, details)
 
 
-def _exp_expected_case(quick: bool) -> ExperimentResult:
+def _exp_expected_case(quick: bool, jobs: int = 1, cache=None) -> ExperimentResult:
     """Extension: β₂ on random inputs in Karsin's ballpark; grows with
     inversions; worst case drives it to Θ(E)."""
     from repro.analysis.beta import measure_betas
@@ -207,7 +213,7 @@ def _exp_expected_case(quick: bool) -> ExperimentResult:
     return ExperimentResult("expected-case-betas", ok, details)
 
 
-def _exp_variance(quick: bool) -> ExperimentResult:
+def _exp_variance(quick: bool, jobs: int = 1, cache=None) -> ExperimentResult:
     """Conclusion point 4: the worst case is invisible to random sampling."""
     from repro.analysis.variance import variance_study
     from repro.gpu.device import QUADRO_M4000
@@ -223,8 +229,10 @@ def _exp_variance(quick: bool) -> ExperimentResult:
     return ExperimentResult("runtime-variance", ok, details)
 
 
-#: Registered experiments, in presentation order.
-EXPERIMENTS: dict[str, Callable[[bool], ExperimentResult]] = {
+#: Registered experiments, in presentation order. Every entry accepts
+#: ``(quick, jobs, cache)``; the sweep-driven experiments fan points out
+#: over ``jobs`` workers and reuse the on-disk ``cache`` when given.
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "theorem-3-small-E": _exp_theorem3,
     "theorem-9-large-E": _exp_theorem9,
     "end-to-end-serialization": _exp_end_to_end,
@@ -237,7 +245,9 @@ EXPERIMENTS: dict[str, Callable[[bool], ExperimentResult]] = {
 }
 
 
-def run_experiment(experiment_id: str, quick: bool = True) -> ExperimentResult:
+def run_experiment(
+    experiment_id: str, quick: bool = True, jobs: int = 1, cache=None
+) -> ExperimentResult:
     """Run one registered experiment by id."""
     try:
         fn = EXPERIMENTS[experiment_id]
@@ -246,9 +256,11 @@ def run_experiment(experiment_id: str, quick: bool = True) -> ExperimentResult:
         raise ValidationError(
             f"unknown experiment {experiment_id!r}; known: {known}"
         ) from None
-    return fn(quick)
+    return fn(quick, jobs=jobs, cache=cache)
 
 
-def run_all(quick: bool = True) -> list[ExperimentResult]:
+def run_all(
+    quick: bool = True, jobs: int = 1, cache=None
+) -> list[ExperimentResult]:
     """Run the whole registry in order."""
-    return [fn(quick) for fn in EXPERIMENTS.values()]
+    return [fn(quick, jobs=jobs, cache=cache) for fn in EXPERIMENTS.values()]

@@ -21,12 +21,13 @@ covered by the docstrings of :mod:`repro.adversary.assignment`.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.adversary.assignment import construct_warp_assignment
 from repro.adversary.power2 import sorted_assignment
+from repro.bench.cache import BenchCache
 from repro.bench.metrics import slowdown_stats
-from repro.bench.runner import SweepRunner
+from repro.bench.parallel import ProgressEvent, run_points, sweep_items
 from repro.gpu.device import QUADRO_M4000, RTX_2080_TI, DeviceSpec
 from repro.sort.config import SortConfig
 from repro.sort.presets import MGPU_MAXWELL, THRUST_CC60, THRUST_MAXWELL
@@ -82,13 +83,22 @@ def _throughput_panel(
     max_elements: int,
     exact_threshold: int,
     score_blocks: int,
+    jobs: int = 1,
+    cache: BenchCache | None = None,
+    progress: Callable[[ProgressEvent], None] | None = None,
 ) -> dict:
-    runner = SweepRunner(
-        config, device, exact_threshold=exact_threshold, score_blocks=score_blocks
-    )
     sizes = _sweep_sizes(config, max_elements)
-    random = runner.sweep("random", sizes)
-    worst = runner.sweep("worst-case", sizes)
+    items = sweep_items(
+        config,
+        device,
+        ("random", "worst-case"),
+        sizes,
+        exact_threshold=exact_threshold,
+        score_blocks=score_blocks,
+        cache=cache,
+    )
+    points = run_points(items, jobs=jobs, progress=progress)
+    random, worst = points[: len(sizes)], points[len(sizes):]
     return {
         "config": config.name,
         "device": device.name,
@@ -103,15 +113,20 @@ def figure4(
     max_elements: int = MAX_ELEMENTS,
     exact_threshold: int = 1 << 20,
     score_blocks: int = 8,
+    jobs: int = 1,
+    cache: BenchCache | None = None,
+    progress: Callable[[ProgressEvent], None] | None = None,
 ) -> dict:
     """Quadro M4000 throughput: Thrust vs Modern GPU, random vs worst."""
     return {
         "device": QUADRO_M4000.name,
         "thrust": _throughput_panel(
-            THRUST_MAXWELL, QUADRO_M4000, max_elements, exact_threshold, score_blocks
+            THRUST_MAXWELL, QUADRO_M4000, max_elements, exact_threshold,
+            score_blocks, jobs, cache, progress,
         ),
         "mgpu": _throughput_panel(
-            MGPU_MAXWELL, QUADRO_M4000, max_elements, exact_threshold, score_blocks
+            MGPU_MAXWELL, QUADRO_M4000, max_elements, exact_threshold,
+            score_blocks, jobs, cache, progress,
         ),
     }
 
@@ -120,6 +135,9 @@ def figure5(
     max_elements: int = MAX_ELEMENTS,
     exact_threshold: int = 1 << 20,
     score_blocks: int = 8,
+    jobs: int = 1,
+    cache: BenchCache | None = None,
+    progress: Callable[[ProgressEvent], None] | None = None,
 ) -> dict:
     """RTX 2080 Ti throughput for both parameter presets.
 
@@ -131,10 +149,12 @@ def figure5(
     return {
         "device": RTX_2080_TI.name,
         "e15_b512": _throughput_panel(
-            THRUST_MAXWELL, RTX_2080_TI, max_elements, exact_threshold, score_blocks
+            THRUST_MAXWELL, RTX_2080_TI, max_elements, exact_threshold,
+            score_blocks, jobs, cache, progress,
         ),
         "e17_b256": _throughput_panel(
-            THRUST_CC60, RTX_2080_TI, max_elements, exact_threshold, score_blocks
+            THRUST_CC60, RTX_2080_TI, max_elements, exact_threshold,
+            score_blocks, jobs, cache, progress,
         ),
     }
 
@@ -144,6 +164,9 @@ def figure6(
     exact_threshold: int = 1 << 20,
     score_blocks: int = 8,
     input_name: str = "worst-case",
+    jobs: int = 1,
+    cache: BenchCache | None = None,
+    progress: Callable[[ProgressEvent], None] | None = None,
 ) -> dict:
     """Per-element runtime and bank conflicts on the RTX 2080 Ti.
 
@@ -153,14 +176,17 @@ def figure6(
     """
     panels = {}
     for key, config in (("e15_b512", THRUST_MAXWELL), ("e17_b256", THRUST_CC60)):
-        runner = SweepRunner(
+        sizes = _sweep_sizes(config, max_elements)
+        items = sweep_items(
             config,
             RTX_2080_TI,
+            (input_name,),
+            sizes,
             exact_threshold=exact_threshold,
             score_blocks=score_blocks,
+            cache=cache,
         )
-        sizes = _sweep_sizes(config, max_elements)
-        points = runner.sweep(input_name, sizes)
+        points = run_points(items, jobs=jobs, progress=progress)
         panels[key] = {
             "config": config.name,
             "sizes": sizes,

@@ -13,9 +13,10 @@ command).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
-from repro.bench.runner import SweepRunner
+from repro.bench.cache import BenchCache
+from repro.bench.parallel import ProgressEvent, WorkItem, cache_ref, run_points
 from repro.errors import ConfigurationError
 from repro.gpu.device import DeviceSpec
 from repro.gpu.occupancy import occupancy
@@ -62,15 +63,23 @@ def grid_search(
     exact_threshold: int = 1 << 19,
     score_blocks: int = 4,
     seed: int = 0,
+    jobs: int = 1,
+    cache: BenchCache | None = None,
+    progress: Callable[[ProgressEvent], None] | None = None,
 ) -> list[GridPoint]:
     """Profile every feasible (E, b) pair on a device.
 
     Configurations whose tile exceeds the device's shared memory (or whose
     block exceeds the thread limit) are skipped. Results are sorted by
-    random-input throughput, best first.
+    random-input throughput, best first. The grid cells are independent,
+    so with ``jobs > 1`` they fan out over a worker pool (two work items
+    per cell: the random and worst-case points); ``cache`` persists the
+    measured points across invocations.
     """
     check_positive_int(target_elements, "target_elements")
-    points: list[GridPoint] = []
+    cache_dir, use_cache = cache_ref(cache)
+    cells: list[tuple[int, int, float, int]] = []
+    items: list[WorkItem] = []
     for b in bs:
         for e in es:
             cfg = SortConfig(
@@ -83,28 +92,36 @@ def grid_search(
                 occ = occupancy(device, b, cfg.shared_bytes_per_block)
             except ConfigurationError:
                 continue
-            runner = SweepRunner(
-                cfg,
-                device,
-                exact_threshold=exact_threshold,
-                score_blocks=score_blocks,
-                seed=seed,
-            )
             sizes = cfg.valid_sizes(target_elements)
             if len(sizes) < 2:
                 continue
             n = sizes[-1]
-            random_point = runner.run_point("random", n)
-            worst_point = runner.run_point("worst-case", n)
-            points.append(
-                GridPoint(
-                    elements_per_thread=e,
-                    block_size=b,
-                    occupancy=occ.occupancy,
-                    num_elements=n,
-                    random_meps=random_point.throughput_meps,
-                    worst_meps=worst_point.throughput_meps,
+            cells.append((e, b, occ.occupancy, n))
+            for input_name in ("random", "worst-case"):
+                items.append(
+                    WorkItem(
+                        config=cfg,
+                        device=device,
+                        input_name=input_name,
+                        num_elements=n,
+                        exact_threshold=exact_threshold,
+                        score_blocks=score_blocks,
+                        seed=seed,
+                        cache_dir=cache_dir,
+                        use_cache=use_cache,
+                    )
                 )
-            )
+    measured = run_points(items, jobs=jobs, progress=progress)
+    points = [
+        GridPoint(
+            elements_per_thread=e,
+            block_size=b,
+            occupancy=occ_fraction,
+            num_elements=n,
+            random_meps=measured[2 * i].throughput_meps,
+            worst_meps=measured[2 * i + 1].throughput_meps,
+        )
+        for i, (e, b, occ_fraction, n) in enumerate(cells)
+    ]
     points.sort(key=lambda p: -p.random_meps)
     return points

@@ -1,0 +1,213 @@
+"""Parallel fan-out of sweep points over a process pool.
+
+The bench grid has the same structure Green et al. exploit inside a
+single merge: every (config, device, input, N) point is independent, so
+the sweep is embarrassingly parallel *across points*. This module fans
+:class:`WorkItem`s out over a :class:`concurrent.futures
+.ProcessPoolExecutor`; each worker builds (or reuses) a
+:class:`~repro.bench.runner.SweepRunner` for the item's parameters and
+returns a plain :class:`~repro.bench.metrics.BenchPoint`.
+
+Determinism: a point's result depends only on the item's fields (every
+input and every block-sampling choice is seeded per point), so parallel
+and serial execution produce bit-identical ``BenchPoint``s — enforced by
+``tests/bench/test_parallel.py``.
+
+Workers keep a process-local runner table so calibration sorts are run
+once per (config, input) per worker rather than once per point; with an
+on-disk :class:`~repro.bench.cache.BenchCache` attached (``cache_dir`` +
+``use_cache``) calibrations and points are shared across workers and
+across invocations.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.bench.cache import BenchCache
+from repro.bench.metrics import BenchPoint
+from repro.bench.runner import SweepRunner
+from repro.errors import ValidationError
+from repro.gpu.device import DeviceSpec
+from repro.sort.config import SortConfig
+
+__all__ = ["ProgressEvent", "WorkItem", "cache_ref", "run_points", "sweep_items"]
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One picklable sweep point: everything a worker needs to run it."""
+
+    config: SortConfig
+    device: DeviceSpec
+    input_name: str
+    num_elements: int
+    exact_threshold: int = 1 << 21
+    score_blocks: int | None = 8
+    seed: int = 0
+    padding: int = 0
+    cache_dir: str | None = None
+    use_cache: bool = False
+
+    def describe(self) -> str:
+        """Human-readable label for progress lines."""
+        return (
+            f"{self.config.name} · {self.device.name} · {self.input_name} "
+            f"· N={self.num_elements:,}"
+        )
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """Emitted to the ``progress`` callback after each completed point."""
+
+    done: int
+    total: int
+    item: WorkItem
+    point: BenchPoint
+    seconds: float
+    from_cache: bool
+
+    def describe(self) -> str:
+        """One progress/timing line."""
+        tag = " (cached)" if self.from_cache else ""
+        return f"[{self.done}/{self.total}] {self.item.describe()} · " \
+               f"{self.seconds:.2f}s{tag}"
+
+
+def cache_ref(cache: BenchCache | None) -> tuple[str | None, bool]:
+    """Picklable (cache_dir, use_cache) reference to a cache instance."""
+    if cache is None:
+        return None, False
+    return str(cache.cache_dir), True
+
+
+def sweep_items(
+    config: SortConfig,
+    device: DeviceSpec,
+    input_names: Sequence[str],
+    sizes: Iterable[int],
+    *,
+    exact_threshold: int = 1 << 21,
+    score_blocks: int | None = 8,
+    seed: int = 0,
+    padding: int = 0,
+    cache: BenchCache | None = None,
+) -> list[WorkItem]:
+    """Work items for a size sweep of each input family, in sweep order."""
+    cache_dir, use_cache = cache_ref(cache)
+    return [
+        WorkItem(
+            config=config,
+            device=device,
+            input_name=name,
+            num_elements=n,
+            exact_threshold=exact_threshold,
+            score_blocks=score_blocks,
+            seed=seed,
+            padding=padding,
+            cache_dir=cache_dir,
+            use_cache=use_cache,
+        )
+        for name in input_names
+        for n in sizes
+    ]
+
+
+#: Process-local runner table: calibrations are reused across the items a
+#: worker (or the serial path) executes with identical runner parameters.
+_RUNNERS: dict[tuple, SweepRunner] = {}
+
+
+def _runner_for(item: WorkItem) -> SweepRunner:
+    key = (
+        item.config,
+        item.device.name,
+        item.exact_threshold,
+        item.score_blocks,
+        item.seed,
+        item.padding,
+        item.cache_dir,
+        item.use_cache,
+    )
+    runner = _RUNNERS.get(key)
+    if runner is None:
+        cache = BenchCache(item.cache_dir) if item.use_cache else None
+        runner = SweepRunner(
+            item.config,
+            item.device,
+            exact_threshold=item.exact_threshold,
+            score_blocks=item.score_blocks,
+            seed=item.seed,
+            padding=item.padding,
+            cache=cache,
+        )
+        _RUNNERS[key] = runner
+    return runner
+
+
+def _execute(item: WorkItem) -> tuple[BenchPoint, float, bool]:
+    """Run one work item; returns (point, seconds, served-from-cache)."""
+    runner = _runner_for(item)
+    hits_before = runner.cache.hits if runner.cache is not None else 0
+    start = time.perf_counter()
+    point = runner.run_point(item.input_name, item.num_elements)
+    elapsed = time.perf_counter() - start
+    from_cache = runner.cache is not None and runner.cache.hits > hits_before
+    return point, elapsed, from_cache
+
+
+def run_points(
+    items: Sequence[WorkItem],
+    *,
+    jobs: int = 1,
+    progress: Callable[[ProgressEvent], None] | None = None,
+) -> list[BenchPoint]:
+    """Execute work items, preserving input order in the result list.
+
+    Parameters
+    ----------
+    items:
+        The sweep points to run.
+    jobs:
+        Worker processes; ``1`` runs serially in-process (no pool).
+    progress:
+        Optional callback invoked once per completed point (completion
+        order, not submission order, under parallel execution).
+    """
+    if jobs < 1:
+        raise ValidationError(f"jobs must be >= 1, got {jobs}")
+    items = list(items)
+    total = len(items)
+    results: list[BenchPoint | None] = [None] * total
+
+    if jobs == 1 or total <= 1:
+        for i, item in enumerate(items):
+            point, elapsed, from_cache = _execute(item)
+            results[i] = point
+            if progress is not None:
+                progress(
+                    ProgressEvent(i + 1, total, item, point, elapsed, from_cache)
+                )
+        return results  # type: ignore[return-value]
+
+    done = 0
+    with ProcessPoolExecutor(max_workers=min(jobs, total)) as pool:
+        futures = {
+            pool.submit(_execute, item): i for i, item in enumerate(items)
+        }
+        for future in as_completed(futures):
+            i = futures[future]
+            point, elapsed, from_cache = future.result()
+            results[i] = point
+            done += 1
+            if progress is not None:
+                progress(
+                    ProgressEvent(
+                        done, total, items[i], point, elapsed, from_cache
+                    )
+                )
+    return results  # type: ignore[return-value]

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.bench import cache as bench_cache
+from repro.bench.cache import BenchCache
 from repro.bench.metrics import BenchPoint
 from repro.errors import ValidationError
 from repro.gpu.device import DeviceSpec
@@ -39,12 +41,18 @@ class CalibratedRates:
 
     ``base_*`` cover the whole base case (register phase + all ``log b``
     block rounds — a fixed per-element cost for any ``N``); ``global_*``
-    are per global round per element.
+    are per global round per element. ``base_compute`` is the measured
+    per-element warp-instruction cost of the base case: the odd-even
+    comparator ops of the register phase plus ``3/w`` per block round —
+    *not* the ``3/w`` of a single merge round, which is why synthesis
+    must take it from here rather than re-deriving it (see
+    :meth:`SweepRunner._synthesize_cost`).
     """
 
     base_shared_cycles: float
     base_shared_steps: float
     base_replays: float
+    base_compute: float
     global_shared_cycles: float
     global_shared_steps: float
     global_replays: float
@@ -64,6 +72,7 @@ class CalibratedRates:
             base_shared_cycles=sum(r.shared_cycles for r in base) / n,
             base_shared_steps=sum(r.shared_steps for r in base) / n,
             base_replays=sum(r.replays for r in base) / n,
+            base_compute=sum(r.compute_instructions for r in base) / n,
             global_shared_cycles=sum(r.shared_cycles for r in glob) / (n * len(glob)),
             global_shared_steps=sum(r.shared_steps for r in glob) / (n * len(glob)),
             global_replays=sum(r.replays for r in glob) / (n * len(glob)),
@@ -86,17 +95,34 @@ class SweepRunner:
         are block-periodic, so small samples are exact for them).
     seed:
         Input-generation seed.
+    padding:
+        Shared-memory padding passed to the simulated sort (0 = the stock
+        layout the paper attacks).
+    cache:
+        Optional :class:`~repro.bench.cache.BenchCache`; when set, bench
+        points and calibration rates are looked up on disk before any
+        instrumented sort runs, and stored after computation.
+
+    ``instrumented_sorts`` counts how many instrumented sorts this runner
+    actually executed — zero across a sweep means every point was served
+    from the cache.
     """
 
     config: SortConfig
     device: DeviceSpec
     exact_threshold: int = 1 << 21
-    score_blocks: int = 8
+    score_blocks: int | None = 8
     seed: int = 0
+    padding: int = 0
+    cache: BenchCache | None = None
+    instrumented_sorts: int = field(default=0, init=False, repr=False)
     _calibrations: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
+        from repro.utils.validation import check_nonnegative_int
+
         check_positive_int(self.exact_threshold, "exact_threshold")
+        check_nonnegative_int(self.padding, "padding")
         if self.config.warp_size != self.device.warp_size:
             raise ValidationError(
                 f"config warp size {self.config.warp_size} != device warp "
@@ -131,17 +157,44 @@ class SweepRunner:
     # -- the two paths -------------------------------------------------------
 
     def run_point(self, input_name: str, num_elements: int) -> BenchPoint:
-        """Measure one sweep point (exact or synthesized as needed)."""
-        n = self.config.validate_input_size(num_elements)
-        if n <= self.exact_threshold:
-            return self._exact_point(input_name, n)
-        return self._synthesized_point(input_name, n)
+        """Measure one sweep point (exact or synthesized as needed).
 
-    def _exact_point(self, input_name: str, n: int) -> BenchPoint:
+        With a :attr:`cache` attached, a fingerprint hit returns the
+        stored point without running any instrumented sort.
+        """
+        n = self.config.validate_input_size(num_elements)
+        key = None
+        if self.cache is not None:
+            key = bench_cache.point_key(
+                self.config,
+                self.device,
+                padding=self.padding,
+                input_name=input_name,
+                num_elements=n,
+                score_blocks=self.score_blocks,
+                seed=self.seed,
+                exact_threshold=self.exact_threshold,
+            )
+            cached = self.cache.get_point(key)
+            if cached is not None:
+                return cached
+        if n <= self.exact_threshold:
+            point = self._exact_point(input_name, n)
+        else:
+            point = self._synthesized_point(input_name, n)
+        if key is not None:
+            self.cache.put_point(key, point)
+        return point
+
+    def _instrumented_sort(self, input_name: str, n: int) -> SortResult:
         data = generate(input_name, self.config, n, seed=self.seed)
-        result = PairwiseMergeSort(self.config).sort(
+        self.instrumented_sorts += 1
+        return PairwiseMergeSort(self.config, padding=self.padding).sort(
             data, score_blocks=self.score_blocks, seed=self.seed
         )
+
+    def _exact_point(self, input_name: str, n: int) -> BenchPoint:
+        result = self._instrumented_sort(input_name, n)
         cost = result.kernel_cost(self.warps_per_sm)
         return self._to_point(input_name, n, cost, result.replays_per_element())
 
@@ -151,14 +204,28 @@ class SweepRunner:
         return self._to_point(input_name, n, cost, replays_per_element)
 
     def _calibrate(self, input_name: str) -> CalibratedRates:
-        if input_name not in self._calibrations:
-            n_cal = self._calibration_size()
-            data = generate(input_name, self.config, n_cal, seed=self.seed)
-            result = PairwiseMergeSort(self.config).sort(
-                data, score_blocks=self.score_blocks, seed=self.seed
+        if input_name in self._calibrations:
+            return self._calibrations[input_name]
+        n_cal = self._calibration_size()
+        key = rates = None
+        if self.cache is not None:
+            key = bench_cache.rates_key(
+                self.config,
+                padding=self.padding,
+                input_name=input_name,
+                calibration_size=n_cal,
+                score_blocks=self.score_blocks,
+                seed=self.seed,
             )
-            self._calibrations[input_name] = CalibratedRates.from_result(result)
-        return self._calibrations[input_name]
+            rates = self.cache.get_rates(key)
+        if rates is None:
+            rates = CalibratedRates.from_result(
+                self._instrumented_sort(input_name, n_cal)
+            )
+            if key is not None:
+                self.cache.put_rates(key, rates)
+        self._calibrations[input_name] = rates
+        return rates
 
     def _synthesize_cost(
         self, n: int, rates: CalibratedRates
@@ -188,7 +255,11 @@ class SweepRunner:
             words += probes
             run *= 2
 
-        compute = (3 * n // cfg.w) * rounds + (3 * n // cfg.w)  # merges + base
+        # Base compute comes from the calibration (register-phase comparator
+        # ops + 3n/w per *block* round); only the global rounds are the flat
+        # 3n/w merge term. Deriving the base as another 3n/w understates it
+        # and made compute_warp_instructions jump at exact_threshold.
+        compute = round(rates.base_compute * n) + (3 * n // cfg.w) * rounds
         cost = KernelCost(
             shared_cycles=round(shared_cycles),
             shared_steps=round(shared_steps),

@@ -6,7 +6,14 @@ Subcommands:
 * ``simulate`` — sort one input through the instrumented simulator and
   report per-round conflicts and simulated runtime;
 * ``sweep`` — a throughput size sweep for one (preset, device, input);
-* ``figure`` — regenerate a paper figure (1, 3, 4, 5, 6, or ``theory``).
+* ``figure`` — regenerate a paper figure (1, 3, 4, 5, 6, or ``theory``);
+* ``cache`` — inspect or clear the on-disk bench-result cache.
+
+The sweep-driven commands (``sweep``, ``figure 4/5/6``, ``grid``,
+``reproduce``) accept ``--jobs N`` to fan independent points out over a
+worker pool and ``--cache`` / ``--cache-dir`` to reuse previously
+computed points and calibrations from disk; per-point progress/timing
+lines go to stderr so long sweeps stay observable.
 """
 
 from __future__ import annotations
@@ -17,8 +24,10 @@ import sys
 import numpy as np
 
 from repro.adversary.assignment import construct_warp_assignment
-from repro.bench import SweepRunner, slowdown_stats
+from repro.bench import slowdown_stats
 from repro.bench.ascii_plot import bank_matrix_str, line_plot, table
+from repro.bench.cache import BenchCache
+from repro.bench.parallel import WorkItem, cache_ref, run_points
 from repro.bench.figures import figure1, figure3, figure4, figure5, figure6, theory_table
 from repro.bench.report import (
     render_figure4,
@@ -33,6 +42,23 @@ from repro.sort.pairwise import PairwiseMergeSort
 from repro.sort.presets import preset
 
 __all__ = ["main"]
+
+
+def _add_bench_exec_args(p: argparse.ArgumentParser) -> None:
+    """Shared parallel/caching options for the sweep-driven commands."""
+    p.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="worker processes for independent sweep points (default 1)",
+    )
+    p.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=False,
+        help="reuse bench points/calibrations from the on-disk cache",
+    )
+    p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache location (implies --cache; default "
+        "~/.cache/repro-mergesort)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -61,6 +87,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--input", default="worst-case", choices=sorted(GENERATORS))
     p.add_argument("--max-elements", type=int, default=300_000_000)
     p.add_argument("--exact-threshold", type=int, default=1 << 20)
+    p.add_argument("--score-blocks", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    _add_bench_exec_args(p)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
     p.add_argument("which", choices=["1", "3", "4", "5", "6", "theory"])
@@ -68,6 +97,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--markdown", action="store_true", help="emit markdown tables")
     p.add_argument("--json", metavar="PATH", default=None,
                    help="also write the figure data as JSON")
+    _add_bench_exec_args(p)
 
     p = sub.add_parser(
         "grid",
@@ -79,6 +109,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bs", default="128,256,512")
     p.add_argument("--target-elements", type=int, default=30_000_000)
     p.add_argument("--top", type=int, default=12)
+    _add_bench_exec_args(p)
 
     p = sub.add_parser(
         "reproduce",
@@ -89,6 +120,15 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="paper-scale sweeps (minutes) instead of quick mode")
     p.add_argument("--only", default=None,
                    help="run a single experiment by id")
+    _add_bench_exec_args(p)
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect or clear the on-disk bench-result cache",
+    )
+    p.add_argument("action", choices=["stats", "clear"])
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="cache location (default ~/.cache/repro-mergesort)")
 
     p = sub.add_parser(
         "analyze",
@@ -164,13 +204,44 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _bench_cache(args) -> BenchCache | None:
+    """The cache selected by ``--cache`` / ``--cache-dir`` (or ``None``)."""
+    if getattr(args, "cache", False) or getattr(args, "cache_dir", None):
+        return BenchCache(args.cache_dir)
+    return None
+
+
+def _progress_printer():
+    """Per-point progress/timing lines on stderr."""
+
+    def emit(event) -> None:
+        print(event.describe(), file=sys.stderr, flush=True)
+
+    return emit
+
+
 def _cmd_sweep(args) -> int:
     config = preset(args.preset)
     device = get_device(args.device)
-    runner = SweepRunner(config, device, exact_threshold=args.exact_threshold)
     sizes = [n for n in config.valid_sizes(args.max_elements) if n >= 100_000]
-    base = runner.sweep("random", sizes)
-    other = runner.sweep(args.input, sizes)
+    cache_dir, use_cache = cache_ref(_bench_cache(args))
+    items = [
+        WorkItem(
+            config=config,
+            device=device,
+            input_name=name,
+            num_elements=n,
+            exact_threshold=args.exact_threshold,
+            score_blocks=args.score_blocks,
+            seed=args.seed,
+            cache_dir=cache_dir,
+            use_cache=use_cache,
+        )
+        for name in ("random", args.input)
+        for n in sizes
+    ]
+    points = run_points(items, jobs=args.jobs, progress=_progress_printer())
+    base, other = points[: len(sizes)], points[len(sizes):]
     rows = [
         {
             "N": p.num_elements,
@@ -230,7 +301,12 @@ def _cmd_figure(args) -> int:
     builders = {"4": (figure4, render_figure4), "5": (figure5, render_figure5),
                 "6": (figure6, render_figure6)}
     build, render = builders[args.which]
-    data = build(max_elements=args.max_elements)
+    data = build(
+        max_elements=args.max_elements,
+        jobs=args.jobs,
+        cache=_bench_cache(args),
+        progress=_progress_printer(),
+    )
     print(render(data))
     maybe_json(data)
     if args.which in ("4", "5") and not args.markdown:
@@ -298,7 +374,15 @@ def _cmd_grid(args) -> int:
     device = get_device(args.device)
     es = [int(x) for x in args.es.split(",") if x]
     bs = [int(x) for x in args.bs.split(",") if x]
-    points = grid_search(device, es, bs, target_elements=args.target_elements)
+    points = grid_search(
+        device,
+        es,
+        bs,
+        target_elements=args.target_elements,
+        jobs=args.jobs,
+        cache=_bench_cache(args),
+        progress=_progress_printer(),
+    )
     print(f"(E, b) grid on {device.name}, best random-input configs first:\n")
     print(table([p.as_row() for p in points[: args.top]]))
     if points:
@@ -315,10 +399,11 @@ def _cmd_reproduce(args) -> int:
     from repro.bench.experiments import run_all, run_experiment
 
     quick = not args.full
+    cache = _bench_cache(args)
     results = (
-        [run_experiment(args.only, quick=quick)]
+        [run_experiment(args.only, quick=quick, jobs=args.jobs, cache=cache)]
         if args.only
-        else run_all(quick=quick)
+        else run_all(quick=quick, jobs=args.jobs, cache=cache)
     )
     print(f"reproduction run ({'quick' if quick else 'full'} mode):\n")
     for result in results:
@@ -334,6 +419,16 @@ def _cmd_reproduce(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_cache(args) -> int:
+    cache = BenchCache(args.cache_dir)
+    if args.action == "stats":
+        print(cache.stats())
+        return 0
+    removed = cache.clear()
+    print(f"removed {removed} cache entries from {cache.cache_dir}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -345,6 +440,7 @@ def main(argv: list[str] | None = None) -> int:
         "analyze": _cmd_analyze,
         "grid": _cmd_grid,
         "reproduce": _cmd_reproduce,
+        "cache": _cmd_cache,
     }
     return handlers[args.command](args)
 

@@ -54,8 +54,15 @@ class ConflictReport:
         Profiler-style conflicts: ``Σ_j Σ_b (requests_b(j) − 1)⁺``.
     max_degree:
         Worst single-step serialization.
-    per_step_transactions:
-        Length-``num_steps`` int array of per-step costs.
+    step_period:
+        One period of per-step costs; the full per-step array is this
+        period repeated ``step_repeats`` times. :meth:`scaled` reports
+        keep only the period (``scaled(k)`` multiplies ``step_repeats``),
+        so scaling never materializes the tiled array — the synthesized
+        path scales single-tile traces by very large block counts.
+    step_repeats:
+        How many times ``step_period`` repeats (1 for directly counted
+        traces); ``len(step_period) * step_repeats == num_steps``.
     """
 
     num_banks: int
@@ -65,12 +72,25 @@ class ConflictReport:
     total_transactions: int
     total_replays: int
     max_degree: int
-    per_step_transactions: np.ndarray
+    step_period: np.ndarray
+    step_repeats: int = 1
+
+    @property
+    def per_step_transactions(self) -> np.ndarray:
+        """Length-``num_steps`` int array of per-step costs.
+
+        Materialized on demand for repeated (scaled) reports; prefer the
+        summary counters or :attr:`step_period` when the repeat factor is
+        large.
+        """
+        if self.step_repeats == 1:
+            return self.step_period
+        return np.tile(self.step_period, self.step_repeats)
 
     @property
     def conflict_free_cycles(self) -> int:
         """Cycles the trace would cost with zero conflicts (= active steps)."""
-        return int(np.count_nonzero(self.per_step_transactions))
+        return int(np.count_nonzero(self.step_period)) * self.step_repeats
 
     @property
     def slowdown_factor(self) -> float:
@@ -96,6 +116,17 @@ class ConflictReport:
                 f"cannot merge reports with {self.num_banks} and "
                 f"{other.num_banks} banks"
             )
+        # Keep a lazily repeated side intact when the other contributes no
+        # steps; otherwise the concatenation must materialize both.
+        if other.num_steps == 0:
+            period, repeats = self.step_period, self.step_repeats
+        elif self.num_steps == 0:
+            period, repeats = other.step_period, other.step_repeats
+        else:
+            period = np.concatenate(
+                [self.per_step_transactions, other.per_step_transactions]
+            )
+            repeats = 1
         return ConflictReport(
             num_banks=self.num_banks,
             num_steps=self.num_steps + other.num_steps,
@@ -104,9 +135,8 @@ class ConflictReport:
             total_transactions=self.total_transactions + other.total_transactions,
             total_replays=self.total_replays + other.total_replays,
             max_degree=max(self.max_degree, other.max_degree),
-            per_step_transactions=np.concatenate(
-                [self.per_step_transactions, other.per_step_transactions]
-            ),
+            step_period=period,
+            step_repeats=repeats,
         )
 
     def scaled(self, factor: int) -> "ConflictReport":
@@ -114,7 +144,9 @@ class ConflictReport:
 
         The fast simulation path uses this: the constructed adversarial input
         is periodic across warps/blocks, so one representative trace scored
-        once stands in for all of them.
+        once stands in for all of them. Only the repeat count grows — the
+        per-step period is shared, so scaling by a huge block count costs
+        O(1) memory.
         """
         if factor < 0:
             from repro.errors import ValidationError
@@ -128,7 +160,8 @@ class ConflictReport:
             total_transactions=self.total_transactions * factor,
             total_replays=self.total_replays * factor,
             max_degree=self.max_degree if factor else 0,
-            per_step_transactions=np.tile(self.per_step_transactions, factor),
+            step_period=self.step_period,
+            step_repeats=self.step_repeats * factor,
         )
 
     @staticmethod
@@ -142,7 +175,7 @@ class ConflictReport:
             total_transactions=0,
             total_replays=0,
             max_degree=0,
-            per_step_transactions=np.empty(0, dtype=np.int64),
+            step_period=np.empty(0, dtype=np.int64),
         )
 
 
@@ -227,5 +260,5 @@ def count_conflicts(trace: AccessTrace, num_banks: int) -> ConflictReport:
         total_transactions=int(per_step.sum()),
         total_replays=replays,
         max_degree=int(per_step.max()) if per_step.size else 0,
-        per_step_transactions=per_step.astype(np.int64),
+        step_period=per_step.astype(np.int64),
     )

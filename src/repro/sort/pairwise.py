@@ -42,7 +42,7 @@ import numpy as np
 
 from repro.dmm.conflicts import ConflictReport, count_conflicts
 from repro.dmm.trace import AccessTrace
-from repro.errors import SimulationError
+from repro.errors import SimulationError, ValidationError
 from repro.gpu.global_memory import CoalescingModel, GlobalTraffic
 from repro.gpu.timing import KernelCost
 from repro.mergepath.kernels import stack_warp_steps, thread_rank_addresses
@@ -80,7 +80,14 @@ class RoundStats:
     def scale(self) -> float:
         """Whole-round / scored-sample ratio for the traced reports."""
         if self.blocks_scored == 0:
-            return 0.0 if self.blocks_total == 0 else float("nan")
+            if self.blocks_total == 0:
+                return 0.0
+            # A NaN here would propagate silently through shared_cycles /
+            # replays into benchmark output; fail loudly instead.
+            raise SimulationError(
+                f"round {self.label!r} scored 0 of {self.blocks_total} "
+                "blocks; sampled reports cannot be rescaled"
+            )
         return self.blocks_total / self.blocks_scored
 
     @property
@@ -501,7 +508,8 @@ def _choose_blocks(
     if score_blocks is None or score_blocks >= total:
         return np.arange(total, dtype=np.int64)
     if score_blocks < 1:
-        raise SimulationError(f"score_blocks must be >= 1, got {score_blocks}")
+        # Bad user input, not a simulator inconsistency.
+        raise ValidationError(f"score_blocks must be >= 1, got {score_blocks}")
     return np.sort(rng.choice(total, size=score_blocks, replace=False)).astype(
         np.int64
     )

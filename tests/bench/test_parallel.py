@@ -1,0 +1,151 @@
+"""Tests for the parallel sweep executor — above all, that fan-out over a
+process pool changes nothing about the results."""
+
+import pytest
+
+from repro.bench.cache import BenchCache
+from repro.bench.parallel import (
+    ProgressEvent,
+    WorkItem,
+    cache_ref,
+    run_points,
+    sweep_items,
+)
+from repro.bench.runner import SweepRunner
+from repro.errors import ValidationError
+from repro.gpu.device import QUADRO_M4000
+from repro.sort.config import SortConfig
+
+
+@pytest.fixture
+def cfg():
+    return SortConfig(elements_per_thread=3, block_size=32, warp_size=32)
+
+
+def make_items(cfg, sizes, *, input_names=("random", "worst-case"), **kwargs):
+    defaults = dict(
+        exact_threshold=cfg.tile_size * 8,
+        score_blocks=4,
+        seed=0,
+    )
+    defaults.update(kwargs)
+    return sweep_items(cfg, QUADRO_M4000, input_names, sizes, **defaults)
+
+
+class TestWorkItem:
+    def test_picklable(self, cfg):
+        import pickle
+
+        item = make_items(cfg, [cfg.tile_size * 2])[0]
+        assert pickle.loads(pickle.dumps(item)) == item
+
+    def test_describe_names_the_point(self, cfg):
+        item = make_items(cfg, [cfg.tile_size * 2])[0]
+        text = item.describe()
+        assert "random" in text
+        assert QUADRO_M4000.name in text
+        assert f"{cfg.tile_size * 2:,}" in text
+
+    def test_sweep_items_order(self, cfg):
+        sizes = [cfg.tile_size * 2, cfg.tile_size * 4]
+        items = make_items(cfg, sizes)
+        assert [(i.input_name, i.num_elements) for i in items] == [
+            ("random", sizes[0]),
+            ("random", sizes[1]),
+            ("worst-case", sizes[0]),
+            ("worst-case", sizes[1]),
+        ]
+
+    def test_cache_ref(self, tmp_path):
+        assert cache_ref(None) == (None, False)
+        assert cache_ref(BenchCache(tmp_path)) == (str(tmp_path), True)
+
+
+class TestSerialExecution:
+    def test_matches_sweep_runner(self, cfg):
+        sizes = cfg.valid_sizes(cfg.tile_size * 32)
+        runner = SweepRunner(
+            cfg, QUADRO_M4000, exact_threshold=cfg.tile_size * 8,
+            score_blocks=4, seed=0,
+        )
+        expected = runner.sweep("worst-case", sizes)
+        got = run_points(make_items(cfg, sizes, input_names=("worst-case",)))
+        assert got == expected
+
+    def test_jobs_below_one_rejected(self, cfg):
+        with pytest.raises(ValidationError):
+            run_points(make_items(cfg, [cfg.tile_size * 2]), jobs=0)
+
+    def test_empty_items(self):
+        assert run_points([]) == []
+        assert run_points([], jobs=4) == []
+
+
+class TestParallelMatchesSerial:
+    def test_bit_identical_points(self, cfg):
+        """The acceptance criterion: --jobs N must not change any result.
+        Sizes cover both the exact and the synthesized path."""
+        sizes = cfg.valid_sizes(cfg.tile_size * 64)
+        items = make_items(cfg, sizes)
+        serial = run_points(items, jobs=1)
+        parallel = run_points(items, jobs=2)
+        assert parallel == serial
+
+    def test_parallel_with_shared_cache(self, cfg, tmp_path):
+        sizes = cfg.valid_sizes(cfg.tile_size * 16)
+        cache = BenchCache(tmp_path)
+        items = make_items(cfg, sizes, cache=cache)
+        first = run_points(items, jobs=2)
+        assert BenchCache(tmp_path).stats().point_entries == len(items)
+
+        # Warm run: every point served from disk, bit-identical.
+        events = []
+        second = run_points(items, jobs=2, progress=events.append)
+        assert second == first
+        assert all(e.from_cache for e in events)
+
+    def test_more_jobs_than_items(self, cfg):
+        items = make_items(cfg, [cfg.tile_size * 2], input_names=("random",))
+        # total <= 1 falls back to the serial path; 2 items with 8 workers
+        # must also work.
+        assert run_points(items, jobs=8) == run_points(items, jobs=1)
+        two = make_items(cfg, [cfg.tile_size * 2])
+        assert run_points(two, jobs=8) == run_points(two, jobs=1)
+
+
+class TestProgress:
+    def test_serial_progress_events(self, cfg):
+        sizes = [cfg.tile_size * 2, cfg.tile_size * 4]
+        items = make_items(cfg, sizes, input_names=("random",))
+        events = []
+        points = run_points(items, progress=events.append)
+        assert [e.done for e in events] == [1, 2]
+        assert all(e.total == 2 for e in events)
+        assert [e.point for e in events] == points
+        assert all(e.seconds >= 0 for e in events)
+        assert not any(e.from_cache for e in events)
+
+    def test_parallel_progress_counts(self, cfg):
+        sizes = [cfg.tile_size * 2, cfg.tile_size * 4]
+        items = make_items(cfg, sizes)
+        events = []
+        run_points(items, jobs=2, progress=events.append)
+        # Completion order is nondeterministic but counts are not.
+        assert sorted(e.done for e in events) == [1, 2, 3, 4]
+        assert {e.item for e in events} == set(items)
+
+    def test_describe_format(self, cfg):
+        item = make_items(cfg, [cfg.tile_size * 2])[0]
+        event = ProgressEvent(
+            done=3, total=8, item=item, point=None, seconds=0.421,
+            from_cache=True,
+        )
+        text = event.describe()
+        assert text.startswith("[3/8] ")
+        assert "0.42s" in text
+        assert text.endswith("(cached)")
+        uncached = ProgressEvent(
+            done=3, total=8, item=item, point=None, seconds=0.421,
+            from_cache=False,
+        )
+        assert "(cached)" not in uncached.describe()

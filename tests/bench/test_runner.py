@@ -72,6 +72,55 @@ class TestSynthesizedPath:
         assert runner._calibrations["random"] is cal
 
 
+class TestComputeTermContinuity:
+    def test_kernel_cost_agrees_across_paths(self):
+        """Regression: the synthesized base compute term was 3n/w instead
+        of the measured register + block-round cost, so
+        compute_warp_instructions (and simulated ms) jumped at
+        exact_threshold. Exact and synthesized KernelCost must agree at a
+        size where both paths are available."""
+        runner = small_runner(exact_threshold=small_runner().config.tile_size * 8)
+        cfg = runner.config
+        n = cfg.tile_size * 32
+        rates = runner._calibrate("worst-case")
+        synth_cost, _ = runner._synthesize_cost(n, rates)
+
+        data = generate("worst-case", cfg, n, seed=0)
+        result = PairwiseMergeSort(cfg).sort(data, score_blocks=4, seed=0)
+        exact_cost = result.kernel_cost(runner.warps_per_sm)
+
+        assert (
+            synth_cost.compute_warp_instructions
+            == exact_cost.compute_warp_instructions
+        )
+        assert synth_cost.global_transactions == exact_cost.global_transactions
+        assert synth_cost.global_words == exact_cost.global_words
+        assert synth_cost.kernel_launches == exact_cost.kernel_launches
+
+    def test_no_discontinuity_at_threshold(self):
+        """Per-element compute grows with the round count, so it must not
+        drop when crossing from the exact to the synthesized path (the old
+        3n/w base term made it fall discontinuously)."""
+        runner = small_runner(exact_threshold=small_runner().config.tile_size * 8)
+        cfg = runner.config
+        n_exact = cfg.tile_size * 8
+
+        result = PairwiseMergeSort(cfg).sort(
+            generate("worst-case", cfg, n_exact, seed=0), score_blocks=4, seed=0
+        )
+        exact_per_element = (
+            result.kernel_cost(runner.warps_per_sm).compute_warp_instructions
+            / n_exact
+        )
+
+        rates = runner._calibrate("worst-case")
+        per_element = [exact_per_element]
+        for n in (n_exact * 2, n_exact * 4, n_exact * 8):
+            cost, _ = runner._synthesize_cost(n, rates)
+            per_element.append(cost.compute_warp_instructions / n)
+        assert per_element == sorted(per_element)
+
+
 class TestCalibratedRates:
     def test_requires_global_round(self):
         cfg = SortConfig(elements_per_thread=3, block_size=32, warp_size=32)

@@ -111,6 +111,44 @@ class TestMergeAndScale:
     def test_scaled_zero(self):
         r = count_conflicts(AccessTrace.from_dense(np.array([[0, 4]])), 4)
         assert r.scaled(0).max_degree == 0
+        assert r.scaled(0).per_step_transactions.size == 0
+        assert r.scaled(0).conflict_free_cycles == 0
+
+    def test_scaled_is_lazy(self):
+        # Scaling stores only the period + repeat count; a huge factor
+        # must not materialize a huge per-step array.
+        r = count_conflicts(
+            AccessTrace.from_dense(np.array([[0, 4], [0, 1]])), 4
+        )
+        s = r.scaled(10**9)
+        assert s.step_period.size == r.step_period.size
+        assert s.step_repeats == 10**9
+        assert s.num_steps == 2 * 10**9
+        assert s.total_transactions == r.total_transactions * 10**9
+        assert s.conflict_free_cycles == r.conflict_free_cycles * 10**9
+
+    def test_scaled_per_step_materializes_tiled(self):
+        r = count_conflicts(AccessTrace.from_dense(np.array([[0, 4], [0, 1]])), 4)
+        s = r.scaled(3)
+        expected = np.tile(r.per_step_transactions, 3)
+        assert s.per_step_transactions.tolist() == expected.tolist()
+        assert len(s.per_step_transactions) == s.num_steps
+
+    def test_scaled_then_merged_with_empty_stays_lazy(self):
+        r = count_conflicts(AccessTrace.from_dense(np.array([[0, 4]])), 4)
+        s = r.scaled(10**6)
+        for m in (s.merged(ConflictReport.empty(4)),
+                  ConflictReport.empty(4).merged(s)):
+            assert m.step_repeats == 10**6
+            assert m.step_period.size == 1
+            assert m.total_transactions == s.total_transactions
+
+    def test_scaled_then_merged_per_step_semantics(self):
+        a = count_conflicts(AccessTrace.from_dense(np.array([[0, 4]])), 4)
+        b = count_conflicts(AccessTrace.from_dense(np.array([[0, 1]])), 4)
+        m = a.scaled(2).merged(b)
+        assert m.per_step_transactions.tolist() == [2, 2, 1]
+        assert m.num_steps == 3
 
     def test_empty_is_identity(self):
         r = count_conflicts(AccessTrace.from_dense(np.array([[0, 4, 8]])), 4)

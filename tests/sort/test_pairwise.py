@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import ConfigurationError, ValidationError
 from repro.inputs.generators import generate
 from repro.sort.config import SortConfig
 from repro.sort.pairwise import PairwiseMergeSort
@@ -172,10 +172,18 @@ class TestSampledScoring:
                 assert per_block_exact == per_block_sampled
 
     def test_invalid_score_blocks(self, small_config, rng):
-        with pytest.raises(SimulationError):
+        # Bad user input is a validation failure, not a simulator bug.
+        with pytest.raises(ValidationError):
             PairwiseMergeSort(small_config).sort(
                 rng.permutation(small_config.tile_size * 2), score_blocks=0
             )
+
+    def test_score_blocks_at_least_total_traces_everything(self, small_config, rng):
+        result = PairwiseMergeSort(small_config).sort(
+            rng.permutation(small_config.tile_size * 2), score_blocks=10_000
+        )
+        for r in result.rounds:
+            assert r.blocks_scored == r.blocks_total
 
 
 class TestAllGenerators:

@@ -5,6 +5,7 @@ import pytest
 
 from repro.dmm.conflicts import ConflictReport, count_conflicts
 from repro.dmm.trace import AccessTrace
+from repro.errors import SimulationError
 from repro.gpu.global_memory import GlobalTraffic
 from repro.sort.config import SortConfig
 from repro.sort.pairwise import RoundStats, SortResult
@@ -55,6 +56,17 @@ class TestRoundStats:
     def test_zero_scored(self):
         r = make_round(scored=0, total=0)
         assert r.scale == 0.0
+
+    def test_zero_scored_with_blocks_raises(self):
+        # Previously returned NaN, which propagated silently through
+        # shared_cycles/replays into benchmark output.
+        r = make_round(scored=0, total=6)
+        with pytest.raises(SimulationError):
+            r.scale
+        with pytest.raises(SimulationError):
+            r.shared_cycles
+        with pytest.raises(SimulationError):
+            r.replays
 
 
 class TestSortResult:
