@@ -1,0 +1,100 @@
+"""Gate harness-speed regressions against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py CURRENT.json [BASELINE.json]
+
+``CURRENT.json`` is the document a benchmark run wrote via
+``REPRO_BENCH_JSON``; the baseline defaults to ``BENCH_simulator.json``
+at the repository root. The check fails (exit 1) when any timing present
+in both documents is more than ``--threshold`` times slower than its
+baseline. CI runners are noisy and slower than the machines baselines are
+recorded on, so the default threshold is a deliberately loose 2×: it
+catches accidental re-introduction of per-tile Python loops or quadratic
+passes, not single-digit-percent drift.
+
+Timings present in only one document are reported but never fail the
+check, so adding a benchmark does not require regenerating the baseline
+in the same commit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
+
+
+def load_timings(path: Path) -> dict[str, dict]:
+    with open(path) as handle:
+        document = json.load(handle)
+    timings = document.get("timings")
+    if not isinstance(timings, dict):
+        raise SystemExit(f"{path}: no 'timings' object (not a bench document?)")
+    return timings
+
+
+def compare(
+    current: dict[str, dict], baseline: dict[str, dict], threshold: float
+) -> list[str]:
+    """Return a list of human-readable failures (empty = pass)."""
+    failures = []
+    for name in sorted(set(current) & set(baseline)):
+        now = float(current[name]["seconds"])
+        then = float(baseline[name]["seconds"])
+        ratio = now / then if then > 0 else float("inf")
+        status = "FAIL" if ratio > threshold else "ok"
+        print(
+            f"  {name:24s} baseline {then:8.4f}s  current {now:8.4f}s  "
+            f"ratio {ratio:5.2f}x  [{status}]"
+        )
+        if ratio > threshold:
+            failures.append(
+                f"{name}: {now:.4f}s is {ratio:.2f}x the baseline "
+                f"{then:.4f}s (threshold {threshold:.1f}x)"
+            )
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  {name:24s} (new — no baseline, not gated)")
+    for name in sorted(set(baseline) - set(current)):
+        print(f"  {name:24s} (baseline only — not measured this run)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path, help="timing JSON from this run")
+    parser.add_argument(
+        "baseline",
+        type=Path,
+        nargs="?",
+        default=DEFAULT_BASELINE,
+        help=f"committed baseline (default: {DEFAULT_BASELINE.name})",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="max allowed current/baseline ratio (default 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_timings(args.current)
+    baseline = load_timings(args.baseline)
+    print(f"comparing {args.current} against {args.baseline}:")
+    failures = compare(current, baseline, args.threshold)
+    if not set(current) & set(baseline):
+        print("no overlapping timings — nothing gated", file=sys.stderr)
+    if failures:
+        print("\nharness speed regression:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("harness speed within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

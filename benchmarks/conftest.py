@@ -7,16 +7,29 @@ percentages, conflicts per element — is printed to the terminal at the end
 of the run via the collected ``FIGURE_LINES`` so `pytest benchmarks/
 --benchmark-only -s` doubles as the reproduction report.
 
+Harness timings additionally flow through :func:`record_timing` into a
+machine-readable JSON document, so the simulator's own performance is a
+tracked trajectory rather than terminal noise: set ``REPRO_BENCH_JSON`` to
+a path and the session writes ``{"timings": {name: {...}}}`` there at exit
+(see ``BENCH_simulator.json`` for the committed baseline and
+``benchmarks/check_regression.py`` for the CI gate).
+
 Environment knobs:
 
 * ``REPRO_BENCH_MAX_ELEMENTS`` — sweep ceiling (default 3e8, the paper's
   largest size; already cheap because large sizes use the calibrated
   synthesis path).
+* ``REPRO_BENCH_JSON`` — where to write the timing document (off when
+  unset).
 """
 
+import json
 import os
+import platform
 
 FIGURE_LINES: list[str] = []
+
+TIMINGS: dict[str, dict] = {}
 
 
 def record(*lines: str) -> None:
@@ -24,8 +37,28 @@ def record(*lines: str) -> None:
     FIGURE_LINES.extend(lines)
 
 
+def record_timing(name: str, seconds: float, **extra) -> None:
+    """Record one named harness timing for the JSON trajectory document.
+
+    ``seconds`` should be a robust statistic (the benchmark median);
+    ``extra`` fields (problem size, scoring mode, …) are stored verbatim.
+    """
+    TIMINGS[name] = {"seconds": round(float(seconds), 6), **extra}
+
+
 def max_elements() -> int:
     return int(os.environ.get("REPRO_BENCH_MAX_ELEMENTS", 300_000_000))
+
+
+def _write_timings_json(path: str) -> None:
+    document = {
+        "schema": 1,
+        "python": platform.python_version(),
+        "timings": dict(sorted(TIMINGS.items())),
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=False)
+        handle.write("\n")
 
 
 def pytest_terminal_summary(terminalreporter):
@@ -33,3 +66,10 @@ def pytest_terminal_summary(terminalreporter):
         terminalreporter.write_sep("=", "paper figure reproduction summary")
         for line in FIGURE_LINES:
             terminalreporter.write_line(line)
+    json_path = os.environ.get("REPRO_BENCH_JSON")
+    if json_path and TIMINGS:
+        _write_timings_json(json_path)
+        terminalreporter.write_line(
+            f"harness timings written to {json_path} "
+            f"({len(TIMINGS)} entries)"
+        )

@@ -98,6 +98,11 @@ class SweepRunner:
     padding:
         Shared-memory padding passed to the simulated sort (0 = the stock
         layout the paper attacks).
+    scoring:
+        Round-scoring implementation passed to the simulated sort:
+        ``"vectorized"`` (default, batches every scored tile of a round)
+        or ``"loop"`` (the per-tile reference). The two are bit-identical,
+        so cache fingerprints deliberately ignore this knob.
     cache:
         Optional :class:`~repro.bench.cache.BenchCache`; when set, bench
         points and calibration rates are looked up on disk before any
@@ -114,6 +119,7 @@ class SweepRunner:
     score_blocks: int | None = 8
     seed: int = 0
     padding: int = 0
+    scoring: str = "vectorized"
     cache: BenchCache | None = None
     instrumented_sorts: int = field(default=0, init=False, repr=False)
     _calibrations: dict = field(default_factory=dict, repr=False)
@@ -123,6 +129,10 @@ class SweepRunner:
 
         check_positive_int(self.exact_threshold, "exact_threshold")
         check_nonnegative_int(self.padding, "padding")
+        if self.scoring not in ("vectorized", "loop"):
+            raise ValidationError(
+                f"scoring must be 'vectorized' or 'loop', got {self.scoring!r}"
+            )
         if self.config.warp_size != self.device.warp_size:
             raise ValidationError(
                 f"config warp size {self.config.warp_size} != device warp "
@@ -189,9 +199,9 @@ class SweepRunner:
     def _instrumented_sort(self, input_name: str, n: int) -> SortResult:
         data = generate(input_name, self.config, n, seed=self.seed)
         self.instrumented_sorts += 1
-        return PairwiseMergeSort(self.config, padding=self.padding).sort(
-            data, score_blocks=self.score_blocks, seed=self.seed
-        )
+        return PairwiseMergeSort(
+            self.config, padding=self.padding, scoring=self.scoring
+        ).sort(data, score_blocks=self.score_blocks, seed=self.seed)
 
     def _exact_point(self, input_name: str, n: int) -> BenchPoint:
         result = self._instrumented_sort(input_name, n)

@@ -54,15 +54,15 @@ class ConflictReport:
         Profiler-style conflicts: ``Σ_j Σ_b (requests_b(j) − 1)⁺``.
     max_degree:
         Worst single-step serialization.
-    step_period:
-        One period of per-step costs; the full per-step array is this
-        period repeated ``step_repeats`` times. :meth:`scaled` reports
-        keep only the period (``scaled(k)`` multiplies ``step_repeats``),
-        so scaling never materializes the tiled array — the synthesized
-        path scales single-tile traces by very large block counts.
-    step_repeats:
-        How many times ``step_period`` repeats (1 for directly counted
-        traces); ``len(step_period) * step_repeats == num_steps``.
+    step_segments:
+        The per-step cost sequence as a run-length-compressed segment list
+        of ``(period, repeats)`` pairs: the full per-step array is the
+        concatenation of each period tiled ``repeats`` times. Directly
+        counted traces hold one ``(per_step, 1)`` segment; :meth:`scaled`
+        multiplies repeat counts and :meth:`merged` concatenates segment
+        lists, so neither ever materializes the ``O(steps·repeats)``
+        array — the synthesized path scales single-tile traces by very
+        large block counts.
     """
 
     num_banks: int
@@ -72,25 +72,48 @@ class ConflictReport:
     total_transactions: int
     total_replays: int
     max_degree: int
-    step_period: np.ndarray
-    step_repeats: int = 1
+    step_segments: tuple = ()
+
+    @property
+    def step_period(self) -> np.ndarray:
+        """One period of per-step costs (materialized for multi-segment
+        reports; prefer :attr:`step_segments` for those)."""
+        if not self.step_segments:
+            return np.empty(0, dtype=np.int64)
+        if len(self.step_segments) == 1:
+            return self.step_segments[0][0]
+        return self.per_step_transactions
+
+    @property
+    def step_repeats(self) -> int:
+        """How many times :attr:`step_period` repeats to span the report."""
+        if len(self.step_segments) == 1:
+            return self.step_segments[0][1]
+        return 1
 
     @property
     def per_step_transactions(self) -> np.ndarray:
         """Length-``num_steps`` int array of per-step costs.
 
         Materialized on demand for repeated (scaled) reports; prefer the
-        summary counters or :attr:`step_period` when the repeat factor is
+        summary counters or :attr:`step_segments` when repeat factors are
         large.
         """
-        if self.step_repeats == 1:
-            return self.step_period
-        return np.tile(self.step_period, self.step_repeats)
+        if not self.step_segments:
+            return np.empty(0, dtype=np.int64)
+        parts = [
+            np.tile(period, repeats) if repeats > 1 else period
+            for period, repeats in self.step_segments
+        ]
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
 
     @property
     def conflict_free_cycles(self) -> int:
         """Cycles the trace would cost with zero conflicts (= active steps)."""
-        return int(np.count_nonzero(self.step_period)) * self.step_repeats
+        return sum(
+            int(np.count_nonzero(period)) * repeats
+            for period, repeats in self.step_segments
+        )
 
     @property
     def slowdown_factor(self) -> float:
@@ -116,17 +139,8 @@ class ConflictReport:
                 f"cannot merge reports with {self.num_banks} and "
                 f"{other.num_banks} banks"
             )
-        # Keep a lazily repeated side intact when the other contributes no
-        # steps; otherwise the concatenation must materialize both.
-        if other.num_steps == 0:
-            period, repeats = self.step_period, self.step_repeats
-        elif self.num_steps == 0:
-            period, repeats = other.step_period, other.step_repeats
-        else:
-            period = np.concatenate(
-                [self.per_step_transactions, other.per_step_transactions]
-            )
-            repeats = 1
+        # Concatenating the segment lists keeps both sides' laziness: a
+        # report scaled by a huge block count merges in O(1) memory.
         return ConflictReport(
             num_banks=self.num_banks,
             num_steps=self.num_steps + other.num_steps,
@@ -135,8 +149,7 @@ class ConflictReport:
             total_transactions=self.total_transactions + other.total_transactions,
             total_replays=self.total_replays + other.total_replays,
             max_degree=max(self.max_degree, other.max_degree),
-            step_period=period,
-            step_repeats=repeats,
+            step_segments=self.step_segments + other.step_segments,
         )
 
     def scaled(self, factor: int) -> "ConflictReport":
@@ -152,6 +165,17 @@ class ConflictReport:
             from repro.errors import ValidationError
 
             raise ValidationError(f"factor must be nonnegative, got {factor}")
+        if factor == 0:
+            segments = ()
+        elif len(self.step_segments) <= 1:
+            segments = tuple(
+                (period, repeats * factor)
+                for period, repeats in self.step_segments
+            )
+        else:
+            # Multi-segment sequence repeated whole: tuple repetition keeps
+            # each segment's period shared (O(segments·factor) references).
+            segments = self.step_segments * factor
         return ConflictReport(
             num_banks=self.num_banks,
             num_steps=self.num_steps * factor,
@@ -160,8 +184,7 @@ class ConflictReport:
             total_transactions=self.total_transactions * factor,
             total_replays=self.total_replays * factor,
             max_degree=self.max_degree if factor else 0,
-            step_period=self.step_period,
-            step_repeats=self.step_repeats * factor,
+            step_segments=segments,
         )
 
     @staticmethod
@@ -175,7 +198,7 @@ class ConflictReport:
             total_transactions=0,
             total_replays=0,
             max_degree=0,
-            step_period=np.empty(0, dtype=np.int64),
+            step_segments=(),
         )
 
 
@@ -185,27 +208,33 @@ def _request_counts(trace: AccessTrace, num_banks: int) -> np.ndarray:
     Returns a ``(num_steps, num_banks)`` int64 matrix.
     """
     steps = trace.num_steps
-    counts = np.zeros((steps, num_banks), dtype=np.int64)
     if trace.num_accesses == 0:
-        return counts
+        return np.zeros((steps, num_banks), dtype=np.int64)
 
-    step_idx, lane_idx = np.nonzero(trace.active)
-    addrs = trace.addresses[step_idx, lane_idx]
-
+    # Inactive lanes hold NO_ACCESS (< 0, an AccessTrace invariant) and so
+    # sort below every valid address: a row-wise sort + neighbor comparison
+    # deduplicates per step without the hash pass a global ``np.unique``
+    # would pay (the warp width is tiny, so the sort is effectively linear
+    # in the trace size).
+    addrs = trace.addresses
     if trace.kind is AccessKind.READ:
         # Broadcast: identical (step, address) pairs collapse to one request.
-        span = int(addrs.max()) + 1
-        keys = step_idx * span + addrs
-        unique_keys = np.unique(keys)
-        step_idx = unique_keys // span
-        addrs = unique_keys % span
-    # Writes to the same address never broadcast (and same-address concurrent
-    # writes are illegal under CREW — caught by the machine, not scored here).
+        addrs = np.sort(addrs, axis=1)
+        keep = np.empty(addrs.shape, dtype=bool)
+        keep[:, 0] = addrs[:, 0] >= 0
+        if addrs.shape[1] > 1:
+            keep[:, 1:] = (addrs[:, 1:] >= 0) & (addrs[:, 1:] != addrs[:, :-1])
+    else:
+        # Writes to the same address never broadcast (and same-address
+        # concurrent writes are illegal under CREW — caught by the machine,
+        # not scored here).
+        keep = trace.active
 
-    banks = addrs % num_banks
-    flat = np.bincount(step_idx * num_banks + banks, minlength=steps * num_banks)
-    counts[:] = flat.reshape(steps, num_banks)
-    return counts
+    # num_banks is a power of two, so bank = addr & (w − 1).
+    keys = addrs & np.int64(num_banks - 1)
+    keys += np.arange(steps, dtype=np.int64)[:, None] * num_banks
+    flat = np.bincount(keys[keep], minlength=steps * num_banks)
+    return flat.reshape(steps, num_banks).astype(np.int64, copy=False)
 
 
 def step_transactions(trace: AccessTrace, num_banks: int) -> np.ndarray:
@@ -252,6 +281,7 @@ def count_conflicts(trace: AccessTrace, num_banks: int) -> ConflictReport:
     )
     num_requests = int(counts.sum())
     replays = int(np.maximum(counts - 1, 0).sum())
+    per_step = per_step.astype(np.int64)
     return ConflictReport(
         num_banks=num_banks,
         num_steps=trace.num_steps,
@@ -260,5 +290,5 @@ def count_conflicts(trace: AccessTrace, num_banks: int) -> ConflictReport:
         total_transactions=int(per_step.sum()),
         total_replays=replays,
         max_degree=int(per_step.max()) if per_step.size else 0,
-        step_period=per_step.astype(np.int64),
+        step_segments=((per_step, 1),) if per_step.size else (),
     )

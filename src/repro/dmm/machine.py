@@ -23,30 +23,34 @@ import numpy as np
 from repro.dmm.conflicts import ConflictReport, count_conflicts
 from repro.dmm.trace import AccessKind, AccessTrace
 from repro.errors import SimulationError, ValidationError
-from repro.utils.validation import check_positive_int, check_power_of_two
+from repro.utils.validation import check_nonnegative_int, check_power_of_two
 
 __all__ = ["DMM", "MemoryImage"]
 
 
 @dataclass
 class MemoryImage:
-    """A flat word-addressed memory holding int64 values."""
+    """A flat word-addressed memory holding int64 values.
+
+    ``size`` may be 0: an empty image has no addressable words, rejects
+    every access, and snapshots to an empty array.
+    """
 
     size: int
     _words: np.ndarray = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
-        check_positive_int(self.size, "size")
+        check_nonnegative_int(self.size, "size")
         self._words = np.zeros(self.size, dtype=np.int64)
 
     @classmethod
     def from_array(cls, data) -> "MemoryImage":
-        """Create an image initialized with ``data``."""
+        """Create an image initialized with (and exactly sized to) ``data``."""
         data = np.asarray(data, dtype=np.int64)
         if data.ndim != 1:
             raise ValidationError(f"data must be 1-D, got shape {data.shape}")
-        image = cls(size=max(int(data.size), 1))
-        image._words[: data.size] = data
+        image = cls(size=int(data.size))
+        image._words[:] = data
         return image
 
     def read(self, addresses: np.ndarray) -> np.ndarray:

@@ -43,8 +43,10 @@ class AccessTrace:
     Attributes
     ----------
     addresses:
-        ``(steps, lanes)`` int64 array of element addresses; ``NO_ACCESS``
-        where ``active`` is ``False``.
+        ``(steps, lanes)`` int64 array of element addresses; exactly
+        ``NO_ACCESS`` where ``active`` is ``False`` (the constructor
+        normalizes inactive entries, so consumers may scan ``addresses``
+        without re-masking).
     active:
         ``(steps, lanes)`` bool array marking which lanes issued a request.
     kind:
@@ -69,6 +71,8 @@ class AccessTrace:
             )
         if np.any(addresses[active] < 0):
             raise ValidationError("active lanes must carry nonnegative addresses")
+        if not active.all():
+            addresses = np.where(active, addresses, np.int64(NO_ACCESS))
         object.__setattr__(self, "addresses", addresses)
         object.__setattr__(self, "active", active)
 
@@ -97,9 +101,20 @@ class AccessTrace:
         addresses = np.asarray(addresses, dtype=np.int64)
         if addresses.ndim == 1:
             addresses = addresses[None, :]
+        if addresses.ndim != 2:
+            raise ValidationError(
+                f"trace addresses must be 2-D (steps, lanes), got {addresses.shape}"
+            )
         active = addresses >= 0
-        clean = np.where(active, addresses, NO_ACCESS)
-        return cls(addresses=clean, active=active, kind=kind)
+        clean = np.where(active, addresses, np.int64(NO_ACCESS))
+        # Every class invariant holds by construction here; skip
+        # __post_init__'s re-validation (this is the simulator's hot
+        # constructor — every scored trace passes through it).
+        trace = object.__new__(cls)
+        object.__setattr__(trace, "addresses", clean)
+        object.__setattr__(trace, "active", active)
+        object.__setattr__(trace, "kind", kind)
+        return trace
 
     def concat(self, other: "AccessTrace") -> "AccessTrace":
         """Concatenate two traces of the same width and kind in time."""

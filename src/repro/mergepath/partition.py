@@ -150,30 +150,35 @@ def partition_many_with_trace(
     lo = np.maximum(0, diagonals - b_len)
     hi = np.minimum(diagonals, a_len)
 
-    rows: list[np.ndarray] = []
-    while True:
-        active = lo < hi
-        if not active.any():
-            break
-        mid = (lo + hi) // 2
-        b_probe = diagonals - mid - 1
+    # A lane's bisection interval of span s converges in at most
+    # bit_length(s) iterations (two probe steps each); preallocating the
+    # dense probe matrix avoids a per-iteration row list + vstack, and
+    # compressing to the still-searching lane set keeps late iterations
+    # (most lanes already converged) from paying full-width passes.
+    max_span = int((hi - lo).max()) if lanes else 0
+    dense = np.full(
+        (2 * max_span.bit_length(), lanes), NO_ACCESS, dtype=np.int64
+    )
+    row = 0
+    idx = np.nonzero(lo < hi)[0]
+    while idx.size:
+        l = lo[idx]
+        h = hi[idx]
+        mid = (l + h) // 2
+        b_probe = diagonals[idx] - mid - 1
 
-        a_row = np.full(lanes, NO_ACCESS, dtype=np.int64)
-        b_row = np.full(lanes, NO_ACCESS, dtype=np.int64)
-        a_row[active] = trace_a_base[active] + mid[active]
-        b_row[active] = trace_b_base[active] + b_probe[active]
-        rows.append(a_row)
-        rows.append(b_row)
+        dense[row, idx] = trace_a_base[idx] + mid
+        dense[row + 1, idx] = trace_b_base[idx] + b_probe
+        row += 2
 
-        take_a = np.zeros(lanes, dtype=bool)
-        take_a[active] = (
-            values[(a_base + mid)[active]] <= values[(b_base + b_probe)[active]]
-        )
-        lo = np.where(take_a, mid + 1, lo)
-        hi = np.where(active & ~take_a, mid, hi)
+        take_a = values[a_base[idx] + mid] <= values[b_base[idx] + b_probe]
+        new_lo = np.where(take_a, mid + 1, l)
+        new_hi = np.where(take_a, h, mid)
+        lo[idx] = new_lo
+        hi[idx] = new_hi
+        idx = idx[new_lo < new_hi]
 
-    dense = np.vstack(rows) if rows else np.empty((0, lanes), dtype=np.int64)
-    return lo, dense
+    return lo, dense[:row]
 
 
 def partition_with_trace(
@@ -217,8 +222,12 @@ def partition_with_trace(
     lo = np.maximum(0, diagonals - b.size).astype(np.int64)
     hi = np.minimum(diagonals, a.size).astype(np.int64)
 
-    rows: list[np.ndarray] = []
     lanes = diagonals.size
+    max_span = int((hi - lo).max()) if lanes else 0
+    dense = np.full(
+        (2 * max_span.bit_length(), lanes), NO_ACCESS, dtype=np.int64
+    )
+    row = 0
     while True:
         active = lo < hi
         if not active.any():
@@ -226,20 +235,14 @@ def partition_with_trace(
         mid = (lo + hi) // 2
         b_probe = diagonals - mid - 1
 
-        a_row = np.full(lanes, NO_ACCESS, dtype=np.int64)
-        b_row = np.full(lanes, NO_ACCESS, dtype=np.int64)
-        a_row[active] = a_base + mid[active]
-        b_row[active] = b_base + b_probe[active]
-        rows.append(a_row)
-        rows.append(b_row)
+        dense[row, active] = a_base + mid[active]
+        dense[row + 1, active] = b_base + b_probe[active]
+        row += 2
 
         take_a = np.zeros(lanes, dtype=bool)
         take_a[active] = a[mid[active]] <= b[b_probe[active]]
         lo = np.where(take_a, mid + 1, lo)
         hi = np.where(active & ~take_a, mid, hi)
 
-    dense = (
-        np.vstack(rows) if rows else np.empty((0, lanes), dtype=np.int64)
-    )
-    trace = AccessTrace.from_dense(dense)
+    trace = AccessTrace.from_dense(dense[:row])
     return lo, diagonals - lo, trace

@@ -45,7 +45,12 @@ from repro.dmm.trace import AccessTrace
 from repro.errors import SimulationError, ValidationError
 from repro.gpu.global_memory import CoalescingModel, GlobalTraffic
 from repro.gpu.timing import KernelCost
-from repro.mergepath.kernels import stack_warp_steps, thread_rank_addresses
+from repro.mergepath.kernels import (
+    batched_rank_addresses,
+    stack_group_warp_steps,
+    stack_warp_steps,
+    thread_rank_addresses,
+)
 from repro.mergepath.partition import partition_many_with_trace
 from repro.sort.config import SortConfig
 from repro.sort.networks import apply_oddeven_network
@@ -192,6 +197,14 @@ class PairwiseMergeSort:
         logical cells — see :mod:`repro.mitigation.padding`). 0 models the
         stock Thrust/Modern GPU layout the paper attacks; 1 is the
         conflict-free mitigation the paper's related work discusses.
+    scoring:
+        ``"vectorized"`` (default) batches every scored tile of a round
+        through one address-arithmetic pass, one
+        :func:`~repro.mergepath.partition.partition_many_with_trace` call
+        and one stacked conflict count; ``"loop"`` is the original
+        tile-at-a-time reference implementation. Both produce bit-identical
+        :class:`SortResult`\\ s (enforced by the equivalence tests) — keep
+        ``"loop"`` around only as the oracle.
 
     Examples
     --------
@@ -206,11 +219,18 @@ class PairwiseMergeSort:
     True
     """
 
-    def __init__(self, config: SortConfig, padding: int = 0):
+    def __init__(
+        self, config: SortConfig, padding: int = 0, scoring: str = "vectorized"
+    ):
         from repro.utils.validation import check_nonnegative_int
 
         self.config = config
         self.padding = check_nonnegative_int(padding, "padding")
+        if scoring not in ("vectorized", "loop"):
+            raise ValidationError(
+                f"scoring must be 'vectorized' or 'loop', got {scoring!r}"
+            )
+        self.scoring = scoring
 
     def _physical(self, step_matrix: np.ndarray) -> np.ndarray:
         """Logical tile addresses → physical (possibly padded) addresses."""
@@ -352,6 +372,97 @@ class PairwiseMergeSort:
         pairs_per_tile = cfg.tile_size // pair_width
         scored = _choose_blocks(tiles, score_blocks, rng)
 
+        if self.scoring == "vectorized":
+            merge_report, part_report = self._block_reports_vectorized(
+                flat_pre, order, run, scored, pairs_per_tile
+            )
+        else:
+            merge_report, part_report = self._block_reports_loop(
+                flat_pre, order, run, scored, pairs_per_tile
+            )
+
+        result.rounds.append(
+            RoundStats(
+                label=f"block-round-L{run}",
+                kind="block",
+                run_length=run,
+                merge_report=merge_report,
+                partition_report=part_report,
+                staging_report=ConflictReport.empty(cfg.w),
+                global_traffic=GlobalTraffic(),  # block rounds stay on-chip
+                compute_instructions=3 * n // cfg.w,
+                blocks_total=tiles,
+                blocks_scored=len(scored),
+            )
+        )
+
+    def _block_reports_vectorized(
+        self,
+        flat_pre: np.ndarray,
+        order: np.ndarray,
+        run: int,
+        scored: np.ndarray,
+        pairs_per_tile: int,
+    ) -> tuple[ConflictReport, ConflictReport]:
+        """All scored tiles of a block round in one batched pass."""
+        cfg = self.config
+        pair_width = 2 * run
+        num_scored = scored.size
+
+        # Merge stage: the (tiles, pairs, width) rank→address map in one
+        # shot — pair base + concatenated-pair index, per scored tile.
+        order_tiles = order.reshape(-1, pairs_per_tile, pair_width)[scored]
+        pair_bases = np.arange(pairs_per_tile, dtype=np.int64)[:, None] * pair_width
+        addr_by_rank = (order_tiles + pair_bases).reshape(num_scored, cfg.tile_size)
+        merge_dense = self._physical(
+            stack_warp_steps(batched_rank_addresses(addr_by_rank, cfg.E), cfg.w)
+        )
+        merge_report = count_conflicts(
+            AccessTrace.from_dense(merge_dense), cfg.w
+        )
+
+        # Partition stage: every scored tile's b diagonals in one
+        # partition_many_with_trace call over tiles·b lanes.
+        t_ranks = np.arange(cfg.b, dtype=np.int64) * cfg.E
+        pair_in_tile = t_ranks // pair_width  # (b,)
+        diagonals = t_ranks % pair_width
+        local_base = pair_in_tile * pair_width
+        pair_global = (
+            scored[:, None] * pairs_per_tile + pair_in_tile[None, :]
+        )  # (tiles, b)
+        a_base = (pair_global * pair_width).reshape(-1)
+        trace_a = np.broadcast_to(local_base, (num_scored, cfg.b)).reshape(-1)
+        lanes = num_scored * cfg.b
+        _, probe_steps = partition_many_with_trace(
+            flat_pre,
+            a_base=a_base,
+            a_len=np.full(lanes, run, dtype=np.int64),
+            b_base=a_base + run,
+            b_len=np.full(lanes, run, dtype=np.int64),
+            diagonals=np.broadcast_to(diagonals, (num_scored, cfg.b)).reshape(-1),
+            trace_a_base=trace_a,
+            trace_b_base=trace_a + run,
+        )
+        part_dense = self._physical(
+            stack_group_warp_steps(probe_steps, num_scored, cfg.w)
+        )
+        part_report = _score_stacked(
+            [part_dense] if part_dense.size else [], cfg.w
+        )
+        return merge_report, part_report
+
+    def _block_reports_loop(
+        self,
+        flat_pre: np.ndarray,
+        order: np.ndarray,
+        run: int,
+        scored: np.ndarray,
+        pairs_per_tile: int,
+    ) -> tuple[ConflictReport, ConflictReport]:
+        """Tile-at-a-time reference implementation (the equivalence oracle)."""
+        cfg = self.config
+        pair_width = 2 * run
+
         merge_rows = []
         part_rows = []
         for tile in scored:
@@ -394,23 +505,7 @@ class PairwiseMergeSort:
                     self._physical(stack_warp_steps(probe_steps, cfg.w))
                 )
 
-        merge_report = _score_stacked(merge_rows, cfg.w)
-        part_report = _score_stacked(part_rows, cfg.w)
-
-        result.rounds.append(
-            RoundStats(
-                label=f"block-round-L{run}",
-                kind="block",
-                run_length=run,
-                merge_report=merge_report,
-                partition_report=part_report,
-                staging_report=ConflictReport.empty(cfg.w),
-                global_traffic=GlobalTraffic(),  # block rounds stay on-chip
-                compute_instructions=3 * n // cfg.w,
-                blocks_total=tiles,
-                blocks_scored=len(scored),
-            )
-        )
+        return _score_stacked(merge_rows, cfg.w), _score_stacked(part_rows, cfg.w)
 
     # -- global rounds -----------------------------------------------------
 
@@ -430,6 +525,121 @@ class PairwiseMergeSort:
         blocks_per_pair = pair_width // cfg.tile_size
         blocks_total = num_pairs * blocks_per_pair
         scored = _choose_blocks(blocks_total, score_blocks, rng)
+
+        if self.scoring == "vectorized":
+            merge_report, part_report = self._global_reports_vectorized(
+                mat, order, run, scored, blocks_per_pair
+            )
+        else:
+            merge_report, part_report = self._global_reports_loop(
+                mat, order, run, scored, blocks_per_pair
+            )
+
+        # Global traffic: every element is read and written once (coalesced),
+        # plus the block-level mutual binary searches in global memory.
+        coalescing = CoalescingModel(cfg.w)
+        coalescing.streamed_copy(n)
+        coalescing.streamed_copy(n)
+        probes_per_block = 2 * ceil_log2(run + 1)
+        coalescing.scattered_access(blocks_total * probes_per_block)
+
+        result.rounds.append(
+            RoundStats(
+                label=f"global-round-L{run}",
+                kind="global",
+                run_length=run,
+                merge_report=merge_report,
+                partition_report=part_report,
+                staging_report=ConflictReport.empty(cfg.w),
+                global_traffic=coalescing.reset(),
+                compute_instructions=3 * n // cfg.w,
+                blocks_total=blocks_total,
+                blocks_scored=len(scored),
+            )
+        )
+
+    def _global_reports_vectorized(
+        self,
+        mat: np.ndarray,
+        order: np.ndarray,
+        run: int,
+        scored: np.ndarray,
+        blocks_per_pair: int,
+    ) -> tuple[ConflictReport, ConflictReport]:
+        """All scored blocks of a global round in one batched pass."""
+        cfg = self.config
+        num_pairs, pair_width = mat.shape
+        num_scored = scored.size
+        tile = cfg.tile_size
+
+        pairs = scored // blocks_per_pair
+        block_in_pair = scored % blocks_per_pair
+        r_lo = block_in_pair * tile
+
+        # Per-pair prefix counts of A-sourced ranks, for window arithmetic.
+        # Blocks start at tile boundaries, so tile-granular counts suffice —
+        # one O(n) reduction instead of a per-element running sum.
+        src_a = order < run
+        tile_counts = src_a.reshape(num_pairs, blocks_per_pair, tile).sum(
+            axis=2, dtype=np.int64
+        )
+        prefix = np.zeros((num_pairs, blocks_per_pair + 1), dtype=np.int64)
+        np.cumsum(tile_counts, axis=1, out=prefix[:, 1:])
+
+        rank_cols = r_lo[:, None] + np.arange(tile, dtype=np.int64)
+        s = order[pairs[:, None], rank_cols]  # (blocks, tile)
+        a_lo = prefix[pairs, block_in_pair]
+        na = tile_counts[pairs, block_in_pair]
+        b_lo = r_lo - a_lo
+        # Tile layout: each block's A window at [0, na), B at [na, bE).
+        local = np.where(
+            s < run,
+            s - a_lo[:, None],
+            na[:, None] + (s - run - b_lo[:, None]),
+        )
+        merge_dense = self._physical(
+            stack_warp_steps(batched_rank_addresses(local, cfg.E), cfg.w)
+        )
+        merge_report = count_conflicts(
+            AccessTrace.from_dense(merge_dense), cfg.w
+        )
+
+        # β₁ stage: all scored blocks' diagonals in one call against the
+        # flat pre-merge buffer (mat rows are contiguous windows of it).
+        lanes = num_scored * cfg.b
+        pair_base = pairs * pair_width
+        a_base = np.repeat(pair_base + a_lo, cfg.b)
+        b_base = np.repeat(pair_base + run + b_lo, cfg.b)
+        _, probe_steps = partition_many_with_trace(
+            mat.reshape(-1),
+            a_base=a_base,
+            a_len=np.repeat(na, cfg.b),
+            b_base=b_base,
+            b_len=np.repeat(tile - na, cfg.b),
+            diagonals=np.tile(
+                np.arange(cfg.b, dtype=np.int64) * cfg.E, num_scored
+            ),
+            trace_a_base=np.zeros(lanes, dtype=np.int64),
+            trace_b_base=np.repeat(na, cfg.b),
+        )
+        part_dense = self._physical(
+            stack_group_warp_steps(probe_steps, num_scored, cfg.w)
+        )
+        part_report = _score_stacked(
+            [part_dense] if part_dense.size else [], cfg.w
+        )
+        return merge_report, part_report
+
+    def _global_reports_loop(
+        self,
+        mat: np.ndarray,
+        order: np.ndarray,
+        run: int,
+        scored: np.ndarray,
+        blocks_per_pair: int,
+    ) -> tuple[ConflictReport, ConflictReport]:
+        """Block-at-a-time reference implementation (the equivalence oracle)."""
+        cfg = self.config
 
         # Per-pair prefix counts of A-sourced ranks, for window arithmetic.
         src_a = order < run
@@ -474,42 +684,28 @@ class PairwiseMergeSort:
                     self._physical(stack_warp_steps(probe_steps, cfg.w))
                 )
 
-        merge_report = _score_stacked(merge_rows, cfg.w)
-        part_report = _score_stacked(part_rows, cfg.w)
-
-        # Global traffic: every element is read and written once (coalesced),
-        # plus the block-level mutual binary searches in global memory.
-        coalescing = CoalescingModel(cfg.w)
-        coalescing.streamed_copy(n)
-        coalescing.streamed_copy(n)
-        probes_per_block = 2 * ceil_log2(run + 1)
-        coalescing.scattered_access(blocks_total * probes_per_block)
-
-        result.rounds.append(
-            RoundStats(
-                label=f"global-round-L{run}",
-                kind="global",
-                run_length=run,
-                merge_report=merge_report,
-                partition_report=part_report,
-                staging_report=ConflictReport.empty(cfg.w),
-                global_traffic=coalescing.reset(),
-                compute_instructions=3 * n // cfg.w,
-                blocks_total=blocks_total,
-                blocks_scored=len(scored),
-            )
-        )
+        return _score_stacked(merge_rows, cfg.w), _score_stacked(part_rows, cfg.w)
 
 
 def _choose_blocks(
     total: int, score_blocks: int | None, rng: np.random.Generator
 ) -> np.ndarray:
-    """Pick which blocks of a round to trace."""
+    """Pick which blocks of a round to trace.
+
+    The RNG is consumed exactly when sampling happens (``score_blocks``
+    given and strictly below ``total``) — never for validation or for
+    trace-everything rounds. Both scoring paths call this once per round
+    with identical arguments, which keeps sampled-block selection (and
+    therefore the parallel-vs-serial bit-identity guarantee of
+    :mod:`repro.bench.parallel`) stable across implementations; the draw
+    order is pinned by ``tests/sort/test_pairwise.py``.
+    """
+    if score_blocks is not None and score_blocks < 1:
+        # Bad user input, not a simulator inconsistency — rejected before
+        # any short-circuit so validation never depends on round geometry.
+        raise ValidationError(f"score_blocks must be >= 1, got {score_blocks}")
     if score_blocks is None or score_blocks >= total:
         return np.arange(total, dtype=np.int64)
-    if score_blocks < 1:
-        # Bad user input, not a simulator inconsistency.
-        raise ValidationError(f"score_blocks must be >= 1, got {score_blocks}")
     return np.sort(rng.choice(total, size=score_blocks, replace=False)).astype(
         np.int64
     )

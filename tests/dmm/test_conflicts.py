@@ -150,6 +150,38 @@ class TestMergeAndScale:
         assert m.per_step_transactions.tolist() == [2, 2, 1]
         assert m.num_steps == 3
 
+    def test_merged_scaled_reports_stay_lazy(self):
+        # Regression: merged() used to materialize each side's repeated
+        # per-step array (O(steps·repeats) memory). It must instead keep a
+        # segment list whose memory is proportional to the *periods* only,
+        # even when both sides carry astronomical repeat counts.
+        a = count_conflicts(AccessTrace.from_dense(np.array([[0, 4], [0, 1]])), 4)
+        b = count_conflicts(AccessTrace.from_dense(np.array([[0, 1]])), 4)
+        m = a.scaled(10**9).merged(b.scaled(10**9))
+        assert len(m.step_segments) == 2
+        assert sum(period.size for period, _ in m.step_segments) == 3
+        assert [repeats for _, repeats in m.step_segments] == [10**9, 10**9]
+        assert m.num_steps == 3 * 10**9
+        assert m.total_transactions == (
+            a.total_transactions + b.total_transactions
+        ) * 10**9
+        assert m.conflict_free_cycles == (
+            a.conflict_free_cycles + b.conflict_free_cycles
+        ) * 10**9
+
+    def test_merged_chain_keeps_segments_flat(self):
+        # Folding many scaled reports (one per round, as the synthesized
+        # bench path does) must grow the segment list linearly and never
+        # touch the repeat counts.
+        m = ConflictReport.empty(4)
+        r = count_conflicts(AccessTrace.from_dense(np.array([[0, 4]])), 4)
+        for _ in range(50):
+            m = m.merged(r.scaled(10**8))
+        assert len(m.step_segments) == 50
+        assert m.num_steps == 50 * 10**8
+        assert all(repeats == 10**8 for _, repeats in m.step_segments)
+        assert m.total_transactions == 50 * 10**8 * r.total_transactions
+
     def test_empty_is_identity(self):
         r = count_conflicts(AccessTrace.from_dense(np.array([[0, 4, 8]])), 4)
         m = ConflictReport.empty(4).merged(r)

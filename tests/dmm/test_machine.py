@@ -29,6 +29,27 @@ class TestMemoryImage:
         with pytest.raises(ValidationError):
             MemoryImage.from_array(np.zeros((2, 2)))
 
+    def test_from_array_empty(self):
+        # Regression: an empty input used to be silently promoted to a
+        # 1-word memory, making out-of-bounds reads of address 0 succeed.
+        img = MemoryImage.from_array(np.array([], dtype=np.int64))
+        assert img.size == 0
+        assert img.snapshot().size == 0
+        with pytest.raises(SimulationError):
+            img.read(np.array([0]))
+
+    def test_empty_image_direct_construction(self):
+        img = MemoryImage(size=0)
+        assert img.snapshot().tolist() == []
+        with pytest.raises(SimulationError):
+            img.write(np.array([0]), np.array([1]))
+        # Zero-length accesses are trivially in bounds.
+        assert img.read(np.array([], dtype=np.int64)).size == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValidationError):
+            MemoryImage(size=-1)
+
 
 class TestDMM:
     def test_read_values_and_cycles(self):

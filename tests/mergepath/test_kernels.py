@@ -6,8 +6,13 @@ import pytest
 from repro.dmm.conflicts import count_conflicts
 from repro.dmm.trace import AccessTrace
 from repro.errors import ValidationError
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.mergepath.kernels import (
+    batched_rank_addresses,
     merge_stage_trace,
+    stack_group_warp_steps,
     stack_warp_steps,
     thread_rank_addresses,
     warp_traces,
@@ -78,3 +83,146 @@ class TestStackWarpSteps:
     def test_rejects_1d(self):
         with pytest.raises(ValidationError):
             stack_warp_steps(np.zeros(4, dtype=np.int64), 4)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        steps=st.integers(0, 6),
+        warps=st.integers(1, 4),
+        warp_size=st.sampled_from([2, 4, 8]),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    def test_property_matches_per_warp_scoring(
+        self, steps, warps, warp_size, seed
+    ):
+        """Scoring a stacked matrix as one trace equals scoring each warp's
+        trace separately and merging the reports — for arbitrary matrices
+        including inactive lanes."""
+        g = np.random.default_rng(seed)
+        matrix = g.integers(-1, 40, size=(steps, warps * warp_size)).astype(
+            np.int64
+        )
+        combined = count_conflicts(
+            AccessTrace.from_dense(stack_warp_steps(matrix, warp_size)),
+            warp_size,
+        )
+        merged = None
+        for t in warp_traces(matrix, warp_size):
+            r = count_conflicts(t, warp_size)
+            merged = r if merged is None else merged.merged(r)
+        assert combined.total_transactions == merged.total_transactions
+        assert combined.total_replays == merged.total_replays
+        assert combined.num_requests == merged.num_requests
+        assert combined.num_accesses == merged.num_accesses
+        assert combined.max_degree == merged.max_degree
+
+
+class TestBatchedRankAddresses:
+    def test_matches_per_tile_concat(self, rng):
+        tiles, threads, e = 3, 4, 2
+        batch = rng.integers(0, 64, size=(tiles, threads * e)).astype(np.int64)
+        expected = np.hstack(
+            [thread_rank_addresses(batch[g], e) for g in range(tiles)]
+        )
+        np.testing.assert_array_equal(batched_rank_addresses(batch, e), expected)
+
+    def test_stacks_identically_through_warps(self, rng):
+        """stack_warp_steps(batched matrix) == vstack of per-tile stacks —
+        the identity the vectorized block-round scorer depends on."""
+        tiles, e, w = 4, 3, 4
+        threads = 2 * w
+        batch = rng.integers(0, 128, size=(tiles, threads * e)).astype(np.int64)
+        combined = stack_warp_steps(batched_rank_addresses(batch, e), w)
+        per_tile = np.vstack(
+            [
+                stack_warp_steps(thread_rank_addresses(batch[g], e), w)
+                for g in range(tiles)
+            ]
+        )
+        np.testing.assert_array_equal(combined, per_tile)
+
+    def test_rejects_ragged(self):
+        with pytest.raises(ValidationError):
+            batched_rank_addresses(np.zeros((2, 5), dtype=np.int64), 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            batched_rank_addresses(np.zeros(6, dtype=np.int64), 2)
+
+
+class TestStackGroupWarpSteps:
+    @staticmethod
+    def _reference(matrix, num_groups, warp_size):
+        """Per-group loop: trim trailing all-inactive steps, stack, concat."""
+        group_size = matrix.shape[1] // num_groups
+        rows = []
+        for g in range(num_groups):
+            sub = matrix[:, g * group_size : (g + 1) * group_size]
+            active_steps = np.nonzero((sub >= 0).any(axis=1))[0]
+            keep = int(active_steps[-1]) + 1 if active_steps.size else 0
+            rows.append(stack_warp_steps(sub[:keep], warp_size))
+        return (
+            np.vstack(rows)
+            if rows
+            else np.empty((0, warp_size), dtype=np.int64)
+        )
+
+    def test_matches_reference_loop(self, rng):
+        matrix = rng.integers(-1, 32, size=(5, 24)).astype(np.int64)
+        got = stack_group_warp_steps(matrix, num_groups=3, warp_size=4)
+        np.testing.assert_array_equal(got, self._reference(matrix, 3, 4))
+
+    def test_trims_trailing_idle_steps_per_group(self):
+        # Group 0 converges after step 1; group 1 stays active to the end.
+        matrix = np.array(
+            [
+                [0, 1, 8, 9],
+                [2, 3, 10, 11],
+                [-1, -1, 12, 13],
+            ],
+            dtype=np.int64,
+        )
+        got = stack_group_warp_steps(matrix, num_groups=2, warp_size=2)
+        np.testing.assert_array_equal(
+            got,
+            np.array([[0, 1], [2, 3], [8, 9], [10, 11], [12, 13]]),
+        )
+
+    def test_fully_idle_group_contributes_nothing(self):
+        matrix = np.full((4, 4), -1, dtype=np.int64)
+        matrix[0, 2:] = [5, 6]
+        got = stack_group_warp_steps(matrix, num_groups=2, warp_size=2)
+        np.testing.assert_array_equal(got, np.array([[5, 6]]))
+
+    def test_zero_steps(self):
+        got = stack_group_warp_steps(
+            np.empty((0, 8), dtype=np.int64), num_groups=2, warp_size=4
+        )
+        assert got.shape == (0, 4)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        steps=st.integers(0, 6),
+        groups=st.integers(1, 4),
+        warps=st.integers(1, 3),
+        warp_size=st.sampled_from([2, 4]),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    def test_property_matches_reference(
+        self, steps, groups, warps, warp_size, seed
+    ):
+        g = np.random.default_rng(seed)
+        matrix = g.integers(
+            -1, 32, size=(steps, groups * warps * warp_size)
+        ).astype(np.int64)
+        got = stack_group_warp_steps(matrix, groups, warp_size)
+        np.testing.assert_array_equal(
+            got, self._reference(matrix, groups, warp_size)
+        )
+
+    def test_rejects_mismatched_groups(self):
+        with pytest.raises(ValidationError):
+            stack_group_warp_steps(np.zeros((2, 9), dtype=np.int64), 2, 2)
+
+    def test_rejects_partial_warp_groups(self):
+        with pytest.raises(ValidationError):
+            stack_group_warp_steps(np.zeros((2, 12), dtype=np.int64), 2, 4)

@@ -186,6 +186,74 @@ class TestSampledScoring:
             assert r.blocks_scored == r.blocks_total
 
 
+class TestChooseBlocksDrawOrder:
+    """Pin down the RNG-consumption contract of block sampling.
+
+    The parallel sweep runner replays sorts worker-side and relies on the
+    sampled-block draws being a pure function of (seed, round sequence) —
+    independent of the scoring implementation and of validation order.
+    """
+
+    def test_rng_untouched_when_tracing_everything(self, small_config, rng):
+        from repro.sort.pairwise import _choose_blocks
+
+        g = np.random.default_rng(3)
+        before = g.bit_generator.state
+        np.testing.assert_array_equal(_choose_blocks(4, None, g), np.arange(4))
+        np.testing.assert_array_equal(_choose_blocks(4, 4, g), np.arange(4))
+        np.testing.assert_array_equal(_choose_blocks(4, 99, g), np.arange(4))
+        assert g.bit_generator.state == before
+
+    def test_validation_precedes_shortcircuit(self):
+        from repro.sort.pairwise import _choose_blocks
+
+        # score_blocks=0 must fail even when the shortcircuit (0 >= total)
+        # would otherwise return an empty selection without drawing.
+        with pytest.raises(ValidationError):
+            _choose_blocks(0, 0, np.random.default_rng(0))
+
+    def test_sampling_draws_once_sorted(self):
+        from repro.sort.pairwise import _choose_blocks
+
+        g1 = np.random.default_rng(11)
+        g2 = np.random.default_rng(11)
+        picked = _choose_blocks(100, 8, g1)
+        assert picked.tolist() == sorted(picked.tolist())
+        assert len(set(picked.tolist())) == 8
+        # Exactly the draws of one choice() call were consumed.
+        expected = np.sort(g2.choice(100, size=8, replace=False))
+        np.testing.assert_array_equal(picked, expected)
+        assert g1.bit_generator.state == g2.bit_generator.state
+
+    def test_both_scoring_paths_draw_identically(self, small_config, rng):
+        import repro.sort.pairwise as pairwise_mod
+
+        n = small_config.tile_size * 16
+        data = rng.permutation(n)
+        calls: dict[str, list] = {"vectorized": [], "loop": []}
+        original = pairwise_mod._choose_blocks
+
+        for mode in ("vectorized", "loop"):
+
+            def recording(total, score_blocks, rng_, _mode=mode):
+                picked = original(total, score_blocks, rng_)
+                calls[_mode].append((total, score_blocks, picked.tolist()))
+                return picked
+
+            pairwise_mod._choose_blocks = recording
+            try:
+                PairwiseMergeSort(small_config, scoring=mode).sort(
+                    data, score_blocks=4, seed=123
+                )
+            finally:
+                pairwise_mod._choose_blocks = original
+
+        assert calls["vectorized"] == calls["loop"]
+        assert any(
+            len(picked) < total for total, _, picked in calls["vectorized"]
+        ), "expected at least one genuinely sampled round"
+
+
 class TestAllGenerators:
     @pytest.mark.parametrize(
         "name",

@@ -1,0 +1,134 @@
+"""Exact-vs-vectorized scoring equivalence — the tentpole's oracle.
+
+``PairwiseMergeSort(scoring="loop")`` keeps the original per-tile scoring
+bodies verbatim; ``scoring="vectorized"`` batches every scored tile of a
+round into single NumPy passes. The two must be *bit-identical*: same sorted
+values, same round structure, same conflict counters, same per-step cost
+arrays, and — with block sampling on — the same sampled-block RNG draws.
+
+These tests cover every round kind (registers / block / global), the three
+``E`` regimes (small, large, power-of-two), several input families, both
+sampling modes, and nonzero shared-memory padding.
+"""
+
+import numpy as np
+import pytest
+
+from repro.inputs.generators import generate
+from repro.sort.config import SortConfig
+from repro.sort.pairwise import PairwiseMergeSort
+
+CONFIGS = {
+    "tiny": SortConfig(elements_per_thread=3, block_size=8, warp_size=4),
+    "small-e": SortConfig(elements_per_thread=3, block_size=16, warp_size=8),
+    "large-e": SortConfig(elements_per_thread=5, block_size=16, warp_size=8),
+    "pow2-e": SortConfig(elements_per_thread=4, block_size=16, warp_size=8),
+}
+
+INPUTS = ["random", "sorted", "reverse", "few-unique", "sawtooth", "worst-case"]
+
+
+def assert_reports_identical(a, b, context):
+    assert a.num_banks == b.num_banks, context
+    assert a.num_steps == b.num_steps, context
+    assert a.num_accesses == b.num_accesses, context
+    assert a.num_requests == b.num_requests, context
+    assert a.total_transactions == b.total_transactions, context
+    assert a.total_replays == b.total_replays, context
+    assert a.max_degree == b.max_degree, context
+    np.testing.assert_array_equal(
+        a.per_step_transactions, b.per_step_transactions, err_msg=context
+    )
+
+
+def assert_results_identical(rv, rl):
+    np.testing.assert_array_equal(rv.values, rl.values)
+    assert len(rv.rounds) == len(rl.rounds)
+    for sv, sl in zip(rv.rounds, rl.rounds):
+        assert sv.label == sl.label
+        assert sv.kind == sl.kind
+        assert sv.run_length == sl.run_length
+        assert sv.blocks_total == sl.blocks_total
+        assert sv.blocks_scored == sl.blocks_scored
+        assert sv.compute_instructions == sl.compute_instructions
+        assert sv.global_traffic == sl.global_traffic
+        assert_reports_identical(sv.merge_report, sl.merge_report, sv.label)
+        assert_reports_identical(
+            sv.partition_report, sl.partition_report, sv.label
+        )
+        assert_reports_identical(sv.staging_report, sl.staging_report, sv.label)
+
+
+def run_both(config, data, *, score_blocks=None, seed=0, padding=0):
+    rv = PairwiseMergeSort(config, padding=padding, scoring="vectorized").sort(
+        data, score_blocks=score_blocks, seed=seed
+    )
+    rl = PairwiseMergeSort(config, padding=padding, scoring="loop").sort(
+        data, score_blocks=score_blocks, seed=seed
+    )
+    return rv, rl
+
+
+class TestFullScoringEquivalence:
+    @pytest.mark.parametrize("config_name", sorted(CONFIGS))
+    @pytest.mark.parametrize("input_name", INPUTS)
+    def test_all_configs_and_inputs(self, config_name, input_name):
+        cfg = CONFIGS[config_name]
+        n = cfg.tile_size * 8
+        data = generate(input_name, cfg, n, seed=42)
+        assert_results_identical(*run_both(cfg, data))
+
+    def test_single_tile_no_global_rounds(self):
+        cfg = CONFIGS["tiny"]
+        data = generate("random", cfg, cfg.tile_size, seed=1)
+        rv, rl = run_both(cfg, data)
+        assert all(r.kind != "global" for r in rv.rounds)
+        assert_results_identical(rv, rl)
+
+    def test_many_global_rounds(self):
+        cfg = CONFIGS["small-e"]
+        data = generate("random", cfg, cfg.tile_size * 32, seed=5)
+        rv, rl = run_both(cfg, data)
+        assert sum(r.kind == "global" for r in rv.rounds) == 5
+        assert_results_identical(rv, rl)
+
+    def test_with_padding(self):
+        cfg = CONFIGS["small-e"]
+        data = generate("conflict-heavy", cfg, cfg.tile_size * 4, seed=9)
+        assert_results_identical(*run_both(cfg, data, padding=1))
+
+
+class TestSampledScoringEquivalence:
+    @pytest.mark.parametrize("score_blocks", [1, 2, 3])
+    def test_sampled_rounds_share_rng_draws(self, score_blocks):
+        """Sampling draws blocks from a seeded generator; the vectorized
+        path must consume it identically, so the sampled results (not just
+        the expected values) match bit for bit."""
+        cfg = CONFIGS["small-e"]
+        data = generate("random", cfg, cfg.tile_size * 16, seed=3)
+        assert_results_identical(
+            *run_both(cfg, data, score_blocks=score_blocks, seed=777)
+        )
+
+    def test_sampled_large_e(self):
+        cfg = CONFIGS["large-e"]
+        data = generate("reverse", cfg, cfg.tile_size * 16, seed=0)
+        assert_results_identical(*run_both(cfg, data, score_blocks=2, seed=1))
+
+    def test_sampled_with_padding(self):
+        cfg = CONFIGS["pow2-e"]
+        data = generate("sawtooth", cfg, cfg.tile_size * 8, seed=0)
+        assert_results_identical(
+            *run_both(cfg, data, score_blocks=2, seed=55, padding=1)
+        )
+
+
+class TestKernelCostEquivalence:
+    def test_aggregate_cost_identical(self):
+        """The timing-model inputs derived from both paths must agree."""
+        cfg = CONFIGS["small-e"]
+        data = generate("worst-case", cfg, cfg.tile_size * 8, seed=0)
+        rv, rl = run_both(cfg, data)
+        assert rv.kernel_cost(8) == rl.kernel_cost(8)
+        assert rv.replays_per_element() == rl.replays_per_element()
+        assert rv.total_shared_cycles() == rl.total_shared_cycles()
