@@ -4,13 +4,17 @@ Not a paper figure: this tracks the reproduction's own cost so the exact /
 sampled paths stay usable (exact ~1e6 elements in seconds; sampled scales
 to the calibration sizes the sweeps rely on).
 
-Each benchmark records its median into the ``REPRO_BENCH_JSON`` timing
+Each benchmark records its median (plus min and IQR, so the regression
+gate can tell drift from noise) into the ``REPRO_BENCH_JSON`` timing
 document (see ``benchmarks/conftest.py``); the committed baseline lives in
 ``BENCH_simulator.json`` and ``benchmarks/check_regression.py`` gates CI
 on it. The exact path is benchmarked under both scoring implementations so
 the vectorized path's speedup over the per-tile loop stays visible in the
-trajectory.
+trajectory, and the sweep is benchmarked memoized so the pattern-memo's
+cross-point speedup is a tracked number rather than a one-off claim.
 """
+
+import time
 
 import numpy as np
 from conftest import record, record_timing
@@ -20,19 +24,28 @@ from repro.sort.pairwise import PairwiseMergeSort
 from repro.sort.presets import THRUST_MAXWELL
 
 
-def _median(benchmark) -> float:
-    return benchmark.stats.stats.median
+def _timing_kwargs(benchmark) -> dict:
+    """Median/min/IQR of a finished pytest-benchmark measurement."""
+    stats = benchmark.stats.stats
+    return {
+        "seconds": stats.median,
+        "min_seconds": stats.min,
+        "iqr_seconds": stats.iqr,
+    }
 
 
 def test_exact_simulation_speed(benchmark):
     n = THRUST_MAXWELL.tile_size * 16
     data = generate("random", THRUST_MAXWELL, n, seed=0)
-    sorter = PairwiseMergeSort(THRUST_MAXWELL)
+    # memo=None: this timing tracks the raw vectorized path — with a memo,
+    # every benchmark iteration after the first would score from cache and
+    # the median would measure lookups, not scoring.
+    sorter = PairwiseMergeSort(THRUST_MAXWELL, memo=None)
     result = benchmark(sorter.sort, data)
     assert np.array_equal(result.values, np.sort(data))
     record(f"Harness exact simulation: N={n:,} fully traced")
     record_timing(
-        "exact_vectorized", _median(benchmark), n=n, scoring="vectorized"
+        "exact_vectorized", **_timing_kwargs(benchmark), n=n, scoring="vectorized"
     )
 
 
@@ -45,13 +58,13 @@ def test_exact_simulation_speed_loop_reference(benchmark):
     result = benchmark.pedantic(lambda: sorter.sort(data), rounds=3, iterations=1)
     assert np.array_equal(result.values, np.sort(data))
     record(f"Harness exact simulation (loop reference): N={n:,} fully traced")
-    record_timing("exact_loop", _median(benchmark), n=n, scoring="loop")
+    record_timing("exact_loop", **_timing_kwargs(benchmark), n=n, scoring="loop")
 
 
 def test_sampled_simulation_speed(benchmark):
     n = THRUST_MAXWELL.tile_size * 128
     data = generate("random", THRUST_MAXWELL, n, seed=0)
-    sorter = PairwiseMergeSort(THRUST_MAXWELL)
+    sorter = PairwiseMergeSort(THRUST_MAXWELL, memo=None)
     result = benchmark.pedantic(
         lambda: sorter.sort(data, score_blocks=8), rounds=3, iterations=1
     )
@@ -59,11 +72,65 @@ def test_sampled_simulation_speed(benchmark):
     record(f"Harness sampled simulation: N={n:,} with 8 scored blocks/round")
     record_timing(
         "sampled_vectorized",
-        _median(benchmark),
+        **_timing_kwargs(benchmark),
         n=n,
         score_blocks=8,
         scoring="vectorized",
     )
+
+
+def test_sweep_memoized_speed(benchmark):
+    """Exact adversarial + sorted sweep over 6 sizes with one shared memo.
+
+    The sweep's rounds repeat heavily within and across points (the
+    constructed inputs are periodic by design), which is exactly what the
+    pattern memo exploits; the unmemoized pass over the same points is
+    timed once for the ratio, and the memoized points must be bit-identical
+    to it.
+    """
+    from repro.bench.runner import SweepRunner
+    from repro.gpu.device import get_device
+
+    device = get_device("quadro-m4000")
+    sizes = [THRUST_MAXWELL.tile_size * (1 << k) for k in range(6)]
+    inputs = ("worst-case", "sorted")
+
+    def sweep(memo):
+        runner = SweepRunner(
+            THRUST_MAXWELL, device, score_blocks=None, memo=memo
+        )
+        return [runner.sweep(name, sizes) for name in inputs]
+
+    start = time.perf_counter()
+    baseline_points = sweep(None)
+    unmemo_seconds = time.perf_counter() - start
+
+    points = benchmark.pedantic(lambda: sweep("auto"), rounds=3, iterations=1)
+    assert points == baseline_points  # memoization never changes BenchPoints
+
+    memo_seconds = benchmark.stats.stats.median
+    ratio = unmemo_seconds / memo_seconds if memo_seconds else float("inf")
+    record(
+        f"Harness memoized sweep: {len(inputs)}x{len(sizes)} exact points, "
+        f"{ratio:.1f}x over unmemoized"
+    )
+    record_timing(
+        "sweep_memoized",
+        **_timing_kwargs(benchmark),
+        sizes=len(sizes),
+        inputs=list(inputs),
+        max_n=max(sizes),
+    )
+    record_timing(
+        "sweep_unmemoized",
+        unmemo_seconds,
+        sizes=len(sizes),
+        inputs=list(inputs),
+        max_n=max(sizes),
+    )
+    # The ≥3x target is asserted loosely here (CI runners are noisy); the
+    # committed baseline + check_regression gate the absolute timing.
+    assert memo_seconds < unmemo_seconds
 
 
 def test_construction_speed(benchmark):
@@ -75,4 +142,4 @@ def test_construction_speed(benchmark):
     )
     assert perm.size == n
     record(f"Harness worst-case construction: N={n:,}")
-    record_timing("construction", _median(benchmark), n=n)
+    record_timing("construction", **_timing_kwargs(benchmark), n=n)

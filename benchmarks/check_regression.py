@@ -16,6 +16,13 @@ passes, not single-digit-percent drift.
 Timings present in only one document are reported but never fail the
 check, so adding a benchmark does not require regenerating the baseline
 in the same commit.
+
+Each document records the Python version it was measured under. A
+mismatch (e.g. a 3.11-recorded baseline gated on a 3.12 CI runner) does
+not fail the check by itself — interpreter speed differences are part of
+what the loose threshold absorbs — but it is warned about prominently and
+both versions are named in any failure message, so a "regression" that is
+really an interpreter change is diagnosable from the CI log alone.
 """
 
 from __future__ import annotations
@@ -28,17 +35,31 @@ from pathlib import Path
 DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
 
 
-def load_timings(path: Path) -> dict[str, dict]:
+def load_document(path: Path) -> dict:
     with open(path) as handle:
         document = json.load(handle)
-    timings = document.get("timings")
-    if not isinstance(timings, dict):
+    if not isinstance(document.get("timings"), dict):
         raise SystemExit(f"{path}: no 'timings' object (not a bench document?)")
-    return timings
+    return document
+
+
+def _noise_note(entry: dict) -> str:
+    """Optional min/IQR annotation for one timing entry."""
+    parts = []
+    if "min_seconds" in entry:
+        parts.append(f"min {float(entry['min_seconds']):.4f}s")
+    if "iqr_seconds" in entry:
+        parts.append(f"iqr ±{float(entry['iqr_seconds']):.4f}s")
+    return f"  ({', '.join(parts)})" if parts else ""
 
 
 def compare(
-    current: dict[str, dict], baseline: dict[str, dict], threshold: float
+    current: dict[str, dict],
+    baseline: dict[str, dict],
+    threshold: float,
+    *,
+    current_python: str = "unknown",
+    baseline_python: str = "unknown",
 ) -> list[str]:
     """Return a list of human-readable failures (empty = pass)."""
     failures = []
@@ -49,12 +70,13 @@ def compare(
         status = "FAIL" if ratio > threshold else "ok"
         print(
             f"  {name:24s} baseline {then:8.4f}s  current {now:8.4f}s  "
-            f"ratio {ratio:5.2f}x  [{status}]"
+            f"ratio {ratio:5.2f}x  [{status}]{_noise_note(current[name])}"
         )
         if ratio > threshold:
             failures.append(
                 f"{name}: {now:.4f}s is {ratio:.2f}x the baseline "
-                f"{then:.4f}s (threshold {threshold:.1f}x)"
+                f"{then:.4f}s (threshold {threshold:.1f}x; baseline Python "
+                f"{baseline_python}, current Python {current_python})"
             )
     for name in sorted(set(current) - set(baseline)):
         print(f"  {name:24s} (new — no baseline, not gated)")
@@ -81,11 +103,29 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    current = load_timings(args.current)
-    baseline = load_timings(args.baseline)
+    current_doc = load_document(args.current)
+    baseline_doc = load_document(args.baseline)
+    current_python = str(current_doc.get("python", "unknown"))
+    baseline_python = str(baseline_doc.get("python", "unknown"))
+    if current_python != baseline_python:
+        banner = (
+            f"WARNING: Python version mismatch — baseline {args.baseline.name} "
+            f"was recorded on Python {baseline_python}, this run uses Python "
+            f"{current_python}. Timing ratios partly reflect the interpreter, "
+            "not just the harness."
+        )
+        print("=" * 72, file=sys.stderr)
+        print(banner, file=sys.stderr)
+        print("=" * 72, file=sys.stderr)
     print(f"comparing {args.current} against {args.baseline}:")
-    failures = compare(current, baseline, args.threshold)
-    if not set(current) & set(baseline):
+    failures = compare(
+        current_doc["timings"],
+        baseline_doc["timings"],
+        args.threshold,
+        current_python=current_python,
+        baseline_python=baseline_python,
+    )
+    if not set(current_doc["timings"]) & set(baseline_doc["timings"]):
         print("no overlapping timings — nothing gated", file=sys.stderr)
     if failures:
         print("\nharness speed regression:", file=sys.stderr)

@@ -37,13 +37,29 @@ def record(*lines: str) -> None:
     FIGURE_LINES.extend(lines)
 
 
-def record_timing(name: str, seconds: float, **extra) -> None:
+def record_timing(
+    name: str,
+    seconds: float,
+    *,
+    min_seconds: float | None = None,
+    iqr_seconds: float | None = None,
+    **extra,
+) -> None:
     """Record one named harness timing for the JSON trajectory document.
 
-    ``seconds`` should be a robust statistic (the benchmark median);
-    ``extra`` fields (problem size, scoring mode, …) are stored verbatim.
+    ``seconds`` should be a robust statistic (the benchmark median).
+    ``min_seconds`` and ``iqr_seconds`` carry the distribution's floor and
+    spread so ``check_regression.py`` can tell a real slowdown (min moved)
+    from a noisy runner (median moved, min stable, wide IQR). ``extra``
+    fields (problem size, scoring mode, …) are stored verbatim.
     """
-    TIMINGS[name] = {"seconds": round(float(seconds), 6), **extra}
+    entry = {"seconds": round(float(seconds), 6)}
+    if min_seconds is not None:
+        entry["min_seconds"] = round(float(min_seconds), 6)
+    if iqr_seconds is not None:
+        entry["iqr_seconds"] = round(float(iqr_seconds), 6)
+    entry.update(extra)
+    TIMINGS[name] = entry
 
 
 def max_elements() -> int:

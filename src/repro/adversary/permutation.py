@@ -103,11 +103,16 @@ def unmerge_through_rounds(
     construction). Untargeted rounds use ``off_target`` interleavings:
     ``"sorted"`` (benign, the default) or ``"random"`` (each pair a uniform
     random balanced interleaving, seeded by ``seed`` — making the input
-    look random except where attacked).
+    look random except where attacked). Any other value is rejected — a
+    typo must not silently produce the benign input.
     """
     from repro.adversary.interleave import sorted_interleave
     from repro.utils.rng import as_generator
 
+    if off_target not in ("sorted", "random"):
+        raise ValidationError(
+            f"off_target must be 'sorted' or 'random', got {off_target!r}"
+        )
     rng = as_generator(seed)
     arr = np.asarray(sorted_values).copy()
     n = arr.size

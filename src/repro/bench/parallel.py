@@ -14,10 +14,15 @@ and serial execution produce bit-identical ``BenchPoint``s — enforced by
 ``tests/bench/test_parallel.py``.
 
 Workers keep a process-local runner table so calibration sorts are run
-once per (config, input) per worker rather than once per point; with an
-on-disk :class:`~repro.bench.cache.BenchCache` attached (``cache_dir`` +
+once per (config, input) per worker rather than once per point — and so
+each worker's :class:`SweepRunner` carries one long-lived
+:class:`~repro.dmm.memo.ConflictMemo` across every item it executes
+(runners default to ``memo="auto"``): repeated rounds across a worker's
+points are scored once per worker. With an on-disk
+:class:`~repro.bench.cache.BenchCache` attached (``cache_dir`` +
 ``use_cache``) calibrations and points are shared across workers and
-across invocations.
+across invocations; the in-memory memo composes with it by de-duplicating
+the *work inside* the instrumented sorts the disk cache cannot serve.
 """
 
 from __future__ import annotations
@@ -117,8 +122,9 @@ def sweep_items(
     ]
 
 
-#: Process-local runner table: calibrations are reused across the items a
-#: worker (or the serial path) executes with identical runner parameters.
+#: Process-local runner table: calibrations and the runner's conflict memo
+#: are reused across the items a worker (or the serial path) executes with
+#: identical runner parameters.
 _RUNNERS: dict[tuple, SweepRunner] = {}
 
 

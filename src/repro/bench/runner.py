@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from repro.bench import cache as bench_cache
 from repro.bench.cache import BenchCache
 from repro.bench.metrics import BenchPoint
+from repro.dmm.memo import ConflictMemo
 from repro.errors import ValidationError
 from repro.gpu.device import DeviceSpec
 from repro.gpu.occupancy import occupancy
@@ -103,6 +104,16 @@ class SweepRunner:
         ``"vectorized"`` (default, batches every scored tile of a round)
         or ``"loop"`` (the per-tile reference). The two are bit-identical,
         so cache fingerprints deliberately ignore this knob.
+    memo:
+        Conflict-report memoization shared across every instrumented sort
+        this runner executes (see :class:`~repro.dmm.memo.ConflictMemo`):
+        the points of a sweep repeat each other's early rounds, so
+        cross-point sharing is where the memo pays off most. ``"auto"``
+        (default) creates one runner-private memo when ``scoring`` is
+        ``"vectorized"``; pass a memo to share wider (several runners, a
+        family sweep) or ``None`` to disable. Memoization never changes
+        results (bit-identity is enforced by the equivalence tests), so —
+        like ``scoring`` — it stays out of cache fingerprints.
     cache:
         Optional :class:`~repro.bench.cache.BenchCache`; when set, bench
         points and calibration rates are looked up on disk before any
@@ -120,6 +131,7 @@ class SweepRunner:
     seed: int = 0
     padding: int = 0
     scoring: str = "vectorized"
+    memo: ConflictMemo | None | str = "auto"
     cache: BenchCache | None = None
     instrumented_sorts: int = field(default=0, init=False, repr=False)
     _calibrations: dict = field(default_factory=dict, repr=False)
@@ -132,6 +144,18 @@ class SweepRunner:
         if self.scoring not in ("vectorized", "loop"):
             raise ValidationError(
                 f"scoring must be 'vectorized' or 'loop', got {self.scoring!r}"
+            )
+        # Resolve "auto" once so every instrumented sort shares one memo
+        # (PairwiseMergeSort's own "auto" would build a fresh memo per
+        # sort and lose all cross-point hits).
+        if isinstance(self.memo, str) and self.memo == "auto":
+            self.memo = (
+                ConflictMemo() if self.scoring == "vectorized" else None
+            )
+        elif isinstance(self.memo, ConflictMemo) and self.scoring == "loop":
+            raise ValidationError(
+                "memoization applies only to scoring='vectorized'; "
+                "the 'loop' oracle stays memo-free"
             )
         if self.config.warp_size != self.device.warp_size:
             raise ValidationError(
@@ -200,7 +224,7 @@ class SweepRunner:
         data = generate(input_name, self.config, n, seed=self.seed)
         self.instrumented_sorts += 1
         return PairwiseMergeSort(
-            self.config, padding=self.padding, scoring=self.scoring
+            self.config, padding=self.padding, scoring=self.scoring, memo=self.memo
         ).sort(data, score_blocks=self.score_blocks, seed=self.seed)
 
     def _exact_point(self, input_name: str, n: int) -> BenchPoint:

@@ -80,6 +80,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tiles", type=int, default=64, help="input size in tiles (2^k)")
     p.add_argument("--score-blocks", type=int, default=8)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--memo", action=argparse.BooleanOptionalAction, default=True,
+        help="memoize conflict scoring by rank→address pattern "
+        "(--no-memo disables; results are bit-identical either way)",
+    )
 
     p = sub.add_parser("sweep", help="throughput sweep, random vs one input")
     p.add_argument("--preset", default="thrust-maxwell")
@@ -167,7 +172,7 @@ def _cmd_simulate(args) -> int:
     device = get_device(args.device)
     n = config.tile_size * args.tiles
     data = generate(args.input, config, n, seed=args.seed)
-    result = PairwiseMergeSort(config).sort(
+    result = PairwiseMergeSort(config, memo="auto" if args.memo else None).sort(
         data, score_blocks=args.score_blocks, seed=args.seed
     )
     ok = bool(np.array_equal(result.values, np.sort(data)))
@@ -196,6 +201,8 @@ def _cmd_simulate(args) -> int:
         f"simulated {model.milliseconds(cost):.3f} ms  "
         f"({model.throughput_meps(cost, n):.0f} Melem/s on {device.name})"
     )
+    if result.memo_stats is not None:
+        print(f"memoized scoring: {result.memo_stats}")
     if args.input == "worst-case":
         from repro.adversary.verify import verify_worst_case
 
@@ -241,6 +248,7 @@ def _cmd_sweep(args) -> int:
         for n in sizes
     ]
     points = run_points(items, jobs=args.jobs, progress=_progress_printer())
+    _print_memo_stats(jobs=args.jobs)
     base, other = points[: len(sizes)], points[len(sizes):]
     rows = [
         {
@@ -419,10 +427,28 @@ def _cmd_reproduce(args) -> int:
     return 1 if failed else 0
 
 
+def _print_memo_stats(jobs: int = 1) -> None:
+    """Conflict-memo summary on stderr after a sweep-driven command.
+
+    Only this process's memos are visible — with ``--jobs > 1`` each
+    worker holds its own, so the line is tagged accordingly.
+    """
+    from repro.dmm.memo import ConflictMemo
+
+    stats = ConflictMemo.process_stats()
+    if not stats.lookups:
+        return
+    scope = "this process; workers keep their own" if jobs > 1 else "all sorts"
+    print(f"conflict memo ({scope}): {stats}", file=sys.stderr, flush=True)
+
+
 def _cmd_cache(args) -> int:
+    from repro.dmm.memo import ConflictMemo
+
     cache = BenchCache(args.cache_dir)
     if args.action == "stats":
         print(cache.stats())
+        print(f"conflict memo (this process): {ConflictMemo.process_stats()}")
         return 0
     removed = cache.clear()
     print(f"removed {removed} cache entries from {cache.cache_dir}")

@@ -17,20 +17,26 @@ This package provides:
   trace, exposing all three metrics used in the paper and by Nvidia's
   profilers (serialized transactions, replays, conflict degree);
 * :mod:`repro.dmm.machine` — a small CREW DMM interpreter that executes a
-  trace step by step and enforces the exclusive-write rule.
+  trace step by step and enforces the exclusive-write rule;
+* :mod:`repro.dmm.memo` — content-addressed memoization of conflict
+  reports keyed by the rank→address pattern they score.
 """
 
 from repro.dmm.banks import BankGeometry
-from repro.dmm.conflicts import ConflictReport, count_conflicts
+from repro.dmm.conflicts import ConflictReport, count_conflicts, report_segments
 from repro.dmm.machine import DMM, MemoryImage
+from repro.dmm.memo import ConflictMemo, MemoStats
 from repro.dmm.trace import AccessKind, AccessTrace
 
 __all__ = [
     "AccessKind",
     "AccessTrace",
     "BankGeometry",
+    "ConflictMemo",
     "ConflictReport",
     "count_conflicts",
     "DMM",
     "MemoryImage",
+    "MemoStats",
+    "report_segments",
 ]

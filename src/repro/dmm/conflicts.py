@@ -31,7 +31,12 @@ import numpy as np
 from repro.dmm.trace import AccessKind, AccessTrace
 from repro.utils.validation import check_power_of_two
 
-__all__ = ["ConflictReport", "count_conflicts", "step_transactions"]
+__all__ = [
+    "ConflictReport",
+    "count_conflicts",
+    "report_segments",
+    "step_transactions",
+]
 
 
 @dataclass(frozen=True)
@@ -244,6 +249,68 @@ def step_transactions(trace: AccessTrace, num_banks: int) -> np.ndarray:
     if counts.size == 0:
         return np.zeros(trace.num_steps, dtype=np.int64)
     return counts.max(axis=1)
+
+
+def report_segments(
+    trace: AccessTrace, num_banks: int, boundaries: np.ndarray
+) -> list[ConflictReport]:
+    """Score one stacked trace, split into independent per-segment reports.
+
+    ``boundaries`` is a nondecreasing int array of step indices starting at
+    0 and ending at ``trace.num_steps``; segment ``i`` covers steps
+    ``boundaries[i]:boundaries[i+1]``. Because every conflict metric is
+    additive over steps, scoring the stacked trace once and slicing is
+    bit-identical to scoring each segment's sub-trace separately — but pays
+    the request-counting pass only once. The memoized scoring path uses
+    this to turn one batched round pass into per-tile cacheable reports.
+    """
+    num_banks = check_power_of_two(num_banks, "num_banks")
+    boundaries = np.asarray(boundaries, dtype=np.int64)
+    if (
+        boundaries.ndim != 1
+        or boundaries.size < 1
+        or boundaries[0] != 0
+        or boundaries[-1] != trace.num_steps
+        or np.any(np.diff(boundaries) < 0)
+    ):
+        from repro.errors import ValidationError
+
+        raise ValidationError(
+            f"boundaries must rise from 0 to num_steps={trace.num_steps}, "
+            f"got {boundaries!r}"
+        )
+
+    counts = _request_counts(trace, num_banks)
+    if counts.size:
+        per_step = counts.max(axis=1)
+        step_requests = counts.sum(axis=1)
+        step_replays = np.maximum(counts - 1, 0).sum(axis=1)
+    else:
+        per_step = np.zeros(trace.num_steps, dtype=np.int64)
+        step_requests = per_step
+        step_replays = per_step
+    step_accesses = trace.active.sum(axis=1)
+
+    reports = []
+    for lo, hi in zip(boundaries[:-1], boundaries[1:]):
+        seg = per_step[lo:hi]
+        if seg.size == 0:
+            reports.append(ConflictReport.empty(num_banks))
+            continue
+        seg = seg.copy()  # own the memory: these reports outlive the trace
+        reports.append(
+            ConflictReport(
+                num_banks=num_banks,
+                num_steps=int(hi - lo),
+                num_accesses=int(step_accesses[lo:hi].sum()),
+                num_requests=int(step_requests[lo:hi].sum()),
+                total_transactions=int(seg.sum()),
+                total_replays=int(step_replays[lo:hi].sum()),
+                max_degree=int(seg.max()),
+                step_segments=((seg, 1),),
+            )
+        )
+    return reports
 
 
 def count_conflicts(trace: AccessTrace, num_banks: int) -> ConflictReport:

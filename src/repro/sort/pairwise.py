@@ -40,7 +40,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.dmm.conflicts import ConflictReport, count_conflicts
+from repro.dmm.conflicts import ConflictReport, count_conflicts, report_segments
+from repro.dmm.memo import ConflictMemo, MemoStats
 from repro.dmm.trace import AccessTrace
 from repro.errors import SimulationError, ValidationError
 from repro.gpu.global_memory import CoalescingModel, GlobalTraffic
@@ -140,6 +141,10 @@ class SortResult:
     config: SortConfig
     num_elements: int
     rounds: list[RoundStats] = field(default_factory=list)
+    #: Memoization hit/miss/footprint summary for this sort (hits and
+    #: misses are deltas for this call even when the memo is shared);
+    #: ``None`` when the sort ran without a memo.
+    memo_stats: MemoStats | None = None
 
     @property
     def num_rounds(self) -> int:
@@ -205,6 +210,17 @@ class PairwiseMergeSort:
         tile-at-a-time reference implementation. Both produce bit-identical
         :class:`SortResult`\\ s (enforced by the equivalence tests) — keep
         ``"loop"`` around only as the oracle.
+    memo:
+        Content-addressed conflict-report memoization
+        (:class:`~repro.dmm.memo.ConflictMemo`). ``"auto"`` (default)
+        creates a private memo so identical tile patterns within and across
+        this sorter's sorts are scored once; pass an existing memo to share
+        hits across sorters/sweep points, or ``None`` to disable
+        memoization entirely. Only the vectorized path memoizes — with
+        ``scoring="loop"`` the default resolves to ``None`` and an explicit
+        memo is rejected, keeping the oracle untouched. Memoized and
+        unmemoized scoring are bit-identical (enforced by
+        ``tests/sort/test_memoized_scoring.py``).
 
     Examples
     --------
@@ -220,7 +236,11 @@ class PairwiseMergeSort:
     """
 
     def __init__(
-        self, config: SortConfig, padding: int = 0, scoring: str = "vectorized"
+        self,
+        config: SortConfig,
+        padding: int = 0,
+        scoring: str = "vectorized",
+        memo: ConflictMemo | None | str = "auto",
     ):
         from repro.utils.validation import check_nonnegative_int
 
@@ -231,6 +251,21 @@ class PairwiseMergeSort:
                 f"scoring must be 'vectorized' or 'loop', got {scoring!r}"
             )
         self.scoring = scoring
+        if memo is None:
+            self.memo: ConflictMemo | None = None
+        elif isinstance(memo, str) and memo == "auto":
+            self.memo = ConflictMemo() if scoring == "vectorized" else None
+        elif isinstance(memo, ConflictMemo):
+            if scoring == "loop":
+                raise ValidationError(
+                    "memoization applies only to scoring='vectorized'; "
+                    "the 'loop' oracle stays memo-free"
+                )
+            self.memo = memo
+        else:
+            raise ValidationError(
+                f"memo must be a ConflictMemo, None, or 'auto', got {memo!r}"
+            )
 
     def _physical(self, step_matrix: np.ndarray) -> np.ndarray:
         """Logical tile addresses → physical (possibly padded) addresses."""
@@ -265,6 +300,9 @@ class PairwiseMergeSort:
         arr = np.ascontiguousarray(values)
         n = cfg.validate_input_size(arr.size)
         rng = as_generator(seed)
+        memo = self.memo
+        if memo is not None:
+            hits_base, misses_base = memo.hits, memo.misses
 
         result = SortResult(values=arr, config=cfg, num_elements=n)
         arr = self._base_register_phase(arr, result)
@@ -275,6 +313,10 @@ class PairwiseMergeSort:
             run *= 2
 
         result.values = arr
+        if memo is not None:
+            result.memo_stats = memo.stats(
+                hits_base=hits_base, misses_base=misses_base
+            )
         return result
 
     # -- phases ----------------------------------------------------------
@@ -372,12 +414,16 @@ class PairwiseMergeSort:
         pairs_per_tile = cfg.tile_size // pair_width
         scored = _choose_blocks(tiles, score_blocks, rng)
 
-        if self.scoring == "vectorized":
-            merge_report, part_report = self._block_reports_vectorized(
+        if self.scoring != "vectorized":
+            merge_report, part_report = self._block_reports_loop(
+                flat_pre, order, run, scored, pairs_per_tile
+            )
+        elif self.memo is not None:
+            merge_report, part_report = self._block_reports_memoized(
                 flat_pre, order, run, scored, pairs_per_tile
             )
         else:
-            merge_report, part_report = self._block_reports_loop(
+            merge_report, part_report = self._block_reports_vectorized(
                 flat_pre, order, run, scored, pairs_per_tile
             )
 
@@ -423,6 +469,33 @@ class PairwiseMergeSort:
 
         # Partition stage: every scored tile's b diagonals in one
         # partition_many_with_trace call over tiles·b lanes.
+        probe_steps = self._block_partition_probes(
+            flat_pre, run, scored, pairs_per_tile
+        )
+        part_dense = self._physical(
+            stack_group_warp_steps(probe_steps, num_scored, cfg.w)
+        )
+        part_report = _score_stacked(
+            [part_dense] if part_dense.size else [], cfg.w
+        )
+        return merge_report, part_report
+
+    def _block_partition_probes(
+        self,
+        flat_pre: np.ndarray,
+        run: int,
+        scored: np.ndarray,
+        pairs_per_tile: int,
+    ) -> np.ndarray:
+        """β₁ probe-step matrix for the given tiles of a block round.
+
+        Thread t of a tile bisects diagonal ``tE mod 2L`` of pair
+        ``tE // 2L``; returns the ``(steps, tiles·b)`` lane matrix in tile
+        order for :func:`stack_group_warp_steps`.
+        """
+        cfg = self.config
+        pair_width = 2 * run
+        num_scored = scored.size
         t_ranks = np.arange(cfg.b, dtype=np.int64) * cfg.E
         pair_in_tile = t_ranks // pair_width  # (b,)
         diagonals = t_ranks % pair_width
@@ -443,13 +516,46 @@ class PairwiseMergeSort:
             trace_a_base=trace_a,
             trace_b_base=trace_a + run,
         )
-        part_dense = self._physical(
-            stack_group_warp_steps(probe_steps, num_scored, cfg.w)
+        return probe_steps
+
+    def _block_reports_memoized(
+        self,
+        flat_pre: np.ndarray,
+        order: np.ndarray,
+        run: int,
+        scored: np.ndarray,
+        pairs_per_tile: int,
+    ) -> tuple[ConflictReport, ConflictReport]:
+        """Memoized block round: score only tiles with unseen patterns.
+
+        The tile's rank→address row fully determines both reports — the
+        merge addresses directly, and the β₁ probe sequence because the
+        bisection comparisons recover the stable-merge order the row
+        encodes (see :mod:`repro.dmm.memo`).
+        """
+        cfg = self.config
+        pair_width = 2 * run
+        num_scored = scored.size
+
+        order_tiles = order.reshape(-1, pairs_per_tile, pair_width)[scored]
+        pair_bases = np.arange(pairs_per_tile, dtype=np.int64)[:, None] * pair_width
+        addr_by_rank = (order_tiles + pair_bases).reshape(num_scored, cfg.tile_size)
+        context = ConflictMemo.context(
+            "block",
+            num_banks=cfg.w,
+            elements_per_thread=cfg.E,
+            run_length=run,
+            padding=self.padding,
         )
-        part_report = _score_stacked(
-            [part_dense] if part_dense.size else [], cfg.w
+        keys = ConflictMemo.tile_digests(context, addr_by_rank)
+        return self._reports_memoized(
+            context,
+            keys,
+            addr_by_rank,
+            lambda pos: self._block_partition_probes(
+                flat_pre, run, scored[pos], pairs_per_tile
+            ),
         )
-        return merge_report, part_report
 
     def _block_reports_loop(
         self,
@@ -526,12 +632,16 @@ class PairwiseMergeSort:
         blocks_total = num_pairs * blocks_per_pair
         scored = _choose_blocks(blocks_total, score_blocks, rng)
 
-        if self.scoring == "vectorized":
-            merge_report, part_report = self._global_reports_vectorized(
+        if self.scoring != "vectorized":
+            merge_report, part_report = self._global_reports_loop(
+                mat, order, run, scored, blocks_per_pair
+            )
+        elif self.memo is not None:
+            merge_report, part_report = self._global_reports_memoized(
                 mat, order, run, scored, blocks_per_pair
             )
         else:
-            merge_report, part_report = self._global_reports_loop(
+            merge_report, part_report = self._global_reports_vectorized(
                 mat, order, run, scored, blocks_per_pair
             )
 
@@ -568,8 +678,45 @@ class PairwiseMergeSort:
     ) -> tuple[ConflictReport, ConflictReport]:
         """All scored blocks of a global round in one batched pass."""
         cfg = self.config
-        num_pairs, pair_width = mat.shape
         num_scored = scored.size
+
+        local, pairs, a_lo, b_lo, na = self._global_patterns(
+            mat, order, run, scored, blocks_per_pair
+        )
+        merge_dense = self._physical(
+            stack_warp_steps(batched_rank_addresses(local, cfg.E), cfg.w)
+        )
+        merge_report = count_conflicts(
+            AccessTrace.from_dense(merge_dense), cfg.w
+        )
+
+        probe_steps = self._global_partition_probes(
+            mat, run, pairs, a_lo, b_lo, na
+        )
+        part_dense = self._physical(
+            stack_group_warp_steps(probe_steps, num_scored, cfg.w)
+        )
+        part_report = _score_stacked(
+            [part_dense] if part_dense.size else [], cfg.w
+        )
+        return merge_report, part_report
+
+    def _global_patterns(
+        self,
+        mat: np.ndarray,
+        order: np.ndarray,
+        run: int,
+        scored: np.ndarray,
+        blocks_per_pair: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-scored-block rank→address patterns and window geometry.
+
+        Returns ``(local, pairs, a_lo, b_lo, na)``: the ``(blocks, bE)``
+        tile-local address map plus each block's owning pair and A/B window
+        offsets/length, shared by the vectorized and memoized paths.
+        """
+        cfg = self.config
+        num_pairs, pair_width = mat.shape
         tile = cfg.tile_size
 
         pairs = scored // blocks_per_pair
@@ -597,15 +744,26 @@ class PairwiseMergeSort:
             s - a_lo[:, None],
             na[:, None] + (s - run - b_lo[:, None]),
         )
-        merge_dense = self._physical(
-            stack_warp_steps(batched_rank_addresses(local, cfg.E), cfg.w)
-        )
-        merge_report = count_conflicts(
-            AccessTrace.from_dense(merge_dense), cfg.w
-        )
+        return local, pairs, a_lo, b_lo, na
 
-        # β₁ stage: all scored blocks' diagonals in one call against the
-        # flat pre-merge buffer (mat rows are contiguous windows of it).
+    def _global_partition_probes(
+        self,
+        mat: np.ndarray,
+        run: int,
+        pairs: np.ndarray,
+        a_lo: np.ndarray,
+        b_lo: np.ndarray,
+        na: np.ndarray,
+    ) -> np.ndarray:
+        """β₁ probe-step matrix for the given blocks of a global round.
+
+        All blocks' diagonals go through one call against the flat
+        pre-merge buffer (mat rows are contiguous windows of it).
+        """
+        cfg = self.config
+        pair_width = mat.shape[1]
+        tile = cfg.tile_size
+        num_scored = pairs.size
         lanes = num_scored * cfg.b
         pair_base = pairs * pair_width
         a_base = np.repeat(pair_base + a_lo, cfg.b)
@@ -622,13 +780,123 @@ class PairwiseMergeSort:
             trace_a_base=np.zeros(lanes, dtype=np.int64),
             trace_b_base=np.repeat(na, cfg.b),
         )
-        part_dense = self._physical(
-            stack_group_warp_steps(probe_steps, num_scored, cfg.w)
+        return probe_steps
+
+    def _global_reports_memoized(
+        self,
+        mat: np.ndarray,
+        order: np.ndarray,
+        run: int,
+        scored: np.ndarray,
+        blocks_per_pair: int,
+    ) -> tuple[ConflictReport, ConflictReport]:
+        """Memoized global round: score only blocks with unseen patterns.
+
+        A global block's key hashes its local rank→address row *and* its
+        A-window length ``na``: two blocks can share the permutation while
+        splitting it differently between windows, which changes the β₁
+        probe geometry (see :mod:`repro.dmm.memo`).
+        """
+        cfg = self.config
+        local, pairs, a_lo, b_lo, na = self._global_patterns(
+            mat, order, run, scored, blocks_per_pair
         )
-        part_report = _score_stacked(
-            [part_dense] if part_dense.size else [], cfg.w
+        context = ConflictMemo.context(
+            "global",
+            num_banks=cfg.w,
+            elements_per_thread=cfg.E,
+            run_length=run,
+            padding=self.padding,
         )
-        return merge_report, part_report
+        keys = ConflictMemo.tile_digests(context, local, extra=na)
+        return self._reports_memoized(
+            context,
+            keys,
+            local,
+            lambda pos: self._global_partition_probes(
+                mat, run, pairs[pos], a_lo[pos], b_lo[pos], na[pos]
+            ),
+        )
+
+    # -- memoized scoring --------------------------------------------------
+
+    def _reports_memoized(
+        self,
+        context: bytes,
+        keys: list[bytes],
+        patterns: np.ndarray,
+        probe_fn,
+    ) -> tuple[ConflictReport, ConflictReport]:
+        """Shared tile/round memo machinery for both round kinds.
+
+        ``patterns`` holds each scored tile's rank→address row (digested
+        into ``keys``); ``probe_fn(pos)`` returns the β₁ probe-step matrix
+        for the subset of scored tiles at positions ``pos``. Only tiles
+        whose pattern digest misses the memo are scored — in one batched
+        pass, split back into per-tile reports by
+        :func:`~repro.dmm.conflicts.report_segments` — and the round total
+        is assembled from per-tile reports exactly as the vectorized path
+        would have counted it.
+        """
+        cfg = self.config
+        memo = self.memo
+
+        round_key = ConflictMemo.round_digest(context, keys)
+        cached = memo.get_round(round_key)
+        if cached is not None:
+            return cached
+
+        lookups = [memo.get_tile(k) for k in keys]
+        miss_pos: list[int] = []
+        seen: set[bytes] = set()
+        for i, (key, pair) in enumerate(zip(keys, lookups)):
+            if pair is None and key not in seen:
+                seen.add(key)
+                miss_pos.append(i)
+
+        fresh: dict[bytes, tuple[ConflictReport, ConflictReport]] = {}
+        if miss_pos:
+            pos = np.asarray(miss_pos, dtype=np.int64)
+            num_miss = pos.size
+            merge_dense = self._physical(
+                stack_warp_steps(
+                    batched_rank_addresses(patterns[pos], cfg.E), cfg.w
+                )
+            )
+            # Stacked merge rows are tile-major with a uniform per-tile
+            # share: (b/w) warps × E steps each.
+            rows_per_tile = (cfg.b // cfg.w) * cfg.E
+            merge_reports = report_segments(
+                AccessTrace.from_dense(merge_dense),
+                cfg.w,
+                np.arange(num_miss + 1, dtype=np.int64) * rows_per_tile,
+            )
+            stacked, group_rows = stack_group_warp_steps(
+                probe_fn(pos), num_miss, cfg.w, return_group_rows=True
+            )
+            part_reports = report_segments(
+                AccessTrace.from_dense(self._physical(stacked)),
+                cfg.w,
+                np.concatenate(([0], np.cumsum(group_rows))),
+            )
+            for j, i in enumerate(miss_pos):
+                pair = (merge_reports[j], part_reports[j])
+                memo.put_tile(keys[i], pair)
+                # FIFO eviction could drop a just-stored entry before the
+                # assembly below re-reads it; keep this round's pairs
+                # reachable locally.
+                fresh[keys[i]] = pair
+
+        pairs = [
+            pair if pair is not None else fresh[key]
+            for key, pair in zip(keys, lookups)
+        ]
+        assembled = (
+            _assemble_reports([p[0] for p in pairs], keys, cfg.w),
+            _assemble_reports([p[1] for p in pairs], keys, cfg.w),
+        )
+        memo.put_round(round_key, assembled)
+        return assembled
 
     def _global_reports_loop(
         self,
@@ -709,6 +977,30 @@ def _choose_blocks(
     return np.sort(rng.choice(total, size=score_blocks, replace=False)).astype(
         np.int64
     )
+
+
+def _assemble_reports(
+    reports: list[ConflictReport], keys: list[bytes], num_banks: int
+) -> ConflictReport:
+    """Fold per-tile reports (in scored order) into one round report.
+
+    Stretches of consecutive tiles with the same pattern digest fold via
+    :meth:`ConflictReport.scaled` — O(1) per stretch — so a periodic round
+    assembles in time proportional to its distinct stretches, not its tile
+    count, and the per-step sequence still materializes bit-identically to
+    the batched single-pass count.
+    """
+    total = ConflictReport.empty(num_banks)
+    i = 0
+    n = len(reports)
+    while i < n:
+        j = i + 1
+        while j < n and keys[j] == keys[i]:
+            j += 1
+        stretch = reports[i] if j - i == 1 else reports[i].scaled(j - i)
+        total = total.merged(stretch)
+        i = j
+    return total
 
 
 def _score_stacked(rows: list[np.ndarray], num_banks: int) -> ConflictReport:

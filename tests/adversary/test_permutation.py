@@ -124,3 +124,40 @@ class TestEndToEndSerialization:
         for r in glob:
             per_warp_cycles = r.merge_report.total_transactions / warps
             assert per_warp_cycles == 225  # E² vs the conflict-free 15
+
+
+class TestUnmergeOffTargetValidation:
+    """A mistyped ``off_target`` must fail loudly, not silently fall back
+    to the benign sorted interleaving (which would quietly produce a
+    non-adversarial 'adversarial' input)."""
+
+    def _args(self, config):
+        from repro.adversary.assignment import construct_warp_assignment
+
+        n = config.tile_size * 2
+        assignment = construct_warp_assignment(config.w, config.E)
+        return np.arange(n, dtype=np.int64), assignment
+
+    @pytest.mark.parametrize("off_target", ["sorted", "random"])
+    def test_valid_modes_accepted(self, small_config, off_target):
+        from repro.adversary.permutation import unmerge_through_rounds
+
+        values, assignment = self._args(small_config)
+        out = unmerge_through_rounds(
+            small_config,
+            values,
+            assignment,
+            target_runs=set(),
+            off_target=off_target,
+        )
+        assert sorted(out.tolist()) == values.tolist()
+
+    @pytest.mark.parametrize("off_target", ["sortd", "rand", "", "SORTED"])
+    def test_typos_rejected(self, small_config, off_target):
+        from repro.adversary.permutation import unmerge_through_rounds
+
+        values, assignment = self._args(small_config)
+        with pytest.raises(ValidationError, match=repr(off_target)):
+            unmerge_through_rounds(
+                small_config, values, assignment, off_target=off_target
+            )

@@ -1,0 +1,105 @@
+"""Cross-point memo sharing in the sweep layer.
+
+The pattern memo's headline claim is that a :class:`SweepRunner` carries
+one :class:`~repro.dmm.memo.ConflictMemo` across every instrumented sort
+of a sweep — and that this sharing is *pure speedup*: the produced
+``BenchPoint``s are equal to an unmemoized run's, the memo observably
+hits across points, and the ``"loop"`` oracle stays memo-free.
+"""
+
+import pytest
+
+from repro.bench.parallel import run_points, sweep_items
+from repro.bench.runner import SweepRunner
+from repro.dmm.memo import ConflictMemo
+from repro.errors import ValidationError
+from repro.gpu.device import QUADRO_M4000
+from repro.sort.config import SortConfig
+
+
+@pytest.fixture
+def cfg():
+    return SortConfig(elements_per_thread=3, block_size=32, warp_size=32)
+
+
+def make_runner(cfg, **kwargs):
+    defaults = dict(exact_threshold=cfg.tile_size * 32, score_blocks=4, seed=0)
+    defaults.update(kwargs)
+    return SweepRunner(cfg, QUADRO_M4000, **defaults)
+
+
+class TestRunnerMemoResolution:
+    def test_auto_builds_one_shared_memo(self, cfg):
+        runner = make_runner(cfg)
+        assert isinstance(runner.memo, ConflictMemo)
+
+    def test_auto_with_loop_scoring_is_memo_free(self, cfg):
+        assert make_runner(cfg, scoring="loop").memo is None
+
+    def test_explicit_memo_with_loop_rejected(self, cfg):
+        with pytest.raises(ValidationError):
+            make_runner(cfg, scoring="loop", memo=ConflictMemo())
+
+    def test_none_escape_hatch(self, cfg):
+        assert make_runner(cfg, memo=None).memo is None
+
+
+class TestSweepBitIdentity:
+    def test_memoized_sweep_matches_unmemoized(self, cfg):
+        sizes = [cfg.tile_size * (1 << k) for k in range(3)]
+        for name in ("worst-case", "sorted"):
+            memoized = make_runner(cfg).sweep(name, sizes)
+            plain = make_runner(cfg, memo=None).sweep(name, sizes)
+            assert memoized == plain  # BenchPoints are dataclass-equal
+
+    def test_memo_hits_across_points(self, cfg):
+        """The block rounds of every point of a sweep repeat the same
+        patterns — after the first point, lookups must start hitting."""
+        runner = make_runner(cfg)
+        runner.sweep("worst-case", [cfg.tile_size * 2, cfg.tile_size * 4])
+        assert runner.memo.hits > 0
+
+    def test_memo_shared_across_input_families(self, cfg):
+        """One runner, several families: the shared memo keeps hitting
+        wherever families overlap (worst-case rounds recur per size)."""
+        runner = make_runner(cfg)
+        runner.sweep("worst-case", [cfg.tile_size * 2])
+        hits_before = runner.memo.hits
+        runner.sweep("worst-case", [cfg.tile_size * 2])
+        assert runner.memo.hits > hits_before
+
+    def test_explicit_memo_shared_between_runners(self, cfg):
+        """Passing one memo to several runners widens the hit pool without
+        changing results (entries are keyed by the full context)."""
+        shared = ConflictMemo()
+        first = make_runner(cfg, memo=shared)
+        second = make_runner(cfg, memo=shared)
+        n = cfg.tile_size * 2
+        point_a = first.run_point("worst-case", n)
+        hits_before = shared.hits
+        point_b = second.run_point("worst-case", n)
+        assert shared.hits > hits_before
+        assert point_a == point_b
+        assert point_b == make_runner(cfg, memo=None).run_point("worst-case", n)
+
+
+class TestParallelMemo:
+    def test_parallel_points_match_unmemoized_serial(self, cfg):
+        """Workers keep per-process memos (runners default to "auto");
+        fan-out must still reproduce the unmemoized serial points."""
+        items = sweep_items(
+            cfg,
+            QUADRO_M4000,
+            ("worst-case", "sorted"),
+            [cfg.tile_size * 2, cfg.tile_size * 4],
+            exact_threshold=cfg.tile_size * 8,
+            score_blocks=4,
+        )
+        parallel = run_points(items, jobs=2)
+        serial_plain = [
+            make_runner(
+                cfg, exact_threshold=cfg.tile_size * 8, memo=None
+            ).run_point(item.input_name, item.num_elements)
+            for item in items
+        ]
+        assert parallel == serial_plain

@@ -1,0 +1,211 @@
+"""Unit tests for the content-addressed conflict-report memo.
+
+The memo's correctness contract is split in two: the *keys* must separate
+every scoring situation that could produce a different report (context
+fields, pattern rows, the global rounds' A-window length), and the *table*
+must behave as a bounded FIFO cache with faithful hit/miss/byte
+accounting. End-to-end bit-identity of memoized sorts lives in
+``tests/sort/test_memoized_scoring.py``; this file pins the layer below.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dmm.conflicts import ConflictReport
+from repro.dmm.memo import ConflictMemo, MemoStats
+from repro.errors import ValidationError
+
+CTX = ConflictMemo.context(
+    "block", num_banks=4, elements_per_thread=3, run_length=6, padding=0
+)
+
+
+def _pair(num_banks=4):
+    empty = ConflictReport.empty(num_banks)
+    return (empty, empty)
+
+
+class TestContext:
+    def test_distinguishes_every_field(self):
+        base = dict(
+            num_banks=4, elements_per_thread=3, run_length=6, padding=0
+        )
+        contexts = {ConflictMemo.context("block", **base)}
+        contexts.add(ConflictMemo.context("global", **base))
+        for field, bumped in [
+            ("num_banks", 8),
+            ("elements_per_thread", 5),
+            ("run_length", 12),
+            ("padding", 1),
+        ]:
+            contexts.add(
+                ConflictMemo.context("block", **{**base, field: bumped})
+            )
+        assert len(contexts) == 6  # every variation yields a distinct prefix
+
+    def test_context_changes_digest(self):
+        rows = np.arange(8, dtype=np.int64).reshape(1, 8)
+        other = ConflictMemo.context(
+            "global", num_banks=4, elements_per_thread=3, run_length=6, padding=0
+        )
+        assert ConflictMemo.tile_digests(CTX, rows) != ConflictMemo.tile_digests(
+            other, rows
+        )
+
+
+class TestTileDigests:
+    def test_equal_rows_equal_digests(self):
+        rows = np.array([[0, 1, 2, 3], [3, 2, 1, 0], [0, 1, 2, 3]])
+        d = ConflictMemo.tile_digests(CTX, rows)
+        assert d[0] == d[2]
+        assert d[0] != d[1]
+
+    def test_batched_matches_per_row(self):
+        """The adjacent-run dedup is an optimization, not a semantic: the
+        batched digests must equal hashing each row on its own."""
+        rng = np.random.default_rng(0)
+        rows = rng.integers(0, 16, size=(12, 8))
+        rows[3] = rows[2]  # adjacent duplicate (the dedup fast path)
+        rows[9] = rows[2]  # non-adjacent duplicate
+        batched = ConflictMemo.tile_digests(CTX, rows)
+        single = [
+            ConflictMemo.tile_digests(CTX, rows[i : i + 1])[0]
+            for i in range(rows.shape[0])
+        ]
+        assert batched == single
+        assert batched[3] == batched[2] == batched[9]
+
+    def test_extra_column_changes_digest(self):
+        """Global rounds hash the per-block A-window length alongside the
+        pattern: same permutation, different window split, different key."""
+        rows = np.array([[0, 1, 2, 3], [0, 1, 2, 3]])
+        plain = ConflictMemo.tile_digests(CTX, rows)
+        with_na = ConflictMemo.tile_digests(
+            CTX, rows, extra=np.array([2, 3])
+        )
+        assert plain[0] == plain[1]
+        assert with_na[0] != with_na[1]
+        assert with_na[0] not in plain
+
+    def test_extra_batched_matches_per_row(self):
+        rows = np.array([[5, 1], [5, 1], [2, 2]])
+        extra = np.array([1, 1, 2])
+        batched = ConflictMemo.tile_digests(CTX, rows, extra=extra)
+        single = [
+            ConflictMemo.tile_digests(
+                CTX, rows[i : i + 1], extra=extra[i : i + 1]
+            )[0]
+            for i in range(3)
+        ]
+        assert batched == single
+
+    def test_dtype_insensitive(self):
+        rows32 = np.arange(6, dtype=np.int32).reshape(2, 3)
+        rows64 = rows32.astype(np.int64)
+        assert ConflictMemo.tile_digests(CTX, rows32) == ConflictMemo.tile_digests(
+            CTX, rows64
+        )
+
+    def test_empty_rows(self):
+        assert ConflictMemo.tile_digests(CTX, np.empty((0, 4), dtype=np.int64)) == []
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValidationError):
+            ConflictMemo.tile_digests(CTX, np.arange(4))
+
+    def test_rejects_bad_extra_shape(self):
+        rows = np.zeros((2, 4), dtype=np.int64)
+        with pytest.raises(ValidationError):
+            ConflictMemo.tile_digests(CTX, rows, extra=np.array([1, 2, 3]))
+
+
+class TestRoundDigest:
+    def test_order_sensitive(self):
+        a, b = b"a" * 16, b"b" * 16
+        assert ConflictMemo.round_digest(CTX, [a, b]) != ConflictMemo.round_digest(
+            CTX, [b, a]
+        )
+
+    def test_multiplicity_sensitive(self):
+        a = b"a" * 16
+        assert ConflictMemo.round_digest(CTX, [a]) != ConflictMemo.round_digest(
+            CTX, [a, a]
+        )
+
+
+class TestTable:
+    def test_miss_then_hit(self):
+        memo = ConflictMemo()
+        assert memo.get_tile(b"k") is None
+        memo.put_tile(b"k", _pair())
+        assert memo.get_tile(b"k") == _pair()
+        assert (memo.hits, memo.misses) == (1, 1)
+
+    def test_tile_and_round_tables_independent(self):
+        memo = ConflictMemo()
+        memo.put_tile(b"k", _pair())
+        assert memo.get_round(b"k") is None  # same key, different table
+
+    def test_put_is_idempotent(self):
+        memo = ConflictMemo()
+        memo.put_tile(b"k", _pair())
+        before = memo.stored_bytes
+        memo.put_tile(b"k", _pair())
+        assert memo.stored_bytes == before
+        assert memo.stats().tile_entries == 1
+
+    def test_fifo_eviction(self):
+        memo = ConflictMemo(max_entries=2)
+        for key in (b"a", b"b", b"c"):
+            memo.put_tile(key, _pair())
+        assert memo.stats().tile_entries == 2
+        assert memo.get_tile(b"a") is None  # oldest evicted
+        assert memo.get_tile(b"b") is not None
+        assert memo.get_tile(b"c") is not None
+
+    def test_eviction_keeps_bytes_consistent(self):
+        memo = ConflictMemo(max_entries=1)
+        memo.put_tile(b"a", _pair())
+        one_entry = memo.stored_bytes
+        assert one_entry > 0
+        memo.put_tile(b"b", _pair())
+        assert memo.stored_bytes == one_entry
+
+    def test_rejects_bad_max_entries(self):
+        with pytest.raises(ValidationError):
+            ConflictMemo(max_entries=0)
+
+
+class TestStats:
+    def test_delta_baseline(self):
+        memo = ConflictMemo()
+        memo.get_tile(b"x")
+        memo.put_tile(b"x", _pair())
+        memo.get_tile(b"x")
+        delta = memo.stats(hits_base=1, misses_base=1)
+        assert (delta.hits, delta.misses) == (0, 0)
+        full = memo.stats()
+        assert (full.hits, full.misses) == (1, 1)
+        assert full.hit_rate == 0.5
+
+    def test_hit_rate_unused(self):
+        assert ConflictMemo().stats().hit_rate == 0.0
+
+    def test_str_mentions_everything(self):
+        text = str(MemoStats(3, 1, 2, 1, 4096))
+        for fragment in ("3 hits", "1 misses", "75%", "2 tile", "1 round",
+                         "4,096 bytes"):
+            assert fragment in text
+
+    def test_process_stats_aggregate_across_instances(self):
+        before = ConflictMemo.process_stats()
+        a, b = ConflictMemo(), ConflictMemo()
+        a.get_tile(b"x")
+        a.put_tile(b"x", _pair())
+        b.get_round(b"y")
+        b.put_round(b"y", _pair())
+        after = ConflictMemo.process_stats()
+        assert after.misses - before.misses == 2
+        assert after.tile_entries - before.tile_entries == 1
+        assert after.round_entries - before.round_entries == 1
+        assert after.stored_bytes > before.stored_bytes

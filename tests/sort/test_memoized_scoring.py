@@ -1,0 +1,196 @@
+"""Memoized scoring equivalence — the pattern memo's end-to-end contract.
+
+``PairwiseMergeSort(memo=ConflictMemo())`` must be *bit-identical* to both
+the plain vectorized path (``memo=None``) and the per-tile loop oracle
+(``scoring="loop"``): same sorted values, same round structure, same
+conflict counters, same per-step cost arrays, same sampled-block RNG
+draws. That must hold on cold memos, on warm memos (round-level hits,
+including hits carried across sorts and across input sizes), and under
+eviction churn from a deliberately tiny ``max_entries``.
+
+Reuses the config/input matrix and comparison helpers of
+``tests/sort/test_pairwise_equivalence.py`` so the three scoring paths are
+exercised on exactly the same coverage: every round kind, the three ``E``
+regimes, all input families, both sampling modes, nonzero padding.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dmm.memo import ConflictMemo
+from repro.errors import ValidationError
+from repro.inputs.generators import generate
+from repro.sort.pairwise import PairwiseMergeSort
+from tests.sort.test_pairwise_equivalence import (
+    CONFIGS,
+    INPUTS,
+    assert_results_identical,
+)
+
+
+def run_three(config, data, *, score_blocks=None, seed=0, padding=0):
+    """One sort per scoring path: memoized, plain vectorized, loop."""
+    results = []
+    for kwargs in (
+        {"memo": ConflictMemo()},
+        {"memo": None},
+        {"scoring": "loop"},
+    ):
+        sorter = PairwiseMergeSort(config, padding=padding, **kwargs)
+        results.append(sorter.sort(data, score_blocks=score_blocks, seed=seed))
+    return results
+
+
+class TestMemoizedEquivalence:
+    @pytest.mark.parametrize("config_name", sorted(CONFIGS))
+    @pytest.mark.parametrize("input_name", INPUTS)
+    def test_all_configs_and_inputs(self, config_name, input_name):
+        cfg = CONFIGS[config_name]
+        data = generate(input_name, cfg, cfg.tile_size * 8, seed=42)
+        memoized, plain, loop = run_three(cfg, data)
+        assert_results_identical(memoized, plain)
+        assert_results_identical(memoized, loop)
+
+    @pytest.mark.parametrize("score_blocks", [1, 2, 3])
+    def test_sampled_rounds_share_rng_draws(self, score_blocks):
+        cfg = CONFIGS["small-e"]
+        data = generate("random", cfg, cfg.tile_size * 16, seed=3)
+        memoized, plain, loop = run_three(
+            cfg, data, score_blocks=score_blocks, seed=777
+        )
+        assert_results_identical(memoized, plain)
+        assert_results_identical(memoized, loop)
+
+    def test_with_padding(self):
+        cfg = CONFIGS["pow2-e"]
+        data = generate("conflict-heavy", cfg, cfg.tile_size * 4, seed=9)
+        memoized, plain, loop = run_three(cfg, data, padding=1)
+        assert_results_identical(memoized, plain)
+        assert_results_identical(memoized, loop)
+
+    def test_single_tile_no_global_rounds(self):
+        cfg = CONFIGS["tiny"]
+        data = generate("random", cfg, cfg.tile_size, seed=1)
+        memoized, plain, _ = run_three(cfg, data)
+        assert_results_identical(memoized, plain)
+
+
+class TestWarmMemo:
+    def test_round_hits_stay_bit_identical(self):
+        """A second sort of the same data is served by round-level hits;
+        its result must still match a cold sort exactly."""
+        cfg = CONFIGS["small-e"]
+        data = generate("worst-case", cfg, cfg.tile_size * 8, seed=0)
+        memo = ConflictMemo()
+        sorter = PairwiseMergeSort(cfg, memo=memo)
+        first = sorter.sort(data)
+        second = sorter.sort(data)
+        assert_results_identical(second, first)
+        assert_results_identical(
+            second, PairwiseMergeSort(cfg, memo=None).sort(data)
+        )
+        assert second.memo_stats.hits > 0
+        assert second.memo_stats.misses == 0  # every round replayed from cache
+
+    def test_cross_size_sharing(self):
+        """Block-round work recurs across sweep sizes: sorting 2N after N
+        with a shared memo must hit and stay exact."""
+        cfg = CONFIGS["small-e"]
+        memo = ConflictMemo()
+        sorter = PairwiseMergeSort(cfg, memo=memo)
+        small = generate("worst-case", cfg, cfg.tile_size * 4, seed=0)
+        large = generate("worst-case", cfg, cfg.tile_size * 8, seed=0)
+        sorter.sort(small)
+        warm = sorter.sort(large)
+        assert warm.memo_stats.hits > 0
+        assert_results_identical(
+            warm, PairwiseMergeSort(cfg, memo=None).sort(large)
+        )
+
+    def test_periodic_input_dedups_within_one_sort(self):
+        """The constructed input is periodic at every round — even a cold
+        sort must dedup its tiles rather than score each one. (A cold memo
+        has nothing to *hit*; dedup shows up as far fewer stored tile
+        entries than lookups.)"""
+        cfg = CONFIGS["small-e"]
+        data = generate("worst-case", cfg, cfg.tile_size * 8, seed=0)
+        stats = PairwiseMergeSort(cfg, memo=ConflictMemo()).sort(data).memo_stats
+        assert stats.hits == 0
+        # Every round of the periodic input presents one repeated pattern:
+        # exactly one unique tile entry per memoized round, despite each
+        # round looking up every scored tile.
+        assert stats.tile_entries == stats.round_entries
+        assert stats.misses > 2 * stats.tile_entries
+
+    def test_eviction_churn_stays_exact(self):
+        """A pathologically small table forces constant FIFO eviction; the
+        memoized result must still be bit-identical."""
+        cfg = CONFIGS["small-e"]
+        data = generate("random", cfg, cfg.tile_size * 16, seed=7)
+        memoized = PairwiseMergeSort(cfg, memo=ConflictMemo(max_entries=2)).sort(
+            data
+        )
+        assert_results_identical(
+            memoized, PairwiseMergeSort(cfg, memo=None).sort(data)
+        )
+
+
+class TestMemoConfiguration:
+    def test_auto_default_builds_memo(self):
+        assert isinstance(PairwiseMergeSort(CONFIGS["tiny"]).memo, ConflictMemo)
+
+    def test_auto_with_loop_scoring_is_memo_free(self):
+        assert PairwiseMergeSort(CONFIGS["tiny"], scoring="loop").memo is None
+
+    def test_none_escape_hatch(self):
+        sorter = PairwiseMergeSort(CONFIGS["tiny"], memo=None)
+        assert sorter.memo is None
+        data = generate("random", CONFIGS["tiny"], CONFIGS["tiny"].tile_size * 2)
+        assert sorter.sort(data).memo_stats is None
+
+    def test_loop_result_has_no_memo_stats(self):
+        cfg = CONFIGS["tiny"]
+        data = generate("random", cfg, cfg.tile_size * 2)
+        result = PairwiseMergeSort(cfg, scoring="loop").sort(data)
+        assert result.memo_stats is None
+
+    def test_explicit_memo_with_loop_rejected(self):
+        with pytest.raises(ValidationError):
+            PairwiseMergeSort(
+                CONFIGS["tiny"], scoring="loop", memo=ConflictMemo()
+            )
+
+    def test_bad_memo_value_rejected(self):
+        with pytest.raises(ValidationError):
+            PairwiseMergeSort(CONFIGS["tiny"], memo="always")
+
+    def test_memo_stats_is_per_sort_delta(self):
+        """With a shared memo, each result reports its own sort's hits and
+        misses, not the memo's lifetime counters."""
+        cfg = CONFIGS["tiny"]
+        data = generate("sorted", cfg, cfg.tile_size * 4)
+        memo = ConflictMemo()
+        sorter = PairwiseMergeSort(cfg, memo=memo)
+        first = sorter.sort(data)
+        second = sorter.sort(data)
+        assert first.memo_stats.misses > 0
+        assert second.memo_stats.misses == 0
+        assert memo.hits == first.memo_stats.hits + second.memo_stats.hits
+        assert memo.misses == first.memo_stats.misses + second.memo_stats.misses
+
+
+class TestKernelCostEquivalence:
+    def test_aggregate_cost_identical(self):
+        cfg = CONFIGS["small-e"]
+        data = generate("worst-case", cfg, cfg.tile_size * 8, seed=0)
+        memoized, plain, _ = run_three(cfg, data)
+        assert memoized.kernel_cost(8) == plain.kernel_cost(8)
+        assert memoized.replays_per_element() == plain.replays_per_element()
+        assert memoized.total_shared_cycles() == plain.total_shared_cycles()
+
+
+def test_values_still_sorted():
+    cfg = CONFIGS["large-e"]
+    data = generate("reverse", cfg, cfg.tile_size * 8, seed=0)
+    result = PairwiseMergeSort(cfg, memo=ConflictMemo()).sort(data)
+    np.testing.assert_array_equal(result.values, np.sort(data))

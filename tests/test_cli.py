@@ -102,6 +102,32 @@ class TestJsonExport:
         assert any(r["E"] == 15 and r["predicted"] == 225 for r in rows)
 
 
+class TestMemoReporting:
+    def test_simulate_prints_memo_stats(self, capsys):
+        assert (
+            main(["simulate", "--preset", "mgpu-maxwell", "--tiles", "2",
+                  "--input", "worst-case"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "memoized scoring:" in out
+        assert "hit rate" in out
+
+    def test_no_memo_flag_disables_reporting(self, capsys):
+        assert (
+            main(["simulate", "--preset", "mgpu-maxwell", "--tiles", "2",
+                  "--input", "worst-case", "--no-memo"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "sorted correctly: True" in out
+        assert "memoized scoring:" not in out
+
+    def test_cache_stats_includes_conflict_memo(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        assert "conflict memo (this process):" in capsys.readouterr().out
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
