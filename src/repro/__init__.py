@@ -37,9 +37,11 @@ from repro.adversary import (
     worst_case_permutation,
 )
 from repro.errors import (
+    BackpressureError,
     ConfigurationError,
     ConstructionError,
     ReproError,
+    ServiceError,
     SimulationError,
     ValidationError,
 )
@@ -59,6 +61,7 @@ from repro.sort import PairwiseMergeSort, SortConfig, SortResult, preset
 __version__ = "1.0.0"
 
 __all__ = [
+    "BackpressureError",
     "ConfigurationError",
     "ConstructionError",
     "DEVICES",
@@ -68,6 +71,7 @@ __all__ = [
     "QUADRO_M4000",
     "RTX_2080_TI",
     "ReproError",
+    "ServiceError",
     "SimulationError",
     "SortConfig",
     "SortResult",

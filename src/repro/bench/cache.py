@@ -45,6 +45,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "BenchCache",
     "CacheStats",
+    "PruneResult",
     "default_cache_dir",
     "fingerprint",
     "point_key",
@@ -134,6 +135,23 @@ class CacheStats:
         return (
             f"{self.cache_dir}: {self.point_entries} bench points, "
             f"{self.rate_entries} calibrations, {self.total_bytes:,} bytes"
+        )
+
+
+@dataclass(frozen=True)
+class PruneResult:
+    """Outcome of one :meth:`BenchCache.prune` pass."""
+
+    removed_entries: int
+    removed_bytes: int
+    kept_entries: int
+    kept_bytes: int
+
+    def __str__(self) -> str:
+        return (
+            f"pruned {self.removed_entries} entries "
+            f"({self.removed_bytes:,} bytes); kept {self.kept_entries} "
+            f"entries ({self.kept_bytes:,} bytes)"
         )
 
 
@@ -272,3 +290,59 @@ class BenchCache:
             except OSError:
                 continue
         return removed
+
+    def prune(self, max_bytes: int) -> PruneResult:
+        """Evict least-recently-written entries until ≤ ``max_bytes`` remain.
+
+        LRU order is mtime: :meth:`_store`'s temp-file + :func:`os.replace`
+        discipline stamps every entry at its last (re)write, so the oldest
+        files are the ones no recent run touched. Orphaned ``*.tmp`` files
+        left behind by crashed writers are removed unconditionally. A
+        long-running server calls this periodically (or an operator runs
+        ``repro-mergesort cache prune --max-mb N``) so the disk cache stays
+        bounded the way the in-memory memo's FIFO tables already are.
+        Entries that vanish concurrently (another pruner, a ``clear``) are
+        skipped, not errors.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        removed = removed_bytes = 0
+        if self.cache_dir.is_dir():
+            for sub in ("points", "rates"):
+                for tmp in (self.cache_dir / sub).glob("*.tmp"):
+                    try:
+                        size = tmp.stat().st_size
+                        tmp.unlink()
+                    except OSError:
+                        continue
+                    removed += 1
+                    removed_bytes += size
+
+        entries = []
+        for path in self._entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, path, stat.st_size))
+        entries.sort()  # oldest first
+
+        total = sum(size for _, _, size in entries)
+        kept = len(entries)
+        for _, path, size in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            kept -= 1
+            removed += 1
+            removed_bytes += size
+        return PruneResult(
+            removed_entries=removed,
+            removed_bytes=removed_bytes,
+            kept_entries=kept,
+            kept_bytes=total,
+        )

@@ -171,6 +171,7 @@ def run_points(
     *,
     jobs: int = 1,
     progress: Callable[[ProgressEvent], None] | None = None,
+    pool: ProcessPoolExecutor | None = None,
 ) -> list[BenchPoint]:
     """Execute work items, preserving input order in the result list.
 
@@ -180,9 +181,17 @@ def run_points(
         The sweep points to run.
     jobs:
         Worker processes; ``1`` runs serially in-process (no pool).
+        Ignored when ``pool`` is given.
     progress:
         Optional callback invoked once per completed point (completion
         order, not submission order, under parallel execution).
+    pool:
+        Optional externally owned :class:`ProcessPoolExecutor` to submit
+        to instead of creating (and tearing down) a private one. Long-
+        lived callers — the :mod:`repro.service` daemon above all — pass
+        a warm pool so worker processes keep their ``_RUNNERS`` tables
+        (calibrations + conflict memos) across calls. The caller owns
+        the pool's lifecycle; ``run_points`` never shuts it down.
     """
     if jobs < 1:
         raise ValidationError(f"jobs must be >= 1, got {jobs}")
@@ -190,7 +199,7 @@ def run_points(
     total = len(items)
     results: list[BenchPoint | None] = [None] * total
 
-    if jobs == 1 or total <= 1:
+    if pool is None and (jobs == 1 or total <= 1):
         for i, item in enumerate(items):
             point, elapsed, from_cache = _execute(item)
             results[i] = point
@@ -200,10 +209,10 @@ def run_points(
                 )
         return results  # type: ignore[return-value]
 
-    done = 0
-    with ProcessPoolExecutor(max_workers=min(jobs, total)) as pool:
+    def _collect(executor: ProcessPoolExecutor) -> None:
+        done = 0
         futures = {
-            pool.submit(_execute, item): i for i, item in enumerate(items)
+            executor.submit(_execute, item): i for i, item in enumerate(items)
         }
         for future in as_completed(futures):
             i = futures[future]
@@ -216,4 +225,10 @@ def run_points(
                         done, total, items[i], point, elapsed, from_cache
                     )
                 )
+
+    if pool is not None:
+        _collect(pool)
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, total)) as owned:
+            _collect(owned)
     return results  # type: ignore[return-value]

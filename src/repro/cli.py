@@ -7,19 +7,33 @@ Subcommands:
   report per-round conflicts and simulated runtime;
 * ``sweep`` — a throughput size sweep for one (preset, device, input);
 * ``figure`` — regenerate a paper figure (1, 3, 4, 5, 6, or ``theory``);
-* ``cache`` — inspect or clear the on-disk bench-result cache.
+* ``cache`` — inspect, clear, or prune the on-disk bench-result cache;
+* ``serve`` — run the long-lived generation-and-scoring daemon
+  (:mod:`repro.service`);
+* ``request`` — send one request to a running daemon instead of
+  cold-starting the library in this process.
 
 The sweep-driven commands (``sweep``, ``figure 4/5/6``, ``grid``,
 ``reproduce``) accept ``--jobs N`` to fan independent points out over a
 worker pool and ``--cache`` / ``--cache-dir`` to reuse previously
 computed points and calibrations from disk; per-point progress/timing
 lines go to stderr so long sweeps stay observable.
+
+Exit codes: 0 success, 2 invalid input (bad arguments, unknown presets,
+malformed requests — also argparse's usage-error code), 3 internal
+errors (simulator inconsistencies, unreachable/failing service), 1
+verification failures from ``reproduce`` and unexpected crashes.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+#: Exit codes (see module docstring). Validation matches argparse's 2.
+EXIT_OK = 0
+EXIT_VALIDATION = 2
+EXIT_INTERNAL = 3
 
 import numpy as np
 
@@ -61,11 +75,28 @@ def _add_bench_exec_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _package_version() -> str:
+    """Installed distribution version, falling back to the source tree's."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:  # not installed (PYTHONPATH=src runs)
+        from repro import __version__
+
+        return __version__
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-mergesort",
         description="Worst-case inputs for GPU pairwise merge sort "
         "(Berney & Sitchinava, IPPS 2020) — simulator and bench harness.",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {_package_version()}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -129,11 +160,69 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "cache",
-        help="inspect or clear the on-disk bench-result cache",
+        help="inspect, clear, or prune the on-disk bench-result cache",
     )
-    p.add_argument("action", choices=["stats", "clear"])
+    p.add_argument("action", choices=["stats", "clear", "prune"])
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="cache location (default ~/.cache/repro-mergesort)")
+    p.add_argument(
+        "--max-mb", type=float, default=None, metavar="N",
+        help="prune: evict least-recently-written entries until the cache "
+        "holds at most N MiB",
+    )
+
+    p = sub.add_parser(
+        "serve",
+        help="run the generation-and-scoring daemon (see docs/SERVICE.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787,
+                   help="listen port (0 = ephemeral, reported in the log)")
+    p.add_argument("--queue-limit", type=int, default=8, metavar="N",
+                   help="max concurrently admitted computations; beyond it "
+                   "new non-coalesced requests get HTTP 429 (default 8)")
+    p.add_argument("--request-timeout", type=float, default=600.0,
+                   metavar="SECONDS", help="per-request deadline (default 600)")
+    p.add_argument("--drain-timeout", type=float, default=60.0,
+                   metavar="SECONDS",
+                   help="how long shutdown waits for in-flight work "
+                   "(default 60)")
+    p.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                   help="worker processes for /sweep fan-out (default 1)")
+    p.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=False,
+        help="attach the on-disk bench cache to /sweep",
+    )
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="cache location (implies --cache)")
+
+    p = sub.add_parser(
+        "request",
+        help="send one request to a running daemon (serve) and print the "
+        "result",
+    )
+    p.add_argument(
+        "action",
+        choices=["healthz", "stats", "construct", "simulate", "sweep",
+                 "shutdown"],
+    )
+    p.add_argument("--url", default="http://127.0.0.1:8787",
+                   help="base URL of the daemon (default %(default)s)")
+    p.add_argument("--timeout", type=float, default=630.0,
+                   help="client socket timeout in seconds")
+    p.add_argument("--preset", default="thrust-maxwell")
+    p.add_argument("--device", default="quadro-m4000",
+                   help="sweep only; simulate results are device-independent")
+    p.add_argument("--input", default="worst-case", choices=sorted(GENERATORS))
+    p.add_argument("--tiles", type=int, default=64,
+                   help="construct/simulate input size in tiles")
+    p.add_argument("--max-elements", type=int, default=2_000_000,
+                   help="sweep size ceiling")
+    p.add_argument("--exact-threshold", type=int, default=1 << 20)
+    p.add_argument("--score-blocks", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="construct: also save the permutation as .npy")
 
     p = sub.add_parser(
         "analyze",
@@ -218,11 +307,33 @@ def _bench_cache(args) -> BenchCache | None:
     return None
 
 
-def _progress_printer():
-    """Per-point progress/timing lines on stderr."""
+def _progress_printer(stream=None):
+    """Per-point progress/timing lines (stderr by default).
+
+    Each event is rendered with one atomic ``write`` + an explicit
+    ``flush`` so concurrent writers (worker callbacks, server log lines,
+    CI annotations) never interleave mid-line and piped output never
+    stalls in a block buffer. On a TTY, intermediate points update one
+    live line in place (CR + erase) and only the final point commits a
+    newline; on non-TTY streams — CI logs, files, pipes — this falls
+    back to plain line-buffered output, one full line per event.
+    """
+    if stream is None:
+        stream = sys.stderr
+    tty = bool(getattr(stream, "isatty", lambda: False)())
 
     def emit(event) -> None:
-        print(event.describe(), file=sys.stderr, flush=True)
+        line = event.describe()
+        if tty:
+            end = "\n" if event.done >= event.total else "\r"
+            text = f"\x1b[2K{line}{end}"
+        else:
+            text = f"{line}\n"
+        try:
+            stream.write(text)
+            stream.flush()
+        except (OSError, ValueError):
+            pass  # broken pipe / closed log: progress is best-effort
 
     return emit
 
@@ -444,19 +555,145 @@ def _print_memo_stats(jobs: int = 1) -> None:
 
 def _cmd_cache(args) -> int:
     from repro.dmm.memo import ConflictMemo
+    from repro.errors import ValidationError
 
     cache = BenchCache(args.cache_dir)
     if args.action == "stats":
         print(cache.stats())
         print(f"conflict memo (this process): {ConflictMemo.process_stats()}")
         return 0
+    if args.action == "prune":
+        if args.max_mb is None or args.max_mb < 0:
+            raise ValidationError(
+                "cache prune requires --max-mb N (N >= 0)"
+            )
+        result = cache.prune(int(args.max_mb * 1024 * 1024))
+        print(f"{cache.cache_dir}: {result}")
+        return 0
     removed = cache.clear()
     print(f"removed {removed} cache entries from {cache.cache_dir}")
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service.server import ServiceConfig, serve_forever
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+        request_timeout=args.request_timeout,
+        drain_timeout=args.drain_timeout,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=bool(args.cache or args.cache_dir),
+    )
+    return serve_forever(config)
+
+
+def _cmd_request(args) -> int:
+    import json
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    if args.action in ("healthz", "stats", "shutdown"):
+        print(json.dumps(getattr(client, args.action)(), indent=2))
+        return 0
+
+    if args.action == "construct":
+        config = preset(args.preset)
+        values = client.construct(preset=args.preset, tiles=args.tiles)
+        n = len(values)
+        head = ", ".join(str(v) for v in values[:8])
+        print(
+            f"constructed worst-case permutation: N={n:,} "
+            f"({args.tiles} tiles of {config.tile_size}) [{head}, ...]"
+        )
+        if args.out:
+            np.save(args.out, values)
+            print(f"saved to {args.out}")
+        return 0
+
+    if args.action == "simulate":
+        reply = client.simulate(
+            preset=args.preset,
+            input=args.input,
+            tiles=args.tiles,
+            score_blocks=args.score_blocks,
+            seed=args.seed,
+        )
+        result = reply.result
+        rows = [
+            {
+                "round": r.label,
+                "kind": r.kind,
+                "merge cycles": round(r.merge_report.total_transactions * r.scale),
+                "partition cycles": round(
+                    r.partition_report.total_transactions * r.scale
+                ),
+                "replays": round(r.replays),
+            }
+            for r in result.rounds
+        ]
+        print(table(rows))
+        print(
+            f"\nsorted correctly: {reply.sorted_ok}   "
+            f"served by coalescing: {reply.coalesced}"
+        )
+        print(
+            f"N={result.num_elements:,}  "
+            f"conflicts/elem={result.replays_per_element():.2f}"
+        )
+        if result.memo_stats is not None:
+            print(f"memoized scoring (server-side): {result.memo_stats}")
+        return 0
+
+    # sweep
+    reply = client.sweep(
+        preset=args.preset,
+        device=args.device,
+        inputs=["random", args.input],
+        max_elements=args.max_elements,
+        exact_threshold=args.exact_threshold,
+        score_blocks=args.score_blocks,
+        seed=args.seed,
+    )
+    per_input = len(reply.sizes)
+    base = reply.points[:per_input]
+    other = reply.points[per_input:]
+    rows = [
+        {
+            "N": p.num_elements,
+            "random Melem/s": p.throughput_meps,
+            f"{args.input} Melem/s": q.throughput_meps,
+            "slowdown %": (q.milliseconds / p.milliseconds - 1) * 100,
+        }
+        for p, q in zip(base, other)
+    ]
+    print(table(rows))
+    print(f"\n{args.input} vs random: {slowdown_stats(base, other)}")
+    if reply.coalesced:
+        print("(served by coalescing with an identical in-flight sweep)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    0 on success; :data:`EXIT_VALIDATION` (2) when the input was invalid
+    (bad preset, malformed request, rejected arguments);
+    :data:`EXIT_INTERNAL` (3) when the library or a remote service
+    failed internally. Unexpected exceptions still propagate (exit 1
+    with a traceback) so real bugs stay loud.
+    """
+    from repro.errors import (
+        ConfigurationError,
+        ConstructionError,
+        ReproError,
+        ValidationError,
+    )
+
     args = _build_parser().parse_args(argv)
     handlers = {
         "construct": _cmd_construct,
@@ -467,8 +704,17 @@ def main(argv: list[str] | None = None) -> int:
         "grid": _cmd_grid,
         "reproduce": _cmd_reproduce,
         "cache": _cmd_cache,
+        "serve": _cmd_serve,
+        "request": _cmd_request,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except (ValidationError, ConfigurationError, ConstructionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_VALIDATION
+    except ReproError as exc:
+        print(f"internal error: {exc}", file=sys.stderr)
+        return EXIT_INTERNAL
 
 
 if __name__ == "__main__":

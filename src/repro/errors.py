@@ -11,8 +11,10 @@ from __future__ import annotations
 
 __all__ = [
     "ReproError",
+    "BackpressureError",
     "ConfigurationError",
     "ConstructionError",
+    "ServiceError",
     "SimulationError",
     "ValidationError",
 ]
@@ -49,3 +51,28 @@ class SimulationError(ReproError):
     Example: a warp trace whose step count disagrees with the kernel's
     declared number of lock-step iterations.
     """
+
+
+class ServiceError(ReproError):
+    """A :mod:`repro.service` request failed.
+
+    ``status`` carries the HTTP status code when the failure came from a
+    server response (0 for transport-level failures such as a refused
+    connection), so callers can distinguish client mistakes (4xx) from
+    server-side trouble.
+    """
+
+    def __init__(self, message: str, *, status: int = 0):
+        super().__init__(message)
+        self.status = status
+
+
+class BackpressureError(ServiceError):
+    """The service rejected a request because its admission queue is full.
+
+    ``retry_after`` echoes the server's ``Retry-After`` hint (seconds).
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 1.0):
+        super().__init__(message, status=429)
+        self.retry_after = retry_after

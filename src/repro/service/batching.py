@@ -1,0 +1,136 @@
+"""Single-flight request coalescing and bounded admission.
+
+The batching layer is what makes the daemon cheaper than ``N`` cold CLI
+invocations even under bursty identical traffic:
+
+* :class:`SingleFlight` — identical in-flight requests (same
+  content-addressed fingerprint, the ones :mod:`repro.bench.cache`
+  already computes) share one underlying computation. The first caller
+  for a key becomes the *leader* and runs the work; everyone else joins
+  the leader's future. Joining is race-free because all bookkeeping
+  happens between awaits on the single event loop.
+* :class:`AdmissionGate` — a bounded counter of admitted leaders. When
+  full, new work is rejected immediately (HTTP 429 + ``Retry-After``)
+  instead of queueing unboundedly; coalesced waiters never consume a
+  slot (they cost nothing to serve).
+
+A waiter that times out abandons only its own wait — the leader's
+computation is shielded and keeps running for the remaining waiters and
+for the admission ledger.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable
+
+from repro.service.stats import ServiceStats
+
+__all__ = ["AdmissionGate", "SingleFlight"]
+
+
+class AdmissionGate:
+    """Bounded count of concurrently admitted computations."""
+
+    def __init__(self, limit: int, stats: ServiceStats):
+        if limit < 1:
+            raise ValueError(f"admission limit must be >= 1, got {limit}")
+        self.limit = limit
+        self._stats = stats
+
+    def try_enter(self) -> bool:
+        """Claim a slot; ``False`` (caller should 429) when saturated."""
+        if self._stats.in_flight >= self.limit:
+            self._stats.rejected += 1
+            return False
+        self._stats.note_admitted()
+        return True
+
+    def exit(self) -> None:
+        """Release a previously claimed slot."""
+        self._stats.note_released()
+
+
+class SingleFlight:
+    """Coalesce identical in-flight computations by fingerprint."""
+
+    def __init__(self, stats: ServiceStats):
+        self._stats = stats
+        self._inflight: dict[str, asyncio.Future] = {}
+        #: Leader tasks still running — the graceful-drain wait set.
+        self.tasks: set[asyncio.Task] = set()
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    async def run(
+        self,
+        key: str,
+        start: Callable[[], Awaitable],
+        *,
+        gate: AdmissionGate,
+        timeout: float | None,
+    ):
+        """Run (or join) the computation for ``key``.
+
+        ``start`` is invoked only by the leader and must return an
+        awaitable producing the result. Raises
+        :class:`asyncio.TimeoutError` if *this* caller's deadline
+        expires (the shared computation keeps running), and re-raises
+        whatever the computation raised for every caller that joined it.
+        Returns ``(result, coalesced)``.
+
+        Raises :class:`BlockingIOError` when the admission gate is full
+        — the caller maps this to HTTP 429. The check happens before the
+        key is published, so a rejected leader leaves no trace for later
+        identical requests to join.
+        """
+        fut = self._inflight.get(key)
+        if fut is not None:
+            self._stats.coalesced += 1
+            result = await asyncio.wait_for(asyncio.shield(fut), timeout)
+            return result, True
+
+        # No await between the lookup above and the insert below: on a
+        # single event loop this makes leader election atomic.
+        if not gate.try_enter():
+            raise BlockingIOError("admission queue full")
+        self._stats.primary += 1
+        loop = asyncio.get_running_loop()
+        fut = loop.create_future()
+        self._inflight[key] = fut
+        task = loop.create_task(self._lead(key, fut, start, gate))
+        self.tasks.add(task)
+        task.add_done_callback(self.tasks.discard)
+        result = await asyncio.wait_for(asyncio.shield(fut), timeout)
+        return result, False
+
+    async def _lead(
+        self,
+        key: str,
+        fut: asyncio.Future,
+        start: Callable[[], Awaitable],
+        gate: AdmissionGate,
+    ) -> None:
+        try:
+            result = await start()
+        except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
+            if not fut.cancelled():
+                fut.set_exception(exc)
+                # If every waiter timed out before the failure landed,
+                # nobody retrieves it; mark it consumed to silence the
+                # "exception was never retrieved" warning.
+                fut.add_done_callback(lambda f: f.exception())
+        else:
+            if not fut.cancelled():
+                fut.set_result(result)
+        finally:
+            self._inflight.pop(key, None)
+            gate.exit()
+
+    async def drain(self, timeout: float | None) -> bool:
+        """Wait for all in-flight leaders; ``True`` if everything finished."""
+        if not self.tasks:
+            return True
+        _, pending = await asyncio.wait(set(self.tasks), timeout=timeout)
+        return not pending

@@ -1,0 +1,236 @@
+"""Small blocking client for the generation-and-scoring daemon.
+
+Used by ``repro-mergesort request`` (and by tests/CI) so consumers can
+target a warm long-lived server instead of cold-starting the library.
+Transport is stdlib :mod:`http.client`; responses decode back into the
+same library types a direct call returns —
+:class:`~repro.sort.pairwise.SortResult` from ``/simulate``,
+:class:`numpy.ndarray` from ``/construct``,
+:class:`~repro.bench.metrics.BenchPoint` lists from ``/sweep`` — so the
+two paths are interchangeable (and bit-identical, which the service
+tests enforce).
+
+Failures map onto the library's exception hierarchy: HTTP 4xx raises
+:class:`~repro.errors.ValidationError` (429 specifically raises
+:class:`~repro.errors.BackpressureError` carrying the server's
+``Retry-After`` hint) and transport errors or 5xx raise
+:class:`~repro.errors.ServiceError`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from dataclasses import dataclass
+from urllib.parse import urlsplit
+
+import numpy as np
+
+from repro.bench.metrics import BenchPoint
+from repro.errors import BackpressureError, ServiceError, ValidationError
+from repro.service.protocol import point_from_obj
+from repro.sort.pairwise import SortResult
+from repro.sort.serialize import array_from_obj, result_from_obj
+
+__all__ = ["ServiceClient", "SimulateReply", "SweepReply"]
+
+
+@dataclass(frozen=True)
+class SimulateReply:
+    """Decoded ``/simulate`` response."""
+
+    result: SortResult
+    sorted_ok: bool
+    coalesced: bool
+
+
+@dataclass(frozen=True)
+class SweepReply:
+    """Decoded ``/sweep`` response (points in input-major item order)."""
+
+    points: list[BenchPoint]
+    inputs: list[str]
+    sizes: list[int]
+    coalesced: bool
+
+
+class ServiceClient:
+    """Blocking JSON-over-HTTP client for one daemon.
+
+    Parameters
+    ----------
+    base_url:
+        ``http://host:port`` of a running ``repro-mergesort serve``.
+    timeout:
+        Socket timeout per request (seconds); should exceed the server's
+        per-request deadline so the server, not the client, decides when
+        a computation is too slow.
+    """
+
+    def __init__(self, base_url: str = "http://127.0.0.1:8787", *, timeout: float = 630.0):
+        split = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+        if split.scheme not in ("", "http"):
+            raise ValidationError(f"unsupported scheme {split.scheme!r} (http only)")
+        if not split.hostname:
+            raise ValidationError(f"no host in service URL {base_url!r}")
+        self.host = split.hostname
+        self.port = split.port or 8787
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------------
+
+    def request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        """One HTTP round-trip; returns the decoded JSON body."""
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request(
+                method,
+                path,
+                body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            status = response.status
+            retry_after = response.getheader("Retry-After")
+            raw = response.read()
+        except (OSError, socket.timeout, http.client.HTTPException) as exc:
+            raise ServiceError(
+                f"service at http://{self.host}:{self.port} unreachable: {exc}"
+            ) from exc
+        finally:
+            conn.close()
+
+        try:
+            decoded = json.loads(raw) if raw else {}
+        except ValueError:
+            decoded = {"error": raw.decode("utf-8", "replace")}
+        if status == 429:
+            raise BackpressureError(
+                decoded.get("error", "server busy"),
+                retry_after=float(retry_after or 1.0),
+            )
+        if 400 <= status < 500:
+            raise ValidationError(
+                f"{path}: {decoded.get('error', f'HTTP {status}')}"
+            )
+        if status >= 500:
+            raise ServiceError(
+                f"{path}: {decoded.get('error', f'HTTP {status}')}",
+                status=status,
+            )
+        return decoded
+
+    # -- control endpoints ---------------------------------------------------
+
+    def healthz(self) -> dict:
+        """Liveness probe."""
+        return self.request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        """The server's counter snapshot."""
+        return self.request("GET", "/stats")
+
+    def shutdown(self) -> dict:
+        """Ask the server to drain and exit."""
+        return self.request("POST", "/shutdown")
+
+    # -- compute endpoints ---------------------------------------------------
+
+    def construct(
+        self,
+        *,
+        preset: str | None = None,
+        config: dict | None = None,
+        tiles: int | None = None,
+        num_elements: int | None = None,
+        encoding: str = "b64",
+    ) -> np.ndarray:
+        """Fetch an adversarial permutation."""
+        payload = _body(
+            preset=preset,
+            config=config,
+            tiles=tiles,
+            num_elements=num_elements,
+            encoding=encoding,
+        )
+        reply = self.request("POST", "/construct", payload)
+        values = reply["values"]
+        if reply.get("encoding") == "json":
+            return np.asarray(values, dtype=np.int64)
+        return array_from_obj(values)
+
+    def simulate(
+        self,
+        *,
+        preset: str | None = None,
+        config: dict | None = None,
+        input: str = "worst-case",
+        tiles: int | None = None,
+        num_elements: int | None = None,
+        score_blocks: int | None = 8,
+        seed: int = 0,
+        include_values: bool = True,
+        memo: bool = True,
+    ) -> SimulateReply:
+        """Run one instrumented sort on the server."""
+        payload = _body(
+            preset=preset,
+            config=config,
+            input=input,
+            tiles=tiles,
+            num_elements=num_elements,
+            score_blocks=score_blocks,
+            seed=seed,
+            include_values=include_values,
+            memo=memo,
+        )
+        reply = self.request("POST", "/simulate", payload)
+        return SimulateReply(
+            result=result_from_obj(reply["result"]),
+            sorted_ok=bool(reply["sorted_ok"]),
+            coalesced=bool(reply.get("coalesced", False)),
+        )
+
+    def sweep(
+        self,
+        *,
+        preset: str | None = None,
+        config: dict | None = None,
+        device: str = "quadro-m4000",
+        inputs: list[str] | None = None,
+        sizes: list[int] | None = None,
+        max_elements: int | None = None,
+        min_elements: int = 0,
+        exact_threshold: int = 1 << 20,
+        score_blocks: int | None = 8,
+        seed: int = 0,
+    ) -> SweepReply:
+        """Run a grid of bench points on the server."""
+        payload = _body(
+            preset=preset,
+            config=config,
+            device=device,
+            inputs=inputs,
+            sizes=sizes,
+            max_elements=max_elements,
+            min_elements=min_elements,
+            exact_threshold=exact_threshold,
+            score_blocks=score_blocks,
+            seed=seed,
+        )
+        reply = self.request("POST", "/sweep", payload)
+        return SweepReply(
+            points=[point_from_obj(p) for p in reply["points"]],
+            inputs=list(reply["inputs"]),
+            sizes=[int(s) for s in reply["sizes"]],
+            coalesced=bool(reply.get("coalesced", False)),
+        )
+
+
+def _body(**fields) -> dict:
+    """Drop ``None`` fields so server-side defaults apply."""
+    return {name: value for name, value in fields.items() if value is not None}

@@ -1,0 +1,650 @@
+"""The asyncio generation-and-scoring daemon.
+
+A long-lived process that amortizes everything a cold CLI invocation
+pays per run: one process-lifetime
+:class:`~repro.dmm.memo.ConflictMemo` scores repeated rank→address
+patterns once across *all* requests, one optional
+:class:`~repro.bench.cache.BenchCache` serves sweep points and
+calibrations from disk, and (with ``jobs > 1``) one warm
+:class:`~concurrent.futures.ProcessPoolExecutor` keeps calibrated
+:class:`~repro.bench.runner.SweepRunner`\\ s alive in its workers
+between ``/sweep`` requests.
+
+HTTP/1.1 is hand-rolled over :func:`asyncio.start_server` — no
+``http.server``, no third-party dependencies. Endpoints:
+
+====================  =====================================================
+``POST /construct``   adversarial permutation for a config (base64 or JSON)
+``POST /simulate``    instrumented sort → serialized ``SortResult``
+``POST /sweep``       grid of bench points via the parallel worker pool
+``GET  /healthz``     liveness (+ draining state)
+``GET  /stats``       counters, batching/backpressure, memo + cache stats
+``POST /shutdown``    graceful drain, same path as SIGTERM
+====================  =====================================================
+
+Request flow for the compute endpoints: parse/validate → fingerprint →
+single-flight (identical in-flight requests share one computation) →
+bounded admission (full ⇒ 429 + ``Retry-After``) → thread-pool
+execution with a per-request deadline (expired ⇒ 504 for that waiter
+only). SIGTERM/SIGINT (or ``POST /shutdown``) stop the listener,
+let in-flight work finish within ``drain_timeout``, then exit.
+
+Simulations serialize on one process-wide lock: the simulator is a
+NumPy hot loop that saturates a core anyway, and the lock keeps the
+shared memo's per-sort hit/miss deltas attributable to exactly one
+request — which is what makes served ``memo_stats`` reproducible.
+Scaling across cores is the job of ``/sweep``'s process pool and of
+running several daemons.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+import threading
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.adversary.permutation import worst_case_permutation
+from repro.bench.cache import BenchCache
+from repro.bench.parallel import WorkItem, run_points
+from repro.dmm.memo import ConflictMemo
+from repro.errors import (
+    ConfigurationError,
+    ConstructionError,
+    ReproError,
+    ValidationError,
+)
+from repro.inputs.generators import generate
+from repro.service.batching import AdmissionGate, SingleFlight
+from repro.service.protocol import (
+    ConstructRequest,
+    SimulateRequest,
+    SweepRequest,
+    point_to_obj,
+)
+from repro.service.stats import ServiceStats
+from repro.sort.config import SortConfig
+from repro.sort.pairwise import PairwiseMergeSort
+from repro.sort.serialize import array_to_obj, config_to_obj, result_to_obj
+
+__all__ = ["ServiceConfig", "ReproService", "run_service", "serve_forever"]
+
+_MAX_HEADER_BYTES = 32 * 1024
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+_ENDPOINTS = {
+    "/healthz": "GET",
+    "/stats": "GET",
+    "/shutdown": "POST",
+    "/construct": "POST",
+    "/simulate": "POST",
+    "/sweep": "POST",
+}
+
+
+@dataclass
+class ServiceConfig:
+    """Operator-facing knobs of one daemon."""
+
+    host: str = "127.0.0.1"
+    port: int = 8787  # 0 = pick an ephemeral port (reported in the log)
+    #: Maximum concurrently *admitted* computations; beyond it new
+    #: (non-coalesced) work is rejected with 429.
+    queue_limit: int = 8
+    #: Per-request deadline in seconds (each waiter's own clock).
+    request_timeout: float = 600.0
+    #: How long a shutdown waits for in-flight work before giving up.
+    drain_timeout: float = 60.0
+    #: Idle keep-alive connections are closed after this many seconds.
+    keepalive_timeout: float = 75.0
+    #: Worker processes for ``/sweep`` fan-out (1 = in-process, serial).
+    jobs: int = 1
+    #: Attach the on-disk bench cache (``None`` = memory-only service).
+    cache_dir: str | None = None
+    use_cache: bool = False
+    #: 429 responses advertise this ``Retry-After`` (seconds).
+    retry_after: float = 1.0
+    #: Where log lines go (default ``sys.stderr``).
+    log_stream: object = None
+
+
+class _HttpError(Exception):
+    """Malformed request; carries the status to answer with."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class _HttpRequest:
+    method: str
+    path: str
+    version: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        token = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return token == "keep-alive"
+        return token != "close"
+
+
+class ReproService:
+    """One daemon: shared caches, batching layer, and the HTTP front."""
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.stats = ServiceStats()
+        self.memo = ConflictMemo()
+        self.cache = (
+            BenchCache(config.cache_dir)
+            if (config.use_cache or config.cache_dir)
+            else None
+        )
+        self.single_flight = SingleFlight(self.stats)
+        self.admission = AdmissionGate(config.queue_limit, self.stats)
+        self.port: int | None = None
+
+        self._executor = ThreadPoolExecutor(
+            max_workers=config.queue_limit,
+            thread_name_prefix="repro-service",
+        )
+        self._pool: ProcessPoolExecutor | None = None
+        self._sorters: dict[tuple[SortConfig, bool], PairwiseMergeSort] = {}
+        self._compute_lock = threading.Lock()
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._shutdown_event = asyncio.Event()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._draining = False
+
+    # -- logging -------------------------------------------------------------
+
+    def _log(self, message: str) -> None:
+        stream = self.config.log_stream or sys.stderr
+        try:
+            stream.write(f"[repro.service] {message}\n")
+            stream.flush()
+        except (OSError, ValueError):
+            pass
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> "ReproService":
+        """Bind the listener (resolving ``port=0``) and warm the pool."""
+        self._loop = asyncio.get_running_loop()
+        if self.config.jobs > 1:
+            self._pool = ProcessPoolExecutor(max_workers=self.config.jobs)
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        cache = str(self.cache.cache_dir) if self.cache else "off"
+        self._log(
+            f"listening on http://{self.config.host}:{self.port} "
+            f"(queue_limit={self.config.queue_limit}, "
+            f"jobs={self.config.jobs}, cache={cache})"
+        )
+        return self
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful drain; safe to call from any thread."""
+        if self._loop is None:
+            return
+        self._loop.call_soon_threadsafe(self._shutdown_event.set)
+
+    def _install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    sig,
+                    lambda s=sig: (
+                        self._log(f"received {signal.Signals(s).name}, draining"),
+                        self._shutdown_event.set(),
+                    ),
+                )
+            except (NotImplementedError, ValueError, RuntimeError):
+                # Not the main thread (tests) or unsupported platform —
+                # shutdown is still reachable via POST /shutdown.
+                return
+
+    async def serve_until_shutdown(self) -> bool:
+        """Serve until SIGTERM/SIGINT or ``POST /shutdown``; then drain.
+
+        Returns ``True`` when every in-flight computation and connection
+        finished inside ``drain_timeout``.
+        """
+        self._install_signal_handlers()
+        await self._shutdown_event.wait()
+        self._draining = True
+        assert self._server is not None
+        self._server.close()
+        await self._server.wait_closed()
+
+        began = time.monotonic()
+        in_flight = len(self.single_flight.tasks)
+        self._log(f"draining: {in_flight} in-flight computation(s)")
+        drained = await self.single_flight.drain(self.config.drain_timeout)
+        # Let connection handlers flush their final responses, then close
+        # whatever is left (idle keep-alive clients).
+        if self._conn_tasks:
+            grace = max(
+                1.0, self.config.drain_timeout - (time.monotonic() - began)
+            )
+            _, pending = await asyncio.wait(
+                set(self._conn_tasks), timeout=grace
+            )
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
+
+        # A drain timeout means a sort is still running in the executor;
+        # don't block the loop waiting on it (the interpreter will still
+        # join the thread at exit, but the caller gets its exit code now).
+        self._executor.shutdown(wait=drained, cancel_futures=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=drained, cancel_futures=True)
+        self._log(
+            "drained cleanly"
+            if drained
+            else f"drain timed out after {self.config.drain_timeout}s"
+        )
+        return drained
+
+    # -- connection handling -------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        self.stats.connections += 1
+        try:
+            await self._serve_connection(reader, writer)
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+        ):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):
+                pass
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            try:
+                request = await asyncio.wait_for(
+                    _read_request(reader), self.config.keepalive_timeout
+                )
+            except asyncio.TimeoutError:
+                return
+            except _HttpError as exc:
+                writer.write(
+                    _render_response(
+                        exc.status, {"error": str(exc)}, {}, keep_alive=False
+                    )
+                )
+                await writer.drain()
+                return
+            if request is None:
+                return
+            began = time.monotonic()
+            status, payload, extra = await self._dispatch(request)
+            keep = request.keep_alive and not self._draining
+            writer.write(_render_response(status, payload, extra, keep_alive=keep))
+            await writer.drain()
+            self._log(
+                f"{request.method} {request.path} -> {status} "
+                f"({time.monotonic() - began:.3f}s)"
+            )
+            if not keep:
+                return
+
+    # -- routing -------------------------------------------------------------
+
+    async def _dispatch(self, request: _HttpRequest) -> tuple[int, dict, dict]:
+        path = request.path.split("?", 1)[0]
+        self.stats.requests[path] += 1
+        expected = _ENDPOINTS.get(path)
+        if expected is None:
+            return 404, {"error": f"unknown endpoint {path!r}"}, {}
+        if request.method != expected:
+            return (
+                405,
+                {"error": f"{path} expects {expected}"},
+                {"Allow": expected},
+            )
+
+        if path == "/healthz":
+            return (
+                200,
+                {
+                    "status": "draining" if self._draining else "ok",
+                    "uptime_seconds": round(self.stats.uptime_seconds, 3),
+                },
+                {},
+            )
+        if path == "/stats":
+            return 200, self._stats_payload(), {}
+        if path == "/shutdown":
+            self._log("shutdown requested via POST /shutdown")
+            self.request_shutdown()
+            return (
+                200,
+                {"status": "draining", "in_flight": self.stats.in_flight},
+                {},
+            )
+
+        try:
+            body = json.loads(request.body) if request.body else {}
+        except ValueError:
+            self.stats.validation_errors += 1
+            return 400, {"error": "body is not valid JSON", "kind": "validation"}, {}
+
+        if path == "/construct":
+            return await self._serve_compute(
+                lambda: ConstructRequest.from_payload(body),
+                self._compute_construct,
+            )
+        if path == "/simulate":
+            return await self._serve_compute(
+                lambda: SimulateRequest.from_payload(body),
+                self._compute_simulate,
+            )
+        return await self._serve_compute(
+            lambda: SweepRequest.from_payload(body), self._compute_sweep
+        )
+
+    async def _serve_compute(
+        self, parse: Callable, compute: Callable
+    ) -> tuple[int, dict, dict]:
+        try:
+            request = parse()
+        except (ValidationError, ConfigurationError, ConstructionError) as exc:
+            self.stats.validation_errors += 1
+            return 400, {"error": str(exc), "kind": "validation"}, {}
+        if self._draining:
+            return (
+                503,
+                {"error": "service is draining"},
+                {"Retry-After": f"{self.config.retry_after:g}"},
+            )
+
+        loop = asyncio.get_running_loop()
+
+        async def start():
+            return await loop.run_in_executor(
+                self._executor, lambda: compute(request)
+            )
+
+        try:
+            payload, coalesced = await self.single_flight.run(
+                request.coalesce_key(),
+                start,
+                gate=self.admission,
+                timeout=self.config.request_timeout,
+            )
+        except BlockingIOError:
+            return (
+                429,
+                {
+                    "error": "admission queue full",
+                    "retry_after": self.config.retry_after,
+                },
+                {"Retry-After": f"{self.config.retry_after:g}"},
+            )
+        except asyncio.TimeoutError:
+            self.stats.timeouts += 1
+            return (
+                504,
+                {
+                    "error": "request timed out after "
+                    f"{self.config.request_timeout:g}s (still computing "
+                    "for any coalesced waiters)"
+                },
+                {},
+            )
+        except (ValidationError, ConfigurationError, ConstructionError) as exc:
+            self.stats.validation_errors += 1
+            return 400, {"error": str(exc), "kind": "validation"}, {}
+        except ReproError as exc:
+            self.stats.internal_errors += 1
+            return 500, {"error": str(exc), "kind": "internal"}, {}
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            self.stats.internal_errors += 1
+            self._log(
+                "unhandled error: "
+                + "".join(traceback.format_exception(exc)).rstrip()
+            )
+            return 500, {"error": str(exc), "kind": "internal"}, {}
+
+        self.stats.completed += 1
+        reply = dict(payload)
+        reply["ok"] = True
+        reply["coalesced"] = coalesced
+        return 200, reply, {}
+
+    # -- compute (executor threads) -----------------------------------------
+
+    def _sorter_for(self, config: SortConfig, memo: bool) -> PairwiseMergeSort:
+        key = (config, memo)
+        sorter = self._sorters.get(key)
+        if sorter is None:
+            sorter = PairwiseMergeSort(config, memo=self.memo if memo else None)
+            self._sorters[key] = sorter
+        return sorter
+
+    def _compute_construct(self, request: ConstructRequest) -> dict:
+        data = worst_case_permutation(request.config, request.num_elements)
+        self.stats.constructs_executed += 1
+        values = (
+            data.tolist() if request.encoding == "json" else array_to_obj(data)
+        )
+        return {
+            "config": config_to_obj(request.config),
+            "num_elements": int(request.num_elements),
+            "encoding": request.encoding,
+            "values": values,
+        }
+
+    def _compute_simulate(self, request: SimulateRequest) -> dict:
+        with self._compute_lock:
+            data = generate(
+                request.input_name,
+                request.config,
+                request.num_elements,
+                seed=request.seed,
+            )
+            sorter = self._sorter_for(request.config, request.memo)
+            result = sorter.sort(
+                data, score_blocks=request.score_blocks, seed=request.seed
+            )
+            self.stats.sorts_executed += 1
+        sorted_ok = bool(np.array_equal(result.values, np.sort(data)))
+        return {
+            "sorted_ok": sorted_ok,
+            "result": result_to_obj(
+                result, include_values=request.include_values
+            ),
+        }
+
+    def _compute_sweep(self, request: SweepRequest) -> dict:
+        cache_dir = str(self.cache.cache_dir) if self.cache else None
+        items = [
+            WorkItem(
+                config=request.config,
+                device=request.device,
+                input_name=name,
+                num_elements=n,
+                exact_threshold=request.exact_threshold,
+                score_blocks=request.score_blocks,
+                seed=request.seed,
+                cache_dir=cache_dir,
+                use_cache=self.cache is not None,
+            )
+            for name in request.input_names
+            for n in request.sizes
+        ]
+        progress = lambda event: self._log(event.describe())  # noqa: E731
+        if self._pool is not None:
+            points = run_points(items, pool=self._pool, progress=progress)
+        else:
+            # The serial path shares the process-local runner table with
+            # any other serial sweep, so serialize it like simulations.
+            with self._compute_lock:
+                points = run_points(items, jobs=1, progress=progress)
+        self.stats.sweeps_executed += 1
+        return {
+            "points": [point_to_obj(p) for p in points],
+            "inputs": list(request.input_names),
+            "sizes": list(request.sizes),
+        }
+
+    # -- stats ---------------------------------------------------------------
+
+    def _stats_payload(self) -> dict:
+        payload = self.stats.snapshot()
+        payload["queue_limit"] = self.config.queue_limit
+        payload["jobs"] = self.config.jobs
+        memo = self.memo.stats()
+        payload["memo"] = {
+            "hits": memo.hits,
+            "misses": memo.misses,
+            "tile_entries": memo.tile_entries,
+            "round_entries": memo.round_entries,
+            "stored_bytes": memo.stored_bytes,
+        }
+        if self.cache is not None:
+            disk = self.cache.stats()
+            payload["bench_cache"] = {
+                "cache_dir": disk.cache_dir,
+                "point_entries": disk.point_entries,
+                "rate_entries": disk.rate_entries,
+                "total_bytes": disk.total_bytes,
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+            }
+        else:
+            payload["bench_cache"] = None
+        return payload
+
+
+# -- HTTP framing -----------------------------------------------------------
+
+
+async def _read_request(reader: asyncio.StreamReader) -> _HttpRequest | None:
+    """Parse one request; ``None`` on a clean EOF before the first byte."""
+    line = await reader.readline()
+    if not line:
+        return None
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise _HttpError(400, "malformed request line")
+    method, path, version = parts
+
+    headers: dict[str, str] = {}
+    total = len(line)
+    while True:
+        line = await reader.readline()
+        if not line:
+            return None  # peer hung up mid-headers
+        total += len(line)
+        if total > _MAX_HEADER_BYTES:
+            raise _HttpError(431, "headers too large")
+        if line in (b"\r\n", b"\n"):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise _HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    raw_length = headers.get("content-length", "0")
+    try:
+        length = int(raw_length)
+    except ValueError:
+        raise _HttpError(400, f"bad Content-Length {raw_length!r}") from None
+    if length < 0 or length > _MAX_BODY_BYTES:
+        raise _HttpError(413, f"body of {length} bytes exceeds the limit")
+    body = await reader.readexactly(length) if length else b""
+    return _HttpRequest(
+        method=method, path=path, version=version, headers=headers, body=body
+    )
+
+
+def _render_response(
+    status: int, payload: dict, extra: dict, *, keep_alive: bool
+) -> bytes:
+    body = json.dumps(payload).encode("utf-8")
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        "Server: repro-mergesort",
+    ]
+    lines.extend(f"{name}: {value}" for name, value in extra.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+# -- entry points -----------------------------------------------------------
+
+
+async def run_service(
+    config: ServiceConfig,
+    *,
+    on_started: Callable[[ReproService], None] | None = None,
+) -> bool:
+    """Start a service and serve until shutdown; ``True`` on a clean drain.
+
+    ``on_started`` runs inside the event loop right after the listener is
+    bound — tests use it to learn the ephemeral port and keep a handle
+    for :meth:`ReproService.request_shutdown`.
+    """
+    service = ReproService(config)
+    await service.start()
+    if on_started is not None:
+        on_started(service)
+    return await service.serve_until_shutdown()
+
+
+def serve_forever(config: ServiceConfig) -> int:
+    """Blocking entry point used by ``repro-mergesort serve``.
+
+    Returns a process exit code: 0 after a clean drain, 1 when the drain
+    timed out with work still in flight.
+    """
+    return 0 if asyncio.run(run_service(config)) else 1

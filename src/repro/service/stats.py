@@ -1,0 +1,82 @@
+"""Mutable service counters and their ``/stats`` snapshot.
+
+One :class:`ServiceStats` lives for the whole daemon process. Counters
+are plain ints mutated from the event loop and (for the ``*_executed``
+family) from executor threads — individual increments are atomic under
+the GIL and the snapshot is advisory, so no locking is needed.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+
+__all__ = ["ServiceStats"]
+
+
+class ServiceStats:
+    """Request, batching, and backpressure counters for one daemon."""
+
+    def __init__(self) -> None:
+        self._started = time.monotonic()
+        #: Requests seen, by path (includes rejected/failed ones).
+        self.requests: Counter[str] = Counter()
+        #: Single-flight accounting: leaders actually ran the work,
+        #: coalesced waiters shared a leader's in-flight result.
+        self.primary = 0
+        self.coalesced = 0
+        #: Backpressure and failure accounting.
+        self.rejected = 0  # 429: admission queue full
+        self.timeouts = 0  # 504: per-request deadline expired
+        self.validation_errors = 0  # 400
+        self.internal_errors = 0  # 500
+        self.completed = 0  # 2xx responses
+        #: Work actually executed (post-coalescing, post-cache).
+        self.sorts_executed = 0
+        self.sweeps_executed = 0
+        self.constructs_executed = 0
+        #: Admission-gate occupancy.
+        self.in_flight = 0
+        self.peak_in_flight = 0
+        #: Connection accounting.
+        self.connections = 0
+
+    @property
+    def uptime_seconds(self) -> float:
+        """Seconds since the stats object (i.e. the service) was created."""
+        return time.monotonic() - self._started
+
+    def note_admitted(self) -> None:
+        """Record one admission-gate entry."""
+        self.in_flight += 1
+        self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
+
+    def note_released(self) -> None:
+        """Record one admission-gate exit."""
+        self.in_flight -= 1
+
+    def snapshot(self) -> dict:
+        """JSON-safe dump served by ``GET /stats``."""
+        return {
+            "uptime_seconds": round(self.uptime_seconds, 3),
+            "requests": dict(self.requests),
+            "batching": {
+                "primary": self.primary,
+                "coalesced": self.coalesced,
+                "in_flight": self.in_flight,
+                "peak_in_flight": self.peak_in_flight,
+            },
+            "backpressure": {"rejected": self.rejected},
+            "responses": {
+                "completed": self.completed,
+                "timeouts": self.timeouts,
+                "validation_errors": self.validation_errors,
+                "internal_errors": self.internal_errors,
+            },
+            "executed": {
+                "construct": self.constructs_executed,
+                "simulate": self.sorts_executed,
+                "sweep": self.sweeps_executed,
+            },
+            "connections": self.connections,
+        }

@@ -26,6 +26,7 @@ from repro.sort.multiway import MultiwaySort
 from repro.sort.networks import apply_oddeven_network, oddeven_network
 from repro.sort.pairwise import PairwiseMergeSort, RoundStats, SortResult
 from repro.sort.reference_kernel import reference_block_merge
+from repro.sort.serialize import result_from_obj, result_to_obj, results_identical
 from repro.sort.presets import (
     MGPU_MAXWELL,
     THRUST_CC60,
@@ -51,5 +52,8 @@ __all__ = [
     "oddeven_network",
     "preset",
     "reference_block_merge",
+    "result_from_obj",
+    "result_to_obj",
+    "results_identical",
     "sort_any_length",
 ]

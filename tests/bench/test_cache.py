@@ -1,6 +1,7 @@
 """Tests for the on-disk bench cache: fingerprints, hit/miss/invalidation,
 corrupted-entry recovery, and the zero-instrumented-sorts warm path."""
 
+import os
 import json
 
 import pytest
@@ -259,3 +260,74 @@ class TestBenchPointSerialization:
     @staticmethod
     def _entries(cache):
         return list((cache.cache_dir / "points").glob("*.json"))
+
+
+class TestPrune:
+    def fill(self, tmp_path, sizes=(2, 4, 8)):
+        """Distinct entries with strictly increasing mtimes (oldest first).
+
+        All sizes stay at or below the exact threshold so no calibration
+        rates entry appears alongside the point entries.
+        """
+        runner = runner_with_cache(tmp_path)
+        cache = runner.cache
+        paths = []
+        for i, tiles in enumerate(sizes):
+            n = runner.config.tile_size * tiles
+            key = make_point_key(num_elements=n)
+            cache.put_point(key, runner.run_point("worst-case", n))
+            path = max(
+                (tmp_path / "points").glob("*.json"),
+                key=lambda p: p.stat().st_mtime_ns,
+            )
+            os.utime(path, (1_000_000 + i, 1_000_000 + i))
+            paths.append(path)
+        return cache, paths
+
+    def test_evicts_oldest_first(self, tmp_path):
+        cache, paths = self.fill(tmp_path)
+        keep = paths[-1].stat().st_size
+        result = cache.prune(keep)
+        assert result.removed_entries == 2
+        assert result.kept_entries == 1
+        assert not paths[0].exists() and not paths[1].exists()
+        assert paths[2].exists()  # newest survives
+        assert result.kept_bytes <= keep
+
+    def test_byte_bound_respected(self, tmp_path):
+        cache, paths = self.fill(tmp_path)
+        budget = paths[1].stat().st_size + paths[2].stat().st_size
+        result = cache.prune(budget)
+        assert result.kept_bytes <= budget
+        assert cache.stats().total_bytes == result.kept_bytes
+
+    def test_zero_budget_clears_everything(self, tmp_path):
+        cache, paths = self.fill(tmp_path)
+        result = cache.prune(0)
+        assert result.kept_entries == 0
+        assert cache.stats().point_entries == 0
+        assert result.removed_entries == len(paths)
+
+    def test_large_budget_removes_nothing(self, tmp_path):
+        cache, paths = self.fill(tmp_path)
+        before = cache.stats().total_bytes
+        result = cache.prune(before)
+        assert result.removed_entries == 0
+        assert result.kept_bytes == before
+
+    def test_orphaned_tmp_files_removed(self, tmp_path):
+        cache, paths = self.fill(tmp_path, sizes=(2,))
+        orphan = tmp_path / "points" / "deadbeef.json.1234.tmp"
+        orphan.write_text("partial write")
+        result = cache.prune(1 << 30)
+        assert not orphan.exists()
+        assert result.removed_entries == 1  # only the orphan
+        assert paths[0].exists()
+
+    def test_negative_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            BenchCache(tmp_path).prune(-1)
+
+    def test_missing_cache_dir_is_empty_prune(self, tmp_path):
+        result = BenchCache(tmp_path / "never-created").prune(0)
+        assert result.removed_entries == 0 and result.kept_entries == 0

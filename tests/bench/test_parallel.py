@@ -149,3 +149,28 @@ class TestProgress:
             from_cache=False,
         )
         assert "(cached)" not in uncached.describe()
+
+
+class TestExternalPool:
+    def test_external_pool_matches_serial_and_stays_usable(self, cfg):
+        from concurrent.futures import ProcessPoolExecutor
+
+        items = make_items(cfg, [cfg.tile_size * 2, cfg.tile_size * 4])
+        serial = run_points(items)
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            first = run_points(items, pool=pool)
+            # run_points must not shut the caller's pool down: a second
+            # batch on the same (warm) workers still succeeds.
+            second = run_points(items, pool=pool)
+            assert first == serial
+            assert second == serial
+            assert pool.submit(int, 7).result() == 7
+
+    def test_external_pool_overrides_jobs(self, cfg):
+        from concurrent.futures import ProcessPoolExecutor
+
+        items = make_items(cfg, [cfg.tile_size * 2])
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            # jobs=1 would normally mean "serial, in-process"; an explicit
+            # pool wins and the single item goes through the workers.
+            assert run_points(items, jobs=1, pool=pool) == run_points(items)

@@ -1,0 +1,199 @@
+"""Unit tests for single-flight coalescing and the admission gate."""
+
+import asyncio
+
+import pytest
+
+from repro.service.batching import AdmissionGate, SingleFlight
+from repro.service.stats import ServiceStats
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_layer(limit=4):
+    stats = ServiceStats()
+    return stats, SingleFlight(stats), AdmissionGate(limit, stats)
+
+
+class TestAdmissionGate:
+    def test_limit_validated(self):
+        with pytest.raises(ValueError):
+            AdmissionGate(0, ServiceStats())
+
+    def test_enter_exit_tracks_peak(self):
+        stats = ServiceStats()
+        gate = AdmissionGate(2, stats)
+        assert gate.try_enter() and gate.try_enter()
+        assert not gate.try_enter()  # full
+        assert stats.rejected == 1
+        gate.exit()
+        assert gate.try_enter()  # slot freed
+        assert stats.peak_in_flight == 2
+
+
+class TestSingleFlight:
+    def test_identical_keys_share_one_computation(self):
+        stats, flight, gate = make_layer()
+        calls = []
+
+        async def main():
+            started = asyncio.Event()
+            release = asyncio.Event()
+
+            async def work():
+                calls.append(1)
+                started.set()
+                await release.wait()
+                return "result"
+
+            async def one():
+                value, _ = await flight.run(
+                    "k", work, gate=gate, timeout=10
+                )
+                return value
+
+            tasks = [asyncio.create_task(one()) for _ in range(8)]
+            await started.wait()
+            release.set()
+            return await asyncio.gather(*tasks)
+
+        assert run(main()) == ["result"] * 8
+        assert len(calls) == 1
+        assert stats.primary == 1 and stats.coalesced == 7
+        assert stats.in_flight == 0
+
+    def test_distinct_keys_do_not_coalesce(self):
+        stats, flight, gate = make_layer()
+
+        async def main():
+            async def work():
+                return "r"
+
+            await flight.run("a", work, gate=gate, timeout=10)
+            await flight.run("b", work, gate=gate, timeout=10)
+
+        run(main())
+        assert stats.primary == 2 and stats.coalesced == 0
+
+    def test_full_gate_rejects_new_leaders_only(self):
+        stats, flight, gate = make_layer(limit=1)
+
+        async def main():
+            started = asyncio.Event()
+            release = asyncio.Event()
+
+            async def work():
+                started.set()
+                await release.wait()
+                return "r"
+
+            leader = asyncio.create_task(
+                flight.run("k", work, gate=gate, timeout=10)
+            )
+            await started.wait()
+            # Identical key: coalesces despite the full gate.
+            waiter = asyncio.create_task(
+                flight.run("k", work, gate=gate, timeout=10)
+            )
+            await asyncio.sleep(0)
+            # Distinct key: needs a slot, gets rejected.
+            with pytest.raises(BlockingIOError):
+                await flight.run("other", work, gate=gate, timeout=10)
+            release.set()
+            return await asyncio.gather(leader, waiter)
+
+        (r1, c1), (r2, c2) = run(main())
+        assert (r1, c1) == ("r", False) and (r2, c2) == ("r", True)
+        assert stats.rejected == 1
+        # A rejected leader leaves no half-registered key behind.
+        assert len(flight) == 0
+
+    def test_waiter_timeout_leaves_computation_running(self):
+        stats, flight, gate = make_layer()
+
+        async def main():
+            release = asyncio.Event()
+
+            async def work():
+                await release.wait()
+                return "late"
+
+            impatient = asyncio.create_task(
+                flight.run("k", work, gate=gate, timeout=0.05)
+            )
+            with pytest.raises(asyncio.TimeoutError):
+                await impatient
+            # The shared computation is still in flight and joinable.
+            patient = asyncio.create_task(
+                flight.run("k", work, gate=gate, timeout=10)
+            )
+            await asyncio.sleep(0)
+            release.set()
+            return await patient
+
+        value, coalesced = run(main())
+        assert value == "late" and coalesced
+        assert stats.in_flight == 0
+
+    def test_exceptions_propagate_to_every_waiter(self):
+        stats, flight, gate = make_layer()
+
+        async def main():
+            started = asyncio.Event()
+            release = asyncio.Event()
+
+            async def work():
+                started.set()
+                await release.wait()
+                raise RuntimeError("boom")
+
+            async def one():
+                with pytest.raises(RuntimeError, match="boom"):
+                    await flight.run("k", work, gate=gate, timeout=10)
+
+            tasks = [asyncio.create_task(one()) for _ in range(3)]
+            await started.wait()
+            release.set()
+            await asyncio.gather(*tasks)
+
+        run(main())
+        assert stats.in_flight == 0
+        assert len(flight) == 0
+
+    def test_key_reusable_after_completion(self):
+        stats, flight, gate = make_layer()
+
+        async def main():
+            async def work():
+                return "r"
+
+            await flight.run("k", work, gate=gate, timeout=10)
+            await flight.run("k", work, gate=gate, timeout=10)
+
+        run(main())
+        # Sequential identical requests are both leaders — coalescing is
+        # an in-flight property, not a cache.
+        assert stats.primary == 2 and stats.coalesced == 0
+
+    def test_drain_waits_for_leaders(self):
+        stats, flight, gate = make_layer()
+
+        async def main():
+            release = asyncio.Event()
+
+            async def work():
+                await release.wait()
+                return "r"
+
+            task = asyncio.create_task(
+                flight.run("k", work, gate=gate, timeout=10)
+            )
+            await asyncio.sleep(0)
+            assert not await flight.drain(0.05)  # still running
+            release.set()
+            assert await flight.drain(5)
+            await task
+
+        run(main())

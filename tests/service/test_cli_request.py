@@ -1,0 +1,60 @@
+"""End-to-end CLI coverage: ``repro-mergesort request`` against a live daemon.
+
+The daemon comes from the ``service_factory`` fixture; the CLI talks to
+it over loopback exactly as an operator would.
+"""
+
+import numpy as np
+
+from repro.cli import main
+
+
+def url(box) -> str:
+    return f"http://127.0.0.1:{box.service.port}"
+
+
+class TestRequestCli:
+    def test_healthz(self, service_factory, capsys):
+        with service_factory() as box:
+            assert main(["request", "healthz", "--url", url(box)]) == 0
+            assert '"status": "ok"' in capsys.readouterr().out
+
+    def test_simulate_prints_summary(self, service_factory, capsys):
+        with service_factory() as box:
+            assert (
+                main(["request", "simulate", "--url", url(box),
+                      "--preset", "mgpu-maxwell", "--tiles", "2",
+                      "--score-blocks", "2"])
+                == 0
+            )
+            out = capsys.readouterr().out
+            assert "sorted correctly: True" in out
+            assert "served by coalescing: False" in out
+            assert "memoized scoring (server-side):" in out
+
+    def test_construct_saves_npy(self, service_factory, tmp_path, capsys):
+        from repro.adversary.permutation import worst_case_permutation
+        from repro.sort.presets import preset
+
+        out_path = tmp_path / "perm.npy"
+        with service_factory() as box:
+            assert (
+                main(["request", "construct", "--url", url(box),
+                      "--preset", "mgpu-maxwell", "--tiles", "2",
+                      "--out", str(out_path)])
+                == 0
+            )
+            stdout = capsys.readouterr().out
+            assert "constructed worst-case permutation" in stdout
+        cfg = preset("mgpu-maxwell")
+        expected = worst_case_permutation(cfg, cfg.tile_size * 2)
+        assert np.array_equal(np.load(out_path), expected)
+
+    def test_stats_then_shutdown(self, service_factory, capsys):
+        with service_factory() as box:
+            assert main(["request", "stats", "--url", url(box)]) == 0
+            assert '"batching"' in capsys.readouterr().out
+            assert main(["request", "shutdown", "--url", url(box)]) == 0
+            assert '"draining"' in capsys.readouterr().out
+            box.thread.join(30)
+            assert not box.thread.is_alive()

@@ -136,3 +136,153 @@ class TestParser:
     def test_rejects_unknown_input(self):
         with pytest.raises(SystemExit):
             main(["simulate", "--input", "bogus"])
+
+
+class TestVersionAndExitCodes:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["--version"])
+        assert info.value.code == 0
+        out = capsys.readouterr().out
+        assert "repro-mergesort" in out
+        assert any(ch.isdigit() for ch in out)
+
+    def test_validation_failure_exits_2(self, capsys):
+        assert main(["simulate", "--preset", "nope", "--tiles", "2"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "unknown preset" in err
+
+    def test_unreachable_service_exits_3(self, capsys):
+        # Port 1 on loopback is never bound by the suite; the client's
+        # transport failure is an internal (retryable) error, not a usage
+        # error, and must be distinguishable by exit code.
+        assert (
+            main(["request", "healthz", "--url", "http://127.0.0.1:1",
+                  "--timeout", "5"])
+            == 3
+        )
+        err = capsys.readouterr().err
+        assert err.startswith("internal error:")
+        assert "unreachable" in err
+
+
+class TestCachePruneCli:
+    def test_prune_without_budget_is_usage_error(self, tmp_path, capsys):
+        assert (
+            main(["cache", "prune", "--cache-dir", str(tmp_path)]) == 2
+        )
+        assert "--max-mb" in capsys.readouterr().err
+
+    def test_prune_empty_cache(self, tmp_path, capsys):
+        assert (
+            main(["cache", "prune", "--cache-dir", str(tmp_path),
+                  "--max-mb", "10"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "pruned 0 entries" in out
+
+    def test_prune_evicts_entries(self, tmp_path, capsys):
+        from repro.bench.cache import BenchCache, point_key
+        from repro.bench.runner import SweepRunner
+        from repro.gpu.device import QUADRO_M4000
+        from repro.sort.config import SortConfig
+
+        cfg = SortConfig(elements_per_thread=3, block_size=32, warp_size=32)
+        runner = SweepRunner(
+            cfg, QUADRO_M4000,
+            exact_threshold=cfg.tile_size * 8, score_blocks=4, seed=0,
+            cache=BenchCache(tmp_path),
+        )
+        for tiles in (2, 4):
+            n = cfg.tile_size * tiles
+            key = point_key(
+                cfg, QUADRO_M4000, padding=0, input_name="worst-case",
+                num_elements=n, score_blocks=4, seed=0,
+                exact_threshold=cfg.tile_size * 8,
+            )
+            runner.cache.put_point(key, runner.run_point("worst-case", n))
+        assert (
+            main(["cache", "prune", "--cache-dir", str(tmp_path),
+                  "--max-mb", "0"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "pruned 2 entries" in out
+        assert runner.cache.stats().point_entries == 0
+
+
+class TestProgressPrinter:
+    @staticmethod
+    def events(n=3):
+        from repro.bench.parallel import ProgressEvent, sweep_items
+        from repro.gpu.device import QUADRO_M4000
+        from repro.sort.config import SortConfig
+
+        cfg = SortConfig(elements_per_thread=3, block_size=32, warp_size=32)
+        item = sweep_items(cfg, QUADRO_M4000, ["random"], [cfg.tile_size * 2])[0]
+        return [
+            ProgressEvent(
+                done=i + 1, total=n, item=item, point=None, seconds=0.1,
+                from_cache=False,
+            )
+            for i in range(n)
+        ]
+
+    def test_non_tty_emits_plain_flushed_lines(self):
+        import io
+
+        from repro.cli import _progress_printer
+
+        class Stream(io.StringIO):
+            def __init__(self):
+                super().__init__()
+                self.flushes = 0
+
+            def flush(self):
+                self.flushes += 1
+                super().flush()
+
+        stream = Stream()
+        emit = _progress_printer(stream)
+        for event in self.events():
+            emit(event)
+        out = stream.getvalue()
+        assert "\x1b" not in out and "\r" not in out
+        assert out.count("\n") == 3
+        # One flush per event: piped consumers see progress immediately.
+        assert stream.flushes == 3
+
+    def test_tty_updates_in_place(self):
+        import io
+
+        from repro.cli import _progress_printer
+
+        class FakeTty(io.StringIO):
+            def isatty(self):
+                return True
+
+        stream = FakeTty()
+        emit = _progress_printer(stream)
+        for event in self.events():
+            emit(event)
+        out = stream.getvalue()
+        # Intermediate events erase + overwrite; only the last newlines.
+        assert out.count("\x1b[2K") == 3
+        assert out.count("\r") == 2
+        assert out.endswith("\n") and out.count("\n") == 1
+
+    def test_broken_stream_is_tolerated(self):
+        from repro.cli import _progress_printer
+
+        class Broken:
+            def write(self, text):
+                raise OSError("broken pipe")
+
+            def flush(self):
+                raise OSError("broken pipe")
+
+        emit = _progress_printer(Broken())
+        for event in self.events(1):
+            emit(event)  # must not raise

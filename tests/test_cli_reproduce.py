@@ -16,11 +16,10 @@ class TestReproduce:
         assert main(["reproduce", "--only", "theorem-3-small-E"]) == 0
         assert "align exactly E^2" in capsys.readouterr().out
 
-    def test_unknown_experiment(self):
-        from repro.errors import ValidationError
-
-        with pytest.raises(ValidationError):
-            main(["reproduce", "--only", "bogus"])
+    def test_unknown_experiment(self, capsys):
+        # Validation failures exit 2 with an error: line, not a traceback.
+        assert main(["reproduce", "--only", "bogus"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
 
 
 class TestGridCli:
