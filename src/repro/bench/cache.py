@@ -84,9 +84,17 @@ def point_key(
     score_blocks: int | None,
     seed: int,
     exact_threshold: int,
+    scoring: str | None = None,
 ) -> dict:
-    """Cache key for one :class:`BenchPoint`."""
-    return {
+    """Cache key for one :class:`BenchPoint`.
+
+    ``scoring`` stays out of the key (``None``) for every bit-identical
+    mode; the runner passes ``"analytic"`` only for its explicit
+    exact-at-every-size path, whose above-threshold points legitimately
+    differ from synthesized ones. Omitting the entry when ``None`` keeps
+    every pre-existing fingerprint unchanged.
+    """
+    key = {
         "kind": "point",
         "schema": SCHEMA_VERSION,
         "config": dataclasses.asdict(config),
@@ -98,6 +106,9 @@ def point_key(
         "seed": seed,
         "exact_threshold": exact_threshold,
     }
+    if scoring is not None:
+        key["scoring"] = scoring
+    return key
 
 
 def rates_key(

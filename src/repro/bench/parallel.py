@@ -54,6 +54,10 @@ class WorkItem:
     score_blocks: int | None = 8
     seed: int = 0
     padding: int = 0
+    #: Runner scoring mode ("vectorized" | "loop" | "analytic" | "auto");
+    #: see :class:`~repro.bench.runner.SweepRunner`. The CLI and service
+    #: default to "auto" so constructed-family points go closed-form.
+    scoring: str = "vectorized"
     cache_dir: str | None = None
     use_cache: bool = False
 
@@ -100,6 +104,7 @@ def sweep_items(
     score_blocks: int | None = 8,
     seed: int = 0,
     padding: int = 0,
+    scoring: str = "vectorized",
     cache: BenchCache | None = None,
 ) -> list[WorkItem]:
     """Work items for a size sweep of each input family, in sweep order."""
@@ -114,6 +119,7 @@ def sweep_items(
             score_blocks=score_blocks,
             seed=seed,
             padding=padding,
+            scoring=scoring,
             cache_dir=cache_dir,
             use_cache=use_cache,
         )
@@ -136,6 +142,7 @@ def _runner_for(item: WorkItem) -> SweepRunner:
         item.score_blocks,
         item.seed,
         item.padding,
+        item.scoring,
         item.cache_dir,
         item.use_cache,
     )
@@ -149,6 +156,7 @@ def _runner_for(item: WorkItem) -> SweepRunner:
             score_blocks=item.score_blocks,
             seed=item.seed,
             padding=item.padding,
+            scoring=item.scoring,
             cache=cache,
         )
         _RUNNERS[key] = runner

@@ -100,10 +100,18 @@ class SweepRunner:
         Shared-memory padding passed to the simulated sort (0 = the stock
         layout the paper attacks).
     scoring:
-        Round-scoring implementation passed to the simulated sort:
-        ``"vectorized"`` (default, batches every scored tile of a round)
-        or ``"loop"`` (the per-tile reference). The two are bit-identical,
-        so cache fingerprints deliberately ignore this knob.
+        Round-scoring implementation: ``"vectorized"`` (default, batches
+        every scored tile of a round), ``"loop"`` (the per-tile
+        reference), ``"analytic"`` (closed-form, constructed families
+        only — exact at *every* size, so the synthesized path is never
+        taken), or ``"auto"`` (analytic for analytic-eligible
+        (input, N) points, vectorized otherwise, keeping the usual
+        exact/synthesized threshold split). Vectorized, loop, analytic
+        and auto are bit-identical wherever they overlap (enforced by the
+        equivalence tests), so cache fingerprints ignore this knob —
+        except for explicit ``"analytic"``, whose exact-at-every-size
+        points above ``exact_threshold`` genuinely differ from the
+        synthesized ones and get their own fingerprint entry.
     memo:
         Conflict-report memoization shared across every instrumented sort
         this runner executes (see :class:`~repro.dmm.memo.ConflictMemo`):
@@ -135,27 +143,36 @@ class SweepRunner:
     cache: BenchCache | None = None
     instrumented_sorts: int = field(default=0, init=False, repr=False)
     _calibrations: dict = field(default_factory=dict, repr=False)
+    _engine: object = field(default=None, init=False, repr=False)
+    _models: dict = field(default_factory=dict, init=False, repr=False)
 
     def __post_init__(self) -> None:
         from repro.utils.validation import check_nonnegative_int
 
         check_positive_int(self.exact_threshold, "exact_threshold")
         check_nonnegative_int(self.padding, "padding")
-        if self.scoring not in ("vectorized", "loop"):
+        if self.scoring not in ("vectorized", "loop", "analytic", "auto"):
             raise ValidationError(
-                f"scoring must be 'vectorized' or 'loop', got {self.scoring!r}"
+                f"scoring must be 'vectorized', 'loop', 'analytic', or "
+                f"'auto', got {self.scoring!r}"
             )
         # Resolve "auto" once so every instrumented sort shares one memo
         # (PairwiseMergeSort's own "auto" would build a fresh memo per
-        # sort and lose all cross-point hits).
+        # sort and lose all cross-point hits). The auto scoring mode
+        # still simulates ineligible inputs vectorized, so it keeps a memo.
         if isinstance(self.memo, str) and self.memo == "auto":
             self.memo = (
-                ConflictMemo() if self.scoring == "vectorized" else None
+                ConflictMemo()
+                if self.scoring in ("vectorized", "auto")
+                else None
             )
-        elif isinstance(self.memo, ConflictMemo) and self.scoring == "loop":
+        elif isinstance(self.memo, ConflictMemo) and self.scoring in (
+            "loop",
+            "analytic",
+        ):
             raise ValidationError(
-                "memoization applies only to scoring='vectorized'; "
-                "the 'loop' oracle stays memo-free"
+                "memoization applies only to simulated vectorized scoring; "
+                f"scoring={self.scoring!r} stays memo-free"
             )
         if self.config.warp_size != self.device.warp_size:
             raise ValidationError(
@@ -208,11 +225,17 @@ class SweepRunner:
                 score_blocks=self.score_blocks,
                 seed=self.seed,
                 exact_threshold=self.exact_threshold,
+                # Explicit analytic scoring is exact at every size, so its
+                # above-threshold points differ from synthesized ones and
+                # must not share their fingerprints. Everywhere the paths
+                # overlap they are bit-identical, so no other scoring mode
+                # enters the key.
+                scoring="analytic" if self.scoring == "analytic" else None,
             )
             cached = self.cache.get_point(key)
             if cached is not None:
                 return cached
-        if n <= self.exact_threshold:
+        if n <= self.exact_threshold or self.scoring == "analytic":
             point = self._exact_point(input_name, n)
         else:
             point = self._synthesized_point(input_name, n)
@@ -220,11 +243,44 @@ class SweepRunner:
             self.cache.put_point(key, point)
         return point
 
+    def _use_analytic(self, input_name: str, n: int) -> bool:
+        """Whether this point's instrumented sort runs closed-form."""
+        if self.scoring == "analytic":
+            return True  # ineligible inputs then fail loudly, by design
+        if self.scoring != "auto":
+            return False
+        from repro.analytic import is_analytic_eligible
+
+        return is_analytic_eligible(input_name, self.config, n)
+
+    def _analytic_sort(self, input_name: str, n: int) -> SortResult:
+        from repro.analytic import AnalyticEngine, analytic_model
+
+        if self._engine is None:
+            self._engine = AnalyticEngine(self.config, padding=self.padding)
+        model = self._models.get((input_name, n))
+        if model is None:
+            model = self._models[(input_name, n)] = analytic_model(
+                input_name, self.config, n
+            )
+        # BenchPoints never read the sorted values, so skip materializing
+        # the O(N) output — this is what makes 2^34-scale points cheap.
+        return self._engine.sort_result(
+            model,
+            score_blocks=self.score_blocks,
+            seed=self.seed,
+            include_values=False,
+        )
+
     def _instrumented_sort(self, input_name: str, n: int) -> SortResult:
+        if self._use_analytic(input_name, n):
+            self.instrumented_sorts += 1
+            return self._analytic_sort(input_name, n)
         data = generate(input_name, self.config, n, seed=self.seed)
         self.instrumented_sorts += 1
+        scoring = "vectorized" if self.scoring == "auto" else self.scoring
         return PairwiseMergeSort(
-            self.config, padding=self.padding, scoring=self.scoring, memo=self.memo
+            self.config, padding=self.padding, scoring=scoring, memo=self.memo
         ).sort(data, score_blocks=self.score_blocks, seed=self.seed)
 
     def _exact_point(self, input_name: str, n: int) -> BenchPoint:

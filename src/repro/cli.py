@@ -112,6 +112,13 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--score-blocks", type=int, default=8)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
+        "--scoring", default="vectorized",
+        choices=["vectorized", "loop", "analytic"],
+        help="round-scoring engine: vectorized (default), loop (the "
+        "per-tile oracle), or analytic (closed-form, constructed "
+        "families only — bit-identical and ~1000x faster)",
+    )
+    p.add_argument(
         "--memo", action=argparse.BooleanOptionalAction, default=True,
         help="memoize conflict scoring by rank→address pattern "
         "(--no-memo disables; results are bit-identical either way)",
@@ -125,6 +132,13 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--exact-threshold", type=int, default=1 << 20)
     p.add_argument("--score-blocks", type=int, default=8)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--scoring", default="auto",
+        choices=["auto", "vectorized", "loop", "analytic"],
+        help="auto (default) scores analytic-eligible constructed-family "
+        "points closed-form and simulates the rest; results are "
+        "bit-identical either way",
+    )
     _add_bench_exec_args(p)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
@@ -221,6 +235,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--exact-threshold", type=int, default=1 << 20)
     p.add_argument("--score-blocks", type=int, default=8)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--scoring", default=None,
+        choices=["auto", "vectorized", "loop", "analytic"],
+        help="scoring engine forwarded to the daemon (simulate defaults "
+        "to vectorized, sweep to auto)",
+    )
     p.add_argument("--out", default=None, metavar="PATH",
                    help="construct: also save the permutation as .npy")
 
@@ -261,9 +281,9 @@ def _cmd_simulate(args) -> int:
     device = get_device(args.device)
     n = config.tile_size * args.tiles
     data = generate(args.input, config, n, seed=args.seed)
-    result = PairwiseMergeSort(config, memo="auto" if args.memo else None).sort(
-        data, score_blocks=args.score_blocks, seed=args.seed
-    )
+    result = PairwiseMergeSort(
+        config, scoring=args.scoring, memo="auto" if args.memo else None
+    ).sort(data, score_blocks=args.score_blocks, seed=args.seed)
     ok = bool(np.array_equal(result.values, np.sort(data)))
     occ = occupancy(device, config.block_size, config.shared_bytes_per_block)
     cost = result.kernel_cost(occ.warps_per_sm)
@@ -352,6 +372,7 @@ def _cmd_sweep(args) -> int:
             exact_threshold=args.exact_threshold,
             score_blocks=args.score_blocks,
             seed=args.seed,
+            scoring=args.scoring,
             cache_dir=cache_dir,
             use_cache=use_cache,
         )
@@ -622,6 +643,7 @@ def _cmd_request(args) -> int:
             tiles=args.tiles,
             score_blocks=args.score_blocks,
             seed=args.seed,
+            scoring=args.scoring,
         )
         result = reply.result
         rows = [
@@ -658,6 +680,7 @@ def _cmd_request(args) -> int:
         exact_threshold=args.exact_threshold,
         score_blocks=args.score_blocks,
         seed=args.seed,
+        scoring=args.scoring,
     )
     per_input = len(reply.sizes)
     base = reply.points[:per_input]

@@ -175,8 +175,14 @@ class ServiceClient:
         seed: int = 0,
         include_values: bool = True,
         memo: bool = True,
+        scoring: str | None = None,
     ) -> SimulateReply:
-        """Run one instrumented sort on the server."""
+        """Run one instrumented sort on the server.
+
+        ``scoring=None`` leaves the engine choice to the server (its
+        default is ``"vectorized"``); pass ``"analytic"`` for the
+        closed-form path on constructed families.
+        """
         payload = _body(
             preset=preset,
             config=config,
@@ -187,6 +193,7 @@ class ServiceClient:
             seed=seed,
             include_values=include_values,
             memo=memo,
+            scoring=scoring,
         )
         reply = self.request("POST", "/simulate", payload)
         return SimulateReply(
@@ -208,8 +215,14 @@ class ServiceClient:
         exact_threshold: int = 1 << 20,
         score_blocks: int | None = 8,
         seed: int = 0,
+        scoring: str | None = None,
     ) -> SweepReply:
-        """Run a grid of bench points on the server."""
+        """Run a grid of bench points on the server.
+
+        ``scoring=None`` leaves the engine choice to the server (its
+        default is ``"auto"``: closed-form for analytic-eligible
+        constructed-family points, simulated for the rest).
+        """
         payload = _body(
             preset=preset,
             config=config,
@@ -221,6 +234,7 @@ class ServiceClient:
             exact_threshold=exact_threshold,
             score_blocks=score_blocks,
             seed=seed,
+            scoring=scoring,
         )
         reply = self.request("POST", "/sweep", payload)
         return SweepReply(

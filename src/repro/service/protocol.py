@@ -109,6 +109,15 @@ def _resolve_input(payload: dict, default: str = "worst-case") -> str:
     return name
 
 
+def _scoring_field(payload: dict, default: str, choices: tuple) -> str:
+    value = payload.get("scoring", default)
+    if value not in choices:
+        raise ValidationError(
+            f"'scoring' must be one of {', '.join(choices)}; got {value!r}"
+        )
+    return value
+
+
 # -- requests ---------------------------------------------------------------
 
 
@@ -158,6 +167,9 @@ class SimulateRequest:
     seed: int
     include_values: bool
     memo: bool
+    #: "vectorized" | "loop" | "analytic"; the closed-form engine serves
+    #: constructed-family requests in microseconds instead of ~100 ms.
+    scoring: str
 
     @classmethod
     def from_payload(cls, payload) -> "SimulateRequest":
@@ -171,6 +183,9 @@ class SimulateRequest:
             seed=_int_field(payload, "seed", 0, minimum=0),
             include_values=_bool_field(payload, "include_values", True),
             memo=_bool_field(payload, "memo", True),
+            scoring=_scoring_field(
+                payload, "vectorized", ("vectorized", "loop", "analytic")
+            ),
         )
 
     def coalesce_key(self) -> str:
@@ -185,6 +200,10 @@ class SimulateRequest:
                 "seed": self.seed,
                 "include_values": self.include_values,
                 "memo": self.memo,
+                # Part of the fingerprint although results are
+                # bit-identical: the reply's memo_stats field differs
+                # (None for analytic/loop), so the payloads do too.
+                "scoring": self.scoring,
             }
         )
 
@@ -200,6 +219,9 @@ class SweepRequest:
     exact_threshold: int
     score_blocks: int | None
     seed: int
+    #: "auto" (default: closed-form for analytic-eligible points,
+    #: simulated for the rest) | "vectorized" | "loop" | "analytic".
+    scoring: str
 
     @classmethod
     def from_payload(cls, payload) -> "SweepRequest":
@@ -250,6 +272,11 @@ class SweepRequest:
             ),
             score_blocks=_int_field(payload, "score_blocks", 8, minimum=1),
             seed=_int_field(payload, "seed", 0, minimum=0),
+            scoring=_scoring_field(
+                payload,
+                "auto",
+                ("auto", "vectorized", "loop", "analytic"),
+            ),
         )
 
     def coalesce_key(self) -> str:
@@ -264,6 +291,10 @@ class SweepRequest:
                 "exact_threshold": self.exact_threshold,
                 "score_blocks": self.score_blocks,
                 "seed": self.seed,
+                # Explicit analytic sweeps are exact above the threshold
+                # (not synthesized), so scoring changes the points and
+                # must split the fingerprint.
+                "scoring": self.scoring,
             }
         )
 

@@ -460,11 +460,18 @@ class ReproService:
 
     # -- compute (executor threads) -----------------------------------------
 
-    def _sorter_for(self, config: SortConfig, memo: bool) -> PairwiseMergeSort:
-        key = (config, memo)
+    def _sorter_for(
+        self, config: SortConfig, memo: bool, scoring: str = "vectorized"
+    ) -> PairwiseMergeSort:
+        key = (config, memo, scoring)
         sorter = self._sorters.get(key)
         if sorter is None:
-            sorter = PairwiseMergeSort(config, memo=self.memo if memo else None)
+            # Only the vectorized path memoizes; loop/analytic sorters
+            # reject an explicit memo (the analytic engine keeps its own
+            # caches — reused across requests because sorters are cached
+            # here by key).
+            memo_arg = self.memo if memo and scoring == "vectorized" else None
+            sorter = PairwiseMergeSort(config, scoring=scoring, memo=memo_arg)
             self._sorters[key] = sorter
         return sorter
 
@@ -489,7 +496,9 @@ class ReproService:
                 request.num_elements,
                 seed=request.seed,
             )
-            sorter = self._sorter_for(request.config, request.memo)
+            sorter = self._sorter_for(
+                request.config, request.memo, request.scoring
+            )
             result = sorter.sort(
                 data, score_blocks=request.score_blocks, seed=request.seed
             )
@@ -513,6 +522,7 @@ class ReproService:
                 exact_threshold=request.exact_threshold,
                 score_blocks=request.score_blocks,
                 seed=request.seed,
+                scoring=request.scoring,
                 cache_dir=cache_dir,
                 use_cache=self.cache is not None,
             )

@@ -209,7 +209,13 @@ class PairwiseMergeSort:
         and one stacked conflict count; ``"loop"`` is the original
         tile-at-a-time reference implementation. Both produce bit-identical
         :class:`SortResult`\\ s (enforced by the equivalence tests) — keep
-        ``"loop"`` around only as the oracle.
+        ``"loop"`` around only as the oracle. ``"analytic"`` skips trace
+        simulation entirely: the input must be a recognized constructed
+        family (sorted / strictly-decreasing / canonical sawtooth /
+        worst-case — anything else raises
+        :class:`~repro.errors.ValidationError`) and the result is derived
+        in ``O(rounds)`` arithmetic by :mod:`repro.analytic`, again
+        bit-identical to the simulated paths.
     memo:
         Content-addressed conflict-report memoization
         (:class:`~repro.dmm.memo.ConflictMemo`). ``"auto"`` (default)
@@ -217,8 +223,9 @@ class PairwiseMergeSort:
         this sorter's sorts are scored once; pass an existing memo to share
         hits across sorters/sweep points, or ``None`` to disable
         memoization entirely. Only the vectorized path memoizes — with
-        ``scoring="loop"`` the default resolves to ``None`` and an explicit
-        memo is rejected, keeping the oracle untouched. Memoized and
+        ``scoring="loop"`` or ``"analytic"`` the default resolves to
+        ``None`` and an explicit memo is rejected (the oracle stays
+        untouched; the analytic engine has its own caches). Memoized and
         unmemoized scoring are bit-identical (enforced by
         ``tests/sort/test_memoized_scoring.py``).
 
@@ -246,20 +253,22 @@ class PairwiseMergeSort:
 
         self.config = config
         self.padding = check_nonnegative_int(padding, "padding")
-        if scoring not in ("vectorized", "loop"):
+        if scoring not in ("vectorized", "loop", "analytic"):
             raise ValidationError(
-                f"scoring must be 'vectorized' or 'loop', got {scoring!r}"
+                f"scoring must be 'vectorized', 'loop', or 'analytic', "
+                f"got {scoring!r}"
             )
         self.scoring = scoring
+        self._analytic_engine = None
         if memo is None:
             self.memo: ConflictMemo | None = None
         elif isinstance(memo, str) and memo == "auto":
             self.memo = ConflictMemo() if scoring == "vectorized" else None
         elif isinstance(memo, ConflictMemo):
-            if scoring == "loop":
+            if scoring != "vectorized":
                 raise ValidationError(
                     "memoization applies only to scoring='vectorized'; "
-                    "the 'loop' oracle stays memo-free"
+                    f"scoring={scoring!r} stays memo-free"
                 )
             self.memo = memo
         else:
@@ -299,6 +308,20 @@ class PairwiseMergeSort:
         cfg = self.config
         arr = np.ascontiguousarray(values)
         n = cfg.validate_input_size(arr.size)
+        if self.scoring == "analytic":
+            # Closed-form path: recognize the input as a constructed family
+            # and derive the result in O(rounds) arithmetic — bit-identical
+            # to the simulated paths (tests/sort/test_analytic_equivalence).
+            from repro.analytic import AnalyticEngine, detect_model
+
+            model = detect_model(arr, cfg)
+            if self._analytic_engine is None:
+                self._analytic_engine = AnalyticEngine(
+                    cfg, padding=self.padding
+                )
+            return self._analytic_engine.sort_result(
+                model, score_blocks=score_blocks, seed=seed
+            )
         rng = as_generator(seed)
         memo = self.memo
         if memo is not None:

@@ -1,8 +1,11 @@
 """Unit tests for the closed-form predictions."""
 
+import math
+
 import pytest
 
 from repro.adversary.theory import (
+    _global_rounds,
     a_g,
     a_s,
     aligned_elements,
@@ -12,6 +15,7 @@ from repro.adversary.theory import (
     predicted_warp_transactions,
 )
 from repro.errors import ConstructionError
+from repro.sort.config import SortConfig
 
 
 class TestLemma1:
@@ -74,6 +78,49 @@ class TestBlowup:
 
     def test_predicted_transactions_equal_aligned(self):
         assert predicted_warp_transactions(32, 15) == 225
+
+
+class TestGlobalRounds:
+    """The bounds' round count must match the simulator's round structure
+    (``_global_rounds`` cross-checked against ``SortConfig``)."""
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            SortConfig(elements_per_thread=3, block_size=8, warp_size=4),
+            SortConfig(elements_per_thread=3, block_size=16, warp_size=8),
+            SortConfig(elements_per_thread=15, block_size=512, warp_size=32),
+        ],
+        ids=["tiny", "small-e", "thrust-maxwell"],
+    )
+    def test_matches_simulator_round_count_at_valid_sizes(self, config):
+        tile = config.tile_size
+        for n in config.valid_sizes(tile * 64):
+            expected = max(1, config.num_global_rounds(n))
+            assert _global_rounds(n, tile) == float(expected), n
+
+    def test_non_tile_multiple_rounds_up(self):
+        """The old floor-division ``log2(n // tile)`` undercounted here:
+        three tiles need two doubling rounds, not log2(3) ≈ 1.585."""
+        assert _global_rounds(3 * 48, 48) == 2.0
+        assert _global_rounds(5 * 48, 48) == 3.0
+
+    def test_sub_tile_regime_is_one_round(self):
+        assert _global_rounds(48, 48) == 1.0
+        assert _global_rounds(30, 48) == 1.0
+
+    def test_a_g_uses_ceil_rounds(self):
+        """a_g at N = 3·tile must be computed with 2 rounds."""
+        n, w, p, b, e = 3 * 512 * 15, 32, 1664, 512, 15
+        tile = b * e
+        expected = (n * w) / (p * tile) * 4 + (n / p) * 2
+        assert a_g(n, w, p, b, e) == pytest.approx(expected)
+
+    def test_a_s_uses_ceil_rounds(self):
+        n, p, b, e = 3 * 512 * 15, 1664, 512, 15
+        tile = b * e
+        expected = (n / (p * e)) * 2 * (3.1 * math.log2(tile) + 2.2 * e)
+        assert a_s(n, p, b, e, beta1=3.1, beta2=2.2) == pytest.approx(expected)
 
 
 class TestAccessBounds:

@@ -1,0 +1,225 @@
+"""Three-way scoring equivalence: loop ≡ vectorized ≡ analytic.
+
+The closed-form engine (``repro.analytic``) derives every ``RoundStats``
+field arithmetically, without simulating a trace. Its contract is
+bit-identity with the vectorized simulator — which is itself pinned to
+the per-tile loop oracle in ``test_pairwise_equivalence`` — for every
+analytic-eligible family. These tests close the triangle: all three
+scoring engines over all four constructed families, the three ``E``
+regimes (small, large, power-of-two), with and without shared-memory
+padding, full and sampled scoring, plus the serialization round-trip a
+served result goes through and the theory module's per-round cycle
+bound.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adversary.theory import predicted_warp_transactions
+from repro.analytic import (
+    ANALYTIC_FAMILIES,
+    AnalyticEngine,
+    analytic_model,
+    detect_model,
+    is_analytic_eligible,
+)
+from repro.errors import ValidationError
+from repro.inputs.generators import generate
+from repro.sort.pairwise import PairwiseMergeSort
+from repro.sort.serialize import result_from_obj, result_to_obj, results_identical
+from tests.sort.test_pairwise_equivalence import (
+    CONFIGS,
+    assert_results_identical,
+)
+
+FAMILIES = sorted(ANALYTIC_FAMILIES)
+
+
+def run_three(config, input_name, n, *, score_blocks=None, seed=0, padding=0):
+    """One result per scoring engine, same input, same sampling draws."""
+    data = generate(input_name, config, n, seed=42)
+    results = {}
+    for scoring in ("loop", "vectorized", "analytic"):
+        sorter = PairwiseMergeSort(config, padding=padding, scoring=scoring)
+        results[scoring] = sorter.sort(data, score_blocks=score_blocks, seed=seed)
+    return results
+
+
+class TestThreeWayBitIdentity:
+    @pytest.mark.parametrize("config_name", sorted(CONFIGS))
+    @pytest.mark.parametrize("input_name", FAMILIES)
+    def test_all_configs_and_families(self, config_name, input_name):
+        cfg = CONFIGS[config_name]
+        results = run_three(cfg, input_name, cfg.tile_size * 8)
+        assert_results_identical(results["loop"], results["vectorized"])
+        assert_results_identical(results["vectorized"], results["analytic"])
+
+    @pytest.mark.parametrize("input_name", FAMILIES)
+    def test_with_padding(self, input_name):
+        cfg = CONFIGS["small-e"]
+        results = run_three(cfg, input_name, cfg.tile_size * 8, padding=1)
+        assert_results_identical(results["loop"], results["analytic"])
+
+    @pytest.mark.parametrize("input_name", FAMILIES)
+    def test_sampled_scoring_shares_rng_draws(self, input_name):
+        """Block sampling draws from a seeded generator; the analytic path
+        must consume it identically to the simulated paths."""
+        cfg = CONFIGS["pow2-e"]
+        results = run_three(
+            cfg, input_name, cfg.tile_size * 16, score_blocks=2, seed=777
+        )
+        assert_results_identical(results["loop"], results["analytic"])
+
+    def test_single_tile_no_global_rounds(self):
+        cfg = CONFIGS["tiny"]
+        results = run_three(cfg, "worst-case", cfg.tile_size)
+        assert all(r.kind != "global" for r in results["analytic"].rounds)
+        assert_results_identical(results["vectorized"], results["analytic"])
+
+    def test_many_global_rounds(self):
+        cfg = CONFIGS["large-e"]
+        results = run_three(cfg, "reverse", cfg.tile_size * 32)
+        assert sum(r.kind == "global" for r in results["analytic"].rounds) == 5
+        assert_results_identical(results["vectorized"], results["analytic"])
+
+    def test_memoized_vectorized_matches_analytic(self):
+        """The memoized fast path and the closed form agree too (memo_stats
+        aside, which only the memoized result carries)."""
+        cfg = CONFIGS["small-e"]
+        data = generate("worst-case", cfg, cfg.tile_size * 8, seed=42)
+        memoized = PairwiseMergeSort(cfg, memo="auto").sort(data)
+        analytic = PairwiseMergeSort(cfg, scoring="analytic").sort(data)
+        assert memoized.memo_stats is not None
+        assert analytic.memo_stats is None
+        assert_results_identical(memoized, analytic)
+
+
+class TestEligibility:
+    def test_families_are_eligible(self):
+        # 8 tiles: sawtooth needs its tooth period (n/8) to be a tile
+        # multiple, the tightest of the four families' constraints.
+        cfg = CONFIGS["small-e"]
+        for name in FAMILIES:
+            assert is_analytic_eligible(name, cfg, cfg.tile_size * 8), name
+
+    def test_sawtooth_needs_tile_aligned_teeth(self):
+        cfg = CONFIGS["small-e"]
+        assert not is_analytic_eligible("sawtooth", cfg, cfg.tile_size * 4)
+
+    @pytest.mark.parametrize("input_name", ["random", "few-unique", "conflict-heavy"])
+    def test_unstructured_inputs_are_not(self, input_name):
+        cfg = CONFIGS["small-e"]
+        assert not is_analytic_eligible(input_name, cfg, cfg.tile_size * 4)
+
+    def test_analytic_scoring_rejects_unrecognized_input(self):
+        cfg = CONFIGS["small-e"]
+        data = generate("random", cfg, cfg.tile_size * 4, seed=0)
+        sorter = PairwiseMergeSort(cfg, scoring="analytic")
+        with pytest.raises(ValidationError):
+            sorter.sort(data)
+
+    @pytest.mark.parametrize("input_name", FAMILIES)
+    def test_detect_model_recognizes_generated_families(self, input_name):
+        cfg = CONFIGS["pow2-e"]
+        n = cfg.tile_size * 8
+        data = generate(input_name, cfg, n, seed=0)
+        model = detect_model(data, cfg)
+        assert model.num_elements == n
+        np.testing.assert_array_equal(
+            model.output_values(), np.sort(data, kind="stable")
+        )
+
+    def test_reverse_requires_strict_descent(self):
+        """A non-strict descending run breaks the all-B-first mask (stable
+        merge takes ties from A), so it must fall through — here to the
+        sorted model via np.sort equality failing → ValidationError."""
+        cfg = CONFIGS["small-e"]
+        data = np.arange(cfg.tile_size * 2, dtype=np.int64)[::-1].copy()
+        data[1] = data[0]  # introduce one tie at the top
+        with pytest.raises(ValidationError):
+            detect_model(data, cfg)
+
+    def test_explicit_memo_rejected_for_analytic(self):
+        from repro.dmm.memo import ConflictMemo
+
+        with pytest.raises(ValidationError, match="memo"):
+            PairwiseMergeSort(
+                CONFIGS["small-e"], scoring="analytic", memo=ConflictMemo()
+            )
+
+
+class TestServedRoundTrip:
+    """A result served over the wire must decode bit-identical to the one
+    the engine produced directly (``results_identical`` is the service
+    suite's comparator, so use it here verbatim)."""
+
+    @pytest.mark.parametrize("input_name", FAMILIES)
+    def test_serialize_round_trip(self, input_name):
+        cfg = CONFIGS["small-e"]
+        direct = PairwiseMergeSort(cfg, scoring="analytic").sort(
+            generate(input_name, cfg, cfg.tile_size * 8, seed=42)
+        )
+        served = result_from_obj(result_to_obj(direct))
+        assert results_identical(direct, served)
+
+    def test_engine_matches_sorter_entry_point(self):
+        """``AnalyticEngine.sort_result`` on a prebuilt model is the same
+        object graph the ``scoring="analytic"`` sorter produces from the
+        raw array."""
+        cfg = CONFIGS["large-e"]
+        n = cfg.tile_size * 8
+        model = analytic_model("sawtooth", cfg, n)
+        from_engine = AnalyticEngine(cfg).sort_result(model)
+        from_sorter = PairwiseMergeSort(cfg, scoring="analytic").sort(
+            generate("sawtooth", cfg, n, seed=0)
+        )
+        assert results_identical(from_engine, from_sorter)
+
+    def test_values_dropped_round_trip(self):
+        cfg = CONFIGS["small-e"]
+        model = analytic_model("worst-case", cfg, cfg.tile_size * 4)
+        direct = AnalyticEngine(cfg).sort_result(model, include_values=False)
+        assert direct.values.size == 0
+        served = result_from_obj(result_to_obj(direct, include_values=False))
+        assert results_identical(direct, served, require_values=False)
+
+
+class TestTheoryBound:
+    """``predicted_warp_transactions`` is a *lower bound* on the serialized
+    cycles of one warp merge pass (see its docstring contract). Assert it
+    per constructible round against the simulator's measured cycles."""
+
+    @pytest.mark.parametrize("config_name", sorted(CONFIGS))
+    def test_bound_holds_per_constructible_round(self, config_name):
+        cfg = CONFIGS[config_name]
+        n = cfg.tile_size * 8
+        result = PairwiseMergeSort(cfg).sort(generate("worst-case", cfg, n, seed=0))
+        bound = predicted_warp_transactions(cfg.warp_size, cfg.elements_per_thread)
+        warp_passes = n // (cfg.warp_size * cfg.elements_per_thread)
+        checked = 0
+        for stats in result.rounds:
+            run = stats.run_length
+            if stats.kind == "registers" or run % cfg.warp_size:
+                continue
+            if run < cfg.warp_size * cfg.elements_per_thread:
+                continue
+            measured = stats.merge_report.total_transactions * stats.scale
+            assert measured >= warp_passes * bound, stats.label
+            checked += 1
+        assert checked >= 2  # the sweep sizes always reach constructible runs
+
+    def test_small_e_bound_is_tight(self):
+        """Small-``E`` regime (E < w/2): the bound is exact, E² per warp."""
+        cfg = CONFIGS["small-e"]  # E=3 < w/2=4
+        n = cfg.tile_size * 8
+        result = PairwiseMergeSort(cfg).sort(generate("worst-case", cfg, n, seed=0))
+        bound = predicted_warp_transactions(cfg.warp_size, cfg.elements_per_thread)
+        warp_passes = n // (cfg.warp_size * cfg.elements_per_thread)
+        for stats in result.rounds:
+            run = stats.run_length
+            if stats.kind == "registers" or run % cfg.warp_size:
+                continue
+            if run < cfg.warp_size * cfg.elements_per_thread:
+                continue
+            measured = stats.merge_report.total_transactions * stats.scale
+            assert measured == warp_passes * bound, stats.label

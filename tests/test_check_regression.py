@@ -78,6 +78,52 @@ class TestThreshold:
         assert "baseline only" in proc.stdout
 
 
+class TestMalformedEntries:
+    """A baseline whose entry shape predates the current run's must warn
+    and skip, never crash the gate (adding a row like ``analytic_sweep``
+    can't break CI on older baselines)."""
+
+    def test_baseline_entry_without_seconds_is_skipped(self, tmp_path):
+        proc = run_gate(
+            tmp_path,
+            doc({"analytic_sweep": {"seconds": 0.001},
+                 "exact": {"seconds": 0.10}}),
+            doc({"analytic_sweep": {"comment": "placeholder, no timing"},
+                 "exact": {"seconds": 0.10}}),
+        )
+        assert proc.returncode == 0
+        assert "malformed baseline entry" in proc.stderr
+        assert "skipped, not gated" in proc.stderr
+        assert "exact" in proc.stdout  # well-formed rows still gate
+
+    def test_current_entry_without_seconds_is_skipped(self, tmp_path):
+        proc = run_gate(
+            tmp_path,
+            doc({"exact": {"minutes": 1}}),
+            doc({"exact": {"seconds": 0.10}}),
+        )
+        assert proc.returncode == 0
+        assert "malformed current entry" in proc.stderr
+
+    def test_non_dict_entry_is_skipped(self, tmp_path):
+        proc = run_gate(
+            tmp_path,
+            doc({"exact": {"seconds": 0.10}}),
+            doc({"exact": 0.10}),
+        )
+        assert proc.returncode == 0
+        assert "malformed baseline entry" in proc.stderr
+
+    def test_malformed_entry_never_masks_a_real_regression(self, tmp_path):
+        proc = run_gate(
+            tmp_path,
+            doc({"broken": {"seconds": 9.0}, "exact": {"seconds": 0.50}}),
+            doc({"broken": {}, "exact": {"seconds": 0.10}}),
+        )
+        assert proc.returncode == 1
+        assert "exact" in proc.stderr
+
+
 class TestNoiseAnnotations:
     def test_min_and_iqr_printed(self, tmp_path):
         proc = run_gate(
