@@ -96,8 +96,12 @@ def test_sweep_memoized_speed(benchmark):
     inputs = ("worst-case", "sorted")
 
     def sweep(memo):
+        # Pinned to simulated vectorized scoring: under the registry-wide
+        # "auto" default these constructed families route analytic and
+        # the memo never engages — this benchmark measures the simulator.
         runner = SweepRunner(
-            THRUST_MAXWELL, device, score_blocks=None, memo=memo
+            THRUST_MAXWELL, device, score_blocks=None, memo=memo,
+            scoring="vectorized",
         )
         return [runner.sweep(name, sizes) for name in inputs]
 
@@ -153,8 +157,11 @@ def test_sweep_analytic_speed(benchmark):
     inputs = ("worst-case", "sorted")
 
     start = time.perf_counter()
+    # Pinned to vectorized: the "auto" default would itself route these
+    # constructed families analytic, collapsing the measured ratio to ~1.
     memo_runner = SweepRunner(
-        THRUST_MAXWELL, device, score_blocks=None, memo="auto"
+        THRUST_MAXWELL, device, score_blocks=None, memo="auto",
+        scoring="vectorized",
     )
     baseline_points = [memo_runner.sweep(name, sizes) for name in inputs]
     memo_seconds = time.perf_counter() - start

@@ -21,6 +21,15 @@ about and skipped rather than crashing the gate: an older committed
 baseline must never be able to break CI just because the fresh run grew
 a new row shape.
 
+That lenience has a hole: a refactor that silently stops *producing* a
+row (or mangles it) would drop the row out of the gated set and pass.
+``--require NAME[,NAME...]`` closes it for load-bearing rows — each
+named timing must be present and well-formed in both documents or the
+check fails. CI requires the engine-critical rows
+(``exact_vectorized``, ``sweep_memoized``, ``analytic_sweep``) so an
+execution-engine change can neither slow them past the threshold nor
+un-measure them.
+
 Each document records the Python version it was measured under. A
 mismatch (e.g. a 3.11-recorded baseline gated on a 3.12 CI runner) does
 not fail the check by itself — interpreter speed differences are part of
@@ -123,6 +132,13 @@ def main(argv: list[str] | None = None) -> int:
         default=2.0,
         help="max allowed current/baseline ratio (default 2.0)",
     )
+    parser.add_argument(
+        "--require",
+        default=None,
+        metavar="NAME[,NAME...]",
+        help="timing rows that must be present and well-formed in BOTH "
+        "documents (fail instead of skip when missing/malformed)",
+    )
     args = parser.parse_args(argv)
 
     current_doc = load_document(args.current)
@@ -147,6 +163,25 @@ def main(argv: list[str] | None = None) -> int:
         current_python=current_python,
         baseline_python=baseline_python,
     )
+    required = [
+        name.strip()
+        for name in (args.require or "").split(",")
+        if name.strip()
+    ]
+    for name in required:
+        for side, timings in (
+            ("current", current_doc["timings"]),
+            ("baseline", baseline_doc["timings"]),
+        ):
+            if name not in timings:
+                failures.append(
+                    f"{name}: required row missing from the {side} document"
+                )
+            elif _seconds(timings[name]) is None:
+                failures.append(
+                    f"{name}: required row malformed in the {side} document "
+                    "(no numeric 'seconds')"
+                )
     if not set(current_doc["timings"]) & set(baseline_doc["timings"]):
         print("no overlapping timings — nothing gated", file=sys.stderr)
     if failures:

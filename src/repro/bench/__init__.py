@@ -5,8 +5,9 @@
   simulation budget is synthesized from a calibration run (per-round rates
   are N-independent; round counts and global traffic are analytic), which
   is how the harness reaches the paper's 10⁸-element sweep sizes;
-* :mod:`repro.bench.parallel` — fans independent sweep points out over a
-  process pool (``--jobs``), with per-point progress events;
+* :mod:`repro.bench.parallel` — deprecated shim over :mod:`repro.engine`,
+  which owns sweep-point execution (serial, process-pool ``--jobs``, or a
+  served daemon) behind the registered execution engines;
 * :mod:`repro.bench.cache` — content-addressed on-disk cache for bench
   points and calibration rates (``--cache`` / ``--cache-dir``), making
   repeat figure regeneration near-instant;

@@ -27,7 +27,8 @@ from repro.adversary.assignment import construct_warp_assignment
 from repro.adversary.power2 import sorted_assignment
 from repro.bench.cache import BenchCache
 from repro.bench.metrics import slowdown_stats
-from repro.bench.parallel import ProgressEvent, run_points, sweep_items
+from repro.engine.dispatch import execute_items
+from repro.engine.tasks import ProgressEvent, sweep_items
 from repro.gpu.device import QUADRO_M4000, RTX_2080_TI, DeviceSpec
 from repro.sort.config import SortConfig
 from repro.sort.presets import MGPU_MAXWELL, THRUST_CC60, THRUST_MAXWELL
@@ -97,7 +98,7 @@ def _throughput_panel(
         score_blocks=score_blocks,
         cache=cache,
     )
-    points = run_points(items, jobs=jobs, progress=progress)
+    points = execute_items(items, jobs=jobs, progress=progress)
     random, worst = points[: len(sizes)], points[len(sizes):]
     return {
         "config": config.name,
@@ -186,7 +187,7 @@ def figure6(
             score_blocks=score_blocks,
             cache=cache,
         )
-        points = run_points(items, jobs=jobs, progress=progress)
+        points = execute_items(items, jobs=jobs, progress=progress)
         panels[key] = {
             "config": config.name,
             "sizes": sizes,

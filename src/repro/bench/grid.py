@@ -16,7 +16,8 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.bench.cache import BenchCache
-from repro.bench.parallel import ProgressEvent, WorkItem, cache_ref, run_points
+from repro.engine.dispatch import execute_items
+from repro.engine.tasks import ProgressEvent, WorkItem, cache_ref
 from repro.errors import ConfigurationError
 from repro.gpu.device import DeviceSpec
 from repro.gpu.occupancy import occupancy
@@ -111,7 +112,7 @@ def grid_search(
                         use_cache=use_cache,
                     )
                 )
-    measured = run_points(items, jobs=jobs, progress=progress)
+    measured = execute_items(items, jobs=jobs, progress=progress)
     points = [
         GridPoint(
             elements_per_thread=e,

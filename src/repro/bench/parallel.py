@@ -1,177 +1,42 @@
-"""Parallel fan-out of sweep points over a process pool.
+"""Deprecated shim over :mod:`repro.engine` — the old sweep fan-out API.
 
-The bench grid has the same structure Green et al. exploit inside a
-single merge: every (config, device, input, N) point is independent, so
-the sweep is embarrassingly parallel *across points*. This module fans
-:class:`WorkItem`s out over a :class:`concurrent.futures
-.ProcessPoolExecutor`; each worker builds (or reuses) a
-:class:`~repro.bench.runner.SweepRunner` for the item's parameters and
-returns a plain :class:`~repro.bench.metrics.BenchPoint`.
+The machinery that lived here moved with the execution-engine refactor:
 
-Determinism: a point's result depends only on the item's fields (every
-input and every block-sampling choice is seeded per point), so parallel
-and serial execution produce bit-identical ``BenchPoint``s — enforced by
-``tests/bench/test_parallel.py``.
+* :class:`~repro.engine.tasks.WorkItem`,
+  :class:`~repro.engine.tasks.ProgressEvent`,
+  :func:`~repro.engine.tasks.sweep_items` and
+  :func:`~repro.engine.tasks.cache_ref` → :mod:`repro.engine.tasks`
+  (re-exported here unchanged);
+* the process-local runner table → the fingerprint-keyed tables inside
+  :class:`~repro.engine.inline.InlineEngine` and the
+  :class:`~repro.engine.pool.PoolEngine` workers (keying by the full
+  device/config field set, not ``device.name``, so warm workers can
+  never serve a stale runner);
+* :func:`run_points` → :func:`repro.engine.execute_items`, which this
+  module still forwards to for external callers.
 
-Workers keep a process-local runner table so calibration sorts are run
-once per (config, input) per worker rather than once per point — and so
-each worker's :class:`SweepRunner` carries one long-lived
-:class:`~repro.dmm.memo.ConflictMemo` across every item it executes
-(runners default to ``memo="auto"``): repeated rounds across a worker's
-points are scored once per worker. With an on-disk
-:class:`~repro.bench.cache.BenchCache` attached (``cache_dir`` +
-``use_cache``) calibrations and points are shared across workers and
-across invocations; the in-memory memo composes with it by de-duplicating
-the *work inside* the instrumented sorts the disk cache cannot serve.
+New code should use :func:`repro.engine.execute_items` or an explicit
+engine; :func:`run_points` emits one :class:`DeprecationWarning` per
+process and delegates.
 """
 
 from __future__ import annotations
 
-import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Sequence
 
-from repro.bench.cache import BenchCache
 from repro.bench.metrics import BenchPoint
-from repro.bench.runner import SweepRunner
-from repro.errors import ValidationError
-from repro.gpu.device import DeviceSpec
-from repro.sort.config import SortConfig
+from repro.engine.tasks import (  # noqa: F401  (re-exports, old import paths)
+    ProgressEvent,
+    WorkItem,
+    cache_ref,
+    sweep_items,
+)
 
 __all__ = ["ProgressEvent", "WorkItem", "cache_ref", "run_points", "sweep_items"]
 
-
-@dataclass(frozen=True)
-class WorkItem:
-    """One picklable sweep point: everything a worker needs to run it."""
-
-    config: SortConfig
-    device: DeviceSpec
-    input_name: str
-    num_elements: int
-    exact_threshold: int = 1 << 21
-    score_blocks: int | None = 8
-    seed: int = 0
-    padding: int = 0
-    #: Runner scoring mode ("vectorized" | "loop" | "analytic" | "auto");
-    #: see :class:`~repro.bench.runner.SweepRunner`. The CLI and service
-    #: default to "auto" so constructed-family points go closed-form.
-    scoring: str = "vectorized"
-    cache_dir: str | None = None
-    use_cache: bool = False
-
-    def describe(self) -> str:
-        """Human-readable label for progress lines."""
-        return (
-            f"{self.config.name} · {self.device.name} · {self.input_name} "
-            f"· N={self.num_elements:,}"
-        )
-
-
-@dataclass(frozen=True)
-class ProgressEvent:
-    """Emitted to the ``progress`` callback after each completed point."""
-
-    done: int
-    total: int
-    item: WorkItem
-    point: BenchPoint
-    seconds: float
-    from_cache: bool
-
-    def describe(self) -> str:
-        """One progress/timing line."""
-        tag = " (cached)" if self.from_cache else ""
-        return f"[{self.done}/{self.total}] {self.item.describe()} · " \
-               f"{self.seconds:.2f}s{tag}"
-
-
-def cache_ref(cache: BenchCache | None) -> tuple[str | None, bool]:
-    """Picklable (cache_dir, use_cache) reference to a cache instance."""
-    if cache is None:
-        return None, False
-    return str(cache.cache_dir), True
-
-
-def sweep_items(
-    config: SortConfig,
-    device: DeviceSpec,
-    input_names: Sequence[str],
-    sizes: Iterable[int],
-    *,
-    exact_threshold: int = 1 << 21,
-    score_blocks: int | None = 8,
-    seed: int = 0,
-    padding: int = 0,
-    scoring: str = "vectorized",
-    cache: BenchCache | None = None,
-) -> list[WorkItem]:
-    """Work items for a size sweep of each input family, in sweep order."""
-    cache_dir, use_cache = cache_ref(cache)
-    return [
-        WorkItem(
-            config=config,
-            device=device,
-            input_name=name,
-            num_elements=n,
-            exact_threshold=exact_threshold,
-            score_blocks=score_blocks,
-            seed=seed,
-            padding=padding,
-            scoring=scoring,
-            cache_dir=cache_dir,
-            use_cache=use_cache,
-        )
-        for name in input_names
-        for n in sizes
-    ]
-
-
-#: Process-local runner table: calibrations and the runner's conflict memo
-#: are reused across the items a worker (or the serial path) executes with
-#: identical runner parameters.
-_RUNNERS: dict[tuple, SweepRunner] = {}
-
-
-def _runner_for(item: WorkItem) -> SweepRunner:
-    key = (
-        item.config,
-        item.device.name,
-        item.exact_threshold,
-        item.score_blocks,
-        item.seed,
-        item.padding,
-        item.scoring,
-        item.cache_dir,
-        item.use_cache,
-    )
-    runner = _RUNNERS.get(key)
-    if runner is None:
-        cache = BenchCache(item.cache_dir) if item.use_cache else None
-        runner = SweepRunner(
-            item.config,
-            item.device,
-            exact_threshold=item.exact_threshold,
-            score_blocks=item.score_blocks,
-            seed=item.seed,
-            padding=item.padding,
-            scoring=item.scoring,
-            cache=cache,
-        )
-        _RUNNERS[key] = runner
-    return runner
-
-
-def _execute(item: WorkItem) -> tuple[BenchPoint, float, bool]:
-    """Run one work item; returns (point, seconds, served-from-cache)."""
-    runner = _runner_for(item)
-    hits_before = runner.cache.hits if runner.cache is not None else 0
-    start = time.perf_counter()
-    point = runner.run_point(item.input_name, item.num_elements)
-    elapsed = time.perf_counter() - start
-    from_cache = runner.cache is not None and runner.cache.hits > hits_before
-    return point, elapsed, from_cache
+_DEPRECATION_WARNED = False
 
 
 def run_points(
@@ -181,62 +46,21 @@ def run_points(
     progress: Callable[[ProgressEvent], None] | None = None,
     pool: ProcessPoolExecutor | None = None,
 ) -> list[BenchPoint]:
-    """Execute work items, preserving input order in the result list.
+    """Deprecated: use :func:`repro.engine.execute_items`.
 
-    Parameters
-    ----------
-    items:
-        The sweep points to run.
-    jobs:
-        Worker processes; ``1`` runs serially in-process (no pool).
-        Ignored when ``pool`` is given.
-    progress:
-        Optional callback invoked once per completed point (completion
-        order, not submission order, under parallel execution).
-    pool:
-        Optional externally owned :class:`ProcessPoolExecutor` to submit
-        to instead of creating (and tearing down) a private one. Long-
-        lived callers — the :mod:`repro.service` daemon above all — pass
-        a warm pool so worker processes keep their ``_RUNNERS`` tables
-        (calibrations + conflict memos) across calls. The caller owns
-        the pool's lifecycle; ``run_points`` never shuts it down.
+    Same signature and behavior (borrowed pools included); warns once
+    per process so long sweeps do not drown in repeats.
     """
-    if jobs < 1:
-        raise ValidationError(f"jobs must be >= 1, got {jobs}")
-    items = list(items)
-    total = len(items)
-    results: list[BenchPoint | None] = [None] * total
+    global _DEPRECATION_WARNED
+    if not _DEPRECATION_WARNED:
+        _DEPRECATION_WARNED = True
+        warnings.warn(
+            "repro.bench.parallel.run_points is deprecated; use "
+            "repro.engine.execute_items (or an explicit engine from "
+            "repro.engine.create_engine)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    from repro.engine.dispatch import execute_items
 
-    if pool is None and (jobs == 1 or total <= 1):
-        for i, item in enumerate(items):
-            point, elapsed, from_cache = _execute(item)
-            results[i] = point
-            if progress is not None:
-                progress(
-                    ProgressEvent(i + 1, total, item, point, elapsed, from_cache)
-                )
-        return results  # type: ignore[return-value]
-
-    def _collect(executor: ProcessPoolExecutor) -> None:
-        done = 0
-        futures = {
-            executor.submit(_execute, item): i for i, item in enumerate(items)
-        }
-        for future in as_completed(futures):
-            i = futures[future]
-            point, elapsed, from_cache = future.result()
-            results[i] = point
-            done += 1
-            if progress is not None:
-                progress(
-                    ProgressEvent(
-                        done, total, items[i], point, elapsed, from_cache
-                    )
-                )
-
-    if pool is not None:
-        _collect(pool)
-    else:
-        with ProcessPoolExecutor(max_workers=min(jobs, total)) as owned:
-            _collect(owned)
-    return results  # type: ignore[return-value]
+    return execute_items(items, jobs=jobs, progress=progress, pool=pool)

@@ -23,6 +23,7 @@ from repro.bench import cache as bench_cache
 from repro.bench.cache import BenchCache
 from repro.bench.metrics import BenchPoint
 from repro.dmm.memo import ConflictMemo
+from repro.engine.registry import DEFAULT_SCORING, check_scoring, resolve_scoring
 from repro.errors import ValidationError
 from repro.gpu.device import DeviceSpec
 from repro.gpu.occupancy import occupancy
@@ -100,13 +101,16 @@ class SweepRunner:
         Shared-memory padding passed to the simulated sort (0 = the stock
         layout the paper attacks).
     scoring:
-        Round-scoring implementation: ``"vectorized"`` (default, batches
-        every scored tile of a round), ``"loop"`` (the per-tile
-        reference), ``"analytic"`` (closed-form, constructed families
-        only — exact at *every* size, so the synthesized path is never
-        taken), or ``"auto"`` (analytic for analytic-eligible
-        (input, N) points, vectorized otherwise, keeping the usual
-        exact/synthesized threshold split). Vectorized, loop, analytic
+        Round-scoring implementation: ``"auto"`` (the registry-wide
+        :data:`~repro.engine.registry.DEFAULT_SCORING` — analytic for
+        analytic-eligible (input, N) points, vectorized otherwise,
+        keeping the usual exact/synthesized threshold split),
+        ``"vectorized"`` (batches every scored tile of a round),
+        ``"loop"`` (the per-tile reference), or ``"analytic"``
+        (closed-form, constructed families only — exact at *every* size,
+        so the synthesized path is never taken). Routing for ``"auto"``
+        is :func:`repro.engine.registry.resolve_scoring`, the same
+        decision every other execution path uses. Vectorized, loop, analytic
         and auto are bit-identical wherever they overlap (enforced by the
         equivalence tests), so cache fingerprints ignore this knob —
         except for explicit ``"analytic"``, whose exact-at-every-size
@@ -138,7 +142,7 @@ class SweepRunner:
     score_blocks: int | None = 8
     seed: int = 0
     padding: int = 0
-    scoring: str = "vectorized"
+    scoring: str = DEFAULT_SCORING
     memo: ConflictMemo | None | str = "auto"
     cache: BenchCache | None = None
     instrumented_sorts: int = field(default=0, init=False, repr=False)
@@ -151,11 +155,7 @@ class SweepRunner:
 
         check_positive_int(self.exact_threshold, "exact_threshold")
         check_nonnegative_int(self.padding, "padding")
-        if self.scoring not in ("vectorized", "loop", "analytic", "auto"):
-            raise ValidationError(
-                f"scoring must be 'vectorized', 'loop', 'analytic', or "
-                f"'auto', got {self.scoring!r}"
-            )
+        check_scoring(self.scoring)
         # Resolve "auto" once so every instrumented sort shares one memo
         # (PairwiseMergeSort's own "auto" would build a fresh memo per
         # sort and lose all cross-point hits). The auto scoring mode
@@ -243,15 +243,22 @@ class SweepRunner:
             self.cache.put_point(key, point)
         return point
 
-    def _use_analytic(self, input_name: str, n: int) -> bool:
-        """Whether this point's instrumented sort runs closed-form."""
-        if self.scoring == "analytic":
-            return True  # ineligible inputs then fail loudly, by design
-        if self.scoring != "auto":
-            return False
-        from repro.analytic import is_analytic_eligible
+    def _resolved_scoring(self, input_name: str, n: int) -> str:
+        """This point's concrete scoring, via the registry's one router."""
+        return resolve_scoring(
+            self.scoring,
+            config=self.config,
+            input_name=input_name,
+            num_elements=n,
+        )
 
-        return is_analytic_eligible(input_name, self.config, n)
+    def _use_analytic(self, input_name: str, n: int) -> bool:
+        """Whether this point's instrumented sort runs closed-form.
+
+        Explicit ``"analytic"`` passes through (ineligible inputs then
+        fail loudly, by design); ``"auto"`` routes eligibility here.
+        """
+        return self._resolved_scoring(input_name, n) == "analytic"
 
     def _analytic_sort(self, input_name: str, n: int) -> SortResult:
         from repro.analytic import AnalyticEngine, analytic_model
@@ -273,12 +280,11 @@ class SweepRunner:
         )
 
     def _instrumented_sort(self, input_name: str, n: int) -> SortResult:
-        if self._use_analytic(input_name, n):
-            self.instrumented_sorts += 1
+        scoring = self._resolved_scoring(input_name, n)
+        self.instrumented_sorts += 1
+        if scoring == "analytic":
             return self._analytic_sort(input_name, n)
         data = generate(input_name, self.config, n, seed=self.seed)
-        self.instrumented_sorts += 1
-        scoring = "vectorized" if self.scoring == "auto" else self.scoring
         return PairwiseMergeSort(
             self.config, padding=self.padding, scoring=scoring, memo=self.memo
         ).sort(data, score_blocks=self.score_blocks, seed=self.seed)

@@ -41,7 +41,6 @@ from repro.adversary.assignment import construct_warp_assignment
 from repro.bench import slowdown_stats
 from repro.bench.ascii_plot import bank_matrix_str, line_plot, table
 from repro.bench.cache import BenchCache
-from repro.bench.parallel import WorkItem, cache_ref, run_points
 from repro.bench.figures import figure1, figure3, figure4, figure5, figure6, theory_table
 from repro.bench.report import (
     render_figure4,
@@ -49,10 +48,23 @@ from repro.bench.report import (
     render_figure6,
     render_theory_table,
 )
+from repro.engine import (
+    SortTask,
+    WorkItem,
+    cache_ref,
+    create_engine,
+    execute_items,
+)
+from repro.engine.registry import (
+    DEFAULT_SCORING,
+    SCORING_MODES,
+    SIMULATOR_SCORINGS,
+    engine_for_scoring,
+    scoring_for_engine,
+)
 from repro.gpu.device import get_device
 from repro.gpu.occupancy import occupancy
 from repro.inputs.generators import GENERATORS, generate
-from repro.sort.pairwise import PairwiseMergeSort
 from repro.sort.presets import preset
 
 __all__ = ["main"]
@@ -113,7 +125,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
         "--scoring", default="vectorized",
-        choices=["vectorized", "loop", "analytic"],
+        choices=list(SIMULATOR_SCORINGS),
         help="round-scoring engine: vectorized (default), loop (the "
         "per-tile oracle), or analytic (closed-form, constructed "
         "families only — bit-identical and ~1000x faster)",
@@ -122,6 +134,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--memo", action=argparse.BooleanOptionalAction, default=True,
         help="memoize conflict scoring by rank→address pattern "
         "(--no-memo disables; results are bit-identical either way)",
+    )
+    p.add_argument(
+        "--engine", default=None,
+        choices=["inline-loop", "inline-vectorized", "inline-memoized",
+                 "analytic"],
+        help="execution engine by registry name; overrides "
+        "--scoring/--memo (whose combination otherwise picks the engine "
+        "through the same registry)",
     )
 
     p = sub.add_parser("sweep", help="throughput sweep, random vs one input")
@@ -133,11 +153,23 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--score-blocks", type=int, default=8)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
-        "--scoring", default="auto",
-        choices=["auto", "vectorized", "loop", "analytic"],
+        "--scoring", default=DEFAULT_SCORING,
+        choices=list(SCORING_MODES),
         help="auto (default) scores analytic-eligible constructed-family "
         "points closed-form and simulates the rest; results are "
         "bit-identical either way",
+    )
+    p.add_argument(
+        "--engine", default=None,
+        choices=["inline", "pool", "service"],
+        help="execution engine: inline (serial; the --jobs 1 default), "
+        "pool (worker processes; the --jobs N default), or service (a "
+        "running repro-mergesort serve daemon at --url). Points are "
+        "bit-identical across all three",
+    )
+    p.add_argument(
+        "--url", default="http://127.0.0.1:8787",
+        help="daemon URL for --engine service (default %(default)s)",
     )
     _add_bench_exec_args(p)
 
@@ -237,9 +269,15 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
         "--scoring", default=None,
-        choices=["auto", "vectorized", "loop", "analytic"],
+        choices=list(SCORING_MODES),
         help="scoring engine forwarded to the daemon (simulate defaults "
         "to vectorized, sweep to auto)",
+    )
+    p.add_argument(
+        "--engine", default=None, metavar="NAME",
+        help="in-process engine name whose scoring/memo wire fields to "
+        "forward (exclusive with --scoring; pool/service are execution "
+        "strategies, not scorers, and are rejected)",
     )
     p.add_argument("--out", default=None, metavar="PATH",
                    help="construct: also save the permutation as .npy")
@@ -281,9 +319,19 @@ def _cmd_simulate(args) -> int:
     device = get_device(args.device)
     n = config.tile_size * args.tiles
     data = generate(args.input, config, n, seed=args.seed)
-    result = PairwiseMergeSort(
-        config, scoring=args.scoring, memo="auto" if args.memo else None
-    ).sort(data, score_blocks=args.score_blocks, seed=args.seed)
+    engine_name = args.engine or engine_for_scoring(
+        args.scoring, memoized=args.memo
+    )
+    result = create_engine(engine_name).run_sort(
+        SortTask(
+            config=config,
+            input_name=args.input,
+            num_elements=n,
+            score_blocks=args.score_blocks,
+            seed=args.seed,
+            values=data,
+        )
+    )
     ok = bool(np.array_equal(result.values, np.sort(data)))
     occ = occupancy(device, config.block_size, config.shared_bytes_per_block)
     cost = result.kernel_cost(occ.warps_per_sm)
@@ -379,7 +427,19 @@ def _cmd_sweep(args) -> int:
         for name in ("random", args.input)
         for n in sizes
     ]
-    points = run_points(items, jobs=args.jobs, progress=_progress_printer())
+    progress = _progress_printer()
+    if args.engine is None:
+        # Default routing: serial inline for --jobs 1, a pool otherwise —
+        # the same decision the service daemon makes.
+        points = execute_items(items, jobs=args.jobs, progress=progress)
+    else:
+        kwargs = {}
+        if args.engine == "pool":
+            kwargs["jobs"] = max(args.jobs, 1)
+        elif args.engine == "service":
+            kwargs["url"] = args.url
+        with create_engine(args.engine, **kwargs) as engine:
+            points = engine.run_points(items, progress=progress)
     _print_memo_stats(jobs=args.jobs)
     base, other = points[: len(sizes)], points[len(sizes):]
     rows = [
@@ -612,11 +672,34 @@ def _cmd_serve(args) -> int:
     return serve_forever(config)
 
 
+def _request_scoring(args) -> tuple[str | None, bool]:
+    """Wire (scoring, memo) fields for ``request``, honoring --engine.
+
+    ``--engine`` names an in-process engine; the registry translates it
+    to the equivalent wire fields (and rejects pool/service, which are
+    execution strategies with nothing to forward). ``"auto"`` maps to
+    ``None`` so each endpoint's server-side default applies.
+    """
+    if args.engine is None:
+        return args.scoring, True
+    if args.scoring is not None:
+        from repro.errors import ValidationError
+
+        raise ValidationError(
+            "--engine and --scoring are mutually exclusive (an engine "
+            "name already implies its scoring)"
+        )
+    fields = scoring_for_engine(args.engine)
+    scoring = fields["scoring"]
+    return (None if scoring == "auto" else scoring), fields["memo"]
+
+
 def _cmd_request(args) -> int:
     import json
 
     from repro.service.client import ServiceClient
 
+    scoring, memo = _request_scoring(args)
     client = ServiceClient(args.url, timeout=args.timeout)
     if args.action in ("healthz", "stats", "shutdown"):
         print(json.dumps(getattr(client, args.action)(), indent=2))
@@ -643,7 +726,8 @@ def _cmd_request(args) -> int:
             tiles=args.tiles,
             score_blocks=args.score_blocks,
             seed=args.seed,
-            scoring=args.scoring,
+            scoring=scoring,
+            memo=memo,
         )
         result = reply.result
         rows = [
@@ -680,7 +764,7 @@ def _cmd_request(args) -> int:
         exact_threshold=args.exact_threshold,
         score_blocks=args.score_blocks,
         seed=args.seed,
-        scoring=args.scoring,
+        scoring=scoring,
     )
     per_input = len(reply.sizes)
     base = reply.points[:per_input]

@@ -1,0 +1,159 @@
+"""In-process execution: the loop / vectorized / memoized / auto scorers.
+
+One :class:`InlineEngine` instance is warm state: it caches
+:class:`~repro.sort.pairwise.PairwiseMergeSort` instances per
+(config, padding, resolved scoring) for sort plans, and a
+fingerprint-keyed :class:`~repro.bench.runner.SweepRunner` table for
+point plans (the serial equivalent of a pool worker's table — same
+:func:`~repro.engine.tasks.runner_for` core, same staleness fix).
+
+Registered names (see :mod:`repro.engine.registry`):
+
+==================  ======================================================
+``inline``          ``scoring="auto"``, memoized — the general-purpose
+                    engine; each sort task routes through
+                    :func:`~repro.engine.registry.resolve_scoring`
+``inline-loop``     the per-tile reference oracle
+``inline-vectorized``  batched scoring, no memo
+``inline-memoized``    batched scoring with a shared pattern memo
+==================  ======================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.dmm.memo import ConflictMemo
+from repro.engine.base import ExecutionEngine, SortTask
+from repro.engine.registry import (
+    DEFAULT_SCORING,
+    check_scoring,
+    register_engine,
+    resolve_scoring,
+)
+from repro.engine.tasks import ProgressEvent, execute_item
+from repro.errors import ValidationError
+from repro.inputs.generators import generate
+
+__all__ = ["InlineEngine"]
+
+
+class InlineEngine(ExecutionEngine):
+    """Runs plans in this process.
+
+    Parameters
+    ----------
+    scoring:
+        Scoring mode applied to **sort plans** ("auto" routes per task).
+        Point plans are self-describing — each
+        :class:`~repro.engine.tasks.WorkItem` carries its own ``scoring``
+        — so this knob does not apply to them.
+    memo:
+        ``"auto"`` (default) builds one engine-private
+        :class:`~repro.dmm.memo.ConflictMemo` when the scoring mode can
+        use it (vectorized or auto), shared across every sort this
+        engine runs; pass a memo to share wider or ``None`` to disable.
+        An explicit memo with loop/analytic scoring is rejected, matching
+        :class:`~repro.bench.runner.SweepRunner`.
+    """
+
+    name = "inline"
+
+    def __init__(
+        self,
+        scoring: str = DEFAULT_SCORING,
+        memo: ConflictMemo | None | str = "auto",
+        cache=None,
+    ):
+        check_scoring(scoring)
+        if isinstance(memo, str) and memo == "auto":
+            memo = (
+                ConflictMemo() if scoring in ("vectorized", "auto") else None
+            )
+        elif isinstance(memo, ConflictMemo) and scoring in ("loop", "analytic"):
+            raise ValidationError(
+                "memoization applies only to simulated vectorized scoring; "
+                f"scoring={scoring!r} stays memo-free"
+            )
+        self.scoring = scoring
+        self.memo = memo
+        self.cache = cache
+        self._sorters: dict[tuple, object] = {}
+        self._runners: dict[str, object] = {}
+
+    # -- sort plans ----------------------------------------------------------
+
+    def _sorter_for(self, config, padding: int, scoring: str):
+        from repro.sort.pairwise import PairwiseMergeSort
+
+        key = (config, padding, scoring)
+        sorter = self._sorters.get(key)
+        if sorter is None:
+            memo = self.memo if scoring == "vectorized" else None
+            sorter = PairwiseMergeSort(
+                config, padding=padding, scoring=scoring, memo=memo
+            )
+            self._sorters[key] = sorter
+        return sorter
+
+    def _execute_sorts(self, tasks: tuple) -> list:
+        results = []
+        for task in tasks:
+            scoring = resolve_scoring(
+                self.scoring,
+                config=task.config,
+                input_name=task.input_name,
+                num_elements=task.num_elements,
+            )
+            sorter = self._sorter_for(task.config, task.padding, scoring)
+            data = task.values
+            if data is None:
+                data = generate(
+                    task.input_name, task.config, task.num_elements,
+                    seed=task.seed,
+                )
+            results.append(
+                sorter.sort(
+                    data, score_blocks=task.score_blocks, seed=task.seed
+                )
+            )
+        return results
+
+    # -- point plans ---------------------------------------------------------
+
+    def _execute_points(
+        self, items: tuple, progress: Callable | None
+    ) -> list:
+        total = len(items)
+        results = []
+        for i, item in enumerate(items):
+            point, elapsed, from_cache = execute_item(item, self._runners)
+            results.append(point)
+            if progress is not None:
+                progress(
+                    ProgressEvent(i + 1, total, item, point, elapsed, from_cache)
+                )
+        return results
+
+
+def _inline_factory(name: str, scoring: str, memoized: bool):
+    def make(*, memo=None, cache=None) -> InlineEngine:
+        # An explicit memo passes through (loop scoring then rejects it);
+        # otherwise memoized variants resolve "auto", plain ones disable.
+        resolved = memo if memo is not None else ("auto" if memoized else None)
+        engine = InlineEngine(scoring=scoring, memo=resolved, cache=cache)
+        engine.name = name
+        return engine
+
+    return make
+
+
+register_engine("inline", _inline_factory("inline", "auto", True))
+register_engine("inline-loop", _inline_factory("inline-loop", "loop", False))
+register_engine(
+    "inline-vectorized",
+    _inline_factory("inline-vectorized", "vectorized", False),
+)
+register_engine(
+    "inline-memoized", _inline_factory("inline-memoized", "vectorized", True)
+)

@@ -176,12 +176,15 @@ class ServiceClient:
         include_values: bool = True,
         memo: bool = True,
         scoring: str | None = None,
+        padding: int | None = None,
     ) -> SimulateReply:
         """Run one instrumented sort on the server.
 
         ``scoring=None`` leaves the engine choice to the server (its
         default is ``"vectorized"``); pass ``"analytic"`` for the
-        closed-form path on constructed families.
+        closed-form path on constructed families. ``padding`` simulates
+        the padded shared-memory layout (server default 0, the stock
+        layout).
         """
         payload = _body(
             preset=preset,
@@ -189,12 +192,15 @@ class ServiceClient:
             input=input,
             tiles=tiles,
             num_elements=num_elements,
-            score_blocks=score_blocks,
             seed=seed,
             include_values=include_values,
             memo=memo,
             scoring=scoring,
+            padding=padding,
         )
+        # None means "score every block" (the protocol's explicit null),
+        # not "use the server default of 8" — so it must survive _body.
+        payload["score_blocks"] = score_blocks
         reply = self.request("POST", "/simulate", payload)
         return SimulateReply(
             result=result_from_obj(reply["result"]),
@@ -216,6 +222,7 @@ class ServiceClient:
         score_blocks: int | None = 8,
         seed: int = 0,
         scoring: str | None = None,
+        padding: int | None = None,
     ) -> SweepReply:
         """Run a grid of bench points on the server.
 
@@ -232,10 +239,12 @@ class ServiceClient:
             max_elements=max_elements,
             min_elements=min_elements,
             exact_threshold=exact_threshold,
-            score_blocks=score_blocks,
             seed=seed,
             scoring=scoring,
+            padding=padding,
         )
+        # As in simulate(): an explicit null means "score every block".
+        payload["score_blocks"] = score_blocks
         reply = self.request("POST", "/sweep", payload)
         return SweepReply(
             points=[point_from_obj(p) for p in reply["points"]],

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 
 from repro.bench.cache import fingerprint
 from repro.bench.metrics import BenchPoint
+from repro.engine.registry import DEFAULT_SCORING, check_scoring
 from repro.errors import ValidationError
 from repro.gpu.device import DeviceSpec, get_device
 from repro.inputs.generators import GENERATORS
@@ -109,13 +110,20 @@ def _resolve_input(payload: dict, default: str = "worst-case") -> str:
     return name
 
 
-def _scoring_field(payload: dict, default: str, choices: tuple) -> str:
-    value = payload.get("scoring", default)
-    if value not in choices:
-        raise ValidationError(
-            f"'scoring' must be one of {', '.join(choices)}; got {value!r}"
-        )
-    return value
+def _scoring_field(payload: dict, default: str, *, allow_auto: bool) -> str:
+    """Parse-time scoring validation against the engine registry.
+
+    An unknown value must fail *here*, as a 400 to the client (exit
+    code 2 through the ``request`` CLI) — never as a 500 from deep
+    inside a runner or worker. The accepted set comes from
+    :mod:`repro.engine.registry`, the same source every execution path
+    validates against, so the protocol can never drift from the engines.
+    """
+    return check_scoring(
+        payload.get("scoring", default),
+        allow_auto=allow_auto,
+        field="'scoring'",
+    )
 
 
 # -- requests ---------------------------------------------------------------
@@ -170,6 +178,9 @@ class SimulateRequest:
     #: "vectorized" | "loop" | "analytic"; the closed-form engine serves
     #: constructed-family requests in microseconds instead of ~100 ms.
     scoring: str
+    #: Shared-memory padding of the simulated layout (0 = the stock
+    #: layout the paper attacks).
+    padding: int
 
     @classmethod
     def from_payload(cls, payload) -> "SimulateRequest":
@@ -183,9 +194,8 @@ class SimulateRequest:
             seed=_int_field(payload, "seed", 0, minimum=0),
             include_values=_bool_field(payload, "include_values", True),
             memo=_bool_field(payload, "memo", True),
-            scoring=_scoring_field(
-                payload, "vectorized", ("vectorized", "loop", "analytic")
-            ),
+            scoring=_scoring_field(payload, "vectorized", allow_auto=False),
+            padding=_int_field(payload, "padding", 0, minimum=0),
         )
 
     def coalesce_key(self) -> str:
@@ -204,6 +214,7 @@ class SimulateRequest:
                 # bit-identical: the reply's memo_stats field differs
                 # (None for analytic/loop), so the payloads do too.
                 "scoring": self.scoring,
+                "padding": self.padding,
             }
         )
 
@@ -222,6 +233,8 @@ class SweepRequest:
     #: "auto" (default: closed-form for analytic-eligible points,
     #: simulated for the rest) | "vectorized" | "loop" | "analytic".
     scoring: str
+    #: Shared-memory padding of the simulated layout.
+    padding: int
 
     @classmethod
     def from_payload(cls, payload) -> "SweepRequest":
@@ -272,11 +285,8 @@ class SweepRequest:
             ),
             score_blocks=_int_field(payload, "score_blocks", 8, minimum=1),
             seed=_int_field(payload, "seed", 0, minimum=0),
-            scoring=_scoring_field(
-                payload,
-                "auto",
-                ("auto", "vectorized", "loop", "analytic"),
-            ),
+            scoring=_scoring_field(payload, DEFAULT_SCORING, allow_auto=True),
+            padding=_int_field(payload, "padding", 0, minimum=0),
         )
 
     def coalesce_key(self) -> str:
@@ -295,6 +305,7 @@ class SweepRequest:
                 # (not synthesized), so scoring changes the points and
                 # must split the fingerprint.
                 "scoring": self.scoring,
+                "padding": self.padding,
             }
         )
 

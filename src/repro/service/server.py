@@ -54,8 +54,10 @@ import numpy as np
 
 from repro.adversary.permutation import worst_case_permutation
 from repro.bench.cache import BenchCache
-from repro.bench.parallel import WorkItem, run_points
 from repro.dmm.memo import ConflictMemo
+from repro.engine import SortTask, create_engine, engine_for_scoring
+from repro.engine.base import ExecutionEngine
+from repro.engine.tasks import WorkItem
 from repro.errors import (
     ConfigurationError,
     ConstructionError,
@@ -71,8 +73,6 @@ from repro.service.protocol import (
     point_to_obj,
 )
 from repro.service.stats import ServiceStats
-from repro.sort.config import SortConfig
-from repro.sort.pairwise import PairwiseMergeSort
 from repro.sort.serialize import array_to_obj, config_to_obj, result_to_obj
 
 __all__ = ["ServiceConfig", "ReproService", "run_service", "serve_forever"]
@@ -175,7 +175,15 @@ class ReproService:
             thread_name_prefix="repro-service",
         )
         self._pool: ProcessPoolExecutor | None = None
-        self._sorters: dict[tuple[SortConfig, bool], PairwiseMergeSort] = {}
+        # Warm engines, resolved through the registry: one inline engine
+        # per (scoring, memo) simulate variant (each caches sorters per
+        # config/padding; the memoized one shares the process-lifetime
+        # memo), one serial engine for unpooled sweeps (its runner table
+        # is the warm state the old module-global table provided), and a
+        # pool engine wrapping self._pool once start() created it.
+        self._engines: dict[tuple[str, bool], ExecutionEngine] = {}
+        self._serial_points = create_engine("inline")
+        self._pool_points: ExecutionEngine | None = None
         self._compute_lock = threading.Lock()
         self._server: asyncio.AbstractServer | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -460,20 +468,22 @@ class ReproService:
 
     # -- compute (executor threads) -----------------------------------------
 
-    def _sorter_for(
-        self, config: SortConfig, memo: bool, scoring: str = "vectorized"
-    ) -> PairwiseMergeSort:
-        key = (config, memo, scoring)
-        sorter = self._sorters.get(key)
-        if sorter is None:
-            # Only the vectorized path memoizes; loop/analytic sorters
-            # reject an explicit memo (the analytic engine keeps its own
-            # caches — reused across requests because sorters are cached
-            # here by key).
-            memo_arg = self.memo if memo and scoring == "vectorized" else None
-            sorter = PairwiseMergeSort(config, scoring=scoring, memo=memo_arg)
-            self._sorters[key] = sorter
-        return sorter
+    def _engine_for(self, scoring: str, memo: bool) -> ExecutionEngine:
+        """The warm inline engine serving one simulate variant.
+
+        Resolved through the registry's scoring→engine mapping; the
+        memoized vectorized variant shares the process-lifetime memo
+        (only that path memoizes — loop/analytic engines keep their own
+        caches, reused across requests because engines are cached here).
+        """
+        key = (scoring, memo)
+        engine = self._engines.get(key)
+        if engine is None:
+            name = engine_for_scoring(scoring, memoized=memo)
+            kwargs = {"memo": self.memo} if name == "inline-memoized" else {}
+            engine = create_engine(name, **kwargs)
+            self._engines[key] = engine
+        return engine
 
     def _compute_construct(self, request: ConstructRequest) -> dict:
         data = worst_case_permutation(request.config, request.num_elements)
@@ -496,11 +506,17 @@ class ReproService:
                 request.num_elements,
                 seed=request.seed,
             )
-            sorter = self._sorter_for(
-                request.config, request.memo, request.scoring
-            )
-            result = sorter.sort(
-                data, score_blocks=request.score_blocks, seed=request.seed
+            engine = self._engine_for(request.scoring, request.memo)
+            result = engine.run_sort(
+                SortTask(
+                    config=request.config,
+                    input_name=request.input_name,
+                    num_elements=request.num_elements,
+                    padding=request.padding,
+                    score_blocks=request.score_blocks,
+                    seed=request.seed,
+                    values=data,
+                )
             )
             self.stats.sorts_executed += 1
         sorted_ok = bool(np.array_equal(result.values, np.sort(data)))
@@ -522,6 +538,7 @@ class ReproService:
                 exact_threshold=request.exact_threshold,
                 score_blocks=request.score_blocks,
                 seed=request.seed,
+                padding=request.padding,
                 scoring=request.scoring,
                 cache_dir=cache_dir,
                 use_cache=self.cache is not None,
@@ -531,12 +548,16 @@ class ReproService:
         ]
         progress = lambda event: self._log(event.describe())  # noqa: E731
         if self._pool is not None:
-            points = run_points(items, pool=self._pool, progress=progress)
+            if self._pool_points is None:
+                self._pool_points = create_engine("pool", pool=self._pool)
+            points = self._pool_points.run_points(items, progress=progress)
         else:
-            # The serial path shares the process-local runner table with
-            # any other serial sweep, so serialize it like simulations.
+            # The serial engine's runner table is shared across every
+            # unpooled sweep, so serialize it like simulations.
             with self._compute_lock:
-                points = run_points(items, jobs=1, progress=progress)
+                points = self._serial_points.run_points(
+                    items, progress=progress
+                )
         self.stats.sweeps_executed += 1
         return {
             "points": [point_to_obj(p) for p in points],

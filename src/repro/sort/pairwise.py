@@ -249,16 +249,15 @@ class PairwiseMergeSort:
         scoring: str = "vectorized",
         memo: ConflictMemo | None | str = "auto",
     ):
+        from repro.engine.registry import check_scoring
         from repro.utils.validation import check_nonnegative_int
 
         self.config = config
         self.padding = check_nonnegative_int(padding, "padding")
-        if scoring not in ("vectorized", "loop", "analytic"):
-            raise ValidationError(
-                f"scoring must be 'vectorized', 'loop', or 'analytic', "
-                f"got {scoring!r}"
-            )
-        self.scoring = scoring
+        # The registry is the one source of truth for scoring modes; the
+        # sorter takes the concrete ones ("auto" routing happens a layer
+        # up, in repro.engine.registry.resolve_scoring).
+        self.scoring = check_scoring(scoring, allow_auto=False)
         self._analytic_engine = None
         if memo is None:
             self.memo: ConflictMemo | None = None

@@ -9,8 +9,8 @@ hits across points, and the ``"loop"`` oracle stays memo-free.
 
 import pytest
 
-from repro.bench.parallel import run_points, sweep_items
 from repro.bench.runner import SweepRunner
+from repro.engine import execute_items, sweep_items
 from repro.dmm.memo import ConflictMemo
 from repro.errors import ValidationError
 from repro.gpu.device import QUADRO_M4000
@@ -54,15 +54,18 @@ class TestSweepBitIdentity:
 
     def test_memo_hits_across_points(self, cfg):
         """The block rounds of every point of a sweep repeat the same
-        patterns — after the first point, lookups must start hitting."""
-        runner = make_runner(cfg)
+        patterns — after the first point, lookups must start hitting.
+        Pinned to simulated vectorized scoring: the registry-wide "auto"
+        default routes these constructed families analytic, where the
+        memo (by design) never engages."""
+        runner = make_runner(cfg, scoring="vectorized")
         runner.sweep("worst-case", [cfg.tile_size * 2, cfg.tile_size * 4])
         assert runner.memo.hits > 0
 
     def test_memo_shared_across_input_families(self, cfg):
         """One runner, several families: the shared memo keeps hitting
         wherever families overlap (worst-case rounds recur per size)."""
-        runner = make_runner(cfg)
+        runner = make_runner(cfg, scoring="vectorized")
         runner.sweep("worst-case", [cfg.tile_size * 2])
         hits_before = runner.memo.hits
         runner.sweep("worst-case", [cfg.tile_size * 2])
@@ -72,8 +75,8 @@ class TestSweepBitIdentity:
         """Passing one memo to several runners widens the hit pool without
         changing results (entries are keyed by the full context)."""
         shared = ConflictMemo()
-        first = make_runner(cfg, memo=shared)
-        second = make_runner(cfg, memo=shared)
+        first = make_runner(cfg, memo=shared, scoring="vectorized")
+        second = make_runner(cfg, memo=shared, scoring="vectorized")
         n = cfg.tile_size * 2
         point_a = first.run_point("worst-case", n)
         hits_before = shared.hits
@@ -81,6 +84,20 @@ class TestSweepBitIdentity:
         assert shared.hits > hits_before
         assert point_a == point_b
         assert point_b == make_runner(cfg, memo=None).run_point("worst-case", n)
+
+    def test_auto_routed_analytic_points_skip_the_memo(self, cfg):
+        """Regression for the unified default: a default-constructed
+        runner routes analytic-eligible constructed-family points to the
+        closed-form engine, so its memo must stay untouched while the
+        points still match a pinned vectorized run bit-for-bit."""
+        sizes = [cfg.tile_size * 2, cfg.tile_size * 4]
+        routed = make_runner(cfg)
+        points = routed.sweep("worst-case", sizes)
+        assert routed.memo.hits == 0 and routed.memo.misses == 0
+        pinned = make_runner(cfg, scoring="vectorized").sweep(
+            "worst-case", sizes
+        )
+        assert points == pinned
 
 
 class TestParallelMemo:
@@ -95,7 +112,7 @@ class TestParallelMemo:
             exact_threshold=cfg.tile_size * 8,
             score_blocks=4,
         )
-        parallel = run_points(items, jobs=2)
+        parallel = execute_items(items, jobs=2)
         serial_plain = [
             make_runner(
                 cfg, exact_threshold=cfg.tile_size * 8, memo=None

@@ -1,14 +1,20 @@
-"""Tests for the parallel sweep executor — above all, that fan-out over a
-process pool changes nothing about the results."""
+"""Tests for the sweep executor — above all, that fan-out over a process
+pool changes nothing about the results. The executor now lives in
+``repro.engine`` (``execute_items`` routes serial work to the shared
+inline engine and ``--jobs``/external-pool work to a pool engine); the
+deprecated ``repro.bench.parallel.run_points`` shim is covered in
+``tests/engine/test_shims.py``."""
+
+import dataclasses
 
 import pytest
 
 from repro.bench.cache import BenchCache
-from repro.bench.parallel import (
+from repro.engine import (
     ProgressEvent,
     WorkItem,
     cache_ref,
-    run_points,
+    execute_items,
     sweep_items,
 )
 from repro.bench.runner import SweepRunner
@@ -69,16 +75,16 @@ class TestSerialExecution:
             score_blocks=4, seed=0,
         )
         expected = runner.sweep("worst-case", sizes)
-        got = run_points(make_items(cfg, sizes, input_names=("worst-case",)))
+        got = execute_items(make_items(cfg, sizes, input_names=("worst-case",)))
         assert got == expected
 
     def test_jobs_below_one_rejected(self, cfg):
         with pytest.raises(ValidationError):
-            run_points(make_items(cfg, [cfg.tile_size * 2]), jobs=0)
+            execute_items(make_items(cfg, [cfg.tile_size * 2]), jobs=0)
 
     def test_empty_items(self):
-        assert run_points([]) == []
-        assert run_points([], jobs=4) == []
+        assert execute_items([]) == []
+        assert execute_items([], jobs=4) == []
 
 
 class TestParallelMatchesSerial:
@@ -87,20 +93,20 @@ class TestParallelMatchesSerial:
         Sizes cover both the exact and the synthesized path."""
         sizes = cfg.valid_sizes(cfg.tile_size * 64)
         items = make_items(cfg, sizes)
-        serial = run_points(items, jobs=1)
-        parallel = run_points(items, jobs=2)
+        serial = execute_items(items, jobs=1)
+        parallel = execute_items(items, jobs=2)
         assert parallel == serial
 
     def test_parallel_with_shared_cache(self, cfg, tmp_path):
         sizes = cfg.valid_sizes(cfg.tile_size * 16)
         cache = BenchCache(tmp_path)
         items = make_items(cfg, sizes, cache=cache)
-        first = run_points(items, jobs=2)
+        first = execute_items(items, jobs=2)
         assert BenchCache(tmp_path).stats().point_entries == len(items)
 
         # Warm run: every point served from disk, bit-identical.
         events = []
-        second = run_points(items, jobs=2, progress=events.append)
+        second = execute_items(items, jobs=2, progress=events.append)
         assert second == first
         assert all(e.from_cache for e in events)
 
@@ -108,9 +114,9 @@ class TestParallelMatchesSerial:
         items = make_items(cfg, [cfg.tile_size * 2], input_names=("random",))
         # total <= 1 falls back to the serial path; 2 items with 8 workers
         # must also work.
-        assert run_points(items, jobs=8) == run_points(items, jobs=1)
+        assert execute_items(items, jobs=8) == execute_items(items, jobs=1)
         two = make_items(cfg, [cfg.tile_size * 2])
-        assert run_points(two, jobs=8) == run_points(two, jobs=1)
+        assert execute_items(two, jobs=8) == execute_items(two, jobs=1)
 
 
 class TestProgress:
@@ -118,7 +124,7 @@ class TestProgress:
         sizes = [cfg.tile_size * 2, cfg.tile_size * 4]
         items = make_items(cfg, sizes, input_names=("random",))
         events = []
-        points = run_points(items, progress=events.append)
+        points = execute_items(items, progress=events.append)
         assert [e.done for e in events] == [1, 2]
         assert all(e.total == 2 for e in events)
         assert [e.point for e in events] == points
@@ -129,7 +135,7 @@ class TestProgress:
         sizes = [cfg.tile_size * 2, cfg.tile_size * 4]
         items = make_items(cfg, sizes)
         events = []
-        run_points(items, jobs=2, progress=events.append)
+        execute_items(items, jobs=2, progress=events.append)
         # Completion order is nondeterministic but counts are not.
         assert sorted(e.done for e in events) == [1, 2, 3, 4]
         assert {e.item for e in events} == set(items)
@@ -156,12 +162,12 @@ class TestExternalPool:
         from concurrent.futures import ProcessPoolExecutor
 
         items = make_items(cfg, [cfg.tile_size * 2, cfg.tile_size * 4])
-        serial = run_points(items)
+        serial = execute_items(items)
         with ProcessPoolExecutor(max_workers=2) as pool:
-            first = run_points(items, pool=pool)
+            first = execute_items(items, pool=pool)
             # run_points must not shut the caller's pool down: a second
             # batch on the same (warm) workers still succeeds.
-            second = run_points(items, pool=pool)
+            second = execute_items(items, pool=pool)
             assert first == serial
             assert second == serial
             assert pool.submit(int, 7).result() == 7
@@ -173,4 +179,50 @@ class TestExternalPool:
         with ProcessPoolExecutor(max_workers=1) as pool:
             # jobs=1 would normally mean "serial, in-process"; an explicit
             # pool wins and the single item goes through the workers.
-            assert run_points(items, jobs=1, pool=pool) == run_points(items)
+            assert execute_items(items, jobs=1, pool=pool) == execute_items(items)
+
+
+class TestRunnerKeying:
+    def test_modified_device_never_served_by_stale_runner(self, cfg):
+        """Regression: worker runner tables used to key devices by
+        ``device.name`` only, so a long-lived pool that had warmed a
+        runner for one spec would silently serve points for a *modified*
+        spec sharing the name. The key is now a fingerprint of the full
+        runner configuration (see ``repro.engine.tasks.runner_key``)."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        n = cfg.tile_size * 2
+        base = make_items(cfg, [n], input_names=("worst-case",))
+        fast = dataclasses.replace(
+            QUADRO_M4000, num_sms=QUADRO_M4000.num_sms * 2
+        )
+        modified = [dataclasses.replace(item, device=fast) for item in base]
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            first = execute_items(base, pool=pool)
+            second = execute_items(modified, pool=pool)
+        # Twice the SMs must change the modeled timing; a stale runner
+        # would have returned `first` again.
+        assert second != first
+        # And the warm-pool result matches a fresh serial run exactly.
+        assert second == execute_items(modified)
+
+    def test_config_change_on_one_pool_is_honored(self, cfg):
+        """Same staleness family, config axis: items for a different
+        SortConfig submitted to the same warm pool get their own runner."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        other = SortConfig(
+            elements_per_thread=5, block_size=32, warp_size=32
+        )
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            first = execute_items(
+                make_items(cfg, [cfg.tile_size * 2]), pool=pool
+            )
+            second = execute_items(
+                make_items(other, [other.tile_size * 2]), pool=pool
+            )
+        assert {p.config_name for p in first} == {cfg.name}
+        assert {p.config_name for p in second} == {other.name}
+        assert second == execute_items(
+            make_items(other, [other.tile_size * 2])
+        )

@@ -1,0 +1,73 @@
+"""The deprecated ``repro.bench.parallel`` surface stays importable.
+
+External callers import ``WorkItem`` / ``sweep_items`` / ``run_points``
+from ``repro.bench.parallel``; the engine refactor moved the
+implementations to ``repro.engine``. The shim must re-export the *same*
+objects (so isinstance/equality across the two import paths holds) and
+``run_points`` must warn exactly once per process before delegating.
+"""
+
+import warnings
+
+import pytest
+
+import repro.bench.parallel as parallel
+from repro.engine import dispatch, tasks
+from repro.gpu.device import QUADRO_M4000
+from repro.sort.config import SortConfig
+
+CFG = SortConfig(elements_per_thread=3, block_size=32, warp_size=32)
+
+
+class TestReExportIdentity:
+    def test_types_are_the_same_objects(self):
+        assert parallel.WorkItem is tasks.WorkItem
+        assert parallel.ProgressEvent is tasks.ProgressEvent
+        assert parallel.sweep_items is tasks.sweep_items
+        assert parallel.cache_ref is tasks.cache_ref
+
+    def test_bench_package_exports_the_same(self):
+        import repro.bench as bench
+
+        assert bench.WorkItem is tasks.WorkItem
+        assert bench.sweep_items is tasks.sweep_items
+
+
+def make_items():
+    return tasks.sweep_items(
+        CFG,
+        QUADRO_M4000,
+        ("worst-case",),
+        [CFG.tile_size * 2],
+        exact_threshold=CFG.tile_size * 8,
+        score_blocks=4,
+    )
+
+
+class TestRunPointsShim:
+    @pytest.fixture(autouse=True)
+    def reset_warned_flag(self):
+        was = parallel._DEPRECATION_WARNED
+        parallel._DEPRECATION_WARNED = False
+        yield
+        parallel._DEPRECATION_WARNED = was
+
+    def test_warns_deprecation_exactly_once(self):
+        items = make_items()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = parallel.run_points(items)
+            second = parallel.run_points(items)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "execute_items" in str(deprecations[0].message)
+        assert first == second
+
+    def test_delegates_to_execute_items(self):
+        items = make_items()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shimmed = parallel.run_points(items)
+        assert shimmed == dispatch.execute_items(items)

@@ -58,3 +58,64 @@ class TestRequestCli:
             assert '"draining"' in capsys.readouterr().out
             box.thread.join(30)
             assert not box.thread.is_alive()
+
+
+class TestEngineSelection:
+    """``request --engine`` maps a registry name to wire fields; names
+    with no wire equivalent (and conflicting flag combos) exit 2."""
+
+    def test_engine_analytic_round_trips(self, service_factory, capsys):
+        with service_factory() as box:
+            assert (
+                main(["request", "simulate", "--url", url(box),
+                      "--preset", "mgpu-maxwell", "--tiles", "2",
+                      "--engine", "analytic"])
+                == 0
+            )
+            assert "sorted correctly: True" in capsys.readouterr().out
+
+    def test_engine_inline_memoized_round_trips(self, service_factory, capsys):
+        with service_factory() as box:
+            assert (
+                main(["request", "simulate", "--url", url(box),
+                      "--preset", "mgpu-maxwell", "--tiles", "2",
+                      "--engine", "inline-memoized"])
+                == 0
+            )
+            assert "sorted correctly: True" in capsys.readouterr().out
+
+    def test_engine_pool_has_no_wire_equivalent(self, service_factory, capsys):
+        with service_factory() as box:
+            assert (
+                main(["request", "simulate", "--url", url(box),
+                      "--preset", "mgpu-maxwell", "--tiles", "2",
+                      "--engine", "pool"])
+                == 2
+            )
+            assert "no wire equivalent" in capsys.readouterr().err
+
+    def test_engine_and_scoring_are_mutually_exclusive(
+        self, service_factory, capsys
+    ):
+        with service_factory() as box:
+            assert (
+                main(["request", "simulate", "--url", url(box),
+                      "--preset", "mgpu-maxwell", "--tiles", "2",
+                      "--engine", "analytic", "--scoring", "loop"])
+                == 2
+            )
+            assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_unknown_scoring_exits_2_at_argparse(self, capsys):
+        """``--scoring`` is a closed argparse choice list drawn from the
+        registry, so a bogus value never reaches the wire. (The server's
+        own parse-time 400 for hand-rolled clients is covered in
+        ``test_server.py::TestScoringAndPadding``.)"""
+        import pytest
+
+        with pytest.raises(SystemExit) as exc:
+            main(["request", "simulate", "--url", "http://127.0.0.1:1",
+                  "--preset", "mgpu-maxwell", "--tiles", "2",
+                  "--scoring", "warp-speed"])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err

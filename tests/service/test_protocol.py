@@ -224,3 +224,57 @@ class TestRequestSchemas:
             SweepRequest.from_payload(
                 {"preset": "mgpu-maxwell", "sizes": [1920], "device": "h100"}
             )
+
+
+class TestScoringAndPaddingFields:
+    """Parse-time scoring validation (against the engine registry) and
+    the padding field the execution-engine refactor added to the wire."""
+
+    def _simulate(self, **extra):
+        payload = {"preset": "mgpu-maxwell", "tiles": 2}
+        payload.update(extra)
+        return SimulateRequest.from_payload(payload)
+
+    def _sweep(self, **extra):
+        payload = {"config": config_to_obj(small_config()), "sizes": [96]}
+        payload.update(extra)
+        return SweepRequest.from_payload(payload)
+
+    def test_unknown_scoring_fails_at_parse_time_simulate(self):
+        with pytest.raises(ValidationError, match="'scoring' must be one of"):
+            self._simulate(scoring="warp-speed")
+
+    def test_unknown_scoring_fails_at_parse_time_sweep(self):
+        with pytest.raises(ValidationError, match="'scoring' must be one of"):
+            self._sweep(scoring="warp-speed")
+
+    def test_simulate_rejects_auto(self):
+        # /simulate is a single concrete sort; routing happens in sweeps.
+        with pytest.raises(ValidationError, match="'scoring'"):
+            self._simulate(scoring="auto")
+
+    def test_sweep_accepts_auto_and_defaults_to_registry_default(self):
+        from repro.engine.registry import DEFAULT_SCORING
+
+        assert self._sweep().scoring == DEFAULT_SCORING
+        assert self._sweep(scoring="auto").scoring == "auto"
+
+    def test_padding_defaults_to_stock_layout(self):
+        assert self._simulate().padding == 0
+        assert self._sweep().padding == 0
+
+    def test_padding_splits_coalesce_keys(self):
+        assert self._simulate().coalesce_key() \
+            != self._simulate(padding=1).coalesce_key()
+        assert self._sweep().coalesce_key() \
+            != self._sweep(padding=1).coalesce_key()
+
+    def test_negative_padding_rejected(self):
+        with pytest.raises(ValidationError, match="'padding'"):
+            self._simulate(padding=-1)
+        with pytest.raises(ValidationError, match="'padding'"):
+            self._sweep(padding=-1)
+
+    def test_explicit_null_score_blocks_means_score_all(self):
+        assert self._simulate(score_blocks=None).score_blocks is None
+        assert self._simulate().score_blocks == 8

@@ -73,7 +73,7 @@ class TestRoundTrip:
                 assert np.array_equal(served, direct)
 
     def test_sweep_matches_local_run_points(self, service_factory):
-        from repro.bench.parallel import run_points, sweep_items
+        from repro.engine import execute_items, sweep_items
         from repro.gpu.device import QUADRO_M4000
 
         cfg = small_config()
@@ -86,7 +86,7 @@ class TestRoundTrip:
                 exact_threshold=cfg.tile_size * 8,
                 score_blocks=4,
             )
-            local = run_points(
+            local = execute_items(
                 sweep_items(
                     cfg,
                     QUADRO_M4000,
@@ -334,3 +334,46 @@ class TestShutdown:
         with pytest.raises(ServiceError):
             box.client.healthz()
         assert box.holder["drained"] is True
+
+
+class TestScoringAndPadding:
+    def test_unknown_scoring_is_400_not_500(self, service_factory):
+        """The registry check runs at parse time, so a bogus scoring is a
+        client error — never an internal one from deep in a runner."""
+        with service_factory() as box:
+            with pytest.raises(ValidationError, match="'scoring'"):
+                box.client.simulate(
+                    config=cfg_obj(), tiles=2, scoring="warp-speed"
+                )
+            responses = box.client.stats()["responses"]
+            assert responses["validation_errors"] == 1
+            assert responses.get("internal_errors", 0) == 0
+
+    def test_unknown_scoring_on_sweep_is_400(self, service_factory):
+        with service_factory() as box:
+            with pytest.raises(ValidationError, match="'scoring'"):
+                box.client.sweep(
+                    config=cfg_obj(), sizes=[96], scoring="warp-speed"
+                )
+
+    def test_padded_simulate_round_trip(self, service_factory):
+        """A padded request is served by a padded sorter and must match
+        the local padded result bit for bit."""
+        from repro.sort.pairwise import PairwiseMergeSort
+        from repro.sort.serialize import results_identical
+
+        cfg = small_config()
+        data = generate("worst-case", cfg, cfg.tile_size * 2, seed=0)
+        local = PairwiseMergeSort(cfg, padding=1).sort(
+            data, score_blocks=2, seed=0
+        )
+        with service_factory() as box:
+            reply = box.client.simulate(
+                config=cfg_obj(), tiles=2, score_blocks=2, padding=1
+            )
+            assert reply.sorted_ok
+            assert results_identical(reply.result, local)
+            unpadded = box.client.simulate(
+                config=cfg_obj(), tiles=2, score_blocks=2
+            )
+            assert not results_identical(unpadded.result, local)

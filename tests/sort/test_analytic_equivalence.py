@@ -1,15 +1,12 @@
-"""Three-way scoring equivalence: loop ≡ vectorized ≡ analytic.
+"""The analytic engine's eligibility, serving, and theory-bound contracts.
 
-The closed-form engine (``repro.analytic``) derives every ``RoundStats``
-field arithmetically, without simulating a trace. Its contract is
-bit-identity with the vectorized simulator — which is itself pinned to
-the per-tile loop oracle in ``test_pairwise_equivalence`` — for every
-analytic-eligible family. These tests close the triangle: all three
-scoring engines over all four constructed families, the three ``E``
-regimes (small, large, power-of-two), with and without shared-memory
-padding, full and sampled scoring, plus the serialization round-trip a
-served result goes through and the theory module's per-round cycle
-bound.
+The loop ≡ vectorized ≡ analytic bit-identity *matrix* moved to
+``tests/engine/test_engine_equivalence.py``, which runs the closed form
+(with padding and sampling) through the registered ``analytic`` engine
+against the loop oracle alongside every other engine. What stays here is
+what the engine suite does not exercise: the eligibility predicate and
+model detection, the served round-trip through the serialization layer,
+and the theory module's per-round cycle bound.
 """
 
 import numpy as np
@@ -27,71 +24,9 @@ from repro.errors import ValidationError
 from repro.inputs.generators import generate
 from repro.sort.pairwise import PairwiseMergeSort
 from repro.sort.serialize import result_from_obj, result_to_obj, results_identical
-from tests.sort.test_pairwise_equivalence import (
-    CONFIGS,
-    assert_results_identical,
-)
+from tests.engine.comparison import CONFIGS
 
 FAMILIES = sorted(ANALYTIC_FAMILIES)
-
-
-def run_three(config, input_name, n, *, score_blocks=None, seed=0, padding=0):
-    """One result per scoring engine, same input, same sampling draws."""
-    data = generate(input_name, config, n, seed=42)
-    results = {}
-    for scoring in ("loop", "vectorized", "analytic"):
-        sorter = PairwiseMergeSort(config, padding=padding, scoring=scoring)
-        results[scoring] = sorter.sort(data, score_blocks=score_blocks, seed=seed)
-    return results
-
-
-class TestThreeWayBitIdentity:
-    @pytest.mark.parametrize("config_name", sorted(CONFIGS))
-    @pytest.mark.parametrize("input_name", FAMILIES)
-    def test_all_configs_and_families(self, config_name, input_name):
-        cfg = CONFIGS[config_name]
-        results = run_three(cfg, input_name, cfg.tile_size * 8)
-        assert_results_identical(results["loop"], results["vectorized"])
-        assert_results_identical(results["vectorized"], results["analytic"])
-
-    @pytest.mark.parametrize("input_name", FAMILIES)
-    def test_with_padding(self, input_name):
-        cfg = CONFIGS["small-e"]
-        results = run_three(cfg, input_name, cfg.tile_size * 8, padding=1)
-        assert_results_identical(results["loop"], results["analytic"])
-
-    @pytest.mark.parametrize("input_name", FAMILIES)
-    def test_sampled_scoring_shares_rng_draws(self, input_name):
-        """Block sampling draws from a seeded generator; the analytic path
-        must consume it identically to the simulated paths."""
-        cfg = CONFIGS["pow2-e"]
-        results = run_three(
-            cfg, input_name, cfg.tile_size * 16, score_blocks=2, seed=777
-        )
-        assert_results_identical(results["loop"], results["analytic"])
-
-    def test_single_tile_no_global_rounds(self):
-        cfg = CONFIGS["tiny"]
-        results = run_three(cfg, "worst-case", cfg.tile_size)
-        assert all(r.kind != "global" for r in results["analytic"].rounds)
-        assert_results_identical(results["vectorized"], results["analytic"])
-
-    def test_many_global_rounds(self):
-        cfg = CONFIGS["large-e"]
-        results = run_three(cfg, "reverse", cfg.tile_size * 32)
-        assert sum(r.kind == "global" for r in results["analytic"].rounds) == 5
-        assert_results_identical(results["vectorized"], results["analytic"])
-
-    def test_memoized_vectorized_matches_analytic(self):
-        """The memoized fast path and the closed form agree too (memo_stats
-        aside, which only the memoized result carries)."""
-        cfg = CONFIGS["small-e"]
-        data = generate("worst-case", cfg, cfg.tile_size * 8, seed=42)
-        memoized = PairwiseMergeSort(cfg, memo="auto").sort(data)
-        analytic = PairwiseMergeSort(cfg, scoring="analytic").sort(data)
-        assert memoized.memo_stats is not None
-        assert analytic.memo_stats is None
-        assert_results_identical(memoized, analytic)
 
 
 class TestEligibility:

@@ -1,17 +1,12 @@
-"""Memoized scoring equivalence — the pattern memo's end-to-end contract.
+"""The pattern memo's warm-state contract and configuration surface.
 
-``PairwiseMergeSort(memo=ConflictMemo())`` must be *bit-identical* to both
-the plain vectorized path (``memo=None``) and the per-tile loop oracle
-(``scoring="loop"``): same sorted values, same round structure, same
-conflict counters, same per-step cost arrays, same sampled-block RNG
-draws. That must hold on cold memos, on warm memos (round-level hits,
-including hits carried across sorts and across input sizes), and under
-eviction churn from a deliberately tiny ``max_entries``.
-
-Reuses the config/input matrix and comparison helpers of
-``tests/sort/test_pairwise_equivalence.py`` so the three scoring paths are
-exercised on exactly the same coverage: every round kind, the three ``E``
-regimes, all input families, both sampling modes, nonzero padding.
+The memoized-vs-plain-vs-loop equivalence *matrix* moved to
+``tests/engine/test_engine_equivalence.py`` (the ``inline-memoized``
+engine rows). What stays here is what only the memo itself can show:
+warm-memo behavior (round-level hits, cross-sort and cross-size
+sharing, eviction churn staying exact), the sampled-draws case that
+must hold *while memoizing*, and the memo configuration/validation
+surface of ``PairwiseMergeSort``.
 """
 
 import numpy as np
@@ -21,11 +16,7 @@ from repro.dmm.memo import ConflictMemo
 from repro.errors import ValidationError
 from repro.inputs.generators import generate
 from repro.sort.pairwise import PairwiseMergeSort
-from tests.sort.test_pairwise_equivalence import (
-    CONFIGS,
-    INPUTS,
-    assert_results_identical,
-)
+from tests.engine.comparison import CONFIGS, assert_results_identical
 
 
 def run_three(config, data, *, score_blocks=None, seed=0, padding=0):
@@ -41,16 +32,7 @@ def run_three(config, data, *, score_blocks=None, seed=0, padding=0):
     return results
 
 
-class TestMemoizedEquivalence:
-    @pytest.mark.parametrize("config_name", sorted(CONFIGS))
-    @pytest.mark.parametrize("input_name", INPUTS)
-    def test_all_configs_and_inputs(self, config_name, input_name):
-        cfg = CONFIGS[config_name]
-        data = generate(input_name, cfg, cfg.tile_size * 8, seed=42)
-        memoized, plain, loop = run_three(cfg, data)
-        assert_results_identical(memoized, plain)
-        assert_results_identical(memoized, loop)
-
+class TestMemoizedSampling:
     @pytest.mark.parametrize("score_blocks", [1, 2, 3])
     def test_sampled_rounds_share_rng_draws(self, score_blocks):
         cfg = CONFIGS["small-e"]
@@ -60,19 +42,6 @@ class TestMemoizedEquivalence:
         )
         assert_results_identical(memoized, plain)
         assert_results_identical(memoized, loop)
-
-    def test_with_padding(self):
-        cfg = CONFIGS["pow2-e"]
-        data = generate("conflict-heavy", cfg, cfg.tile_size * 4, seed=9)
-        memoized, plain, loop = run_three(cfg, data, padding=1)
-        assert_results_identical(memoized, plain)
-        assert_results_identical(memoized, loop)
-
-    def test_single_tile_no_global_rounds(self):
-        cfg = CONFIGS["tiny"]
-        data = generate("random", cfg, cfg.tile_size, seed=1)
-        memoized, plain, _ = run_three(cfg, data)
-        assert_results_identical(memoized, plain)
 
 
 class TestWarmMemo:
@@ -177,16 +146,6 @@ class TestMemoConfiguration:
         assert second.memo_stats.misses == 0
         assert memo.hits == first.memo_stats.hits + second.memo_stats.hits
         assert memo.misses == first.memo_stats.misses + second.memo_stats.misses
-
-
-class TestKernelCostEquivalence:
-    def test_aggregate_cost_identical(self):
-        cfg = CONFIGS["small-e"]
-        data = generate("worst-case", cfg, cfg.tile_size * 8, seed=0)
-        memoized, plain, _ = run_three(cfg, data)
-        assert memoized.kernel_cost(8) == plain.kernel_cost(8)
-        assert memoized.replays_per_element() == plain.replays_per_element()
-        assert memoized.total_shared_cycles() == plain.total_shared_cycles()
 
 
 def test_values_still_sorted():

@@ -1,62 +1,29 @@
-"""Exact-vs-vectorized scoring equivalence — the tentpole's oracle.
+"""Structural loop-vs-vectorized checks the engine suite does not cover.
 
-``PairwiseMergeSort(scoring="loop")`` keeps the original per-tile scoring
-bodies verbatim; ``scoring="vectorized"`` batches every scored tile of a
-round into single NumPy passes. The two must be *bit-identical*: same sorted
-values, same round structure, same conflict counters, same per-step cost
-arrays, and — with block sampling on — the same sampled-block RNG draws.
+The full equivalence *matrices* (every scoring path × every input family
+× every ``E`` regime × padding × sampling) moved to
+``tests/engine/test_engine_equivalence.py``, which runs them through
+every registered execution engine against the loop oracle. What stays
+here are the structure-sensitive cases: round-kind composition (no
+global rounds for a single tile, exactly five for 32), the sampled-block
+RNG draw alignment at several sample counts, and the aggregate
+kernel-cost accessors — each asserted loop-vs-vectorized directly on the
+sorter, where the structure is visible.
 
-These tests cover every round kind (registers / block / global), the three
-``E`` regimes (small, large, power-of-two), several input families, both
-sampling modes, and nonzero shared-memory padding.
+The shared config/input matrix and comparators live in
+``tests/engine/comparison.py``.
 """
 
-import numpy as np
 import pytest
 
 from repro.inputs.generators import generate
-from repro.sort.config import SortConfig
 from repro.sort.pairwise import PairwiseMergeSort
-
-CONFIGS = {
-    "tiny": SortConfig(elements_per_thread=3, block_size=8, warp_size=4),
-    "small-e": SortConfig(elements_per_thread=3, block_size=16, warp_size=8),
-    "large-e": SortConfig(elements_per_thread=5, block_size=16, warp_size=8),
-    "pow2-e": SortConfig(elements_per_thread=4, block_size=16, warp_size=8),
-}
-
-INPUTS = ["random", "sorted", "reverse", "few-unique", "sawtooth", "worst-case"]
-
-
-def assert_reports_identical(a, b, context):
-    assert a.num_banks == b.num_banks, context
-    assert a.num_steps == b.num_steps, context
-    assert a.num_accesses == b.num_accesses, context
-    assert a.num_requests == b.num_requests, context
-    assert a.total_transactions == b.total_transactions, context
-    assert a.total_replays == b.total_replays, context
-    assert a.max_degree == b.max_degree, context
-    np.testing.assert_array_equal(
-        a.per_step_transactions, b.per_step_transactions, err_msg=context
-    )
-
-
-def assert_results_identical(rv, rl):
-    np.testing.assert_array_equal(rv.values, rl.values)
-    assert len(rv.rounds) == len(rl.rounds)
-    for sv, sl in zip(rv.rounds, rl.rounds):
-        assert sv.label == sl.label
-        assert sv.kind == sl.kind
-        assert sv.run_length == sl.run_length
-        assert sv.blocks_total == sl.blocks_total
-        assert sv.blocks_scored == sl.blocks_scored
-        assert sv.compute_instructions == sl.compute_instructions
-        assert sv.global_traffic == sl.global_traffic
-        assert_reports_identical(sv.merge_report, sl.merge_report, sv.label)
-        assert_reports_identical(
-            sv.partition_report, sl.partition_report, sv.label
-        )
-        assert_reports_identical(sv.staging_report, sl.staging_report, sv.label)
+from tests.engine.comparison import (  # noqa: F401  (re-exported for callers)
+    CONFIGS,
+    INPUTS,
+    assert_reports_identical,
+    assert_results_identical,
+)
 
 
 def run_both(config, data, *, score_blocks=None, seed=0, padding=0):
@@ -69,15 +36,7 @@ def run_both(config, data, *, score_blocks=None, seed=0, padding=0):
     return rv, rl
 
 
-class TestFullScoringEquivalence:
-    @pytest.mark.parametrize("config_name", sorted(CONFIGS))
-    @pytest.mark.parametrize("input_name", INPUTS)
-    def test_all_configs_and_inputs(self, config_name, input_name):
-        cfg = CONFIGS[config_name]
-        n = cfg.tile_size * 8
-        data = generate(input_name, cfg, n, seed=42)
-        assert_results_identical(*run_both(cfg, data))
-
+class TestRoundStructure:
     def test_single_tile_no_global_rounds(self):
         cfg = CONFIGS["tiny"]
         data = generate("random", cfg, cfg.tile_size, seed=1)
@@ -92,7 +51,9 @@ class TestFullScoringEquivalence:
         assert sum(r.kind == "global" for r in rv.rounds) == 5
         assert_results_identical(rv, rl)
 
-    def test_with_padding(self):
+    def test_conflict_heavy_with_padding(self):
+        """conflict-heavy is not an analytic family, so the engine suite's
+        padding rows never reach it — pin it here."""
         cfg = CONFIGS["small-e"]
         data = generate("conflict-heavy", cfg, cfg.tile_size * 4, seed=9)
         assert_results_identical(*run_both(cfg, data, padding=1))

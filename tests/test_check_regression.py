@@ -193,3 +193,58 @@ class TestDocumentValidation:
         assert "sweep_memoized" in baseline["timings"]
         proc = run_gate(tmp_path, baseline, baseline)
         assert proc.returncode == 0
+
+
+class TestRequiredRows:
+    """``--require`` closes the silent-row-drop hole: a refactor that
+    stops producing a gated benchmark row must fail the gate, not pass
+    it vacuously."""
+
+    def test_present_rows_pass(self, tmp_path):
+        proc = run_gate(
+            tmp_path,
+            doc({"exact": {"seconds": 0.11}, "sweep": {"seconds": 0.2}}),
+            doc({"exact": {"seconds": 0.10}, "sweep": {"seconds": 0.2}}),
+            "--require", "exact,sweep",
+        )
+        assert proc.returncode == 0
+
+    def test_row_missing_from_current_fails(self, tmp_path):
+        proc = run_gate(
+            tmp_path,
+            doc({"sweep": {"seconds": 0.2}}),
+            doc({"exact": {"seconds": 0.10}, "sweep": {"seconds": 0.2}}),
+            "--require", "exact",
+        )
+        assert proc.returncode == 1
+        assert "required row missing from the current document" in proc.stderr
+
+    def test_row_missing_from_baseline_fails(self, tmp_path):
+        proc = run_gate(
+            tmp_path,
+            doc({"exact": {"seconds": 0.10}}),
+            doc({}),
+            "--require", "exact",
+        )
+        assert proc.returncode == 1
+        assert "required row missing from the baseline document" in proc.stderr
+
+    def test_malformed_required_row_fails(self, tmp_path):
+        """A required row that exists but is skipped as malformed must
+        still fail — otherwise the skip path reopens the hole."""
+        proc = run_gate(
+            tmp_path,
+            doc({"exact": {"note": "no seconds"}}),
+            doc({"exact": {"seconds": 0.10}}),
+            "--require", "exact",
+        )
+        assert proc.returncode == 1
+        assert "malformed" in proc.stderr
+
+    def test_unrequired_missing_rows_still_pass(self, tmp_path):
+        proc = run_gate(
+            tmp_path,
+            doc({"exact": {"seconds": 0.11}}),
+            doc({"exact": {"seconds": 0.10}, "gone": {"seconds": 0.5}}),
+        )
+        assert proc.returncode == 0

@@ -286,3 +286,42 @@ class TestProgressPrinter:
         emit = _progress_printer(Broken())
         for event in self.events(1):
             emit(event)  # must not raise
+
+
+class TestEngineFlag:
+    """``--engine`` picks a registered engine directly; ``--scoring``
+    keeps working and the two resolve through the same registry."""
+
+    def test_simulate_engine_inline_loop_matches_scoring_loop(self, capsys):
+        argv = ["simulate", "--preset", "mgpu-maxwell", "--tiles", "2",
+                "--input", "worst-case"]
+        assert main(argv + ["--engine", "inline-loop"]) == 0
+        by_engine = capsys.readouterr().out
+        assert main(argv + ["--scoring", "loop"]) == 0
+        by_scoring = capsys.readouterr().out
+        assert "sorted correctly: True" in by_engine
+        assert by_engine == by_scoring
+
+    def test_simulate_engine_analytic(self, capsys):
+        assert (
+            main(["simulate", "--preset", "mgpu-maxwell", "--tiles", "2",
+                  "--input", "worst-case", "--engine", "analytic"])
+            == 0
+        )
+        assert "sorted correctly: True" in capsys.readouterr().out
+
+    def test_simulate_unknown_engine_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["simulate", "--preset", "mgpu-maxwell", "--tiles", "2",
+                  "--input", "worst-case", "--engine", "warp-drive"])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_sweep_engine_inline_matches_default(self, capsys):
+        argv = ["sweep", "--preset", "mgpu-maxwell",
+                "--max-elements", "1000000", "--exact-threshold", "262144"]
+        assert main(argv) == 0
+        default = capsys.readouterr().out
+        assert main(argv + ["--engine", "inline"]) == 0
+        explicit = capsys.readouterr().out
+        assert default == explicit
