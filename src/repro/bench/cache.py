@@ -34,6 +34,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -302,27 +303,47 @@ class BenchCache:
                 continue
         return removed
 
-    def prune(self, max_bytes: int) -> PruneResult:
+    #: Minimum age (seconds) before an orphaned ``*.tmp`` is collected.
+    #: A live writer holds its temp file only for the instant between
+    #: :func:`tempfile.mkstemp` and :func:`os.replace`; anything older
+    #: than this by mtime is a crashed writer's leftover, not a write in
+    #: flight.
+    TMP_GRACE_SECONDS = 60.0
+
+    def prune(
+        self, max_bytes: int, *, tmp_grace: float | None = None
+    ) -> PruneResult:
         """Evict least-recently-written entries until ≤ ``max_bytes`` remain.
 
         LRU order is mtime: :meth:`_store`'s temp-file + :func:`os.replace`
         discipline stamps every entry at its last (re)write, so the oldest
         files are the ones no recent run touched. Orphaned ``*.tmp`` files
-        left behind by crashed writers are removed unconditionally. A
-        long-running server calls this periodically (or an operator runs
-        ``repro-mergesort cache prune --max-mb N``) so the disk cache stays
-        bounded the way the in-memory memo's FIFO tables already are.
-        Entries that vanish concurrently (another pruner, a ``clear``) are
-        skipped, not errors.
+        left behind by crashed writers are removed too — but only once
+        they are older than ``tmp_grace`` seconds (default
+        :attr:`TMP_GRACE_SECONDS`): the directory is shared with
+        concurrent workers, and a fresh ``*.tmp`` may be mid-write, about
+        to be :func:`os.replace`'d into place. Deleting it would make the
+        writer's rename fail and drop its result. A long-running server
+        calls this periodically (or an operator runs ``repro-mergesort
+        cache prune --max-mb N``) so the disk cache stays bounded the way
+        the in-memory memo's FIFO tables already are. Entries that vanish
+        concurrently (another pruner, a ``clear``) are skipped, not
+        errors.
         """
         if max_bytes < 0:
             raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        if tmp_grace is None:
+            tmp_grace = self.TMP_GRACE_SECONDS
         removed = removed_bytes = 0
         if self.cache_dir.is_dir():
+            cutoff = time.time() - tmp_grace
             for sub in ("points", "rates"):
                 for tmp in (self.cache_dir / sub).glob("*.tmp"):
                     try:
-                        size = tmp.stat().st_size
+                        stat = tmp.stat()
+                        if stat.st_mtime > cutoff:
+                            continue  # possibly a write in flight
+                        size = stat.st_size
                         tmp.unlink()
                     except OSError:
                         continue

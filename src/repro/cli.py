@@ -161,15 +161,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--engine", default=None,
-        choices=["inline", "pool", "service"],
+        choices=["inline", "pool", "service", "sharded"],
         help="execution engine: inline (serial; the --jobs 1 default), "
-        "pool (worker processes; the --jobs N default), or service (a "
-        "running repro-mergesort serve daemon at --url). Points are "
-        "bit-identical across all three",
+        "pool (worker processes; the --jobs N default), service (a "
+        "running repro-mergesort serve daemon at --url), or sharded "
+        "(a fleet of daemons, consistent-hashed per request; --url "
+        "takes a comma-separated list). Points are bit-identical "
+        "across all of them",
     )
     p.add_argument(
         "--url", default="http://127.0.0.1:8787",
-        help="daemon URL for --engine service (default %(default)s)",
+        help="daemon URL for --engine service, or a comma-separated "
+        "shard URL list for --engine sharded (default %(default)s)",
     )
     _add_bench_exec_args(p)
 
@@ -241,6 +244,23 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="cache location (implies --cache)")
+    p.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="run N worker daemons on ephemeral ports behind a "
+        "consistent-hash shard router listening on --port; the default "
+        "1 runs a single daemon on --port with no router",
+    )
+    p.add_argument(
+        "--quota-per-minute", type=int, default=0, metavar="N",
+        help="per-client compute-request quota (requests/minute, then "
+        "HTTP 429; 0 = unlimited); enforced by the router with "
+        "--shards > 1, by the daemon itself otherwise",
+    )
+    p.add_argument(
+        "--chunk-concurrency", type=int, default=4, metavar="N",
+        help="concurrent chunks per scheduled job manifest "
+        "(--shards > 1 only; default 4)",
+    )
 
     p = sub.add_parser(
         "request",
@@ -250,7 +270,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "action",
         choices=["healthz", "stats", "construct", "simulate", "sweep",
-                 "shutdown"],
+                 "job", "shutdown"],
     )
     p.add_argument("--url", default="http://127.0.0.1:8787",
                    help="base URL of the daemon (default %(default)s)")
@@ -281,6 +301,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--out", default=None, metavar="PATH",
                    help="construct: also save the permutation as .npy")
+    p.add_argument("--chunk-sizes", type=int, default=4,
+                   help="job: sweep sizes per scheduler chunk")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="job: re-queues per chunk on worker failure")
+    p.add_argument("--no-wait", action="store_true",
+                   help="job: print the job_id and return without polling")
 
     p = sub.add_parser(
         "analyze",
@@ -438,6 +464,8 @@ def _cmd_sweep(args) -> int:
             kwargs["jobs"] = max(args.jobs, 1)
         elif args.engine == "service":
             kwargs["url"] = args.url
+        elif args.engine == "sharded":
+            kwargs["urls"] = args.url  # comma-separated list accepted
         with create_engine(args.engine, **kwargs) as engine:
             points = engine.run_points(items, progress=progress)
     _print_memo_stats(jobs=args.jobs)
@@ -622,15 +650,16 @@ def _cmd_reproduce(args) -> int:
 def _print_memo_stats(jobs: int = 1) -> None:
     """Conflict-memo summary on stderr after a sweep-driven command.
 
-    Only this process's memos are visible — with ``--jobs > 1`` each
-    worker holds its own, so the line is tagged accordingly.
+    Pool workers ship their per-item :class:`MemoStats` deltas back with
+    every result (see :mod:`repro.engine.pool`), so with ``--jobs > 1``
+    the process aggregate printed here includes worker activity too.
     """
     from repro.dmm.memo import ConflictMemo
 
     stats = ConflictMemo.process_stats()
     if not stats.lookups:
         return
-    scope = "this process; workers keep their own" if jobs > 1 else "all sorts"
+    scope = "all sorts incl. pool workers" if jobs > 1 else "all sorts"
     print(f"conflict memo ({scope}): {stats}", file=sys.stderr, flush=True)
 
 
@@ -657,19 +686,39 @@ def _cmd_cache(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    from repro.errors import ValidationError
     from repro.service.server import ServiceConfig, serve_forever
 
+    if args.shards < 1:
+        raise ValidationError(f"--shards must be >= 1, got {args.shards}")
+    single = args.shards == 1
     config = ServiceConfig(
         host=args.host,
-        port=args.port,
+        # With a fleet the workers take ephemeral ports; the router owns
+        # the requested port so clients keep one stable address.
+        port=args.port if single else 0,
         queue_limit=args.queue_limit,
         request_timeout=args.request_timeout,
         drain_timeout=args.drain_timeout,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=bool(args.cache or args.cache_dir),
+        quota_per_minute=args.quota_per_minute if single else 0,
     )
-    return serve_forever(config)
+    if single:
+        return serve_forever(config)
+    from repro.service.shard import RouterConfig, serve_fleet
+
+    router = RouterConfig(
+        host=args.host,
+        port=args.port,
+        request_timeout=args.request_timeout,
+        forward_timeout=max(args.request_timeout - 10.0, 1.0),
+        drain_timeout=args.drain_timeout,
+        quota_per_minute=args.quota_per_minute,
+        chunk_concurrency=args.chunk_concurrency,
+    )
+    return serve_fleet(config, router, args.shards)
 
 
 def _request_scoring(args) -> tuple[str | None, bool]:
@@ -753,6 +802,56 @@ def _cmd_request(args) -> int:
         )
         if result.memo_stats is not None:
             print(f"memoized scoring (server-side): {result.memo_stats}")
+        return 0
+
+    if args.action == "job":
+        from repro.service.protocol import point_from_obj
+
+        manifest = {
+            "preset": args.preset,
+            "device": args.device,
+            "inputs": ["random", args.input],
+            "max_elements": args.max_elements,
+            "exact_threshold": args.exact_threshold,
+            "score_blocks": args.score_blocks,
+            "seed": args.seed,
+            "chunk_sizes": args.chunk_sizes,
+            "max_retries": args.max_retries,
+        }
+        if scoring is not None:
+            manifest["scoring"] = scoring
+        ack = client.submit_job(manifest)
+        print(
+            f"job {ack['job_id']} submitted: {ack['chunks']} chunks "
+            f"(poll with GET /jobs/{ack['job_id']})"
+        )
+        if args.no_wait:
+            return 0
+        status = client.wait_for_job(ack["job_id"], timeout=args.timeout)
+        if status["status"] != "done":
+            for entry in status.get("errors", []):
+                print(f"chunk {entry['chunk']}: {entry['error']}",
+                      file=sys.stderr)
+            print(f"job {ack['job_id']} failed", file=sys.stderr)
+            return 3
+        points = [point_from_obj(p) for p in status["points"]]
+        per_input = len(status["sizes"])
+        base, other = points[:per_input], points[per_input:]
+        rows = [
+            {
+                "N": p.num_elements,
+                "random Melem/s": p.throughput_meps,
+                f"{args.input} Melem/s": q.throughput_meps,
+                "slowdown %": (q.milliseconds / p.milliseconds - 1) * 100,
+            }
+            for p, q in zip(base, other)
+        ]
+        print(table(rows))
+        print(
+            f"\n{args.input} vs random: {slowdown_stats(base, other)}   "
+            f"(chunks={status['chunks']['done']}, "
+            f"retries={status['retries']})"
+        )
         return 0
 
     # sweep

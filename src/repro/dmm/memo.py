@@ -283,11 +283,52 @@ class ConflictMemo:
 
     @classmethod
     def process_stats(cls) -> MemoStats:
-        """Aggregate across every memo created in this process."""
+        """Aggregate across every memo created in this process.
+
+        Includes deltas absorbed from worker processes via
+        :meth:`absorb_stats`, so a pool-running parent reports fleet-wide
+        memo activity rather than only its own.
+        """
         return MemoStats(
             hits=cls._process_hits,
             misses=cls._process_misses,
             tile_entries=cls._process_tile_entries,
             round_entries=cls._process_round_entries,
             stored_bytes=cls._process_bytes,
+        )
+
+    @classmethod
+    def absorb_stats(cls, delta: MemoStats) -> None:
+        """Fold a worker process's :class:`MemoStats` delta into this one.
+
+        The ``_process_*`` counters are per-process: under pooled
+        execution each worker mutates its own copies and the parent's
+        aggregate would silently under-report (``cache stats``, sweep
+        memo lines, and the service ``/stats`` all read it). Workers
+        therefore snapshot their counters around each work item and ship
+        the difference back; the parent folds it in here. Entry/byte
+        deltas can be negative (FIFO eviction in the worker) — they are
+        folded as-is so the aggregate tracks net retained state.
+        """
+        cls._process_hits += delta.hits
+        cls._process_misses += delta.misses
+        cls._process_tile_entries += delta.tile_entries
+        cls._process_round_entries += delta.round_entries
+        cls._process_bytes += delta.stored_bytes
+
+    @classmethod
+    def process_stats_delta(cls, baseline: MemoStats) -> MemoStats:
+        """Change in :meth:`process_stats` since ``baseline`` was taken.
+
+        The worker-side half of the stats-shipping protocol: snapshot
+        before a work item, call this after, send the result to the
+        parent's :meth:`absorb_stats`.
+        """
+        now = cls.process_stats()
+        return MemoStats(
+            hits=now.hits - baseline.hits,
+            misses=now.misses - baseline.misses,
+            tile_entries=now.tile_entries - baseline.tile_entries,
+            round_entries=now.round_entries - baseline.round_entries,
+            stored_bytes=now.stored_bytes - baseline.stored_bytes,
         )

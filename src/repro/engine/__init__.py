@@ -13,6 +13,7 @@
 ``analytic``          closed form (constructed families, O(rounds)/task)
 ``pool``              warm ``ProcessPoolExecutor`` fan-out
 ``service``           a running ``repro-mergesort serve`` daemon
+``sharded``           a fleet of daemons, consistent-hashed per request
 ====================  ====================================================
 
 All of them are bit-identical wherever their inputs overlap — enforced
@@ -52,6 +53,7 @@ __all__ = [
     "PoolEngine",
     "ProgressEvent",
     "ServiceEngine",
+    "ShardedEngine",
     "SortTask",
     "WorkItem",
     "cache_ref",
@@ -74,6 +76,7 @@ _LAZY = {
     "PoolEngine": "repro.engine.pool",
     "ProgressEvent": "repro.engine.tasks",
     "ServiceEngine": "repro.engine.service",
+    "ShardedEngine": "repro.engine.sharded",
     "WorkItem": "repro.engine.tasks",
     "cache_ref": "repro.engine.tasks",
     "execute_items": "repro.engine.dispatch",

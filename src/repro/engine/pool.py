@@ -28,6 +28,7 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Callable
 
+from repro.dmm.memo import ConflictMemo
 from repro.engine.base import ExecutionEngine, SortTask
 from repro.engine.registry import (
     DEFAULT_SCORING,
@@ -46,12 +47,26 @@ _WORKER_ENGINES: dict = {}
 
 
 def _worker_point(item: WorkItem):
-    """Run one sweep point in a worker; (point, seconds, from_cache)."""
-    return execute_item(item, _WORKER_RUNNERS)
+    """Run one sweep point in a worker.
+
+    Returns ``(point, seconds, from_cache, memo_delta)``. The memo delta
+    is this item's change to the *worker's* process-wide
+    :class:`~repro.dmm.memo.ConflictMemo` counters — class attributes
+    that only ever mutate in whichever process runs the sort, so without
+    shipping them back the parent's ``cache stats`` / sweep memo lines /
+    service ``/stats`` under-report every pooled run.
+    """
+    before = ConflictMemo.process_stats()
+    point, seconds, from_cache = execute_item(item, _WORKER_RUNNERS)
+    return point, seconds, from_cache, ConflictMemo.process_stats_delta(before)
 
 
 def _worker_sort(task: SortTask, scoring: str, memoized: bool):
-    """Run one sort task in a worker, reusing a per-mode inline engine."""
+    """Run one sort task in a worker, reusing a per-mode inline engine.
+
+    Returns ``(result, memo_delta)`` — see :func:`_worker_point` for why
+    the delta travels with the result.
+    """
     from repro.engine.inline import InlineEngine
 
     key = (scoring, memoized)
@@ -61,7 +76,9 @@ def _worker_sort(task: SortTask, scoring: str, memoized: bool):
             scoring=scoring, memo="auto" if memoized else None
         )
         _WORKER_ENGINES[key] = engine
-    return engine.run_sort(task)
+    before = ConflictMemo.process_stats()
+    result = engine.run_sort(task)
+    return result, ConflictMemo.process_stats_delta(before)
 
 
 class PoolEngine(ExecutionEngine):
@@ -131,7 +148,9 @@ class PoolEngine(ExecutionEngine):
         }
         results = [None] * len(tasks)
         for future in as_completed(futures):
-            results[futures[future]] = future.result()
+            result, memo_delta = future.result()
+            ConflictMemo.absorb_stats(memo_delta)
+            results[futures[future]] = result
         return results
 
     def _execute_points(
@@ -146,7 +165,8 @@ class PoolEngine(ExecutionEngine):
         done = 0
         for future in as_completed(futures):
             i = futures[future]
-            point, elapsed, from_cache = future.result()
+            point, elapsed, from_cache, memo_delta = future.result()
+            ConflictMemo.absorb_stats(memo_delta)
             results[i] = point
             done += 1
             if progress is not None:

@@ -18,6 +18,7 @@ package.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable
 
 from repro.errors import ValidationError
@@ -93,6 +94,7 @@ def resolve_scoring(
 
 _FACTORIES: dict[str, Callable] = {}
 _BUILTINS_LOADED = False
+_BUILTINS_GUARD = threading.RLock()
 
 
 def register_engine(
@@ -114,12 +116,30 @@ def register_engine(
 
 
 def _ensure_builtins() -> None:
-    """Import the builtin engine modules (each registers itself)."""
+    """Import the builtin engine modules (each registers itself).
+
+    Thread-safe: concurrent first callers (e.g. shard-fleet workers
+    booting in parallel threads) serialize on the guard, and the loaded
+    flag only flips once every builtin has registered — setting it
+    before the imports let a racing thread observe an empty registry.
+    The lock is reentrant so an engine module consulting the registry
+    mid-import cannot deadlock.
+    """
     global _BUILTINS_LOADED
     if _BUILTINS_LOADED:
         return
-    _BUILTINS_LOADED = True
-    from repro.engine import analytic, inline, pool, service  # noqa: F401
+    with _BUILTINS_GUARD:
+        if _BUILTINS_LOADED:
+            return
+        from repro.engine import (  # noqa: F401
+            analytic,
+            inline,
+            pool,
+            service,
+            sharded,
+        )
+
+        _BUILTINS_LOADED = True
 
 
 def engine_names() -> tuple[str, ...]:

@@ -1,0 +1,215 @@
+"""Sharded remote execution: plans fanned out across a daemon fleet.
+
+:class:`ShardedEngine` is the client-side twin of the shard router's
+hash ring (:class:`repro.service.shard.HashRing`): each plan element is
+fingerprinted with the *protocol's* coalescing key and consistent-hashed
+onto one of N shard URLs, so identical work always reaches the same
+daemon — which is the precondition for that daemon's single-flight
+coalescing and warm memo to apply. Distinct elements spread across the
+fleet and execute concurrently (one thread per in-flight request,
+bounded by ``max_concurrency``), turning a fleet of daemons into one
+:class:`~repro.engine.base.ExecutionEngine` behind
+``sweep --engine sharded``.
+
+Two deployment shapes share this engine:
+
+* ``urls`` pointing at the worker daemons directly — the engine *is*
+  the router (same ring, client-side), no extra hop;
+* a single URL pointing at a :class:`~repro.service.shard.ShardRouter`
+  — the ring is degenerate and every request takes the router hop,
+  gaining its fleet-wide single flight and failover.
+
+Like :class:`~repro.engine.service.ServiceEngine`, results decode back
+into real library types and sit in the bit-identity equivalence suite;
+ordering is preserved regardless of which shard answered first.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from typing import Callable
+
+from repro.engine.base import ExecutionEngine, SortTask
+from repro.engine.registry import check_scoring, register_engine
+from repro.engine.service import _check_served_device
+from repro.engine.tasks import ProgressEvent, WorkItem
+from repro.errors import ValidationError
+from repro.sort.serialize import config_to_obj
+
+__all__ = ["ShardedEngine"]
+
+
+class ShardedEngine(ExecutionEngine):
+    """Executes plans across a consistent-hashed fleet of daemons.
+
+    Parameters
+    ----------
+    urls:
+        Shard base URLs (workers directly, or one router URL). Accepts
+        a list or a single comma-separated string (the CLI form).
+    timeout:
+        Client socket timeout per request (seconds).
+    scoring, memoized:
+        Forwarded with **sort plans** exactly as in
+        :class:`~repro.engine.service.ServiceEngine`; point plans are
+        self-describing.
+    max_concurrency:
+        In-flight requests across the fleet. Defaults to four per
+        shard — enough to keep every shard busy without flooding any
+        single admission gate from one client.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        urls: list[str] | str,
+        *,
+        timeout: float = 630.0,
+        scoring: str | None = None,
+        memoized: bool = True,
+        max_concurrency: int | None = None,
+        client_id: str | None = None,
+    ):
+        from repro.service.client import ServiceClient
+        from repro.service.shard import HashRing
+
+        if isinstance(urls, str):
+            urls = [url.strip() for url in urls.split(",") if url.strip()]
+        if not urls:
+            raise ValidationError("the sharded engine needs at least one URL")
+        if scoring is not None:
+            check_scoring(scoring, allow_auto=False)
+        self.ring = HashRing(list(urls))
+        self.clients = {
+            url: ServiceClient(url, timeout=timeout, client_id=client_id)
+            for url in urls
+        }
+        self.scoring = scoring
+        self.memoized = bool(memoized)
+        if max_concurrency is None:
+            max_concurrency = 4 * len(urls)
+        if max_concurrency < 1:
+            raise ValidationError(
+                f"max_concurrency must be >= 1, got {max_concurrency}"
+            )
+        self.max_concurrency = max_concurrency
+
+    def _client_for(self, key: str):
+        return self.clients[self.ring.node_for(key)]
+
+    # -- plans ---------------------------------------------------------------
+
+    def _run_sort(self, task: SortTask):
+        from repro.service.protocol import SimulateRequest
+
+        payload = {
+            "config": config_to_obj(task.config),
+            "input": task.input_name,
+            "num_elements": task.num_elements,
+            "padding": task.padding,
+            "score_blocks": task.score_blocks,
+            "seed": task.seed,
+            "memo": self.memoized,
+        }
+        if self.scoring is not None:
+            payload["scoring"] = self.scoring
+        # Hash the exact fingerprint the server will coalesce on, so the
+        # engine's routing agrees with every other client of the fleet.
+        key = SimulateRequest.from_payload(payload).coalesce_key()
+        reply = self._client_for(key).simulate(
+            config=config_to_obj(task.config),
+            input=task.input_name,
+            num_elements=task.num_elements,
+            padding=task.padding,
+            score_blocks=task.score_blocks,
+            seed=task.seed,
+            memo=self.memoized,
+            scoring=self.scoring,
+        )
+        return reply.result
+
+    def _execute_sorts(self, tasks: tuple) -> list:
+        for task in tasks:
+            if task.values is not None:
+                raise ValidationError(
+                    "the sharded engine sends named inputs, not raw "
+                    f"arrays; build the task for {task.describe()} with "
+                    "values=None"
+                )
+        return self._fan_out(tasks, self._run_sort)
+
+    def _run_point(self, item: WorkItem):
+        from repro.service.protocol import SweepRequest
+
+        payload = {
+            "config": config_to_obj(item.config),
+            "device": item.device.name,
+            "inputs": [item.input_name],
+            "sizes": [item.num_elements],
+            "exact_threshold": item.exact_threshold,
+            "score_blocks": item.score_blocks,
+            "seed": item.seed,
+            "padding": item.padding,
+            "scoring": item.scoring,
+        }
+        key = SweepRequest.from_payload(payload).coalesce_key()
+        start = time.perf_counter()
+        reply = self._client_for(key).sweep(
+            config=config_to_obj(item.config),
+            device=item.device.name,
+            inputs=[item.input_name],
+            sizes=[item.num_elements],
+            exact_threshold=item.exact_threshold,
+            score_blocks=item.score_blocks,
+            seed=item.seed,
+            padding=item.padding,
+            scoring=item.scoring,
+        )
+        return reply.points[0], time.perf_counter() - start, reply.coalesced
+
+    def _execute_points(
+        self, items: tuple, progress: Callable | None
+    ) -> list:
+        for item in items:
+            _check_served_device(item)
+        total = len(items)
+        results = [None] * total
+        done = 0
+        with ThreadPoolExecutor(
+            max_workers=min(self.max_concurrency, max(1, total)),
+            thread_name_prefix="repro-sharded",
+        ) as executor:
+            futures = {
+                executor.submit(self._run_point, item): i
+                for i, item in enumerate(items)
+            }
+            for future in as_completed(futures):
+                i = futures[future]
+                point, elapsed, coalesced = future.result()
+                results[i] = point
+                done += 1
+                if progress is not None:
+                    progress(
+                        ProgressEvent(
+                            done, total, items[i], point, elapsed, coalesced
+                        )
+                    )
+        return results
+
+    def _fan_out(self, tasks: tuple, run: Callable) -> list:
+        results = [None] * len(tasks)
+        with ThreadPoolExecutor(
+            max_workers=min(self.max_concurrency, max(1, len(tasks))),
+            thread_name_prefix="repro-sharded",
+        ) as executor:
+            futures = {
+                executor.submit(run, task): i for i, task in enumerate(tasks)
+            }
+            for future in as_completed(futures):
+                results[futures[future]] = future.result()
+        return results
+
+
+register_engine("sharded", lambda **kw: ShardedEngine(**kw))

@@ -47,7 +47,10 @@ def stack_warp_steps(step_matrix: np.ndarray, warp_size: int) -> np.ndarray:
     steps, threads = step_matrix.shape
     if threads % warp_size:
         raise ValidationError(
-            f"thread count {threads} is not a multiple of warp size {warp_size}"
+            f"thread count {threads} is not a multiple of warp size "
+            f"{warp_size}; stack_warp_steps folds full warps only — for a "
+            f"trailing partial warp use warp_traces, which pads it with "
+            f"inactive lanes"
         )
     num_warps = threads // warp_size
     return (

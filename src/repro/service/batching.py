@@ -13,6 +13,10 @@ invocations even under bursty identical traffic:
   full, new work is rejected immediately (HTTP 429 + ``Retry-After``)
   instead of queueing unboundedly; coalesced waiters never consume a
   slot (they cost nothing to serve).
+* :class:`ClientQuotas` — per-client token buckets (requests per
+  minute), so one chatty client cannot starve the shared admission
+  queue. Clients identify via the ``X-Client-Id`` header or fall back
+  to their peer address.
 
 A waiter that times out abandons only its own wait — the leader's
 computation is shielded and keeps running for the remaining waiters and
@@ -22,11 +26,12 @@ for the admission ledger.
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Awaitable, Callable
 
 from repro.service.stats import ServiceStats
 
-__all__ = ["AdmissionGate", "SingleFlight"]
+__all__ = ["AdmissionGate", "ClientQuotas", "SingleFlight"]
 
 
 class AdmissionGate:
@@ -49,6 +54,64 @@ class AdmissionGate:
     def exit(self) -> None:
         """Release a previously claimed slot."""
         self._stats.note_released()
+
+
+class ClientQuotas:
+    """Per-client token buckets: at most ``per_minute`` compute requests
+    per client per minute, refilled continuously.
+
+    Buckets start full (a burst up to the full minute's allowance is
+    fine) and refill at ``per_minute / 60`` tokens per second. All
+    bookkeeping happens on the event loop, so no locking. The client
+    table is bounded: once it outgrows ``max_clients``, idle buckets
+    (refilled back to full) are dropped — they are indistinguishable
+    from never-seen clients.
+    """
+
+    def __init__(
+        self,
+        per_minute: int,
+        stats: ServiceStats,
+        *,
+        max_clients: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if per_minute < 1:
+            raise ValueError(f"quota must be >= 1/minute, got {per_minute}")
+        self.per_minute = per_minute
+        self.rate = per_minute / 60.0
+        self.max_clients = max_clients
+        self._stats = stats
+        self._clock = clock
+        #: client id -> (tokens, last refill timestamp)
+        self._buckets: dict[str, tuple[float, float]] = {}
+
+    def _refill(self, client: str, now: float) -> float:
+        tokens, last = self._buckets.get(client, (float(self.per_minute), now))
+        return min(float(self.per_minute), tokens + (now - last) * self.rate)
+
+    def try_consume(self, client: str) -> float | None:
+        """Spend one token; ``None`` when admitted, else seconds to wait.
+
+        The returned wait is how long until one token refills — callers
+        surface it as ``Retry-After`` on the 429.
+        """
+        now = self._clock()
+        tokens = self._refill(client, now)
+        if tokens < 1.0:
+            self._stats.quota_rejected += 1
+            return (1.0 - tokens) / self.rate
+        self._buckets[client] = (tokens - 1.0, now)
+        if len(self._buckets) > self.max_clients:
+            self._evict_idle(now)
+        return None
+
+    def _evict_idle(self, now: float) -> None:
+        full = float(self.per_minute)
+        for client in [
+            c for c in self._buckets if self._refill(c, now) >= full
+        ]:
+            del self._buckets[client]
 
 
 class SingleFlight:

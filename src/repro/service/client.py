@@ -19,9 +19,11 @@ Failures map onto the library's exception hierarchy: HTTP 4xx raises
 
 from __future__ import annotations
 
+import email.utils
 import http.client
 import json
 import socket
+import time
 from dataclasses import dataclass
 from urllib.parse import urlsplit
 
@@ -33,7 +35,41 @@ from repro.service.protocol import point_from_obj
 from repro.sort.pairwise import SortResult
 from repro.sort.serialize import array_from_obj, result_from_obj
 
-__all__ = ["ServiceClient", "SimulateReply", "SweepReply"]
+__all__ = ["ServiceClient", "SimulateReply", "SweepReply", "parse_retry_after"]
+
+#: Backoff (seconds) when a 429 carries no usable ``Retry-After``.
+_DEFAULT_RETRY_AFTER = 1.0
+
+
+def parse_retry_after(header: str | None) -> float:
+    """Decode a ``Retry-After`` header into a backoff in seconds.
+
+    RFC 9110 allows either a non-negative integer of seconds or an
+    HTTP-date; proxies in the wild also emit junk. A 429 is a
+    *backpressure* signal — it must surface as a typed
+    :class:`~repro.errors.BackpressureError`, never as a client-side
+    ``ValueError`` from ``float(header)`` — so anything unparseable
+    falls back to a small default instead of raising.
+    """
+    if header is None:
+        return _DEFAULT_RETRY_AFTER
+    header = header.strip()
+    try:
+        seconds = float(header)
+    except ValueError:
+        pass
+    else:
+        # Negative or non-finite values are nonsense; clamp to default.
+        if seconds >= 0.0 and seconds == seconds and seconds != float("inf"):
+            return seconds
+        return _DEFAULT_RETRY_AFTER
+    try:
+        when = email.utils.parsedate_to_datetime(header)
+    except (TypeError, ValueError):
+        return _DEFAULT_RETRY_AFTER
+    if when is None:
+        return _DEFAULT_RETRY_AFTER
+    return max(0.0, when.timestamp() - time.time())
 
 
 @dataclass(frozen=True)
@@ -68,7 +104,13 @@ class ServiceClient:
         a computation is too slow.
     """
 
-    def __init__(self, base_url: str = "http://127.0.0.1:8787", *, timeout: float = 630.0):
+    def __init__(
+        self,
+        base_url: str = "http://127.0.0.1:8787",
+        *,
+        timeout: float = 630.0,
+        client_id: str | None = None,
+    ):
         split = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
         if split.scheme not in ("", "http"):
             raise ValidationError(f"unsupported scheme {split.scheme!r} (http only)")
@@ -77,22 +119,25 @@ class ServiceClient:
         self.host = split.hostname
         self.port = split.port or 8787
         self.timeout = timeout
+        #: Sent as ``X-Client-Id`` on every request; quota-enabled
+        #: servers meter by it (falling back to the peer address).
+        self.client_id = client_id
 
     # -- transport -----------------------------------------------------------
 
-    def request(self, method: str, path: str, payload: dict | None = None) -> dict:
-        """One HTTP round-trip; returns the decoded JSON body."""
+    def _roundtrip(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> tuple[int, str | None, bytes]:
+        """One HTTP exchange → ``(status, retry_after_header, raw_body)``."""
         body = None if payload is None else json.dumps(payload).encode("utf-8")
+        headers = {"Content-Type": "application/json"}
+        if self.client_id is not None:
+            headers["X-Client-Id"] = self.client_id
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
         try:
-            conn.request(
-                method,
-                path,
-                body=body,
-                headers={"Content-Type": "application/json"},
-            )
+            conn.request(method, path, body=body, headers=headers)
             response = conn.getresponse()
             status = response.status
             retry_after = response.getheader("Retry-After")
@@ -103,7 +148,11 @@ class ServiceClient:
             ) from exc
         finally:
             conn.close()
+        return status, retry_after, raw
 
+    def request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        """One HTTP round-trip; returns the decoded JSON body."""
+        status, retry_after, raw = self._roundtrip(method, path, payload)
         try:
             decoded = json.loads(raw) if raw else {}
         except ValueError:
@@ -111,7 +160,7 @@ class ServiceClient:
         if status == 429:
             raise BackpressureError(
                 decoded.get("error", "server busy"),
-                retry_after=float(retry_after or 1.0),
+                retry_after=parse_retry_after(retry_after),
             )
         if 400 <= status < 500:
             raise ValidationError(
@@ -134,9 +183,43 @@ class ServiceClient:
         """The server's counter snapshot."""
         return self.request("GET", "/stats")
 
+    def metrics(self) -> str:
+        """The server's counters in Prometheus text format."""
+        status, _, raw = self._roundtrip("GET", "/metrics")
+        text = raw.decode("utf-8", "replace")
+        if status != 200:
+            raise ServiceError(f"/metrics: HTTP {status}: {text}", status=status)
+        return text
+
     def shutdown(self) -> dict:
         """Ask the server to drain and exit."""
         return self.request("POST", "/shutdown")
+
+    # -- job scheduler (shard router only) -----------------------------------
+
+    def submit_job(self, manifest: dict) -> dict:
+        """Submit a chunked job manifest; returns ``{"job_id": ...}``."""
+        return self.request("POST", "/jobs", manifest)
+
+    def job_status(self, job_id: str) -> dict:
+        """Am-I-done probe: chunk counts, and points once complete."""
+        return self.request("GET", f"/jobs/{job_id}")
+
+    def wait_for_job(
+        self, job_id: str, *, timeout: float = 600.0, poll: float = 0.1
+    ) -> dict:
+        """Poll :meth:`job_status` until the job reports ``done``."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.job_status(job_id)
+            if status.get("done"):
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {status.get('status')!r} "
+                    f"after {timeout:g}s"
+                )
+            time.sleep(poll)
 
     # -- compute endpoints ---------------------------------------------------
 

@@ -19,8 +19,14 @@ HTTP/1.1 is hand-rolled over :func:`asyncio.start_server` — no
 ``POST /sweep``       grid of bench points via the parallel worker pool
 ``GET  /healthz``     liveness (+ draining state)
 ``GET  /stats``       counters, batching/backpressure, memo + cache stats
+``GET  /metrics``     the same counters in Prometheus text format
 ``POST /shutdown``    graceful drain, same path as SIGTERM
 ====================  =====================================================
+
+The HTTP front (framing, keep-alive, graceful drain, per-client
+quotas) lives in :class:`HttpDaemon`, shared with the shard router
+(:mod:`repro.service.shard`) — one transport layer, two dispatch
+brains.
 
 Request flow for the compute endpoints: parse/validate → fingerprint →
 single-flight (identical in-flight requests share one computation) →
@@ -65,7 +71,9 @@ from repro.errors import (
     ValidationError,
 )
 from repro.inputs.generators import generate
-from repro.service.batching import AdmissionGate, SingleFlight
+from repro.service.batching import AdmissionGate, ClientQuotas, SingleFlight
+from repro.service.metrics import CONTENT_TYPE as _METRICS_CONTENT_TYPE
+from repro.service.metrics import render_metrics
 from repro.service.protocol import (
     ConstructRequest,
     SimulateRequest,
@@ -75,13 +83,20 @@ from repro.service.protocol import (
 from repro.service.stats import ServiceStats
 from repro.sort.serialize import array_to_obj, config_to_obj, result_to_obj
 
-__all__ = ["ServiceConfig", "ReproService", "run_service", "serve_forever"]
+__all__ = [
+    "HttpDaemon",
+    "ServiceConfig",
+    "ReproService",
+    "run_service",
+    "serve_forever",
+]
 
 _MAX_HEADER_BYTES = 32 * 1024
 _MAX_BODY_BYTES = 64 * 1024 * 1024
 
 _REASONS = {
     200: "OK",
+    202: "Accepted",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
@@ -90,6 +105,7 @@ _REASONS = {
     429: "Too Many Requests",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
+    502: "Bad Gateway",
     503: "Service Unavailable",
     504: "Gateway Timeout",
 }
@@ -97,11 +113,15 @@ _REASONS = {
 _ENDPOINTS = {
     "/healthz": "GET",
     "/stats": "GET",
+    "/metrics": "GET",
     "/shutdown": "POST",
     "/construct": "POST",
     "/simulate": "POST",
     "/sweep": "POST",
 }
+
+#: Endpoints the per-client quota meters (control-plane probes stay free).
+_QUOTA_PATHS = frozenset({"/construct", "/simulate", "/sweep", "/jobs"})
 
 
 @dataclass
@@ -126,6 +146,9 @@ class ServiceConfig:
     use_cache: bool = False
     #: 429 responses advertise this ``Retry-After`` (seconds).
     retry_after: float = 1.0
+    #: Per-client compute-request quota (requests/minute; 0 = unlimited).
+    #: Clients identify via ``X-Client-Id`` or their peer address.
+    quota_per_minute: int = 0
     #: Where log lines go (default ``sys.stderr``).
     log_stream: object = None
 
@@ -154,41 +177,38 @@ class _HttpRequest:
         return token != "close"
 
 
-class ReproService:
-    """One daemon: shared caches, batching layer, and the HTTP front."""
+class HttpDaemon:
+    """Shared HTTP/1.1 front of the worker daemon and the shard router.
 
-    def __init__(self, config: ServiceConfig):
+    Owns every transport concern — request framing, keep-alive,
+    signal-driven graceful drain, per-client quotas — and leaves the
+    dispatch brain to subclasses, which implement
+    ``_dispatch(request, client) -> (status, payload, extra)`` where
+    ``payload`` is a dict (rendered as JSON) or a pre-rendered string
+    (plain text, e.g. ``/metrics``). ``config`` must carry the
+    transport fields of :class:`ServiceConfig` (``host``, ``port``,
+    ``keepalive_timeout``, ``drain_timeout``, ``retry_after``,
+    ``quota_per_minute``, ``log_stream``).
+    """
+
+    #: Prefix of every log line; subclasses override.
+    log_name = "repro.service"
+
+    def __init__(self, config):
         self.config = config
         self.stats = ServiceStats()
-        self.memo = ConflictMemo()
-        self.cache = (
-            BenchCache(config.cache_dir)
-            if (config.use_cache or config.cache_dir)
+        self.single_flight = SingleFlight(self.stats)
+        self.quotas = (
+            ClientQuotas(config.quota_per_minute, self.stats)
+            if config.quota_per_minute
             else None
         )
-        self.single_flight = SingleFlight(self.stats)
-        self.admission = AdmissionGate(config.queue_limit, self.stats)
         self.port: int | None = None
-
-        self._executor = ThreadPoolExecutor(
-            max_workers=config.queue_limit,
-            thread_name_prefix="repro-service",
-        )
-        self._pool: ProcessPoolExecutor | None = None
-        # Warm engines, resolved through the registry: one inline engine
-        # per (scoring, memo) simulate variant (each caches sorters per
-        # config/padding; the memoized one shares the process-lifetime
-        # memo), one serial engine for unpooled sweeps (its runner table
-        # is the warm state the old module-global table provided), and a
-        # pool engine wrapping self._pool once start() created it.
-        self._engines: dict[tuple[str, bool], ExecutionEngine] = {}
-        self._serial_points = create_engine("inline")
-        self._pool_points: ExecutionEngine | None = None
-        self._compute_lock = threading.Lock()
         self._server: asyncio.AbstractServer | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._shutdown_event = asyncio.Event()
         self._conn_tasks: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
         self._draining = False
 
     # -- logging -------------------------------------------------------------
@@ -196,35 +216,77 @@ class ReproService:
     def _log(self, message: str) -> None:
         stream = self.config.log_stream or sys.stderr
         try:
-            stream.write(f"[repro.service] {message}\n")
+            stream.write(f"[{self.log_name}] {message}\n")
             stream.flush()
         except (OSError, ValueError):
             pass
 
     # -- lifecycle -----------------------------------------------------------
 
-    async def start(self) -> "ReproService":
-        """Bind the listener (resolving ``port=0``) and warm the pool."""
+    async def start(self):
+        """Bind the listener (resolving ``port=0``) and warm subclass state."""
         self._loop = asyncio.get_running_loop()
-        if self.config.jobs > 1:
-            self._pool = ProcessPoolExecutor(max_workers=self.config.jobs)
+        await self._before_serving()
         self._server = await asyncio.start_server(
             self._on_connection, self.config.host, self.config.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
-        cache = str(self.cache.cache_dir) if self.cache else "off"
         self._log(
             f"listening on http://{self.config.host}:{self.port} "
-            f"(queue_limit={self.config.queue_limit}, "
-            f"jobs={self.config.jobs}, cache={cache})"
+            f"({self._describe()})"
         )
         return self
 
+    async def _before_serving(self) -> None:
+        """Subclass hook run inside the loop before the listener binds."""
+
+    def _describe(self) -> str:
+        """Subclass hook: knob summary for the startup log line."""
+        return ""
+
     def request_shutdown(self) -> None:
-        """Begin a graceful drain; safe to call from any thread."""
-        if self._loop is None:
+        """Begin a graceful drain; safe to call from any thread.
+
+        A no-op once the loop is gone (e.g. the daemon was already
+        hard-killed via :meth:`abort`), so fleet teardown can sweep
+        every worker without tracking which ones crashed.
+        """
+        if self._loop is None or self._loop.is_closed():
             return
-        self._loop.call_soon_threadsafe(self._shutdown_event.set)
+        try:
+            self._loop.call_soon_threadsafe(self._shutdown_event.set)
+        except RuntimeError:
+            pass  # loop closed between the check and the call
+
+    def abort(self) -> None:
+        """Hard-stop the event loop without draining — crash semantics.
+
+        In-flight requests die with reset connections and no responses
+        are flushed. Exists for the fleet's kill-a-shard failure paths
+        (:meth:`repro.service.shard.ShardFleet.kill`) and their tests;
+        operators should use :meth:`request_shutdown`.
+        """
+        if self._loop is None or self._loop.is_closed():
+            return
+
+        def crash() -> None:
+            # Close the listener so new connects are refused instead of
+            # sitting in the kernel backlog with nobody to answer, and
+            # RST live connections so blocked peers fail immediately —
+            # without this, clients of a "crashed" shard would hang
+            # until their socket timeout.
+            if self._server is not None:
+                self._server.close()
+            for writer in list(self._writers):
+                transport = writer.transport
+                if transport is not None:
+                    transport.abort()
+            self._loop.stop()
+
+        try:
+            self._loop.call_soon_threadsafe(crash)
+        except RuntimeError:
+            pass  # loop closed between the check and the call
 
     def _install_signal_handlers(self) -> None:
         loop = asyncio.get_running_loop()
@@ -272,18 +334,16 @@ class ReproService:
                 task.cancel()
             await asyncio.gather(*pending, return_exceptions=True)
 
-        # A drain timeout means a sort is still running in the executor;
-        # don't block the loop waiting on it (the interpreter will still
-        # join the thread at exit, but the caller gets its exit code now).
-        self._executor.shutdown(wait=drained, cancel_futures=True)
-        if self._pool is not None:
-            self._pool.shutdown(wait=drained, cancel_futures=True)
+        self._shutdown_executors(drained)
         self._log(
             "drained cleanly"
             if drained
             else f"drain timed out after {self.config.drain_timeout}s"
         )
         return drained
+
+    def _shutdown_executors(self, drained: bool) -> None:
+        """Subclass hook: release worker pools after the drain."""
 
     # -- connection handling -------------------------------------------------
 
@@ -294,6 +354,7 @@ class ReproService:
         if task is not None:
             self._conn_tasks.add(task)
             task.add_done_callback(self._conn_tasks.discard)
+        self._writers.add(writer)
         self.stats.connections += 1
         try:
             await self._serve_connection(reader, writer)
@@ -304,6 +365,7 @@ class ReproService:
         ):
             pass
         finally:
+            self._writers.discard(writer)
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -313,6 +375,8 @@ class ReproService:
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        peer = writer.get_extra_info("peername")
+        peer_host = peer[0] if isinstance(peer, tuple) else str(peer or "?")
         while True:
             try:
                 request = await asyncio.wait_for(
@@ -331,7 +395,8 @@ class ReproService:
             if request is None:
                 return
             began = time.monotonic()
-            status, payload, extra = await self._dispatch(request)
+            client = request.headers.get("x-client-id") or peer_host
+            status, payload, extra = await self._dispatch(request, client)
             keep = request.keep_alive and not self._draining
             writer.write(_render_response(status, payload, extra, keep_alive=keep))
             await writer.drain()
@@ -342,9 +407,90 @@ class ReproService:
             if not keep:
                 return
 
+    # -- shared dispatch helpers ---------------------------------------------
+
+    async def _dispatch(
+        self, request: _HttpRequest, client: str
+    ) -> tuple[int, dict | str, dict]:
+        raise NotImplementedError
+
+    def _quota_reject(self, client: str) -> tuple[int, dict, dict] | None:
+        """A 429 triple when ``client`` is out of quota, else ``None``."""
+        if self.quotas is None:
+            return None
+        wait = self.quotas.try_consume(client)
+        if wait is None:
+            return None
+        return (
+            429,
+            {
+                "error": (
+                    f"client quota of {self.quotas.per_minute} "
+                    "compute requests/minute exhausted"
+                ),
+                "retry_after": round(wait, 3),
+            },
+            {"Retry-After": f"{max(wait, 0.001):.3f}"},
+        )
+
+
+class ReproService(HttpDaemon):
+    """One daemon: shared caches, batching layer, and the HTTP front."""
+
+    log_name = "repro.service"
+
+    def __init__(self, config: ServiceConfig):
+        super().__init__(config)
+        self.memo = ConflictMemo()
+        self.cache = (
+            BenchCache(config.cache_dir)
+            if (config.use_cache or config.cache_dir)
+            else None
+        )
+        self.admission = AdmissionGate(config.queue_limit, self.stats)
+
+        self._executor = ThreadPoolExecutor(
+            max_workers=config.queue_limit,
+            thread_name_prefix="repro-service",
+        )
+        self._pool: ProcessPoolExecutor | None = None
+        # Warm engines, resolved through the registry: one inline engine
+        # per (scoring, memo) simulate variant (each caches sorters per
+        # config/padding; the memoized one shares the process-lifetime
+        # memo), one serial engine for unpooled sweeps (its runner table
+        # is the warm state the old module-global table provided), and a
+        # pool engine wrapping self._pool once start() created it.
+        self._engines: dict[tuple[str, bool], ExecutionEngine] = {}
+        self._serial_points = create_engine("inline")
+        self._pool_points: ExecutionEngine | None = None
+        self._compute_lock = threading.Lock()
+
+    # -- lifecycle hooks -----------------------------------------------------
+
+    async def _before_serving(self) -> None:
+        if self.config.jobs > 1:
+            self._pool = ProcessPoolExecutor(max_workers=self.config.jobs)
+
+    def _describe(self) -> str:
+        cache = str(self.cache.cache_dir) if self.cache else "off"
+        return (
+            f"queue_limit={self.config.queue_limit}, "
+            f"jobs={self.config.jobs}, cache={cache}"
+        )
+
+    def _shutdown_executors(self, drained: bool) -> None:
+        # A drain timeout means a sort is still running in the executor;
+        # don't block the loop waiting on it (the interpreter will still
+        # join the thread at exit, but the caller gets its exit code now).
+        self._executor.shutdown(wait=drained, cancel_futures=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=drained, cancel_futures=True)
+
     # -- routing -------------------------------------------------------------
 
-    async def _dispatch(self, request: _HttpRequest) -> tuple[int, dict, dict]:
+    async def _dispatch(
+        self, request: _HttpRequest, client: str
+    ) -> tuple[int, dict | str, dict]:
         path = request.path.split("?", 1)[0]
         self.stats.requests[path] += 1
         expected = _ENDPOINTS.get(path)
@@ -368,6 +514,12 @@ class ReproService:
             )
         if path == "/stats":
             return 200, self._stats_payload(), {}
+        if path == "/metrics":
+            return (
+                200,
+                render_metrics(self._stats_payload()),
+                {"Content-Type": _METRICS_CONTENT_TYPE},
+            )
         if path == "/shutdown":
             self._log("shutdown requested via POST /shutdown")
             self.request_shutdown()
@@ -376,6 +528,10 @@ class ReproService:
                 {"status": "draining", "in_flight": self.stats.in_flight},
                 {},
             )
+
+        rejected = self._quota_reject(client) if path in _QUOTA_PATHS else None
+        if rejected is not None:
+            return rejected
 
         try:
             body = json.loads(request.body) if request.body else {}
@@ -571,14 +727,12 @@ class ReproService:
         payload = self.stats.snapshot()
         payload["queue_limit"] = self.config.queue_limit
         payload["jobs"] = self.config.jobs
-        memo = self.memo.stats()
-        payload["memo"] = {
-            "hits": memo.hits,
-            "misses": memo.misses,
-            "tile_entries": memo.tile_entries,
-            "round_entries": memo.round_entries,
-            "stored_bytes": memo.stored_bytes,
-        }
+        payload["quota_per_minute"] = self.config.quota_per_minute
+        payload["memo"] = _memo_obj(self.memo.stats())
+        # The process-wide aggregate additionally folds in the deltas
+        # shipped back by pool workers (ConflictMemo.absorb_stats) — the
+        # fleet-inclusive number /metrics exports for operators.
+        payload["memo_process"] = _memo_obj(ConflictMemo.process_stats())
         if self.cache is not None:
             disk = self.cache.stats()
             payload["bench_cache"] = {
@@ -592,6 +746,17 @@ class ReproService:
         else:
             payload["bench_cache"] = None
         return payload
+
+
+def _memo_obj(stats) -> dict:
+    """JSON-safe dump of one :class:`~repro.dmm.memo.MemoStats`."""
+    return {
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "tile_entries": stats.tile_entries,
+        "round_entries": stats.round_entries,
+        "stored_bytes": stats.stored_bytes,
+    }
 
 
 # -- HTTP framing -----------------------------------------------------------
@@ -637,17 +802,26 @@ async def _read_request(reader: asyncio.StreamReader) -> _HttpRequest | None:
 
 
 def _render_response(
-    status: int, payload: dict, extra: dict, *, keep_alive: bool
+    status: int, payload: dict | str, extra: dict, *, keep_alive: bool
 ) -> bytes:
-    body = json.dumps(payload).encode("utf-8")
+    """Frame one response. Dict payloads render as JSON; string payloads
+    are sent verbatim as text (``/metrics``); ``extra`` may override the
+    ``Content-Type``."""
+    headers = dict(extra)
+    if isinstance(payload, str):
+        body = payload.encode("utf-8")
+        content_type = headers.pop("Content-Type", "text/plain; charset=utf-8")
+    else:
+        body = json.dumps(payload).encode("utf-8")
+        content_type = headers.pop("Content-Type", "application/json")
     lines = [
         f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-        "Content-Type: application/json",
+        f"Content-Type: {content_type}",
         f"Content-Length: {len(body)}",
         f"Connection: {'keep-alive' if keep_alive else 'close'}",
         "Server: repro-mergesort",
     ]
-    lines.extend(f"{name}: {value}" for name, value in extra.items())
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
     return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
 
 

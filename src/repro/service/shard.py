@@ -1,0 +1,685 @@
+"""Shard router: consistent-hash fan-out over a fleet of daemons.
+
+One :class:`~repro.service.server.ReproService` coalesces identical
+in-flight requests *within* its process. A fleet of N daemons only gets
+the same guarantee if identical requests deterministically land on the
+same daemon — which is exactly what this router provides: requests are
+consistent-hashed by the same content-addressed coalescing fingerprint
+:mod:`repro.service.protocol` already computes, so one fingerprint maps
+to one shard and single-flight works **fleet-wide**. The router keeps
+its own :class:`~repro.service.batching.SingleFlight` on top (identical
+requests collapse before a single forward leaves the router), making
+the coalescing two-tier, mirroring the two-tier cache underneath
+(per-shard in-memory :class:`~repro.dmm.memo.ConflictMemo` → shared
+on-disk :class:`~repro.bench.cache.BenchCache` when every worker is
+given the same ``cache_dir``).
+
+Pieces:
+
+* :class:`HashRing` — classic consistent hashing with virtual nodes
+  (blake2b positions + bisect), so adding/removing a shard only remaps
+  ~1/N of the keyspace.
+* :class:`ShardRouter` — the HTTP front
+  (:class:`~repro.service.server.HttpDaemon` subclass, same framing and
+  drain machinery as the worker daemon). Compute endpoints parse just
+  far enough to fingerprint, then forward the raw body to the owning
+  shard, failing over around dead shards (the computations are
+  deterministic, so a replay elsewhere is safe). It also hosts the
+  :class:`~repro.service.scheduler.JobScheduler` behind ``POST /jobs``
+  / ``GET /jobs/<id>``, ``/metrics`` in Prometheus text, and the same
+  per-client quotas as the workers.
+* :class:`ShardFleet` — N in-process worker daemons, each in its own
+  thread + event loop on an ephemeral port. This is what
+  ``repro-mergesort serve --shards N`` runs, and what the tests and the
+  load benchmark drive; :meth:`ShardFleet.kill` hard-stops one worker
+  to exercise the failover and requeue paths.
+
+Routing failure semantics: direct compute requests fail over — the
+ring's preference order visits every shard before giving up with 502.
+Scheduler chunks deliberately do *not* fail over in-line; a dead shard
+raises :class:`~repro.errors.ServiceError`, the scheduler requeues the
+chunk (observable in ``retries``), and the re-submission routes around
+the shard via the health marks. Both paths converge: the work lands on
+a live shard, once.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import dataclasses
+import hashlib
+import http.client
+import json
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable
+from urllib.parse import urlsplit
+
+from repro.dmm.memo import ConflictMemo
+from repro.errors import (
+    ConfigurationError,
+    ConstructionError,
+    ServiceError,
+    ValidationError,
+)
+from repro.service.batching import AdmissionGate
+from repro.service.metrics import CONTENT_TYPE as _METRICS_CONTENT_TYPE
+from repro.service.metrics import render_metrics
+from repro.service.scheduler import JobScheduler
+from repro.service.server import (
+    _QUOTA_PATHS,
+    HttpDaemon,
+    ReproService,
+    ServiceConfig,
+    _HttpRequest,
+    _memo_obj,
+    run_service,
+)
+from repro.service.protocol import (
+    ConstructRequest,
+    SimulateRequest,
+    SweepRequest,
+)
+
+__all__ = [
+    "HashRing",
+    "RouterConfig",
+    "ShardFleet",
+    "ShardRouter",
+    "run_router",
+    "serve_fleet",
+]
+
+#: Router endpoints (``GET /jobs/<id>`` is matched by prefix).
+_ROUTER_ENDPOINTS = {
+    "/healthz": "GET",
+    "/stats": "GET",
+    "/metrics": "GET",
+    "/shutdown": "POST",
+    "/construct": "POST",
+    "/simulate": "POST",
+    "/sweep": "POST",
+    "/jobs": "POST",
+}
+
+_PARSERS: dict[str, Callable] = {
+    "/construct": ConstructRequest.from_payload,
+    "/simulate": SimulateRequest.from_payload,
+    "/sweep": SweepRequest.from_payload,
+}
+
+
+class HashRing:
+    """Consistent hashing of fingerprints onto shard URLs.
+
+    Each node occupies ``replicas`` virtual positions on a 64-bit ring
+    (blake2b of ``"url#i"``); a key routes to the first node clockwise
+    of its own hash. Virtual nodes smooth the load split, and the
+    classic property holds: resizing the fleet remaps only ~1/N of the
+    keyspace, so most cached/memoized fingerprints keep their shard.
+    """
+
+    def __init__(self, nodes: list[str], *, replicas: int = 64):
+        if not nodes:
+            raise ValidationError("hash ring needs at least one node")
+        if len(set(nodes)) != len(nodes):
+            raise ValidationError(f"duplicate nodes in hash ring: {nodes}")
+        if replicas < 1:
+            raise ValidationError(f"replicas must be >= 1, got {replicas}")
+        self.nodes = list(nodes)
+        points: list[tuple[int, str]] = []
+        for node in nodes:
+            for i in range(replicas):
+                points.append((self._position(f"{node}#{i}"), node))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._owners = [node for _, node in points]
+
+    @staticmethod
+    def _position(token: str) -> int:
+        digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8)
+        return int.from_bytes(digest.digest(), "big")
+
+    def node_for(self, key: str) -> str:
+        """The shard owning ``key`` (a coalescing fingerprint)."""
+        return self.preference(key)[0]
+
+    def preference(self, key: str) -> list[str]:
+        """Every node, in failover order for ``key``.
+
+        The first entry owns the key; the rest is the deterministic
+        order to try when owners are down (distinct nodes in clockwise
+        ring order). Depends only on ``key`` and ring membership, so
+        every router instance agrees.
+        """
+        start = bisect.bisect(self._hashes, self._position(key))
+        seen: list[str] = []
+        for i in range(len(self._owners)):
+            node = self._owners[(start + i) % len(self._owners)]
+            if node not in seen:
+                seen.append(node)
+                if len(seen) == len(self.nodes):
+                    break
+        return seen
+
+
+@dataclass
+class RouterConfig:
+    """Operator-facing knobs of the shard router."""
+
+    host: str = "127.0.0.1"
+    port: int = 8788  # 0 = pick an ephemeral port
+    #: Maximum concurrently forwarded computations (then 429).
+    queue_limit: int = 32
+    #: Per-request deadline (covers coalesced waiting + the forward).
+    request_timeout: float = 600.0
+    #: Socket timeout of one forward attempt to one shard.
+    forward_timeout: float = 590.0
+    drain_timeout: float = 60.0
+    keepalive_timeout: float = 75.0
+    retry_after: float = 1.0
+    #: Per-client compute quota (requests/minute; 0 = unlimited).
+    quota_per_minute: int = 0
+    #: Virtual nodes per shard on the hash ring.
+    replicas: int = 64
+    #: How long a shard stays deprioritized after a transport failure.
+    down_cooldown: float = 30.0
+    #: Concurrent chunks per scheduled job.
+    chunk_concurrency: int = 4
+    log_stream: object = None
+
+
+def _split_url(url: str) -> tuple[str, int]:
+    split = urlsplit(url if "//" in url else f"http://{url}")
+    if not split.hostname:
+        raise ValidationError(f"no host in shard URL {url!r}")
+    return split.hostname, split.port or 8787
+
+
+def _forward(
+    url: str, method: str, path: str, body: bytes | None, timeout: float
+) -> tuple[int, dict, str | None]:
+    """One blocking forward to a shard → ``(status, payload, retry_after)``.
+
+    Raises :class:`~repro.errors.ServiceError` only on transport
+    failure (unreachable/reset shard); HTTP error statuses are returned
+    for the router to interpret.
+    """
+    host, port = _split_url(url)
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request(
+            method,
+            path,
+            body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        status = response.status
+        retry_after = response.getheader("Retry-After")
+        raw = response.read()
+    except (OSError, socket.timeout, http.client.HTTPException) as exc:
+        raise ServiceError(f"shard {url} unreachable: {exc}") from exc
+    finally:
+        conn.close()
+    try:
+        payload = json.loads(raw) if raw else {}
+        if not isinstance(payload, dict):
+            payload = {"error": f"non-object response: {payload!r}"}
+    except ValueError:
+        payload = {"error": raw.decode("utf-8", "replace")}
+    return status, payload, retry_after
+
+
+class ShardRouter(HttpDaemon):
+    """Routes requests to the shard owning their fingerprint."""
+
+    log_name = "repro.router"
+
+    def __init__(self, config: RouterConfig, worker_urls: list[str]):
+        super().__init__(config)
+        self.ring = HashRing(list(worker_urls), replicas=config.replicas)
+        self.admission = AdmissionGate(config.queue_limit, self.stats)
+        self.scheduler = JobScheduler(
+            self._submit_chunk, chunk_concurrency=config.chunk_concurrency
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=config.queue_limit,
+            thread_name_prefix="repro-router",
+        )
+        #: Requests forwarded per shard (includes failover retries).
+        self.shard_requests: dict[str, int] = dict.fromkeys(self.ring.nodes, 0)
+        #: Last-forward health per shard.
+        self._healthy: dict[str, bool] = dict.fromkeys(self.ring.nodes, True)
+        #: url -> monotonic timestamp of the last transport failure.
+        self._down_since: dict[str, float] = {}
+
+    # -- lifecycle hooks -----------------------------------------------------
+
+    def _describe(self) -> str:
+        return (
+            f"shards={len(self.ring.nodes)}, "
+            f"queue_limit={self.config.queue_limit}, "
+            f"quota={self.config.quota_per_minute or 'off'}/min"
+        )
+
+    def _shutdown_executors(self, drained: bool) -> None:
+        self._executor.shutdown(wait=drained, cancel_futures=True)
+
+    # -- routing -------------------------------------------------------------
+
+    def _mark_down(self, url: str) -> None:
+        self._healthy[url] = False
+        self._down_since[url] = time.monotonic()
+
+    def _mark_up(self, url: str) -> None:
+        self._healthy[url] = True
+        self._down_since.pop(url, None)
+
+    def _ordered_candidates(self, key: str) -> list[str]:
+        """Failover order for ``key``, recently-dead shards last.
+
+        Down marks expire after ``down_cooldown`` so a restarted shard
+        regains its keyspace without operator action.
+        """
+        now = time.monotonic()
+        preferred = self.ring.preference(key)
+        alive = [
+            url
+            for url in preferred
+            if now - self._down_since.get(url, -1e18)
+            >= self.config.down_cooldown
+        ]
+        dead = [url for url in preferred if url not in alive]
+        return alive + dead
+
+    async def _forward_routed(
+        self, path: str, body: bytes, key: str, *, failover: bool
+    ) -> tuple[int, dict, str | None]:
+        """Forward one request to the owning shard (+ optional failover)."""
+        loop = asyncio.get_running_loop()
+        candidates = self._ordered_candidates(key)
+        if not failover:
+            candidates = candidates[:1]
+        errors: list[str] = []
+        for url in candidates:
+            self.shard_requests[url] = self.shard_requests.get(url, 0) + 1
+            try:
+                status, payload, retry_after = await loop.run_in_executor(
+                    self._executor,
+                    _forward,
+                    url,
+                    "POST",
+                    path,
+                    body,
+                    self.config.forward_timeout,
+                )
+            except ServiceError as exc:
+                self._mark_down(url)
+                self._log(f"shard {url} failed: {exc}")
+                errors.append(str(exc))
+                continue
+            self._mark_up(url)
+            if status == 503 and failover:
+                # Shard draining: its keyspace temporarily moves on.
+                errors.append(f"shard {url} draining")
+                continue
+            return status, payload, retry_after
+        raise ServiceError(
+            "no shard could serve the request: " + "; ".join(errors)
+        )
+
+    async def _route_compute(
+        self, path: str, key: str, body: bytes
+    ) -> tuple[int, dict, dict]:
+        """Single-flight + forward; mirrors the worker's compute flow."""
+
+        async def start():
+            return await self._forward_routed(path, body, key, failover=True)
+
+        try:
+            (status, payload, retry_after), coalesced = (
+                await self.single_flight.run(
+                    key,
+                    start,
+                    gate=self.admission,
+                    timeout=self.config.request_timeout,
+                )
+            )
+        except BlockingIOError:
+            return (
+                429,
+                {
+                    "error": "router admission queue full",
+                    "retry_after": self.config.retry_after,
+                },
+                {"Retry-After": f"{self.config.retry_after:g}"},
+            )
+        except asyncio.TimeoutError:
+            self.stats.timeouts += 1
+            return (
+                504,
+                {
+                    "error": "request timed out after "
+                    f"{self.config.request_timeout:g}s (still computing "
+                    "for any coalesced waiters)"
+                },
+                {},
+            )
+        except ServiceError as exc:
+            self.stats.internal_errors += 1
+            return 502, {"error": str(exc), "kind": "routing"}, {}
+
+        extra = {"Retry-After": retry_after} if retry_after else {}
+        if status == 200:
+            self.stats.completed += 1
+            payload = dict(payload)
+            # Coalesced at either tier counts: the client's request did
+            # not cause a new computation.
+            payload["coalesced"] = bool(payload.get("coalesced")) or coalesced
+        elif 400 <= status < 500:
+            self.stats.validation_errors += 1
+        elif status >= 500:
+            self.stats.internal_errors += 1
+        return status, payload, extra
+
+    async def _submit_chunk(self, payload: dict) -> dict:
+        """Scheduler hook: route one chunk, no in-line failover.
+
+        A dead shard raises :class:`~repro.errors.ServiceError`, which
+        the scheduler turns into a requeue; the retry then routes around
+        the dead shard via the health marks. Coalesces with identical
+        direct ``/sweep`` requests through the same single flight.
+        """
+        request = SweepRequest.from_payload(payload)
+        key = request.coalesce_key()
+        body = json.dumps(payload).encode("utf-8")
+
+        async def start():
+            return await self._forward_routed(
+                "/sweep", body, key, failover=False
+            )
+
+        try:
+            (status, reply, _), _ = await self.single_flight.run(
+                key,
+                start,
+                gate=self.admission,
+                timeout=self.config.request_timeout,
+            )
+        except BlockingIOError as exc:
+            raise ServiceError("router admission queue full") from exc
+        except asyncio.TimeoutError as exc:
+            raise ServiceError(
+                f"chunk timed out after {self.config.request_timeout:g}s"
+            ) from exc
+        if 400 <= status < 500 and status != 429:
+            raise ValidationError(
+                f"shard rejected chunk: {reply.get('error', status)}"
+            )
+        if status != 200:
+            raise ServiceError(
+                f"shard failed chunk: {reply.get('error', status)}",
+                status=status,
+            )
+        return reply
+
+    # -- dispatch ------------------------------------------------------------
+
+    async def _dispatch(
+        self, request: _HttpRequest, client: str
+    ) -> tuple[int, dict | str, dict]:
+        path = request.path.split("?", 1)[0]
+        if path.startswith("/jobs/"):
+            self.stats.requests["/jobs/<id>"] += 1
+            if request.method != "GET":
+                return 405, {"error": "/jobs/<id> expects GET"}, {"Allow": "GET"}
+            status = self.scheduler.status(path[len("/jobs/") :])
+            if status is None:
+                return 404, {"error": f"unknown job {path[len('/jobs/'):]!r}"}, {}
+            return 200, status, {}
+
+        self.stats.requests[path] += 1
+        expected = _ROUTER_ENDPOINTS.get(path)
+        if expected is None:
+            return 404, {"error": f"unknown endpoint {path!r}"}, {}
+        if request.method != expected:
+            return (
+                405,
+                {"error": f"{path} expects {expected}"},
+                {"Allow": expected},
+            )
+
+        if path == "/healthz":
+            return (
+                200,
+                {
+                    "status": "draining" if self._draining else "ok",
+                    "uptime_seconds": round(self.stats.uptime_seconds, 3),
+                    "shards": {
+                        url: "up" if self._healthy.get(url) else "down"
+                        for url in self.ring.nodes
+                    },
+                },
+                {},
+            )
+        if path == "/stats":
+            return 200, self._stats_payload(), {}
+        if path == "/metrics":
+            return (
+                200,
+                render_metrics(self._stats_payload()),
+                {"Content-Type": _METRICS_CONTENT_TYPE},
+            )
+        if path == "/shutdown":
+            self._log("shutdown requested via POST /shutdown")
+            self.request_shutdown()
+            return (
+                200,
+                {"status": "draining", "in_flight": self.stats.in_flight},
+                {},
+            )
+
+        rejected = self._quota_reject(client) if path in _QUOTA_PATHS else None
+        if rejected is not None:
+            return rejected
+        if self._draining:
+            return (
+                503,
+                {"error": "router is draining"},
+                {"Retry-After": f"{self.config.retry_after:g}"},
+            )
+
+        try:
+            body = json.loads(request.body) if request.body else {}
+        except ValueError:
+            self.stats.validation_errors += 1
+            return 400, {"error": "body is not valid JSON", "kind": "validation"}, {}
+
+        if path == "/jobs":
+            try:
+                ack = self.scheduler.submit(body)
+            except (ValidationError, ConfigurationError, ConstructionError) as exc:
+                self.stats.validation_errors += 1
+                return 400, {"error": str(exc), "kind": "validation"}, {}
+            self.stats.completed += 1
+            return 202, {"ok": True, **ack}, {}
+
+        try:
+            parsed = _PARSERS[path](body)
+        except (ValidationError, ConfigurationError, ConstructionError) as exc:
+            self.stats.validation_errors += 1
+            return 400, {"error": str(exc), "kind": "validation"}, {}
+        return await self._route_compute(
+            path, parsed.coalesce_key(), request.body
+        )
+
+    # -- stats ---------------------------------------------------------------
+
+    def _stats_payload(self) -> dict:
+        payload = self.stats.snapshot()
+        payload["queue_limit"] = self.config.queue_limit
+        payload["quota_per_minute"] = self.config.quota_per_minute
+        payload["shards"] = self.ring.nodes
+        payload["shard_requests"] = dict(self.shard_requests)
+        payload["shard_health"] = dict(self._healthy)
+        payload.update(self.scheduler.stats())
+        # The router's own process never runs sorts, but pool/shard-worker
+        # deltas absorbed into this process would show here; exported for
+        # schema parity with the workers.
+        payload["memo_process"] = _memo_obj(ConflictMemo.process_stats())
+        return payload
+
+
+# -- in-process fleet --------------------------------------------------------
+
+
+@dataclass
+class _Worker:
+    """One fleet member: its thread, config, and live service handle."""
+
+    index: int
+    config: ServiceConfig
+    thread: threading.Thread | None = None
+    ready: threading.Event = field(default_factory=threading.Event)
+    holder: dict = field(default_factory=dict)
+
+    @property
+    def service(self) -> ReproService | None:
+        return self.holder.get("service")
+
+    @property
+    def url(self) -> str:
+        service = self.service
+        if service is None or service.port is None:
+            raise ServiceError(f"worker {self.index} is not running")
+        return f"http://{service.config.host}:{service.port}"
+
+
+class ShardFleet:
+    """N worker daemons, each in its own thread + event loop.
+
+    Worker ports are always ephemeral (``port=0``); the fleet reports
+    the resolved URLs for the router's hash ring. All workers share the
+    template config — in particular the same ``cache_dir``, which is
+    what makes the on-disk :class:`~repro.bench.cache.BenchCache` the
+    fleet-wide second cache tier (its writes are atomic, so concurrent
+    shards sharing a directory is safe by construction).
+    """
+
+    def __init__(self, worker_config: ServiceConfig, shards: int):
+        if shards < 1:
+            raise ValidationError(f"shards must be >= 1, got {shards}")
+        self._workers = []
+        for index in range(shards):
+            config = dataclasses.replace(worker_config, port=0)
+            self._workers.append(_Worker(index=index, config=config))
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    @property
+    def urls(self) -> list[str]:
+        return [worker.url for worker in self._workers]
+
+    def service(self, index: int) -> ReproService:
+        service = self._workers[index].service
+        if service is None:
+            raise ServiceError(f"worker {index} is not running")
+        return service
+
+    def start(self, timeout: float = 30.0) -> "ShardFleet":
+        """Start every worker and wait until all listeners are bound."""
+        for worker in self._workers:
+            worker.thread = threading.Thread(
+                target=self._run_worker,
+                args=(worker,),
+                name=f"repro-shard-{worker.index}",
+                daemon=True,
+            )
+            worker.thread.start()
+        deadline = time.monotonic() + timeout
+        for worker in self._workers:
+            remaining = max(0.1, deadline - time.monotonic())
+            if not worker.ready.wait(remaining):
+                self.stop()
+                raise ServiceError(
+                    f"worker {worker.index} did not start within {timeout:g}s"
+                )
+        return self
+
+    @staticmethod
+    def _run_worker(worker: _Worker) -> None:
+        def on_started(service: ReproService) -> None:
+            worker.holder["service"] = service
+            worker.ready.set()
+
+        try:
+            asyncio.run(run_service(worker.config, on_started=on_started))
+        except RuntimeError:
+            # Hard kill: the loop was stopped out from under asyncio.run
+            # (crash semantics, see ShardFleet.kill).
+            pass
+
+    def kill(self, index: int) -> None:
+        """Hard-stop one worker without draining — crash simulation.
+
+        In-flight requests on that shard die with reset connections
+        (the router marks it down; the scheduler requeues its chunks),
+        unlike :meth:`stop`'s graceful drain.
+        """
+        worker = self._workers[index]
+        service = worker.service
+        if service is not None:
+            service.abort()
+        if worker.thread is not None:
+            worker.thread.join(timeout=10.0)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Gracefully drain and join every still-running worker."""
+        for worker in self._workers:
+            if worker.service is not None:
+                worker.service.request_shutdown()
+        for worker in self._workers:
+            if worker.thread is not None:
+                worker.thread.join(timeout=timeout)
+
+
+# -- entry points ------------------------------------------------------------
+
+
+async def run_router(
+    config: RouterConfig,
+    worker_urls: list[str],
+    *,
+    on_started: Callable[[ShardRouter], None] | None = None,
+) -> bool:
+    """Start a router and serve until shutdown; ``True`` on clean drain."""
+    router = ShardRouter(config, worker_urls)
+    await router.start()
+    if on_started is not None:
+        on_started(router)
+    return await router.serve_until_shutdown()
+
+
+def serve_fleet(
+    worker_config: ServiceConfig,
+    router_config: RouterConfig,
+    shards: int,
+) -> int:
+    """Blocking entry point of ``repro-mergesort serve --shards N``.
+
+    Boots the worker fleet, then runs the router in the main thread
+    until SIGTERM/SIGINT or ``POST /shutdown``; finally drains the
+    workers. Exit code 0 on a clean drain end-to-end.
+    """
+    fleet = ShardFleet(worker_config, shards).start()
+    try:
+        drained = asyncio.run(run_router(router_config, fleet.urls))
+    finally:
+        fleet.stop()
+    return 0 if drained else 1

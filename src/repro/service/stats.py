@@ -27,6 +27,7 @@ class ServiceStats:
         self.coalesced = 0
         #: Backpressure and failure accounting.
         self.rejected = 0  # 429: admission queue full
+        self.quota_rejected = 0  # 429: per-client quota exhausted
         self.timeouts = 0  # 504: per-request deadline expired
         self.validation_errors = 0  # 400
         self.internal_errors = 0  # 500
@@ -66,7 +67,10 @@ class ServiceStats:
                 "in_flight": self.in_flight,
                 "peak_in_flight": self.peak_in_flight,
             },
-            "backpressure": {"rejected": self.rejected},
+            "backpressure": {
+                "rejected": self.rejected,
+                "quota_rejected": self.quota_rejected,
+            },
             "responses": {
                 "completed": self.completed,
                 "timeouts": self.timeouts,

@@ -319,10 +319,35 @@ class TestPrune:
         cache, paths = self.fill(tmp_path, sizes=(2,))
         orphan = tmp_path / "points" / "deadbeef.json.1234.tmp"
         orphan.write_text("partial write")
+        # Age the orphan past the grace window: a crashed writer's
+        # leftover, not a write in flight.
+        os.utime(orphan, (1_000_000, 1_000_000))
         result = cache.prune(1 << 30)
         assert not orphan.exists()
         assert result.removed_entries == 1  # only the orphan
         assert paths[0].exists()
+
+    def test_fresh_tmp_survives_prune(self, tmp_path):
+        """Regression: a concurrent writer's just-created temp file must
+        not be collected — deleting it makes the writer's ``os.replace``
+        fail and silently drops its result. Only ``*.tmp`` older than
+        the grace window are orphans."""
+        cache, _ = self.fill(tmp_path, sizes=(2,))
+        in_flight = tmp_path / "points" / "cafef00d.json.5678.tmp"
+        in_flight.write_text('{"half": "written')  # fresh mtime = now
+        result = cache.prune(1 << 30)
+        assert in_flight.exists()
+        assert result.removed_entries == 0
+        # The writer completes its atomic rename unharmed.
+        os.replace(in_flight, tmp_path / "points" / "cafef00d.json")
+
+    def test_tmp_grace_override(self, tmp_path):
+        cache, _ = self.fill(tmp_path, sizes=(2,))
+        stale = tmp_path / "points" / "deadbeef.json.1234.tmp"
+        stale.write_text("partial write")
+        assert cache.prune(1 << 30).removed_entries == 0  # within grace
+        assert cache.prune(1 << 30, tmp_grace=0.0).removed_entries == 1
+        assert not stale.exists()
 
     def test_negative_budget_rejected(self, tmp_path):
         with pytest.raises(ValueError):

@@ -101,6 +101,53 @@ class TestSweepBitIdentity:
 
 
 class TestParallelMemo:
+    def test_pool_workers_ship_memo_stats_to_parent(self, cfg):
+        """Regression: the memo's ``_process_*`` counters are class
+        attributes mutated in whichever process runs the sort, so under
+        ``--engine pool`` the workers' hits/misses never used to reach
+        the parent — ``cache stats``, sweep memo lines, and the service
+        ``/stats`` all under-reported. Each worker result now carries a
+        MemoStats delta that the parent folds into its aggregate."""
+        items = sweep_items(
+            cfg,
+            QUADRO_M4000,
+            ("worst-case",),
+            [cfg.tile_size * 2, cfg.tile_size * 4],
+            exact_threshold=cfg.tile_size * 8,
+            score_blocks=4,
+            scoring="vectorized",  # memo engages only on simulated points
+        )
+        before = ConflictMemo.process_stats()
+        execute_items(items, jobs=2)
+        delta = ConflictMemo.process_stats_delta(before)
+        # The sorts ran in worker processes, yet the parent aggregate
+        # must have grown: misses always (cold worker memos), and entries
+        # retained by the workers are visible too.
+        assert delta.misses > 0
+        assert delta.tile_entries > 0
+
+    def test_absorb_stats_folds_every_field(self):
+        from repro.dmm.memo import MemoStats
+
+        before = ConflictMemo.process_stats()
+        delta = MemoStats(
+            hits=3, misses=2, tile_entries=1, round_entries=1, stored_bytes=64
+        )
+        ConflictMemo.absorb_stats(delta)
+        grown = ConflictMemo.process_stats_delta(before)
+        assert grown == delta
+        # Negative deltas (worker-side eviction) fold back out.
+        ConflictMemo.absorb_stats(
+            MemoStats(
+                hits=-3,
+                misses=-2,
+                tile_entries=-1,
+                round_entries=-1,
+                stored_bytes=-64,
+            )
+        )
+        assert ConflictMemo.process_stats() == before
+
     def test_parallel_points_match_unmemoized_serial(self, cfg):
         """Workers keep per-process memos (runners default to "auto");
         fan-out must still reproduce the unmemoized serial points."""

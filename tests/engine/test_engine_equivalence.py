@@ -96,6 +96,13 @@ def engines():
             built[name] = create_engine(
                 name, url=f"http://127.0.0.1:{service.port}", timeout=90.0
             )
+        elif name == "sharded":
+            # Degenerate single-node ring over the same daemon: pins the
+            # fingerprint-routed wire path into the bit-identity matrix
+            # (multi-shard routing semantics live in tests/service/).
+            built[name] = create_engine(
+                name, urls=[f"http://127.0.0.1:{service.port}"], timeout=90.0
+            )
         else:
             built[name] = create_engine(name)
     try:

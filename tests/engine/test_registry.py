@@ -30,6 +30,7 @@ class TestNames:
             "inline-vectorized",
             "pool",
             "service",
+            "sharded",
         }
 
     def test_unknown_engine_rejected(self):
@@ -56,8 +57,8 @@ class TestNames:
 
     def test_engine_name_attribute_matches_registry(self):
         for name in engine_names():
-            if name in ("pool", "service"):
-                continue  # pool spawns workers, service needs a daemon
+            if name in ("pool", "service", "sharded"):
+                continue  # pool spawns workers, service/sharded need daemons
             assert create_engine(name).name == name
 
 

@@ -80,6 +80,33 @@ class TestStackWarpSteps:
         with pytest.raises(ValidationError):
             stack_warp_steps(np.zeros((2, 6), dtype=np.int64), 4)
 
+    def test_partial_warp_error_names_the_padded_path(self):
+        """The two entry points split the partial-warp contract:
+        ``warp_traces`` pads trailing partial warps with inactive lanes
+        while ``stack_warp_steps`` refuses them — so the refusal must
+        tell callers where to go."""
+        with pytest.raises(ValidationError, match="warp_traces"):
+            stack_warp_steps(np.zeros((2, 6), dtype=np.int64), 4)
+
+    def test_partial_warp_padding_is_score_equivalent(self, rng):
+        """Contract between the two paths: hand-padding a partial-warp
+        matrix with inactive lanes (-1) and stacking it scores exactly
+        like ``warp_traces``'s implicit padding."""
+        matrix = rng.integers(0, 64, size=(3, 6)).astype(np.int64)
+        padded = np.full((3, 8), -1, dtype=np.int64)
+        padded[:, :6] = matrix
+        combined = count_conflicts(
+            AccessTrace.from_dense(stack_warp_steps(padded, 4)), 4
+        )
+        merged = None
+        for t in warp_traces(matrix, 4):
+            r = count_conflicts(t, 4)
+            merged = r if merged is None else merged.merged(r)
+        assert combined.total_transactions == merged.total_transactions
+        assert combined.total_replays == merged.total_replays
+        assert combined.num_accesses == merged.num_accesses
+        assert combined.max_degree == merged.max_degree
+
     def test_rejects_1d(self):
         with pytest.raises(ValidationError):
             stack_warp_steps(np.zeros(4, dtype=np.int64), 4)

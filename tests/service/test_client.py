@@ -1,0 +1,73 @@
+"""Client-side transport decoding, independent of a live server.
+
+The blocking :class:`~repro.service.client.ServiceClient` is mostly
+exercised end-to-end by ``test_server.py``; this module pins the pure
+decoding helpers — above all ``Retry-After`` parsing, where a junk or
+HTTP-date header must still surface as a typed
+:class:`~repro.errors.BackpressureError` rather than a client-side
+``ValueError``.
+"""
+
+import email.utils
+import time
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.service.client import ServiceClient, parse_retry_after
+
+
+class TestParseRetryAfter:
+    def test_missing_header_uses_default(self):
+        assert parse_retry_after(None) == 1.0
+
+    def test_blank_header_uses_default(self):
+        assert parse_retry_after("") == 1.0
+        assert parse_retry_after("   ") == 1.0
+
+    def test_integer_seconds(self):
+        assert parse_retry_after("5") == 5.0
+
+    def test_float_seconds_with_whitespace(self):
+        assert parse_retry_after(" 0.25 ") == 0.25
+
+    def test_zero_is_valid(self):
+        assert parse_retry_after("0") == 0.0
+
+    def test_negative_clamps_to_default(self):
+        assert parse_retry_after("-3") == 1.0
+
+    def test_nan_and_inf_clamp_to_default(self):
+        assert parse_retry_after("nan") == 1.0
+        assert parse_retry_after("inf") == 1.0
+
+    def test_http_date_in_future(self):
+        """RFC 9110 allows an HTTP-date; decode to seconds-from-now."""
+        header = email.utils.formatdate(time.time() + 30, usegmt=True)
+        seconds = parse_retry_after(header)
+        assert 25.0 < seconds <= 31.0
+
+    def test_http_date_in_past_clamps_to_zero(self):
+        header = email.utils.formatdate(time.time() - 60, usegmt=True)
+        assert parse_retry_after(header) == 0.0
+
+    def test_junk_header_uses_default(self):
+        """Regression: ``float('soon')`` used to raise an uncaught
+        ValueError out of ``ServiceClient.request`` instead of the typed
+        backpressure error the retry loops catch."""
+        assert parse_retry_after("soon") == 1.0
+        assert parse_retry_after("Wed, not a date") == 1.0
+
+
+class TestClientUrlParsing:
+    def test_host_port(self):
+        client = ServiceClient("http://127.0.0.1:9001")
+        assert (client.host, client.port) == ("127.0.0.1", 9001)
+
+    def test_bare_host_defaults_port(self):
+        client = ServiceClient("localhost")
+        assert (client.host, client.port) == ("localhost", 8787)
+
+    def test_https_rejected(self):
+        with pytest.raises(ValidationError):
+            ServiceClient("https://example.com")

@@ -1,0 +1,263 @@
+"""The chunked job scheduler: manifests, requeue semantics, am-I-done.
+
+The unit half drives :class:`JobScheduler` against a fake
+``submit_chunk`` (no sockets): chunking shape, canonical fingerprints,
+worker-failure requeue vs validation-failure permanence. The
+integration half runs real manifests through a real router + fleet —
+including the acceptance scenario: a worker hard-killed mid-manifest
+has its chunks requeued and the job still completes on the survivor.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.errors import ServiceError, ValidationError
+from repro.service.protocol import SweepRequest
+from repro.service.scheduler import JobScheduler, split_manifest
+from repro.sort.serialize import config_to_obj
+from tests.service.conftest import small_config
+
+CFG = small_config()
+CFG_OBJ = config_to_obj(CFG)
+
+
+def manifest(sizes=None, inputs=("random", "worst-case"), **extra):
+    body = {
+        "config": CFG_OBJ,
+        "inputs": list(inputs),
+        "sizes": sizes or [CFG.tile_size * 2, CFG.tile_size * 4],
+        "score_blocks": 2,
+    }
+    body.update(extra)
+    return body
+
+
+class TestSplitManifest:
+    def test_chunks_are_input_major_contiguous(self):
+        sizes = [CFG.tile_size * k for k in (2, 4, 8)]
+        _, chunks, max_retries = split_manifest(
+            manifest(sizes=sizes, chunk_sizes=2)
+        )
+        assert max_retries == 2  # the default
+        assert [
+            (c.input_name, c.sizes) for c in chunks
+        ] == [
+            ("random", tuple(sizes[:2])),
+            ("random", tuple(sizes[2:])),
+            ("worst-case", tuple(sizes[:2])),
+            ("worst-case", tuple(sizes[2:])),
+        ]
+        assert [c.index for c in chunks] == [0, 1, 2, 3]
+
+    def test_chunk_payloads_are_valid_sweep_bodies(self):
+        _, chunks, _ = split_manifest(manifest(chunk_sizes=1))
+        for chunk in chunks:
+            parsed = SweepRequest.from_payload(chunk.payload)
+            assert parsed.input_names == (chunk.input_name,)
+            assert parsed.sizes == chunk.sizes
+
+    def test_equivalent_manifests_produce_identical_fingerprints(self):
+        """Two phrasings of the same grid (explicit config vs the same
+        grid again with scheduler knobs attached) chunk to identical
+        coalescing keys — fleet-wide single flight and the disk cache
+        apply across manifest authors."""
+        _, a, _ = split_manifest(manifest(chunk_sizes=2))
+        _, b, _ = split_manifest(manifest(chunk_sizes=2, max_retries=9))
+        keys = lambda chunks: [  # noqa: E731
+            SweepRequest.from_payload(c.payload).coalesce_key()
+            for c in chunks
+        ]
+        assert keys(a) == keys(b)
+
+    def test_scheduler_knobs_validated(self):
+        with pytest.raises(ValidationError, match="chunk_sizes"):
+            split_manifest(manifest(chunk_sizes=0))
+        with pytest.raises(ValidationError, match="chunk_sizes"):
+            split_manifest(manifest(chunk_sizes=True))
+        with pytest.raises(ValidationError, match="max_retries"):
+            split_manifest(manifest(max_retries=-1))
+        with pytest.raises(ValidationError, match="max_retries"):
+            split_manifest(manifest(max_retries="lots"))
+
+    def test_sweep_validation_still_applies(self):
+        with pytest.raises(ValidationError, match="input"):
+            split_manifest(manifest(inputs=["made-up"]))
+        with pytest.raises(ValidationError):
+            split_manifest("not a dict")
+
+
+def drive(submit_chunk, body, *, chunk_concurrency=4, timeout=10.0):
+    """Run one job to completion on a private loop; returns (scheduler,
+    final status dict)."""
+
+    async def run():
+        scheduler = JobScheduler(
+            submit_chunk, chunk_concurrency=chunk_concurrency
+        )
+        ack = scheduler.submit(body)
+        deadline = asyncio.get_running_loop().time() + timeout
+        while True:
+            status = scheduler.status(ack["job_id"])
+            if status["done"]:
+                return scheduler, status
+            if asyncio.get_running_loop().time() > deadline:
+                raise AssertionError(f"job never finished: {status}")
+            await asyncio.sleep(0.01)
+
+    return asyncio.run(run())
+
+
+class TestJobSchedulerUnit:
+    def test_job_completes_points_in_manifest_order(self):
+        async def submit(payload):
+            # Identify each chunk by its (input, first size) so the
+            # concatenation order is observable.
+            return {
+                "points": [
+                    f"{payload['inputs'][0]}@{n}" for n in payload["sizes"]
+                ]
+            }
+
+        sizes = [CFG.tile_size * k for k in (2, 4, 8)]
+        scheduler, status = drive(
+            submit, manifest(sizes=sizes, chunk_sizes=2)
+        )
+        assert status["status"] == "done"
+        assert status["retries"] == 0
+        assert status["points"] == [
+            f"{name}@{n}"
+            for name in ("random", "worst-case")
+            for n in sizes
+        ]
+        assert status["inputs"] == ["random", "worst-case"]
+        assert status["sizes"] == sizes
+        assert scheduler.stats()["chunks"]["done"] == 4
+
+    def test_worker_failure_requeues_until_success(self):
+        failed_once = set()
+
+        async def flaky(payload):
+            key = (payload["inputs"][0], tuple(payload["sizes"]))
+            if key not in failed_once:
+                failed_once.add(key)
+                raise ServiceError("shard died mid-chunk")
+            return {"points": ["ok"]}
+
+        scheduler, status = drive(flaky, manifest(chunk_sizes=1))
+        assert status["status"] == "done"
+        # Every chunk failed exactly once before succeeding.
+        assert status["retries"] == status["chunks"]["total"] == 4
+        assert scheduler.chunk_retries == 4
+
+    def test_retries_exhausted_fails_the_job(self):
+        async def always_down(payload):
+            raise ServiceError("no shard could serve the request")
+
+        _, status = drive(
+            always_down, manifest(chunk_sizes=4, max_retries=1)
+        )
+        assert status["status"] == "failed"
+        assert status["done"] is True
+        assert "points" not in status
+        errors = status["errors"]
+        assert errors and all(
+            "gave up after 2 attempts" in e["error"] for e in errors
+        )
+
+    def test_validation_failure_is_permanent(self):
+        calls = []
+
+        async def reject(payload):
+            calls.append(payload)
+            raise ValidationError("shard rejected chunk: bad scoring")
+
+        _, status = drive(reject, manifest(chunk_sizes=4, max_retries=5))
+        assert status["status"] == "failed"
+        assert status["retries"] == 0  # never requeued
+        assert len(calls) == 2  # one call per chunk, no retries
+
+    def test_unknown_job_is_none(self):
+        scheduler = JobScheduler(lambda payload: None)
+        assert scheduler.status("job-404-cafebabe") is None
+
+    def test_bad_concurrency_rejected(self):
+        with pytest.raises(ValidationError, match="chunk_concurrency"):
+            JobScheduler(lambda payload: None, chunk_concurrency=0)
+
+
+class TestJobsThroughRouter:
+    def test_job_matches_direct_sweep(self, fleet_factory):
+        sizes = [CFG.tile_size * 2, CFG.tile_size * 4]
+        with fleet_factory(shards=2) as box:
+            ack = box.client.submit_job(manifest(sizes=sizes, chunk_sizes=1))
+            assert ack["ok"] and ack["chunks"] == 4
+            status = box.client.wait_for_job(ack["job_id"], timeout=60.0)
+            assert status["status"] == "done"
+            assert status["chunks"]["done"] == 4
+            direct = box.client.sweep(
+                config=CFG_OBJ,
+                inputs=["random", "worst-case"],
+                sizes=sizes,
+                score_blocks=2,
+            )
+            from repro.service.protocol import point_from_obj
+
+            assert [
+                point_from_obj(p) for p in status["points"]
+            ] == direct.points
+
+    def test_invalid_manifest_rejected_with_400(self, fleet_factory):
+        with fleet_factory(shards=2) as box:
+            with pytest.raises(ValidationError, match="chunk_sizes"):
+                box.client.submit_job(manifest(chunk_sizes=0))
+            with pytest.raises(ValidationError, match="unknown job"):
+                box.client.job_status("job-999-deadbeef")
+
+    def test_killed_worker_mid_manifest_requeues_and_completes(
+        self, fleet_factory
+    ):
+        """The acceptance scenario: hard-kill a worker while it holds
+        in-flight chunks; the scheduler requeues them (visible in
+        ``retries``) and the am-I-done probe eventually flips done with
+        the full point set, served by the surviving shard."""
+        with fleet_factory(shards=2) as box:
+            first_call = threading.Event()
+            hold = threading.Event()
+            calls = []
+            for i in range(len(box.fleet)):
+                service = box.fleet.service(i)
+                original = service._compute_sweep
+
+                def gated(request, _orig=original, _i=i):
+                    calls.append(_i)
+                    first_call.set()
+                    assert hold.wait(60), "gate never released"
+                    return _orig(request)
+
+                service._compute_sweep = gated
+
+            sizes = [CFG.tile_size * k for k in (1, 2, 4, 8, 16, 32)]
+            ack = box.client.submit_job(
+                manifest(
+                    sizes=sizes,
+                    inputs=("random",),
+                    chunk_sizes=1,
+                    max_retries=3,
+                )
+            )
+            assert first_call.wait(30), "no chunk reached a worker"
+            victim = calls[0]
+            box.fleet.kill(victim)
+            hold.set()
+            status = box.client.wait_for_job(ack["job_id"], timeout=120.0)
+            assert status["status"] == "done", status.get("errors")
+            assert status["retries"] >= 1
+            assert status["chunks"]["done"] == len(sizes)
+            assert len(status["points"]) == len(sizes)
+            # The router noticed the crash and the survivor served it.
+            health = box.client.healthz()["shards"]
+            assert health[box.fleet.urls[victim]] == "down"
+            stats = box.client.stats()
+            assert stats["chunk_retries"] >= 1

@@ -1,0 +1,319 @@
+"""The shard router: consistent hashing, fleet-wide coalescing, failover.
+
+Ring properties are tested in isolation (determinism, balance, minimal
+remap on resize); everything else drives a real two-worker fleet behind
+a real router over loopback HTTP — the same harness
+``repro-mergesort serve --shards N`` boots — including the acceptance
+scenarios: identical concurrent requests execute **once across the
+whole fleet**, and a hard-killed worker's keyspace fails over to the
+survivor.
+"""
+
+import threading
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.errors import BackpressureError, ValidationError
+from repro.service.client import ServiceClient
+from repro.service.shard import HashRing
+from repro.sort.serialize import config_to_obj, results_identical
+from tests.service.conftest import small_config
+
+CFG_OBJ = config_to_obj(small_config())
+
+
+class TestHashRing:
+    def test_deterministic(self):
+        ring = HashRing(["a", "b", "c"])
+        again = HashRing(["a", "b", "c"])
+        for i in range(50):
+            key = f"fingerprint-{i}"
+            assert ring.node_for(key) == again.node_for(key)
+
+    def test_balanced_split(self):
+        ring = HashRing(["a", "b", "c"], replicas=64)
+        counts = Counter(ring.node_for(f"key-{i}") for i in range(3000))
+        assert set(counts) == {"a", "b", "c"}
+        # Virtual nodes keep the split within a loose band of fair share.
+        for node in ("a", "b", "c"):
+            assert 500 <= counts[node] <= 1500
+
+    def test_preference_lists_every_node_first_is_owner(self):
+        ring = HashRing(["a", "b", "c"])
+        for i in range(20):
+            pref = ring.preference(f"key-{i}")
+            assert sorted(pref) == ["a", "b", "c"]
+            assert pref[0] == ring.node_for(f"key-{i}")
+
+    def test_resize_remaps_a_minority_of_keys(self):
+        """The consistent-hashing property: growing 3 → 4 nodes moves
+        roughly 1/4 of the keyspace, nowhere near a full reshuffle."""
+        keys = [f"key-{i}" for i in range(2000)]
+        small = HashRing(["a", "b", "c"])
+        grown = HashRing(["a", "b", "c", "d"])
+        moved = sum(
+            small.node_for(k) != grown.node_for(k) for k in keys
+        )
+        assert 0 < moved < len(keys) // 2
+
+    def test_rejects_empty_and_duplicates(self):
+        with pytest.raises(ValidationError, match="at least one node"):
+            HashRing([])
+        with pytest.raises(ValidationError, match="duplicate"):
+            HashRing(["a", "a"])
+        with pytest.raises(ValidationError, match="replicas"):
+            HashRing(["a"], replicas=0)
+
+
+class TestRouterBasics:
+    def test_healthz_reports_every_shard_up(self, fleet_factory):
+        with fleet_factory(shards=2) as box:
+            health = box.client.healthz()
+            assert health["status"] == "ok"
+            assert sorted(health["shards"]) == sorted(box.fleet.urls)
+            assert set(health["shards"].values()) == {"up"}
+
+    def test_simulate_through_router_matches_direct(self, fleet_factory):
+        with fleet_factory(shards=2) as box:
+            routed = box.client.simulate(
+                config=CFG_OBJ, tiles=4, input="worst-case"
+            )
+            assert routed.sorted_ok
+            # The same request straight to the owning worker is
+            # score-identical: the router adds routing, not computation.
+            # (memo_stats legitimately differ — the repeat hits the
+            # worker's warm memo — so compare values and scores, not
+            # the full results_identical predicate.)
+            direct_url = box.router.ring.node_for(
+                _simulate_key(tiles=4)
+            )
+            direct = ServiceClient(direct_url, timeout=90.0).simulate(
+                config=CFG_OBJ, tiles=4, input="worst-case"
+            )
+            assert np.array_equal(
+                routed.result.values, direct.result.values
+            )
+            assert [r.replays for r in routed.result.rounds] == [
+                r.replays for r in direct.result.rounds
+            ]
+
+    def test_identical_requests_route_to_one_shard(self, fleet_factory):
+        with fleet_factory(shards=2) as box:
+            before = dict(box.router.shard_requests)
+            for _ in range(3):
+                box.client.simulate(config=CFG_OBJ, tiles=4, input="random")
+            deltas = {
+                url: box.router.shard_requests[url] - before[url]
+                for url in before
+            }
+            assert sorted(deltas.values()) == [0, 3]
+
+    def test_distinct_requests_spread_over_shards(self, fleet_factory):
+        with fleet_factory(shards=2) as box:
+            before = dict(box.router.shard_requests)
+            for seed in range(12):
+                box.client.simulate(
+                    config=CFG_OBJ, tiles=2, input="random", seed=seed
+                )
+            deltas = [
+                box.router.shard_requests[url] - before[url]
+                for url in before
+            ]
+            # Twelve distinct fingerprints: both shards should see work.
+            assert sum(deltas) == 12
+            assert all(d > 0 for d in deltas)
+
+    def test_unknown_endpoint_404(self, fleet_factory):
+        with fleet_factory(shards=2) as box:
+            with pytest.raises(ValidationError, match="unknown endpoint"):
+                box.client.request("GET", "/nope")
+
+
+def _simulate_key(*, tiles, input="worst-case", seed=0):
+    from repro.service.protocol import SimulateRequest
+
+    return SimulateRequest.from_payload(
+        {"config": CFG_OBJ, "tiles": tiles, "input": input, "seed": seed}
+    ).coalesce_key()
+
+
+class TestFleetWideCoalescing:
+    def test_identical_concurrent_requests_execute_once(self, fleet_factory):
+        """The tentpole guarantee: N identical requests arriving at the
+        router concurrently cause exactly ONE computation across the
+        entire fleet; every other caller is served by coalescing."""
+        with fleet_factory(shards=2) as box:
+            executed = []
+            release = threading.Event()
+            for i in range(len(box.fleet)):
+                service = box.fleet.service(i)
+                original = service._compute_simulate
+
+                def gated(request, _orig=original, _i=i):
+                    executed.append(_i)
+                    assert release.wait(30), "gate never released"
+                    return _orig(request)
+
+                service._compute_simulate = gated
+
+            replies = []
+            errors = []
+
+            def call():
+                try:
+                    client = ServiceClient(
+                        f"http://127.0.0.1:{box.router.port}", timeout=90.0
+                    )
+                    replies.append(
+                        client.simulate(
+                            config=CFG_OBJ, tiles=4, input="worst-case"
+                        )
+                    )
+                except Exception as exc:  # noqa: BLE001 - collected below
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=call) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            # Wait until the one primary is inside the gated compute,
+            # then let it finish; the rest must join it, not re-execute.
+            deadline = threading.Event()
+            for _ in range(200):
+                if executed:
+                    break
+                deadline.wait(0.05)
+            release.set()
+            for thread in threads:
+                thread.join(60)
+            assert not errors, errors
+            assert len(executed) == 1, (
+                f"fleet ran the computation {len(executed)} times"
+            )
+            assert len(replies) == 6
+            assert sum(r.coalesced for r in replies) == 5
+            for reply in replies[1:]:
+                assert results_identical(reply.result, replies[0].result)
+
+
+class TestFailover:
+    def test_killed_shard_fails_over_and_reports_down(self, fleet_factory):
+        with fleet_factory(shards=2) as box:
+            # Find a request owned by worker 0's URL, then kill worker 0:
+            # the router must replay it on the survivor.
+            victim_url = box.fleet.urls[0]
+            seed = next(
+                s
+                for s in range(64)
+                if box.router.ring.node_for(
+                    _simulate_key(tiles=2, input="random", seed=s)
+                )
+                == victim_url
+            )
+            box.fleet.kill(0)
+            reply = box.client.simulate(
+                config=CFG_OBJ, tiles=2, input="random", seed=seed
+            )
+            assert reply.sorted_ok
+            health = box.client.healthz()
+            assert health["shards"][victim_url] == "down"
+            other = box.fleet.urls[1]
+            assert health["shards"][other] == "up"
+
+    def test_metrics_track_shard_health(self, fleet_factory):
+        with fleet_factory(shards=2) as box:
+            dead_url = box.fleet.urls[1]
+            # A request owned by the victim, so the router actually
+            # contacts it, notices the crash, and marks it down.
+            seed = next(
+                s
+                for s in range(64)
+                if box.router.ring.node_for(
+                    _simulate_key(tiles=2, input="random", seed=s)
+                )
+                == dead_url
+            )
+            box.fleet.kill(1)
+            box.client.simulate(
+                config=CFG_OBJ, tiles=2, input="random", seed=seed
+            )
+            text = box.client.metrics()
+            assert f'repro_shard_up{{shard="{dead_url}"}} 0' in text
+
+
+class TestMetricsEndpoint:
+    def test_router_metrics_prometheus_text(self, fleet_factory):
+        with fleet_factory(shards=2) as box:
+            box.client.simulate(config=CFG_OBJ, tiles=4)
+            text = box.client.metrics()
+            assert "# TYPE repro_requests_total counter" in text
+            assert 'repro_requests_total{path="/simulate"} 1' in text
+            assert "# TYPE repro_queue_depth gauge" in text
+            assert "repro_coalesce_primary_total 1" in text
+            for url in box.fleet.urls:
+                assert f'repro_shard_up{{shard="{url}"}} 1' in text
+            assert 'repro_jobs{state="running"} 0' in text
+            assert "repro_chunk_retries_total 0" in text
+
+    def test_worker_metrics_include_process_memo(self, fleet_factory):
+        with fleet_factory(shards=2) as box:
+            box.client.simulate(config=CFG_OBJ, tiles=4, input="random")
+            owner = box.router.ring.node_for(
+                _simulate_key(tiles=4, input="random")
+            )
+            text = ServiceClient(owner, timeout=30.0).metrics()
+            assert "# TYPE repro_memo_misses_total counter" in text
+            assert "repro_memo_process_misses_total" in text
+            assert 'repro_executed_total{kind="simulate"} 1' in text
+
+    def test_metrics_content_type(self, fleet_factory):
+        import http.client
+
+        with fleet_factory(shards=2) as box:
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", box.router.port, timeout=30
+            )
+            try:
+                conn.request("GET", "/metrics")
+                response = conn.getresponse()
+                assert response.status == 200
+                assert response.getheader("Content-Type") == (
+                    "text/plain; version=0.0.4; charset=utf-8"
+                )
+                response.read()
+            finally:
+                conn.close()
+
+
+class TestQuotas:
+    def test_router_quota_429_with_retry_after(self, fleet_factory):
+        with fleet_factory(
+            shards=2, router={"quota_per_minute": 2}
+        ) as box:
+            client = ServiceClient(
+                f"http://127.0.0.1:{box.router.port}",
+                timeout=30.0,
+                client_id="greedy",
+            )
+            for _ in range(2):
+                client.simulate(config=CFG_OBJ, tiles=2)
+            with pytest.raises(BackpressureError, match="quota") as info:
+                client.simulate(config=CFG_OBJ, tiles=2)
+            assert info.value.retry_after > 0
+            # A different client identity still gets served.
+            other = ServiceClient(
+                f"http://127.0.0.1:{box.router.port}",
+                timeout=30.0,
+                client_id="patient",
+            )
+            assert other.simulate(config=CFG_OBJ, tiles=2).sorted_ok
+            # Control endpoints are never metered.
+            assert client.healthz()["status"] == "ok"
+            assert box.client.stats()["backpressure"]["quota_rejected"] == 1
+
+    def test_worker_quota_enforced_without_router(self, service_factory):
+        with service_factory(quota_per_minute=1) as box:
+            box.client.simulate(config=CFG_OBJ, tiles=2)
+            with pytest.raises(BackpressureError, match="quota"):
+                box.client.simulate(config=CFG_OBJ, tiles=2)
