@@ -1,11 +1,38 @@
-"""Setuptools shim.
+"""Setuptools shim plus the optional compiled hot-path extension.
 
 The canonical metadata lives in ``pyproject.toml``; this file exists so the
 package can be installed in environments without the ``wheel`` package or
 network access (``python setup.py develop`` / ``pip install -e .
---no-build-isolation``).
+--no-build-isolation``), and it declares the optional
+``repro._fused_native`` C extension behind ``scoring="fused"``.
+
+The extension is marked ``optional``: a missing compiler or numpy headers
+degrade the install to the pure-numpy fused path (bit-identical, slower)
+instead of failing it. Build in place with::
+
+    python setup.py build_ext --inplace
+
+or install with the ``[native]`` extra (``pip install -e .[native]``).
+Set ``REPRO_FORCE_NUMPY=1`` to ignore a built extension at runtime.
 """
 
-from setuptools import setup
+from setuptools import Extension, setup
 
-setup()
+
+def _extensions():
+    try:
+        import numpy
+    except ImportError:  # metadata-only builds still work without numpy
+        return []
+    return [
+        Extension(
+            "repro._fused_native",
+            sources=["src/repro/_native/fusedmod.c"],
+            include_dirs=[numpy.get_include()],
+            extra_compile_args=["-O3"],
+            optional=True,
+        )
+    ]
+
+
+setup(ext_modules=_extensions())

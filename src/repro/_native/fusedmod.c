@@ -1,0 +1,1241 @@
+/* Fused single-pass round scoring for the pairwise merge sort simulator.
+ *
+ * The numpy scoring paths rebuild, per round, the full rank->address
+ * matrices, dense probe traces, and AccessTrace objects before a bincount
+ * pass reduces them to a handful of ConflictReport counters. This module
+ * goes straight from the pre-merge values to those counters:
+ *
+ *   merge_pairs        - the stable (A-first) pairwise merge itself, run
+ *                        as two independent chains (one from each end of
+ *                        the pair) so the serial two-pointer dependency
+ *                        overlaps; the replacement for the per-round
+ *                        stable argsort + take_along_axis pair;
+ *   score_block_round  - one scored tile at a time: rebuild the tile's
+ *                        merge interleaving with bidirectional two-pointer
+ *                        merges (sampling the A-prefix counts the
+ *                        partition stage needs), score its per-(warp,
+ *                        step) bank requests, then replay the lock-step
+ *                        merge-path bisection and score the probe rows,
+ *                        all without materializing a trace;
+ *   score_global_round - the same for global rounds, recovering each
+ *                        scored block's A/B window by merge-path split
+ *                        (which equals the stable-merge prefix count)
+ *                        instead of scanning a materialized order array.
+ *
+ * The partition bisection needs no value loads at all: its comparator
+ * values[a+mid] <= values[b+d-mid-1] is monotone in mid with threshold
+ * s*(d) = mp_split(d) = the number of A elements among the first d merge
+ * outputs - and the reconstruct pass samples exactly those prefix counts
+ * at every E-th output for free. The replayed bisection then runs on
+ * L1-resident integer state only, vectorized 8 lanes per step with
+ * AVX-512 when the CPU supports it (runtime dispatch; scalar otherwise).
+ * Probe-row broadcast dedup uses a byte generation stamp over the tile's
+ * logical addresses, and bank histograms live in one cache line of byte
+ * counters with an occupancy bitmask, so the whole scoring stage stays in
+ * L1. Geometries with w > 64 banks take a generic (stamped, value-
+ * comparing) fallback path.
+ *
+ * Bit-identity contract: per-step transaction sequences and the
+ * access/request/replay counters must match the numpy vectorized path
+ * exactly - row order is (tile, warp, step) for the merge stage and
+ * (group, warp, step) with per-group trailing trim for the partition
+ * stage, ties merge A-first, identical (step, address) read pairs
+ * broadcast, and bank = physical(addr) & (w - 1) with Dotsenko padding
+ * physical(a) = a + (a / w) * padding.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#define NPY_NO_DEPRECATED_API NPY_1_7_API_VERSION
+#include <Python.h>
+#include <numpy/arrayobject.h>
+#include <stdlib.h>
+#include <string.h>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define FUSED_CAN_AVX512 1
+#include <immintrin.h>
+#endif
+
+static int fused_use_avx512 = 0; /* set once at module init */
+
+static inline npy_int64
+bank_of(npy_int64 addr, int w, int padding)
+{
+    if (padding)
+        addr += (addr / w) * padding;
+    return addr & (npy_int64)(w - 1);
+}
+
+static int
+bit_length(npy_int64 x)
+{
+    int n = 0;
+    while (x > 0) {
+        n++;
+        x >>= 1;
+    }
+    return n;
+}
+
+/* Stable (A-first) merge-path split: number of A elements among the first
+ * `d` outputs of the stable merge of (A, B). Identical comparator to the
+ * simulator's partition_many_with_trace, so duplicate keys split the same
+ * way. */
+static npy_int64
+mp_split(const npy_int64 *A, const npy_int64 *B, npy_int64 alen,
+         npy_int64 blen, npy_int64 d)
+{
+    npy_int64 lo = d - blen;
+    npy_int64 hi = d < alen ? d : alen;
+    if (lo < 0)
+        lo = 0;
+    while (lo < hi) {
+        npy_int64 mid = (lo + hi) >> 1;
+        if (A[mid] <= B[d - mid - 1])
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+/* -- merge-stage scoring --------------------------------------------------
+ *
+ * One tile's rank->address map is a permutation of the tile's cells, so
+ * two lanes of one step can never collide on an address and broadcast
+ * deduplication is a no-op: requests == accesses and the per-step replay
+ * count is w - (occupied banks). per_step_out receives (b/w)*E entries in
+ * (warp, step) order; *replays accumulates. */
+
+/* Fast variant for w <= 64: one cache line of byte counters plus an
+ * occupancy bitmask per step; the max degree updates incrementally. */
+static void
+score_permutation_fast(const npy_int64 *addr, int E, int b, int w,
+                       int padding, npy_int64 *per_step_out,
+                       npy_int64 *replays)
+{
+    int wpb = b / w;
+    int chunk = w * E;
+    int warp, j, k;
+    unsigned char cnt[64];
+    for (warp = 0; warp < wpb; warp++) {
+        const npy_int64 *base = addr + (npy_intp)warp * chunk;
+        for (j = 0; j < E; j++) {
+            npy_uint64 occ = 0;
+            npy_int64 mx = 0;
+            memset(cnt, 0, (size_t)w);
+            for (k = 0; k < w; k++) {
+                npy_int64 bk = bank_of(base[(npy_intp)k * E + j], w, padding);
+                npy_int64 c = ++cnt[bk];
+                occ |= (npy_uint64)1 << bk;
+                mx = c > mx ? c : mx;
+            }
+            per_step_out[(npy_intp)warp * E + j] = mx;
+            *replays += w - __builtin_popcountll(occ);
+        }
+    }
+}
+
+/* Generic variant (any w): generation-stamped bank counts. */
+static void
+score_permutation_tile(const npy_int64 *addr, int E, int b, int w,
+                       int padding, npy_int64 *bmark /* w stamp table */,
+                       npy_int64 *bcnt /* w scratch */, npy_int64 *stamp,
+                       npy_int64 *per_step_out, npy_int64 *replays)
+{
+    int wpb = b / w;
+    int chunk = w * E;
+    int warp, j, k;
+    for (warp = 0; warp < wpb; warp++) {
+        const npy_int64 *base = addr + (npy_intp)warp * chunk;
+        for (j = 0; j < E; j++) {
+            npy_int64 cur = ++(*stamp), mx = 0;
+            int nz = 0;
+            for (k = 0; k < w; k++) {
+                npy_int64 bk = bank_of(base[(npy_intp)k * E + j], w, padding);
+                npy_int64 c;
+                if (bmark[bk] != cur) {
+                    bmark[bk] = cur;
+                    c = bcnt[bk] = 1;
+                    nz++;
+                }
+                else
+                    c = ++bcnt[bk];
+                if (c > mx)
+                    mx = c;
+            }
+            per_step_out[(npy_intp)warp * E + j] = mx;
+            *replays += w - nz;
+        }
+    }
+}
+
+/* -- partition-stage scoring (fast path, w <= 64) -------------------------
+ *
+ * The bisection replay is value-free: lane t's comparator outcome at mid
+ * is simply mid < sstar[t], where sstar[t] is the merge-path split of the
+ * lane's diagonal, sampled during the reconstruct pass. Each iteration
+ * emits the A-probe row then the B-probe row (-1 marks a converged lane)
+ * and scores both immediately while they are L1-hot. Per-step results
+ * land in ps_sw in [step][warp] order; the caller transposes into the
+ * (warp, step) layout of the report. Returns rows (2 per iteration), or
+ * -1 if maxiter would overflow. */
+
+/* Score one probe row: broadcast dedup via a byte generation stamp over
+ * tile-local addresses, bank counts in one line of byte counters with an
+ * occupancy bitmask. */
+static inline void
+score_probe_row_fast(const npy_int64 *row, int b, int w, int padding,
+                     unsigned char *stampb, unsigned char *scur,
+                     npy_int64 tile, npy_int64 *ps_out /* wpb entries */,
+                     npy_int64 *accesses, npy_int64 *requests,
+                     npy_int64 *replays)
+{
+    int wpb = b / w;
+    int warp, k;
+    unsigned char cnt[64];
+    for (warp = 0; warp < wpb; warp++) {
+        const npy_int64 *lane = row + (npy_intp)warp * w;
+        npy_int64 mx = 0, ns = 0, nact = 0;
+        npy_uint64 occ = 0;
+        unsigned char cs = (unsigned char)(*scur + 1);
+        if (cs == 0) { /* stamp byte wrapped: reset the table */
+            memset(stampb, 0, (size_t)tile);
+            cs = 1;
+        }
+        *scur = cs;
+        memset(cnt, 0, (size_t)w);
+        for (k = 0; k < w; k++) {
+            npy_int64 a = lane[k];
+            npy_int64 bk, c;
+            if (a < 0)
+                continue;
+            nact++;
+            if (stampb[a] == cs)
+                continue;
+            stampb[a] = cs;
+            ns++;
+            bk = bank_of(a, w, padding);
+            c = ++cnt[bk];
+            occ |= (npy_uint64)1 << bk;
+            mx = c > mx ? c : mx;
+        }
+        ps_out[warp] = mx;
+        *accesses += nact;
+        *requests += ns;
+        *replays += ns - __builtin_popcountll(occ);
+    }
+}
+
+/* Shared lo/hi initialisation: hi[] arrives preloaded with b_len. */
+static void
+partition_init(int b8, const npy_int64 *a_len, const npy_int64 *diag,
+               npy_int64 *lo, npy_int64 *hi)
+{
+    int t;
+    for (t = 0; t < b8; t++) {
+        npy_int64 l = diag[t] - hi[t];
+        npy_int64 h = diag[t] < a_len[t] ? diag[t] : a_len[t];
+        if (l < 0)
+            l = 0;
+        lo[t] = l;
+        hi[t] = h;
+    }
+}
+
+static int
+partition_rows_scalar(int b, int b8, int w, int padding,
+                      const npy_int64 *a_len, const npy_int64 *sstar,
+                      const npy_int64 *diag, const npy_int64 *ta,
+                      const npy_int64 *tb, npy_int64 *lo, npy_int64 *hi,
+                      npy_int64 *rowbuf /* 2*b8 */, unsigned char *stampb,
+                      unsigned char *scur, npy_int64 tile,
+                      npy_int64 *ps_sw /* [2*maxiter][wpb] */, int maxiter,
+                      npy_int64 *accesses, npy_int64 *requests,
+                      npy_int64 *replays)
+{
+    int wpb = b / w, t, it, rows = 0;
+    partition_init(b8, a_len, diag, lo, hi);
+    for (it = 0;; it++) {
+        npy_int64 any = 0;
+        npy_int64 *rowa = rowbuf, *rowb = rowbuf + b8;
+        if (it >= maxiter)
+            return -1;
+        for (t = 0; t < b; t++) {
+            npy_int64 l = lo[t], h = hi[t];
+            npy_int64 act = l < h;
+            npy_int64 mid = (l + h) >> 1;
+            npy_int64 c = mid < sstar[t];
+            rowa[t] = act ? ta[t] + mid : -1;
+            rowb[t] = act ? tb[t] + diag[t] - mid - 1 : -1;
+            lo[t] = (act & c) ? mid + 1 : l;
+            hi[t] = ((act & ~c) & 1) ? mid : h;
+            any |= act;
+        }
+        if (!any)
+            break;
+        score_probe_row_fast(rowa, b, w, padding, stampb, scur, tile,
+                             ps_sw + (npy_intp)rows * wpb, accesses,
+                             requests, replays);
+        score_probe_row_fast(rowb, b, w, padding, stampb, scur, tile,
+                             ps_sw + (npy_intp)(rows + 1) * wpb, accesses,
+                             requests, replays);
+        rows += 2;
+    }
+    return rows;
+}
+
+#ifdef FUSED_CAN_AVX512
+__attribute__((target("avx512f")))
+static int
+partition_rows_avx512(int b, int b8, int w, int padding,
+                      const npy_int64 *a_len, const npy_int64 *sstar,
+                      const npy_int64 *diag, const npy_int64 *ta,
+                      const npy_int64 *tb, npy_int64 *lo, npy_int64 *hi,
+                      npy_int64 *rowbuf /* 2*b8 */, unsigned char *stampb,
+                      unsigned char *scur, npy_int64 tile,
+                      npy_int64 *ps_sw /* [2*maxiter][wpb] */, int maxiter,
+                      npy_int64 *accesses, npy_int64 *requests,
+                      npy_int64 *replays)
+{
+    int wpb = b / w, t, it, rows = 0;
+    const __m512i m1 = _mm512_set1_epi64(-1);
+    const __m512i one = _mm512_set1_epi64(1);
+    partition_init(b8, a_len, diag, lo, hi);
+    for (it = 0;; it++) {
+        unsigned any = 0;
+        npy_int64 *rowa = rowbuf, *rowb = rowbuf + b8;
+        if (it >= maxiter)
+            return -1;
+        for (t = 0; t < b8; t += 8) {
+            __m512i l = _mm512_loadu_si512(lo + t);
+            __m512i h = _mm512_loadu_si512(hi + t);
+            __mmask8 act = _mm512_cmplt_epi64_mask(l, h);
+            __m512i mid = _mm512_srai_epi64(_mm512_add_epi64(l, h), 1);
+            __m512i ss = _mm512_loadu_si512(sstar + t);
+            __mmask8 c = _mm512_cmplt_epi64_mask(mid, ss);
+            __m512i tav = _mm512_loadu_si512(ta + t);
+            __m512i tbv = _mm512_loadu_si512(tb + t);
+            __m512i dv = _mm512_loadu_si512(diag + t);
+            __m512i ra = _mm512_mask_blend_epi64(
+                act, m1, _mm512_add_epi64(tav, mid));
+            __m512i rb = _mm512_mask_blend_epi64(
+                act, m1,
+                _mm512_sub_epi64(_mm512_add_epi64(tbv, dv),
+                                 _mm512_add_epi64(mid, one)));
+            _mm512_storeu_si512(rowa + t, ra);
+            _mm512_storeu_si512(rowb + t, rb);
+            l = _mm512_mask_add_epi64(l, (__mmask8)(act & c), mid, one);
+            h = _mm512_mask_mov_epi64(h, (__mmask8)(act & (__mmask8)~c),
+                                      mid);
+            _mm512_storeu_si512(lo + t, l);
+            _mm512_storeu_si512(hi + t, h);
+            any |= act;
+        }
+        if (!any)
+            break;
+        score_probe_row_fast(rowa, b, w, padding, stampb, scur, tile,
+                             ps_sw + (npy_intp)rows * wpb, accesses,
+                             requests, replays);
+        score_probe_row_fast(rowb, b, w, padding, stampb, scur, tile,
+                             ps_sw + (npy_intp)(rows + 1) * wpb, accesses,
+                             requests, replays);
+        rows += 2;
+    }
+    return rows;
+}
+#endif /* FUSED_CAN_AVX512 */
+
+static int
+partition_rows_fast(int b, int b8, int w, int padding,
+                    const npy_int64 *a_len, const npy_int64 *sstar,
+                    const npy_int64 *diag, const npy_int64 *ta,
+                    const npy_int64 *tb, npy_int64 *lo, npy_int64 *hi,
+                    npy_int64 *rowbuf, unsigned char *stampb,
+                    unsigned char *scur, npy_int64 tile, npy_int64 *ps_sw,
+                    int maxiter, npy_int64 *accesses, npy_int64 *requests,
+                    npy_int64 *replays)
+{
+#ifdef FUSED_CAN_AVX512
+    if (fused_use_avx512)
+        return partition_rows_avx512(b, b8, w, padding, a_len, sstar, diag,
+                                     ta, tb, lo, hi, rowbuf, stampb, scur,
+                                     tile, ps_sw, maxiter, accesses,
+                                     requests, replays);
+#endif
+    return partition_rows_scalar(b, b8, w, padding, a_len, sstar, diag, ta,
+                                 tb, lo, hi, rowbuf, stampb, scur, tile,
+                                 ps_sw, maxiter, accesses, requests,
+                                 replays);
+}
+
+/* -- partition-stage scoring (generic fallback, any w) -------------------- */
+
+/* One thread block's lock-step merge-path bisection, recorded as dense
+ * probe rows (two per iteration: the A probe then the B probe; -1 marks a
+ * converged lane). Iterations run while any lane of the block is active,
+ * which reproduces stack_group_warp_steps' per-group trailing trim.
+ * Returns the number of rows recorded, or -1 if maxiter would overflow
+ * (cannot happen for valid geometry; guarded anyway). */
+static int
+bisect_probe_rows(const npy_int64 *values, int b, const npy_int64 *a_base,
+                  const npy_int64 *a_len, const npy_int64 *b_base,
+                  const npy_int64 *diag, const npy_int64 *ta,
+                  const npy_int64 *tb, npy_int64 *lo, npy_int64 *hi,
+                  npy_int64 *probebuf, int maxiter)
+{
+    int t, it, rows = 0;
+    partition_init(b, a_len, diag, lo, hi);
+    for (it = 0;; it++) {
+        int any = 0;
+        npy_int64 *rowa, *rowb;
+        if (it >= maxiter)
+            return -1;
+        rowa = probebuf + (npy_intp)rows * b;
+        rowb = rowa + b;
+        for (t = 0; t < b; t++) {
+            if (lo[t] < hi[t]) {
+                npy_int64 mid = (lo[t] + hi[t]) >> 1;
+                npy_int64 bp = diag[t] - mid - 1;
+                rowa[t] = ta[t] + mid;
+                rowb[t] = tb[t] + bp;
+                if (values[a_base[t] + mid] <= values[b_base[t] + bp])
+                    lo[t] = mid + 1;
+                else
+                    hi[t] = mid;
+                any = 1;
+            }
+            else {
+                rowa[t] = -1;
+                rowb[t] = -1;
+            }
+        }
+        if (!any)
+            break;
+        rows += 2;
+    }
+    return rows;
+}
+
+/* Score the recorded probe rows of one block: per (warp, step), collapse
+ * identical-address broadcasts, histogram banks, and emit the transaction
+ * count. per_step_out receives (b/w)*rows entries in (warp, step) order.
+ * Broadcast dedup is O(1) per access through `mark`, a generation-stamped
+ * table over the tile's logical addresses (probe addresses are tile-local
+ * by construction): an address is a duplicate iff its stamp equals the
+ * current step's. Bank counts reuse the same trick over bmark/bcnt with
+ * the max degree tracked incrementally. `*stamp` must be strictly
+ * increasing across every call sharing one mark table; the caller clears
+ * mark/bmark to -1 once per round. */
+static void
+score_probe_rows(const npy_int64 *probebuf, int rows, int b, int w,
+                 int padding, npy_int64 *bmark /* w stamp table */,
+                 npy_int64 *bcnt /* w scratch */,
+                 npy_int64 *mark /* tile-sized stamp table */,
+                 npy_int64 *stamp, npy_int64 *per_step_out,
+                 npy_int64 *accesses, npy_int64 *requests,
+                 npy_int64 *replays)
+{
+    int wpb = b / w;
+    npy_intp out = 0;
+    int warp, s, k;
+    for (warp = 0; warp < wpb; warp++) {
+        for (s = 0; s < rows; s++) {
+            const npy_int64 *lane = probebuf + (npy_intp)s * b + warp * w;
+            npy_int64 mx = 0, cur = ++(*stamp);
+            int ns = 0, nact = 0, nzb = 0;
+            for (k = 0; k < w; k++) {
+                npy_int64 a = lane[k], bk, c;
+                if (a < 0)
+                    continue;
+                nact++;
+                if (mark[a] == cur)
+                    continue;
+                mark[a] = cur;
+                ns++;
+                bk = bank_of(a, w, padding);
+                if (bmark[bk] != cur) {
+                    bmark[bk] = cur;
+                    c = bcnt[bk] = 1;
+                    nzb++;
+                }
+                else
+                    c = ++bcnt[bk];
+                if (c > mx)
+                    mx = c;
+            }
+            per_step_out[out++] = mx;
+            *accesses += nact;
+            *requests += ns;
+            *replays += ns - nzb;
+        }
+    }
+}
+
+/* -- merge_pairs(mat, run) -> merged -------------------------------------- */
+
+#ifdef FUSED_CAN_AVX512
+/* Merge one [A | B] row with an 8-lane int64 bitonic merge network. The
+ * merged *values* are tie-order-agnostic (sorting a multiset has a unique
+ * result), so the network needs no stability — only the reconstruct pass
+ * inside the round scorers retraces the stable A-first order, and it does
+ * so independently. Each step merges the 8 retained largest with 8 fresh
+ * keys from whichever stream's next unloaded head is smaller; every
+ * element of the retained vector comes from a loaded prefix, hence is
+ * <= that head, which makes the emitted low half the 8 globally smallest
+ * remaining keys. The tail (and the last retained vector) drains through
+ * a scalar 3-way merge. */
+__attribute__((target("avx512f")))
+static void
+merge_row_avx512(const npy_int64 *A, const npy_int64 *B, npy_int64 run,
+                 npy_int64 *out)
+{
+    const __m512i REV = _mm512_set_epi64(0, 1, 2, 3, 4, 5, 6, 7);
+    const __m512i IDX4 = _mm512_set_epi64(3, 2, 1, 0, 7, 6, 5, 4);
+    const __m512i IDX2 = _mm512_set_epi64(5, 4, 7, 6, 1, 0, 3, 2);
+    const __m512i IDX1 = _mm512_set_epi64(6, 7, 4, 5, 2, 3, 0, 1);
+    __m512i va = _mm512_loadu_si512(A);
+    __m512i vb = _mm512_loadu_si512(B);
+    npy_int64 i = 8, j = 8, T[8];
+    int p;
+    for (;;) {
+        /* (va asc, vb asc) -> (vmn asc, vmx asc) over all 16 keys:
+         * reverse one input, split with min/max, then run the 3-stage
+         * bitonic cleaner (swap distances 4, 2, 1) on each half. */
+        __m512i rb = _mm512_permutexvar_epi64(REV, vb);
+        __m512i lo = _mm512_min_epi64(va, rb);
+        __m512i hi = _mm512_max_epi64(va, rb);
+        __m512i pr;
+        pr = _mm512_permutexvar_epi64(IDX4, lo);
+        lo = _mm512_mask_mov_epi64(_mm512_min_epi64(lo, pr), 0xF0,
+                                   _mm512_max_epi64(lo, pr));
+        pr = _mm512_permutexvar_epi64(IDX2, lo);
+        lo = _mm512_mask_mov_epi64(_mm512_min_epi64(lo, pr), 0xCC,
+                                   _mm512_max_epi64(lo, pr));
+        pr = _mm512_permutexvar_epi64(IDX1, lo);
+        lo = _mm512_mask_mov_epi64(_mm512_min_epi64(lo, pr), 0xAA,
+                                   _mm512_max_epi64(lo, pr));
+        pr = _mm512_permutexvar_epi64(IDX4, hi);
+        hi = _mm512_mask_mov_epi64(_mm512_min_epi64(hi, pr), 0xF0,
+                                   _mm512_max_epi64(hi, pr));
+        pr = _mm512_permutexvar_epi64(IDX2, hi);
+        hi = _mm512_mask_mov_epi64(_mm512_min_epi64(hi, pr), 0xCC,
+                                   _mm512_max_epi64(hi, pr));
+        pr = _mm512_permutexvar_epi64(IDX1, hi);
+        hi = _mm512_mask_mov_epi64(_mm512_min_epi64(hi, pr), 0xAA,
+                                   _mm512_max_epi64(hi, pr));
+        _mm512_storeu_si512(out, lo);
+        out += 8;
+        if (i + 8 <= run && j + 8 <= run) {
+            if (A[i] <= B[j]) {
+                va = _mm512_loadu_si512(A + i);
+                i += 8;
+            }
+            else {
+                va = _mm512_loadu_si512(B + j);
+                j += 8;
+            }
+            vb = hi;
+        }
+        else {
+            _mm512_storeu_si512(T, hi);
+            break;
+        }
+    }
+    /* 3-way drain: T interleaves with both remainders (its keys are only
+     * bounded by the loaded prefixes, not by the unloaded heads). */
+    for (p = 0; p < 8;) {
+        npy_int64 tv = T[p];
+        if (i < run && A[i] <= tv && (j >= run || A[i] <= B[j]))
+            *out++ = A[i++];
+        else if (j < run && B[j] <= tv)
+            *out++ = B[j++];
+        else {
+            *out++ = tv;
+            p++;
+        }
+    }
+    while (i < run && j < run) {
+        npy_int64 av = A[i], bv = B[j];
+        npy_int64 take_a = av <= bv;
+        *out++ = take_a ? av : bv;
+        i += take_a;
+        j += 1 - take_a;
+    }
+    while (i < run)
+        *out++ = A[i++];
+    while (j < run)
+        *out++ = B[j++];
+}
+#endif /* FUSED_CAN_AVX512 */
+
+static PyObject *
+merge_pairs(PyObject *self, PyObject *args)
+{
+    PyObject *mat_obj, *out_obj = Py_None;
+    long long run_ll;
+    PyArrayObject *mat = NULL, *out = NULL;
+    npy_intp rows, width, r;
+    npy_int64 run;
+    const npy_int64 *src;
+    npy_int64 *dst;
+
+    if (!PyArg_ParseTuple(args, "OL|O", &mat_obj, &run_ll, &out_obj))
+        return NULL;
+    mat = (PyArrayObject *)PyArray_FROM_OTF(mat_obj, NPY_INT64,
+                                            NPY_ARRAY_IN_ARRAY);
+    if (mat == NULL)
+        return NULL;
+    if (PyArray_NDIM(mat) != 2) {
+        PyErr_SetString(PyExc_ValueError, "mat must be 2-D (pairs, width)");
+        goto fail;
+    }
+    rows = PyArray_DIM(mat, 0);
+    width = PyArray_DIM(mat, 1);
+    run = (npy_int64)run_ll;
+    if (run < 1 || width != 2 * run) {
+        PyErr_SetString(PyExc_ValueError, "mat width must equal 2*run");
+        goto fail;
+    }
+    if (out_obj != Py_None) {
+        /* Caller-provided destination (lets the sorter ping-pong two
+         * round buffers instead of faulting in a fresh array per round).
+         * Must already be exactly the right shape so writes land in the
+         * caller's memory — no silent conversion copies. */
+        if (!PyArray_Check(out_obj))
+            goto badout;
+        out = (PyArrayObject *)out_obj;
+        if (PyArray_TYPE(out) != NPY_INT64 || PyArray_NDIM(out) != 2 ||
+            PyArray_DIM(out, 0) != rows || PyArray_DIM(out, 1) != width ||
+            !PyArray_ISCARRAY(out) || out == mat ||
+            PyArray_DATA(out) == PyArray_DATA(mat)) {
+        badout:
+            out = NULL;
+            PyErr_SetString(PyExc_ValueError,
+                            "out must be a distinct C-contiguous writeable "
+                            "int64 array with mat's shape");
+            goto fail;
+        }
+        Py_INCREF(out);
+    }
+    else {
+        out = (PyArrayObject *)PyArray_SimpleNew(2, PyArray_DIMS(mat),
+                                                 NPY_INT64);
+        if (out == NULL)
+            goto fail;
+    }
+    src = (const npy_int64 *)PyArray_DATA(mat);
+    dst = (npy_int64 *)PyArray_DATA(out);
+
+    Py_BEGIN_ALLOW_THREADS
+    for (r = 0; r < rows; r++) {
+        const npy_int64 *A = src + r * width;
+        const npy_int64 *B = A + run;
+        npy_int64 *f = dst + r * width;
+        npy_int64 *bk = f + width - 1;
+        npy_int64 i = 0, j = 0, ia = run - 1, jb = run - 1, t;
+#ifdef FUSED_CAN_AVX512
+        if (fused_use_avx512 && run >= 64) {
+            merge_row_avx512(A, B, run, f);
+            continue;
+        }
+#endif
+        /* Two independent chains hide the serial i/j dependency: the
+         * forward chain emits the first run outputs of the stable merge,
+         * the backward chain the last run (largest first, ties drain B
+         * before A — the mirror of the A-first forward rule). Neither
+         * chain can exhaust a side: before forward output t, i + j = t
+         * < run bounds both pointers, and the backward chain mirrors
+         * that. Picks are conditional moves since random keys make the
+         * comparator a coin flip. */
+        for (t = 0; t < run; t++) {
+            npy_int64 av = A[i], bv = B[j];
+            npy_int64 take_a = av <= bv;
+            npy_int64 av2 = A[ia], bv2 = B[jb];
+            npy_int64 take_b = av2 <= bv2;
+            *f++ = take_a ? av : bv;
+            i += take_a;
+            j += 1 - take_a;
+            *bk-- = take_b ? bv2 : av2;
+            jb -= take_b;
+            ia -= 1 - take_b;
+        }
+    }
+    Py_END_ALLOW_THREADS
+
+    Py_DECREF(mat);
+    return (PyObject *)out;
+fail:
+    Py_XDECREF(mat);
+    Py_XDECREF(out);
+    return NULL;
+}
+
+/* -- shared scratch for the two round scorers ----------------------------- */
+
+typedef struct {
+    npy_int64 *addrbuf;    /* tile */
+    npy_int64 *geom;       /* 6 arrays of b8: abase, alen, bbase, diag, ta, tb */
+    npy_int64 *lo;         /* b8 */
+    npy_int64 *hi;         /* b8 */
+    npy_int64 *sstar;      /* b8 (merge-path splits per lane diagonal) */
+    npy_int64 *rowbuf;     /* 2*b8 (fast path probe rows) */
+    npy_int64 *ps_sw;      /* 2*maxiter*wpb ([step][warp] staging) */
+    unsigned char *stampb; /* tile bytes (fast-path dedup stamp table) */
+    npy_int64 *probebuf;   /* 2*maxiter*b (generic path) */
+    npy_int64 *bmark;      /* w (generic path bank stamps) */
+    npy_int64 *bcnt;       /* w */
+    npy_int64 *mark;       /* tile (generic path dedup stamps) */
+    npy_int64 *part_ps;    /* S * wpb * 2*maxiter */
+    unsigned char scur;    /* current byte stamp */
+} scratch_t;
+
+static void
+scratch_free(scratch_t *s)
+{
+    free(s->addrbuf);
+    free(s->geom);
+    free(s->lo);
+    free(s->hi);
+    free(s->sstar);
+    free(s->rowbuf);
+    free(s->ps_sw);
+    free(s->stampb);
+    free(s->probebuf);
+    free(s->bmark);
+    free(s->bcnt);
+    free(s->mark);
+    free(s->part_ps);
+    memset(s, 0, sizeof(*s));
+}
+
+/* `fast` selects which path's tables get allocated and cleared. */
+static int
+scratch_alloc(scratch_t *s, npy_int64 tile, int E, int b, int b8, int w,
+              int maxiter, npy_intp part_capacity, int fast)
+{
+    int wpb = b / w;
+    memset(s, 0, sizeof(*s));
+    s->addrbuf = malloc(sizeof(npy_int64) * (size_t)tile);
+    s->geom = malloc(sizeof(npy_int64) * (size_t)(6 * b8));
+    s->lo = malloc(sizeof(npy_int64) * (size_t)b8);
+    s->hi = malloc(sizeof(npy_int64) * (size_t)b8);
+    s->sstar = malloc(sizeof(npy_int64) * (size_t)b8);
+    s->part_ps = malloc(sizeof(npy_int64) * (size_t)part_capacity);
+    if (!s->addrbuf || !s->geom || !s->lo || !s->hi || !s->sstar ||
+        !s->part_ps)
+        goto nomem;
+    if (fast) {
+        s->rowbuf = malloc(sizeof(npy_int64) * (size_t)(2 * b8));
+        s->ps_sw = malloc(sizeof(npy_int64) * (size_t)(2 * maxiter) * wpb);
+        s->stampb = calloc((size_t)tile, 1);
+        if (!s->rowbuf || !s->ps_sw || !s->stampb)
+            goto nomem;
+    }
+    else {
+        s->probebuf = malloc(sizeof(npy_int64) * (size_t)(2 * maxiter) * b);
+        s->bmark = malloc(sizeof(npy_int64) * (size_t)w);
+        s->bcnt = malloc(sizeof(npy_int64) * (size_t)w);
+        s->mark = malloc(sizeof(npy_int64) * (size_t)tile);
+        if (!s->probebuf || !s->bmark || !s->bcnt || !s->mark)
+            goto nomem;
+        /* stamp 0 never occurs (the scorers pre-increment), so -1 here
+         * keeps every address and bank "unseen" for the whole round. */
+        memset(s->mark, 0xff, sizeof(npy_int64) * (size_t)tile);
+        memset(s->bmark, 0xff, sizeof(npy_int64) * (size_t)w);
+    }
+    return 0;
+nomem:
+    scratch_free(s);
+    return -1;
+}
+
+/* Validate the shared arguments; returns 0 on success with arrays ready. */
+static int
+parse_round_args(PyObject *args, PyArrayObject **values_out,
+                 PyArrayObject **scored_out, npy_int64 *run_out, int *E_out,
+                 int *b_out, int *w_out, int *padding_out)
+{
+    PyObject *values_obj, *scored_obj;
+    long long run_ll;
+    int E, b, w, padding;
+    PyArrayObject *values, *scored;
+
+    if (!PyArg_ParseTuple(args, "OOLiiii", &values_obj, &scored_obj, &run_ll,
+                          &E, &b, &w, &padding))
+        return -1;
+    values = (PyArrayObject *)PyArray_FROM_OTF(values_obj, NPY_INT64,
+                                               NPY_ARRAY_IN_ARRAY);
+    if (values == NULL)
+        return -1;
+    scored = (PyArrayObject *)PyArray_FROM_OTF(scored_obj, NPY_INT64,
+                                               NPY_ARRAY_IN_ARRAY);
+    if (scored == NULL) {
+        Py_DECREF(values);
+        return -1;
+    }
+    if (PyArray_NDIM(values) != 1 || PyArray_NDIM(scored) != 1) {
+        PyErr_SetString(PyExc_ValueError,
+                        "values and scored must be 1-D int64 arrays");
+        goto fail;
+    }
+    if (run_ll < 1 || E < 1 || b < 1 || w < 1 || padding < 0 ||
+        (w & (w - 1)) != 0 || b % w != 0) {
+        PyErr_SetString(PyExc_ValueError,
+                        "need run >= 1, E >= 1, w a power of two, b a "
+                        "multiple of w, padding >= 0");
+        goto fail;
+    }
+    *values_out = values;
+    *scored_out = scored;
+    *run_out = (npy_int64)run_ll;
+    *E_out = E;
+    *b_out = b;
+    *w_out = w;
+    *padding_out = padding;
+    return 0;
+fail:
+    Py_DECREF(values);
+    Py_DECREF(scored);
+    return -1;
+}
+
+static PyObject *
+build_round_result(npy_intp merge_steps, npy_int64 *merge_ps_heap,
+                   npy_int64 m_acc, npy_int64 m_rep, npy_int64 *part_ps,
+                   npy_intp part_len, npy_int64 p_acc, npy_int64 p_req,
+                   npy_int64 p_rep)
+{
+    /* merge stage: addresses are a permutation, so requests == accesses */
+    PyArrayObject *m_arr, *p_arr;
+    npy_intp dims[1];
+    dims[0] = merge_steps;
+    m_arr = (PyArrayObject *)PyArray_SimpleNew(1, dims, NPY_INT64);
+    if (m_arr == NULL)
+        return NULL;
+    memcpy(PyArray_DATA(m_arr), merge_ps_heap,
+           sizeof(npy_int64) * (size_t)merge_steps);
+    dims[0] = part_len;
+    p_arr = (PyArrayObject *)PyArray_SimpleNew(1, dims, NPY_INT64);
+    if (p_arr == NULL) {
+        Py_DECREF(m_arr);
+        return NULL;
+    }
+    memcpy(PyArray_DATA(p_arr), part_ps,
+           sizeof(npy_int64) * (size_t)part_len);
+    return Py_BuildValue("(NLLLNLLL)", m_arr, (long long)m_acc,
+                         (long long)m_acc, (long long)m_rep, p_arr,
+                         (long long)p_acc, (long long)p_req,
+                         (long long)p_rep);
+}
+
+/* Transpose one group's [step][warp] staging block into the report's
+ * (warp, step) order. */
+static void
+transpose_ps(const npy_int64 *ps_sw, int rows, int wpb, npy_int64 *out)
+{
+    int s, warp;
+    for (warp = 0; warp < wpb; warp++)
+        for (s = 0; s < rows; s++)
+            out[(npy_intp)warp * rows + s] = ps_sw[(npy_intp)s * wpb + warp];
+}
+
+/* -- score_block_round(values, scored, run, E, b, w, padding) ------------- */
+
+static PyObject *
+score_block_round(PyObject *self, PyObject *args)
+{
+    PyArrayObject *values, *scored;
+    npy_int64 run;
+    int E, b, w, padding;
+    npy_intp n, S, g;
+    npy_int64 tile, pw, ppt, tiles;
+    int wpb, b8, maxiter, fast, overflow = 0;
+    const npy_int64 *v, *sc;
+    npy_int64 *merge_ps = NULL;
+    npy_intp merge_steps, part_len = 0, part_capacity;
+    npy_int64 m_acc, m_rep = 0, p_acc = 0, p_req = 0, p_rep = 0, stamp = 0;
+    scratch_t s = {0};
+    PyObject *result = NULL;
+
+    if (parse_round_args(args, &values, &scored, &run, &E, &b, &w, &padding))
+        return NULL;
+    n = PyArray_SIZE(values);
+    S = PyArray_SIZE(scored);
+    tile = (npy_int64)b * E;
+    pw = 2 * run;
+    wpb = b / w;
+    b8 = (b + 7) & ~7;
+    if (pw > tile || tile % pw != 0 || n % tile != 0 || run % E != 0) {
+        PyErr_SetString(PyExc_ValueError,
+                        "block round needs E dividing run, 2*run dividing "
+                        "tile, and tile dividing the input size");
+        goto done;
+    }
+    tiles = n / tile;
+    ppt = tile / pw;
+    v = (const npy_int64 *)PyArray_DATA(values);
+    sc = (const npy_int64 *)PyArray_DATA(scored);
+    for (g = 0; g < S; g++) {
+        if (sc[g] < 0 || sc[g] >= tiles) {
+            PyErr_SetString(PyExc_ValueError, "scored tile out of range");
+            goto done;
+        }
+    }
+
+    fast = w <= 64;
+    maxiter = bit_length(run) + 2;
+    merge_steps = S * wpb * E;
+    part_capacity = S * (npy_intp)wpb * 2 * maxiter;
+    if (part_capacity < 1)
+        part_capacity = 1;
+    merge_ps = malloc(sizeof(npy_int64) * (size_t)(merge_steps ? merge_steps : 1));
+    if (merge_ps == NULL ||
+        scratch_alloc(&s, tile, E, b, b8, w, maxiter, part_capacity, fast)) {
+        PyErr_NoMemory();
+        goto done;
+    }
+    m_acc = (npy_int64)S * tile;
+
+    Py_BEGIN_ALLOW_THREADS
+    for (g = 0; g < S && !overflow; g++) {
+        npy_int64 gt = sc[g];
+        npy_int64 p, t;
+        int rows;
+        npy_int64 *abase = s.geom, *alen = s.geom + b8,
+                  *bbase = s.geom + 2 * b8, *diag = s.geom + 3 * b8,
+                  *ta = s.geom + 4 * b8, *tb = s.geom + 5 * b8;
+        /* merge interleaving: one bidirectional two-pointer merge per
+         * pair, emitting tile-local source addresses (same two-chain /
+         * cmov structure as merge_pairs, in-bounds for the same reason)
+         * while sampling the A-prefix count at every E-th output — the
+         * merge-path split values the bisection replay consumes. */
+        for (p = 0; p < ppt; p++) {
+            const npy_int64 *A = v + (gt * ppt + p) * pw;
+            const npy_int64 *B = A + run;
+            npy_int64 lbase = p * pw;
+            npy_int64 *f = s.addrbuf + lbase;
+            npy_int64 *bkp = f + pw - 1;
+            npy_int64 *sf = s.sstar + p * (pw / E);
+            npy_int64 *sb = sf + pw / E - 1;
+            npy_int64 i = 0, j = 0, ia = run - 1, jb = run - 1, q;
+            int se = 0, be = E - 1;
+            for (q = 0; q < run; q++) {
+                npy_int64 take_a, take_b;
+                if (se == 0) {
+                    *sf++ = i;
+                    se = E;
+                }
+                se--;
+                take_a = A[i] <= B[j];
+                take_b = A[ia] <= B[jb];
+                *f++ = take_a ? lbase + i : lbase + run + j;
+                i += take_a;
+                j += 1 - take_a;
+                *bkp-- = take_b ? lbase + run + jb : lbase + ia;
+                jb -= take_b;
+                ia -= 1 - take_b;
+                if (be == 0) {
+                    *sb-- = ia + 1;
+                    be = E;
+                }
+                be--;
+            }
+        }
+        if (fast)
+            score_permutation_fast(s.addrbuf, E, b, w, padding,
+                                   merge_ps + g * (npy_intp)wpb * E,
+                                   &m_rep);
+        else
+            score_permutation_tile(s.addrbuf, E, b, w, padding, s.bmark,
+                                   s.bcnt, &stamp,
+                                   merge_ps + g * (npy_intp)wpb * E,
+                                   &m_rep);
+
+        /* partition stage: thread t bisects diagonal tE mod 2L of pair
+         * tE / 2L, probing tile-local addresses */
+        for (t = 0; t < b; t++) {
+            npy_int64 tr = t * E;
+            npy_int64 pr = tr / pw;
+            abase[t] = (gt * ppt + pr) * pw;
+            alen[t] = run;
+            bbase[t] = abase[t] + run;
+            diag[t] = tr % pw;
+            ta[t] = pr * pw;
+            tb[t] = ta[t] + run;
+            s.hi[t] = run; /* b_len, consumed by partition_init */
+        }
+        for (t = b; t < b8; t++) { /* inert AVX padding lanes */
+            abase[t] = alen[t] = bbase[t] = diag[t] = ta[t] = tb[t] = 0;
+            s.sstar[t] = 0;
+            s.hi[t] = 0;
+        }
+        if (fast) {
+            rows = partition_rows_fast(b, b8, w, padding, alen, s.sstar,
+                                       diag, ta, tb, s.lo, s.hi, s.rowbuf,
+                                       s.stampb, &s.scur, tile, s.ps_sw,
+                                       maxiter, &p_acc, &p_req, &p_rep);
+            if (rows >= 0)
+                transpose_ps(s.ps_sw, rows, wpb, s.part_ps + part_len);
+        }
+        else {
+            rows = bisect_probe_rows(v, b, abase, alen, bbase, diag, ta, tb,
+                                     s.lo, s.hi, s.probebuf, maxiter);
+            if (rows >= 0)
+                score_probe_rows(s.probebuf, rows, b, w, padding, s.bmark,
+                                 s.bcnt, s.mark, &stamp,
+                                 s.part_ps + part_len, &p_acc, &p_req,
+                                 &p_rep);
+        }
+        if (rows < 0) {
+            overflow = 1;
+            break;
+        }
+        part_len += (npy_intp)wpb * rows;
+    }
+    Py_END_ALLOW_THREADS
+
+    if (overflow) {
+        PyErr_SetString(PyExc_RuntimeError,
+                        "partition bisection exceeded its iteration bound");
+        goto done;
+    }
+    result = build_round_result(merge_steps, merge_ps, m_acc, m_rep,
+                                s.part_ps, part_len, p_acc, p_req, p_rep);
+done:
+    free(merge_ps);
+    scratch_free(&s);
+    Py_DECREF(values);
+    Py_DECREF(scored);
+    return result;
+}
+
+/* -- score_global_round(values, scored, run, E, b, w, padding) ------------ */
+
+static PyObject *
+score_global_round(PyObject *self, PyObject *args)
+{
+    PyArrayObject *values, *scored;
+    npy_int64 run;
+    int E, b, w, padding;
+    npy_intp n, S, g;
+    npy_int64 tile, pw, bpp, num_pairs, blocks_total;
+    int wpb, b8, maxiter, fast, overflow = 0;
+    const npy_int64 *v, *sc;
+    npy_int64 *merge_ps = NULL;
+    npy_intp merge_steps, part_len = 0, part_capacity;
+    npy_int64 m_acc, m_rep = 0, p_acc = 0, p_req = 0, p_rep = 0, stamp = 0;
+    scratch_t s = {0};
+    PyObject *result = NULL;
+
+    if (parse_round_args(args, &values, &scored, &run, &E, &b, &w, &padding))
+        return NULL;
+    n = PyArray_SIZE(values);
+    S = PyArray_SIZE(scored);
+    tile = (npy_int64)b * E;
+    pw = 2 * run;
+    wpb = b / w;
+    b8 = (b + 7) & ~7;
+    if (pw <= tile || pw % tile != 0 || n % pw != 0) {
+        PyErr_SetString(PyExc_ValueError,
+                        "global round needs tile dividing 2*run and 2*run "
+                        "dividing the input size");
+        goto done;
+    }
+    num_pairs = n / pw;
+    bpp = pw / tile;
+    blocks_total = num_pairs * bpp;
+    v = (const npy_int64 *)PyArray_DATA(values);
+    sc = (const npy_int64 *)PyArray_DATA(scored);
+    for (g = 0; g < S; g++) {
+        if (sc[g] < 0 || sc[g] >= blocks_total) {
+            PyErr_SetString(PyExc_ValueError, "scored block out of range");
+            goto done;
+        }
+    }
+
+    fast = w <= 64;
+    maxiter = bit_length(tile) + 2;
+    merge_steps = S * wpb * E;
+    part_capacity = S * (npy_intp)wpb * 2 * maxiter;
+    if (part_capacity < 1)
+        part_capacity = 1;
+    merge_ps = malloc(sizeof(npy_int64) * (size_t)(merge_steps ? merge_steps : 1));
+    if (merge_ps == NULL ||
+        scratch_alloc(&s, tile, E, b, b8, w, maxiter, part_capacity, fast)) {
+        PyErr_NoMemory();
+        goto done;
+    }
+    m_acc = (npy_int64)S * tile;
+
+    Py_BEGIN_ALLOW_THREADS
+    for (g = 0; g < S && !overflow; g++) {
+        npy_int64 blk = sc[g];
+        npy_int64 pair = blk / bpp;
+        npy_int64 x = blk % bpp;
+        npy_int64 r_lo = x * tile;
+        const npy_int64 *A = v + pair * pw;
+        const npy_int64 *B = A + run;
+        npy_int64 i0 = mp_split(A, B, run, run, r_lo);
+        npy_int64 i1 = mp_split(A, B, run, run, r_lo + tile);
+        npy_int64 na = i1 - i0;
+        npy_int64 j0 = r_lo - i0;
+        npy_int64 i = i0, j = j0, t;
+        npy_int64 ia = i1 - 1, jb = j0 + (tile - na) - 1;
+        npy_int64 bh = tile / 2, q;
+        npy_int64 *f = s.addrbuf, *bkp = s.addrbuf + tile - 1;
+        npy_int64 *sf = s.sstar, *sb = s.sstar + b - 1;
+        int se = 0, be = E - 1;
+        int rows;
+        npy_int64 *abase = s.geom, *alen = s.geom + b8,
+                  *bbase = s.geom + 2 * b8, *diag = s.geom + 3 * b8,
+                  *ta = s.geom + 4 * b8, *tb = s.geom + 5 * b8;
+        /* local interleaving: retrace the stable merge across the block's
+         * window from both ends at once (the merge path is unique, so the
+         * two chains meet consistently), sampling the window-local
+         * A-prefix count at every E-th output. Block layout: A window at
+         * [0, na), B window at [na, tile). Unlike the block round the
+         * windows are unequal, so a chain can exhaust one side mid-way:
+         * guard with bitwise flags to keep the picks branchless. */
+        for (q = 0; q < bh; q++) {
+            int ok_a, ok_b, ok_a2, ok_b2;
+            npy_int64 av, bv, av2, bv2, from_a, from_b;
+            if (se == 0) {
+                *sf++ = i - i0;
+                se = E;
+            }
+            se--;
+            ok_a = i < run;
+            ok_b = j < run;
+            av = ok_a ? A[i] : 0;
+            bv = ok_b ? B[j] : 0;
+            from_a = ok_a & ((ok_b ^ 1) | (av <= bv));
+            ok_a2 = ia >= 0;
+            ok_b2 = jb >= 0;
+            av2 = ok_a2 ? A[ia] : 0;
+            bv2 = ok_b2 ? B[jb] : 0;
+            from_b = ok_b2 & ((ok_a2 ^ 1) | (av2 <= bv2));
+            *f++ = from_a ? i - i0 : na + (j - j0);
+            i += from_a;
+            j += 1 - from_a;
+            *bkp-- = from_b ? na + (jb - j0) : ia - i0;
+            jb -= from_b;
+            ia -= 1 - from_b;
+            if (be == 0) {
+                *sb-- = ia + 1 - i0;
+                be = E;
+            }
+            be--;
+        }
+        if (tile & 1) { /* odd tile: one extra forward step */
+            int ok_a = i < run, ok_b = j < run;
+            npy_int64 av = ok_a ? A[i] : 0, bv = ok_b ? B[j] : 0;
+            npy_int64 from_a = ok_a & ((ok_b ^ 1) | (av <= bv));
+            if (se == 0)
+                *sf = i - i0;
+            *f = from_a ? i - i0 : na + (j - j0);
+        }
+        if (fast)
+            score_permutation_fast(s.addrbuf, E, b, w, padding,
+                                   merge_ps + g * (npy_intp)wpb * E,
+                                   &m_rep);
+        else
+            score_permutation_tile(s.addrbuf, E, b, w, padding, s.bmark,
+                                   s.bcnt, &stamp,
+                                   merge_ps + g * (npy_intp)wpb * E,
+                                   &m_rep);
+
+        for (t = 0; t < b; t++) {
+            abase[t] = pair * pw + i0;
+            alen[t] = na;
+            bbase[t] = pair * pw + run + j0;
+            diag[t] = t * E;
+            ta[t] = 0;
+            tb[t] = na;
+            s.hi[t] = tile - na; /* b_len, consumed by partition_init */
+        }
+        for (t = b; t < b8; t++) { /* inert AVX padding lanes */
+            abase[t] = alen[t] = bbase[t] = diag[t] = ta[t] = tb[t] = 0;
+            s.sstar[t] = 0;
+            s.hi[t] = 0;
+        }
+        if (fast) {
+            rows = partition_rows_fast(b, b8, w, padding, alen, s.sstar,
+                                       diag, ta, tb, s.lo, s.hi, s.rowbuf,
+                                       s.stampb, &s.scur, tile, s.ps_sw,
+                                       maxiter, &p_acc, &p_req, &p_rep);
+            if (rows >= 0)
+                transpose_ps(s.ps_sw, rows, wpb, s.part_ps + part_len);
+        }
+        else {
+            rows = bisect_probe_rows(v, b, abase, alen, bbase, diag, ta, tb,
+                                     s.lo, s.hi, s.probebuf, maxiter);
+            if (rows >= 0)
+                score_probe_rows(s.probebuf, rows, b, w, padding, s.bmark,
+                                 s.bcnt, s.mark, &stamp,
+                                 s.part_ps + part_len, &p_acc, &p_req,
+                                 &p_rep);
+        }
+        if (rows < 0) {
+            overflow = 1;
+            break;
+        }
+        part_len += (npy_intp)wpb * rows;
+    }
+    Py_END_ALLOW_THREADS
+
+    if (overflow) {
+        PyErr_SetString(PyExc_RuntimeError,
+                        "partition bisection exceeded its iteration bound");
+        goto done;
+    }
+    result = build_round_result(merge_steps, merge_ps, m_acc, m_rep,
+                                s.part_ps, part_len, p_acc, p_req, p_rep);
+done:
+    free(merge_ps);
+    scratch_free(&s);
+    Py_DECREF(values);
+    Py_DECREF(scored);
+    return result;
+}
+
+static PyMethodDef fused_methods[] = {
+    {"merge_pairs", merge_pairs, METH_VARARGS,
+     "merge_pairs(mat, run[, out]) -> merged\n\n"
+     "Row-wise stable (A-first) merge of [A | B] rows; equals\n"
+     "np.take_along_axis(mat, np.argsort(mat, axis=1, kind='stable'), 1).\n"
+     "With out given (distinct, same-shape, C-contiguous int64), the\n"
+     "merge writes there instead of allocating."},
+    {"score_block_round", score_block_round, METH_VARARGS,
+     "score_block_round(values, scored, run, E, b, w, padding) ->\n"
+     "(merge_per_step, m_accesses, m_requests, m_replays,\n"
+     " part_per_step, p_accesses, p_requests, p_replays)"},
+    {"score_global_round", score_global_round, METH_VARARGS,
+     "score_global_round(values, scored, run, E, b, w, padding) ->\n"
+     "(merge_per_step, m_accesses, m_requests, m_replays,\n"
+     " part_per_step, p_accesses, p_requests, p_replays)"},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef fused_module = {
+    PyModuleDef_HEAD_INIT,
+    "repro._fused_native",
+    "Compiled fused round-scoring kernels (optional; numpy fallback in\n"
+    "repro.dmm.fused / repro.mergepath.fused).",
+    -1,
+    fused_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__fused_native(void)
+{
+    PyObject *m;
+    import_array();
+#ifdef FUSED_CAN_AVX512
+    fused_use_avx512 = __builtin_cpu_supports("avx512f");
+#endif
+    m = PyModule_Create(&fused_module);
+    if (m == NULL)
+        return NULL;
+    return m;
+}

@@ -159,7 +159,8 @@ class SweepRunner:
         # Resolve "auto" once so every instrumented sort shares one memo
         # (PairwiseMergeSort's own "auto" would build a fresh memo per
         # sort and lose all cross-point hits). The auto scoring mode
-        # still simulates ineligible inputs vectorized, so it keeps a memo.
+        # keeps a memo for compatibility even though the registry router
+        # now prefers analytic/fused, neither of which engages it.
         if isinstance(self.memo, str) and self.memo == "auto":
             self.memo = (
                 ConflictMemo()
@@ -169,6 +170,7 @@ class SweepRunner:
         elif isinstance(self.memo, ConflictMemo) and self.scoring in (
             "loop",
             "analytic",
+            "fused",
         ):
             raise ValidationError(
                 "memoization applies only to simulated vectorized scoring; "
@@ -285,8 +287,11 @@ class SweepRunner:
         if scoring == "analytic":
             return self._analytic_sort(input_name, n)
         data = generate(input_name, self.config, n, seed=self.seed)
+        # "auto" may resolve to fused per point while the runner keeps a
+        # memo for other points; only the vectorized sorter takes it.
+        memo = self.memo if scoring == "vectorized" else None
         return PairwiseMergeSort(
-            self.config, padding=self.padding, scoring=scoring, memo=self.memo
+            self.config, padding=self.padding, scoring=scoring, memo=memo
         ).sort(data, score_blocks=self.score_blocks, seed=self.seed)
 
     def _exact_point(self, input_name: str, n: int) -> BenchPoint:

@@ -127,8 +127,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "--scoring", default="vectorized",
         choices=list(SIMULATOR_SCORINGS),
         help="round-scoring engine: vectorized (default), loop (the "
-        "per-tile oracle), or analytic (closed-form, constructed "
-        "families only — bit-identical and ~1000x faster)",
+        "per-tile oracle), fused (single-pass rounds, compiled kernels "
+        "when built — bit-identical, ~10x), or analytic (closed-form, "
+        "constructed families only — bit-identical and ~1000x faster)",
     )
     p.add_argument(
         "--memo", action=argparse.BooleanOptionalAction, default=True,
@@ -138,7 +139,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--engine", default=None,
         choices=["inline-loop", "inline-vectorized", "inline-memoized",
-                 "analytic"],
+                 "inline-fused", "analytic"],
         help="execution engine by registry name; overrides "
         "--scoring/--memo (whose combination otherwise picks the engine "
         "through the same registry)",
@@ -307,6 +308,21 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="job: re-queues per chunk on worker failure")
     p.add_argument("--no-wait", action="store_true",
                    help="job: print the job_id and return without polling")
+
+    p = sub.add_parser(
+        "bench",
+        help="micro-benchmark the scoring kernels (record_timing-shaped "
+        "JSON, gateable with benchmarks/check_regression.py)",
+    )
+    p.add_argument("action", choices=["kernels"])
+    p.add_argument("--preset", default="thrust-maxwell")
+    p.add_argument("--tiles", type=int, default=16,
+                   help="working-set size in tiles (N = tiles*bE)")
+    p.add_argument("--repeat", type=int, default=5,
+                   help="samples per kernel; the median is reported")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="also write the timings as a bench JSON document")
 
     p = sub.add_parser(
         "analyze",
@@ -593,6 +609,47 @@ def _cmd_analyze(args) -> int:
     )
     print("Karsin et al. measured beta1 = 3.1, beta2 = 2.2 on hardware "
           "(paper Section II-A); the worst-case input drives beta2 to Θ(E).")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    import json
+
+    from repro.bench.kernels import kernel_benchmarks
+    from repro.dmm import fused as dmm_fused
+
+    config = preset(args.preset)
+    timings = kernel_benchmarks(
+        config, tiles=args.tiles, repeat=args.repeat, seed=args.seed
+    )
+    print(
+        f"kernel micro-benchmarks: {config.name}, N = "
+        f"{config.tile_size * args.tiles:,}, backend = "
+        f"{dmm_fused.active_backend()}, median of {args.repeat}\n"
+    )
+    for name, entry in timings.items():
+        print(
+            f"  {name:24s} {entry['seconds'] * 1000:9.3f}ms  "
+            f"(min {entry['min_seconds'] * 1000:.3f}ms, "
+            f"iqr ±{entry['iqr_seconds'] * 1000:.3f}ms)"
+        )
+    if not dmm_fused.native_enabled():
+        print(
+            "\n  note: compiled backend unavailable — round-scorer rows "
+            "skipped (build with `python setup.py build_ext --inplace`)"
+        )
+    if args.json:
+        import platform
+
+        document = {
+            "schema": 1,
+            "python": platform.python_version(),
+            "timings": timings,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        print(f"\nkernel timings written to {args.json}")
     return 0
 
 
@@ -908,6 +965,7 @@ def main(argv: list[str] | None = None) -> int:
         "figure": _cmd_figure,
         "analyze": _cmd_analyze,
         "grid": _cmd_grid,
+        "bench": _cmd_bench,
         "reproduce": _cmd_reproduce,
         "cache": _cmd_cache,
         "serve": _cmd_serve,

@@ -52,7 +52,31 @@ from repro.dmm.conflicts import ConflictReport
 from repro.errors import ValidationError
 from repro.utils.validation import check_positive_int
 
-__all__ = ["ConflictMemo", "MemoStats"]
+__all__ = ["CONTEXT_FIELDS", "ConflictMemo", "MemoStats"]
+
+#: The scoring-context fields a memo digest binds, in digest order. This is
+#: the single source of truth for "what determines a conflict report": the
+#: engine layer folds the same tuple into its warm-runner fingerprints
+#: (:func:`repro.engine.tasks.runner_key`), so cache identity and memo
+#: identity can never drift apart silently. Deliberately *absent*: the
+#: scoring backend (``vectorized``/``loop``/``fused`` are bit-identical by
+#: contract — ``tests/sort/test_fused_equivalence.py`` — so entries written
+#: under one backend must be served to the others).
+CONTEXT_FIELDS = (
+    "kind",
+    "num_banks",
+    "elements_per_thread",
+    "run_length",
+    "padding",
+)
+
+#: Short digest labels per context field (``kind`` is emitted bare).
+_CONTEXT_LABELS = {
+    "num_banks": "w",
+    "elements_per_thread": "E",
+    "run_length": "L",
+    "padding": "pad",
+}
 
 #: Digest width (bytes) for pattern keys; 128-bit blake2b is collision-safe
 #: at any realistic sweep size and hashes a tile row in microseconds.
@@ -152,11 +176,23 @@ class ConflictMemo:
         run_length: int,
         padding: int,
     ) -> bytes:
-        """Digest prefix binding entries to one scoring situation."""
-        return (
-            f"{kind}|w={num_banks}|E={elements_per_thread}"
-            f"|L={run_length}|pad={padding}|"
-        ).encode("ascii")
+        """Digest prefix binding entries to one scoring situation.
+
+        Exactly the :data:`CONTEXT_FIELDS`, serialized ``kind|w=..|E=..|
+        L=..|pad=..|``.
+        """
+        values = {
+            "kind": kind,
+            "num_banks": num_banks,
+            "elements_per_thread": elements_per_thread,
+            "run_length": run_length,
+            "padding": padding,
+        }
+        parts = [str(values[CONTEXT_FIELDS[0]])] + [
+            f"{_CONTEXT_LABELS[field]}={values[field]}"
+            for field in CONTEXT_FIELDS[1:]
+        ]
+        return ("|".join(parts) + "|").encode("ascii")
 
     @staticmethod
     def tile_digests(

@@ -16,6 +16,7 @@ Registered names (see :mod:`repro.engine.registry`):
 ``inline-loop``     the per-tile reference oracle
 ``inline-vectorized``  batched scoring, no memo
 ``inline-memoized``    batched scoring with a shared pattern memo
+``inline-fused``    single-pass fused scoring (compiled backend when built)
 ==================  ======================================================
 """
 
@@ -70,7 +71,11 @@ class InlineEngine(ExecutionEngine):
             memo = (
                 ConflictMemo() if scoring in ("vectorized", "auto") else None
             )
-        elif isinstance(memo, ConflictMemo) and scoring in ("loop", "analytic"):
+        elif isinstance(memo, ConflictMemo) and scoring in (
+            "loop",
+            "analytic",
+            "fused",
+        ):
             raise ValidationError(
                 "memoization applies only to simulated vectorized scoring; "
                 f"scoring={scoring!r} stays memo-free"
@@ -156,4 +161,7 @@ register_engine(
 )
 register_engine(
     "inline-memoized", _inline_factory("inline-memoized", "vectorized", True)
+)
+register_engine(
+    "inline-fused", _inline_factory("inline-fused", "fused", False)
 )

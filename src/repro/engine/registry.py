@@ -37,7 +37,7 @@ __all__ = [
 ]
 
 #: Scoring modes an instrumented sort accepts directly.
-SIMULATOR_SCORINGS = ("vectorized", "loop", "analytic")
+SIMULATOR_SCORINGS = ("vectorized", "loop", "analytic", "fused")
 
 #: All scoring modes, including the routed ``"auto"``.
 SCORING_MODES = ("auto",) + SIMULATOR_SCORINGS
@@ -74,9 +74,11 @@ def resolve_scoring(
 
     Returns a concrete simulator scoring: ``"auto"`` resolves to
     ``"analytic"`` when the (input, config, N) point is analytic-eligible
-    and to ``"vectorized"`` otherwise; explicit modes pass through
-    unchanged (explicit ``"analytic"`` on an ineligible input then fails
-    loudly downstream, by design).
+    and to ``"fused"`` otherwise (the single-pass simulated path — it
+    beats ``"vectorized"`` even without the compiled backend and is
+    bit-identical to it); explicit modes pass through unchanged (explicit
+    ``"analytic"`` on an ineligible input then fails loudly downstream,
+    by design).
     """
     mode = check_scoring(scoring)
     if mode != "auto":
@@ -86,7 +88,7 @@ def resolve_scoring(
     return (
         "analytic"
         if is_analytic_eligible(input_name, config, num_elements)
-        else "vectorized"
+        else "fused"
     )
 
 
@@ -170,6 +172,8 @@ _ENGINE_BY_SCORING = {
     ("vectorized", False): "inline-vectorized",
     ("loop", True): "inline-loop",
     ("loop", False): "inline-loop",
+    ("fused", True): "inline-fused",
+    ("fused", False): "inline-fused",
     ("analytic", True): "analytic",
     ("analytic", False): "analytic",
 }
@@ -181,6 +185,7 @@ _SCORING_BY_ENGINE = {
     "inline-memoized": {"scoring": "vectorized", "memo": True},
     "inline-vectorized": {"scoring": "vectorized", "memo": False},
     "inline-loop": {"scoring": "loop", "memo": False},
+    "inline-fused": {"scoring": "fused", "memo": False},
     "analytic": {"scoring": "analytic", "memo": False},
 }
 

@@ -147,10 +147,15 @@ def runner_key(item: WorkItem) -> str:
     worker process.
     """
     from repro.bench.cache import fingerprint
+    from repro.dmm.memo import CONTEXT_FIELDS
 
     return fingerprint(
         {
             "kind": "runner",
+            # Folding the memo's context-field tuple in means a change to
+            # what the memo digests (a new field, a reorder) retires every
+            # warm runner — their private memos keyed the old way.
+            "memo_context_fields": list(CONTEXT_FIELDS),
             "config": dataclasses.asdict(item.config),
             "device": dataclasses.asdict(item.device),
             "exact_threshold": item.exact_threshold,

@@ -109,7 +109,7 @@ class MultiwaySort:
         arr = pairwise._base_register_phase(arr, result)
         run = cfg.E
         while run < min(cfg.tile_size, n):
-            arr = pairwise._merge_round(arr, run, result, score_blocks, rng)
+            arr, _ = pairwise._merge_round(arr, run, result, score_blocks, rng)
             run *= 2
 
         # Multiway rounds.

@@ -41,11 +41,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.dmm.conflicts import ConflictReport, count_conflicts, report_segments
+from repro.dmm.fused import dense_report, permutation_stage_report
 from repro.dmm.memo import ConflictMemo, MemoStats
 from repro.dmm.trace import AccessTrace
 from repro.errors import SimulationError, ValidationError
 from repro.gpu.global_memory import CoalescingModel, GlobalTraffic
 from repro.gpu.timing import KernelCost
+from repro.mergepath import fused as fused_kernels
 from repro.mergepath.kernels import (
     batched_rank_addresses,
     stack_group_warp_steps,
@@ -209,7 +211,12 @@ class PairwiseMergeSort:
         and one stacked conflict count; ``"loop"`` is the original
         tile-at-a-time reference implementation. Both produce bit-identical
         :class:`SortResult`\\ s (enforced by the equivalence tests) — keep
-        ``"loop"`` around only as the oracle. ``"analytic"`` skips trace
+        ``"loop"`` around only as the oracle. ``"fused"`` scores each round
+        in a single streaming pass with no ``AccessTrace`` intermediates
+        (:mod:`repro.mergepath.fused`), dispatching to the optional
+        compiled backend when it is importable and ``REPRO_FORCE_NUMPY``
+        is unset — again bit-identical, including the sampled-block RNG
+        draw order. ``"analytic"`` skips trace
         simulation entirely: the input must be a recognized constructed
         family (sorted / strictly-decreasing / canonical sawtooth /
         worst-case — anything else raises
@@ -330,8 +337,16 @@ class PairwiseMergeSort:
         arr = self._base_register_phase(arr, result)
 
         run = cfg.E
+        scratch = None
         while run < n:
-            arr = self._merge_round(arr, run, result, score_blocks, rng)
+            prev = arr
+            arr, used_scratch = self._merge_round(
+                arr, run, result, score_blocks, rng, scratch
+            )
+            # Native rounds ping-pong two per-sort buffers instead of
+            # faulting in a fresh output array every round; the retired
+            # pre-merge buffer becomes the next round's destination.
+            scratch = prev if used_scratch else None
             run *= 2
 
         result.values = arr
@@ -349,7 +364,19 @@ class PairwiseMergeSort:
         n = arr.size
         tiles = n // cfg.tile_size
 
-        sorted_rows, comparator_ops = apply_oddeven_network(arr.reshape(-1, cfg.E))
+        if self.scoring == "fused":
+            # The network sorts each row and its comparator count is
+            # input-independent (comparators × rows), so the fused path
+            # takes a plain row sort — bit-identical values, same
+            # instruction counter, none of the per-comparator numpy passes.
+            from repro.sort.networks import oddeven_network
+
+            sorted_rows = np.sort(arr.reshape(-1, cfg.E), axis=1)
+            comparator_ops = len(oddeven_network(cfg.E)) * sorted_rows.shape[0]
+        else:
+            sorted_rows, comparator_ops = apply_oddeven_network(
+                arr.reshape(-1, cfg.E)
+            )
         out = sorted_rows.reshape(-1)
 
         # Staging: thread t loads (then stores) addresses tE+j at step j.
@@ -390,25 +417,44 @@ class PairwiseMergeSort:
         result: SortResult,
         score_blocks: int | None,
         rng: np.random.Generator,
-    ) -> np.ndarray:
-        """One pairwise merge round of runs of length ``run``."""
+        scratch: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, bool]:
+        """One pairwise merge round of runs of length ``run``.
+
+        Returns ``(merged, used_scratch)``; when the native merge runs,
+        ``merged`` lives in ``scratch`` (allocated here if not supplied)
+        and the caller may recycle the retired pre-merge buffer.
+        """
         cfg = self.config
         n = arr.size
         pair_width = 2 * run
         num_pairs = n // pair_width
 
         mat = arr.reshape(num_pairs, pair_width)
-        # Stable argsort of [A | B] rows == stable (A-first) merge: equal
-        # keys keep index order, and A occupies the lower indices.
-        order = np.argsort(mat, axis=1, kind="stable")
-        merged = np.take_along_axis(mat, order, axis=1)
+        used_scratch = False
+        if self.scoring == "fused" and fused_kernels.native_round_ready(arr):
+            # Native fused rounds never materialize the order array: the
+            # merge is a row-wise two-pointer pass and the scorers
+            # reconstruct each scored tile's interleaving locally.
+            if scratch is None:
+                scratch = np.empty_like(arr)
+            merged = fused_kernels.merge_pairs(
+                mat, run, scratch.reshape(num_pairs, pair_width)
+            )
+            order = None
+            used_scratch = True
+        else:
+            # Stable argsort of [A | B] rows == stable (A-first) merge:
+            # equal keys keep index order, and A occupies the lower indices.
+            order = np.argsort(mat, axis=1, kind="stable")
+            merged = np.take_along_axis(mat, order, axis=1)
 
         if pair_width <= cfg.tile_size:
             self._score_block_round(arr, mat, order, run, result, score_blocks, rng)
         else:
             self._score_global_round(mat, order, run, result, score_blocks, rng)
 
-        return merged.reshape(-1)
+        return merged.reshape(-1), used_scratch
 
     # -- block (base-case) rounds ---------------------------------------
 
@@ -436,7 +482,11 @@ class PairwiseMergeSort:
         pairs_per_tile = cfg.tile_size // pair_width
         scored = _choose_blocks(tiles, score_blocks, rng)
 
-        if self.scoring != "vectorized":
+        if self.scoring == "fused":
+            merge_report, part_report = self._block_reports_fused(
+                flat_pre, order, run, scored, pairs_per_tile
+            )
+        elif self.scoring == "loop":
             merge_report, part_report = self._block_reports_loop(
                 flat_pre, order, run, scored, pairs_per_tile
             )
@@ -539,6 +589,43 @@ class PairwiseMergeSort:
             trace_b_base=trace_a + run,
         )
         return probe_steps
+
+    def _block_reports_fused(
+        self,
+        flat_pre: np.ndarray,
+        order: np.ndarray | None,
+        run: int,
+        scored: np.ndarray,
+        pairs_per_tile: int,
+    ) -> tuple[ConflictReport, ConflictReport]:
+        """Single-pass block-round scoring with no trace intermediates.
+
+        ``order is None`` marks a native round (the merge already ran in
+        the compiled backend, which also rebuilds each scored tile's
+        interleaving itself); otherwise the numpy fused path reuses the
+        vectorized address algebra but counts straight to report
+        aggregates.
+        """
+        cfg = self.config
+        if order is None:
+            return fused_kernels.fused_block_reports(
+                flat_pre, scored, run, cfg.E, cfg.b, cfg.w, self.padding
+            )
+        pair_width = 2 * run
+        num_scored = scored.size
+        order_tiles = order.reshape(-1, pairs_per_tile, pair_width)[scored]
+        pair_bases = np.arange(pairs_per_tile, dtype=np.int64)[:, None] * pair_width
+        addr_by_rank = (order_tiles + pair_bases).reshape(num_scored, cfg.tile_size)
+        merge_report = permutation_stage_report(
+            addr_by_rank, cfg.E, cfg.w, self.padding
+        )
+        probe_steps = self._block_partition_probes(
+            flat_pre, run, scored, pairs_per_tile
+        )
+        part_dense = self._physical(
+            stack_group_warp_steps(probe_steps, num_scored, cfg.w)
+        )
+        return merge_report, dense_report(part_dense, cfg.w)
 
     def _block_reports_memoized(
         self,
@@ -654,7 +741,11 @@ class PairwiseMergeSort:
         blocks_total = num_pairs * blocks_per_pair
         scored = _choose_blocks(blocks_total, score_blocks, rng)
 
-        if self.scoring != "vectorized":
+        if self.scoring == "fused":
+            merge_report, part_report = self._global_reports_fused(
+                mat, order, run, scored, blocks_per_pair
+            )
+        elif self.scoring == "loop":
             merge_report, part_report = self._global_reports_loop(
                 mat, order, run, scored, blocks_per_pair
             )
@@ -803,6 +894,39 @@ class PairwiseMergeSort:
             trace_b_base=np.repeat(na, cfg.b),
         )
         return probe_steps
+
+    def _global_reports_fused(
+        self,
+        mat: np.ndarray,
+        order: np.ndarray | None,
+        run: int,
+        scored: np.ndarray,
+        blocks_per_pair: int,
+    ) -> tuple[ConflictReport, ConflictReport]:
+        """Single-pass global-round scoring with no trace intermediates.
+
+        Same contract as :meth:`_block_reports_fused`: ``order is None``
+        routes to the compiled backend (which derives each scored block's
+        A/B window split by merge-path binary search instead of reading
+        the order array), otherwise the numpy fused path counts the
+        vectorized patterns directly.
+        """
+        cfg = self.config
+        if order is None:
+            return fused_kernels.fused_global_reports(
+                mat.reshape(-1), scored, run, cfg.E, cfg.b, cfg.w, self.padding
+            )
+        local, pairs, a_lo, b_lo, na = self._global_patterns(
+            mat, order, run, scored, blocks_per_pair
+        )
+        merge_report = permutation_stage_report(local, cfg.E, cfg.w, self.padding)
+        probe_steps = self._global_partition_probes(
+            mat, run, pairs, a_lo, b_lo, na
+        )
+        part_dense = self._physical(
+            stack_group_warp_steps(probe_steps, scored.size, cfg.w)
+        )
+        return merge_report, dense_report(part_dense, cfg.w)
 
     def _global_reports_memoized(
         self,

@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 from repro.dmm.conflicts import ConflictReport
-from repro.dmm.memo import ConflictMemo, MemoStats
+from repro.dmm.memo import CONTEXT_FIELDS, ConflictMemo, MemoStats
 from repro.errors import ValidationError
 
 CTX = ConflictMemo.context(
@@ -42,6 +42,54 @@ class TestContext:
                 ConflictMemo.context("block", **{**base, field: bumped})
             )
         assert len(contexts) == 6  # every variation yields a distinct prefix
+
+    def test_context_fields_match_signature(self):
+        """``CONTEXT_FIELDS`` is the single source of truth: it must list
+        exactly the parameters :meth:`ConflictMemo.context` accepts, in
+        order, so a field added to one but not the other is caught here
+        rather than by a silently-narrower digest."""
+        import inspect
+
+        params = tuple(inspect.signature(ConflictMemo.context).parameters)
+        assert params == CONTEXT_FIELDS
+
+    def test_context_byte_format_is_stable(self):
+        """The serialized prefix is a compatibility surface (changing it
+        invalidates nothing on disk, but the engine layer fingerprints the
+        field list so warm runners retire on change — the *format* should
+        only move together with a deliberate CONTEXT_FIELDS bump)."""
+        assert CTX == b"block|w=4|E=3|L=6|pad=0|"
+
+    def test_scoring_identity_is_not_a_context_field(self):
+        """Deliberate absence: the scoring backends (vectorized / loop /
+        fused, either fused backend) are bit-identical by contract, so
+        memo entries must be shared across them — a ``scoring`` field
+        would split the hit pool for no correctness gain."""
+        assert "scoring" not in CONTEXT_FIELDS
+        assert "backend" not in CONTEXT_FIELDS
+
+    def test_runner_key_folds_context_fields(self, monkeypatch):
+        """The engine's warm-runner fingerprint embeds CONTEXT_FIELDS, so
+        reshaping what the memo digests retires every cached runner."""
+        from repro.engine.tasks import WorkItem, runner_key
+        from repro.gpu.device import QUADRO_M4000
+        from repro.sort.config import SortConfig
+
+        item = WorkItem(
+            config=SortConfig(
+                elements_per_thread=3, block_size=32, warp_size=32
+            ),
+            device=QUADRO_M4000,
+            input_name="worst-case",
+            num_elements=2880,
+        )
+        before = runner_key(item)
+        import repro.dmm.memo as memo_module
+
+        monkeypatch.setattr(
+            memo_module, "CONTEXT_FIELDS", CONTEXT_FIELDS + ("extra",)
+        )
+        assert runner_key(item) != before
 
     def test_context_changes_digest(self):
         rows = np.arange(8, dtype=np.int64).reshape(1, 8)

@@ -179,7 +179,8 @@ class TestSortPlanBitIdentity:
     @pytest.mark.parametrize("config_name", sorted(CONFIGS))
     @pytest.mark.parametrize("input_name", INPUTS)
     @pytest.mark.parametrize(
-        "engine_name", ["inline", "inline-vectorized", "inline-memoized"]
+        "engine_name",
+        ["inline", "inline-vectorized", "inline-memoized", "inline-fused"],
     )
     def test_inline_matrix_all_configs_and_inputs(
         self, engines, engine_name, config_name, input_name

@@ -25,6 +25,7 @@ class TestNames:
         assert set(engine_names()) == {
             "analytic",
             "inline",
+            "inline-fused",
             "inline-loop",
             "inline-memoized",
             "inline-vectorized",
@@ -93,13 +94,13 @@ class TestAutoRouting:
             num_elements=CFG.tile_size * 8,
         ) == "analytic"
 
-    def test_random_routes_vectorized(self):
+    def test_random_routes_fused(self):
         assert resolve_scoring(
             "auto",
             config=CFG,
             input_name="random",
             num_elements=CFG.tile_size * 8,
-        ) == "vectorized"
+        ) == "fused"
 
     def test_explicit_modes_pass_through(self):
         for mode in SIMULATOR_SCORINGS:

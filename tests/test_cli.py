@@ -128,6 +128,59 @@ class TestMemoReporting:
         assert "conflict memo (this process):" in capsys.readouterr().out
 
 
+class TestBenchKernels:
+    """``bench kernels`` emits record_timing-shaped rows the regression
+    gate can consume."""
+
+    def test_prints_table_and_writes_json(self, tmp_path, capsys):
+        target = tmp_path / "kernels.json"
+        assert (
+            main(["bench", "kernels", "--preset", "mgpu-maxwell",
+                  "--tiles", "2", "--repeat", "2", "--json", str(target)])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "kernel_merge_pairs" in out
+        assert "kernel_sort_fused" in out
+        import json
+
+        document = json.loads(target.read_text())
+        assert document["schema"] == 1
+        for entry in document["timings"].values():
+            # The exact shape check_regression._seconds/_noise_note read.
+            assert isinstance(entry["seconds"], float)
+            assert isinstance(entry["min_seconds"], float)
+            assert isinstance(entry["iqr_seconds"], float)
+            assert entry["backend"] in ("native", "numpy")
+
+    def test_json_is_gateable_against_itself(self, tmp_path, capsys):
+        """Round-trip through check_regression: a run gated against its
+        own document passes with every row present."""
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        target = tmp_path / "kernels.json"
+        assert (
+            main(["bench", "kernels", "--preset", "mgpu-maxwell",
+                  "--tiles", "2", "--repeat", "2", "--json", str(target)])
+            == 0
+        )
+        capsys.readouterr()
+        gate = (
+            Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "check_regression.py"
+        )
+        proc = subprocess.run(
+            [sys.executable, str(gate), str(target), str(target),
+             "--require", "kernel_merge_pairs,kernel_sort_fused"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -309,6 +362,16 @@ class TestEngineFlag:
             == 0
         )
         assert "sorted correctly: True" in capsys.readouterr().out
+
+    def test_simulate_engine_inline_fused_matches_scoring_fused(self, capsys):
+        argv = ["simulate", "--preset", "mgpu-maxwell", "--tiles", "2",
+                "--input", "worst-case"]
+        assert main(argv + ["--engine", "inline-fused"]) == 0
+        by_engine = capsys.readouterr().out
+        assert main(argv + ["--scoring", "fused", "--no-memo"]) == 0
+        by_scoring = capsys.readouterr().out
+        assert "sorted correctly: True" in by_engine
+        assert by_engine == by_scoring
 
     def test_simulate_unknown_engine_is_usage_error(self, capsys):
         with pytest.raises(SystemExit) as exc:
