@@ -13,7 +13,7 @@ sort as the other state-of-the-art comparison sort. Two findings:
 """
 
 import numpy as np
-from conftest import record
+from conftest import record, record_timing
 
 from repro.adversary.permutation import worst_case_permutation
 from repro.inputs.generators import generate
@@ -94,4 +94,41 @@ def test_kway_specific_adversary(benchmark):
         f"Multiway adversary (K={fan}, E={cfg.E}): every K-way round at "
         f"exactly {cfg.E**2} = E^2 cycles/warp — the paper's collapse "
         "generalizes beyond pairwise merging"
+    )
+
+
+def test_multiway_matrix_row(benchmark):
+    """The mitigation matrix's multiway row at gated speed: scoring the
+    multiway backend under every mitigation must stay cheap enough for
+    the full matrix to be a routine experiment, and the cfree cells must
+    be exactly zero."""
+    from repro.bench.matrix import run_matrix
+
+    def run():
+        return run_matrix(
+            input_names=("sorted", "worst-case"),
+            backends=("multiway",),
+            mitigations=("none", "padding:1", "cfree-sort", "cfree-permute"),
+            tiles=8,
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    stock = result.cell("worst-case", "multiway", "none")
+    assert stock.total_replays > 0
+    for spec in ("cfree-sort", "cfree-permute"):
+        assert result.cell("worst-case", "multiway", spec).total_replays == 0
+    stats = benchmark.stats.stats
+    record_timing(
+        "multiway_matrix",
+        seconds=stats.median,
+        min_seconds=stats.min,
+        iqr_seconds=stats.iqr,
+        n=result.num_elements,
+        cells=len(result.cells),
+        backend="multiway",
+    )
+    record(
+        f"Matrix multiway row (N={result.num_elements:,}): worst-case "
+        f"conflicts/elem {stock.replays_per_element:.2f} stock, 0.00 under "
+        "both cfree layouts"
     )

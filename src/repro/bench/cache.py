@@ -86,14 +86,17 @@ def point_key(
     seed: int,
     exact_threshold: int,
     scoring: str | None = None,
+    mitigation: str | None = None,
 ) -> dict:
     """Cache key for one :class:`BenchPoint`.
 
     ``scoring`` stays out of the key (``None``) for every bit-identical
     mode; the runner passes ``"analytic"`` only for its explicit
     exact-at-every-size path, whose above-threshold points legitimately
-    differ from synthesized ones. Omitting the entry when ``None`` keeps
-    every pre-existing fingerprint unchanged.
+    differ from synthesized ones. ``mitigation`` likewise enters only
+    for non-default layouts (the runner passes ``None`` for ``"none"``).
+    Omitting the entries when ``None`` keeps every pre-existing
+    fingerprint unchanged.
     """
     key = {
         "kind": "point",
@@ -109,6 +112,8 @@ def point_key(
     }
     if scoring is not None:
         key["scoring"] = scoring
+    if mitigation is not None:
+        key["mitigation"] = mitigation
     return key
 
 
@@ -120,9 +125,14 @@ def rates_key(
     calibration_size: int,
     score_blocks: int | None,
     seed: int,
+    mitigation: str | None = None,
 ) -> dict:
-    """Cache key for one :class:`CalibratedRates` measurement."""
-    return {
+    """Cache key for one :class:`CalibratedRates` measurement.
+
+    ``mitigation`` follows the :func:`point_key` convention: present
+    only for non-default layouts, so pre-existing fingerprints survive.
+    """
+    key = {
         "kind": "rates",
         "schema": SCHEMA_VERSION,
         "config": dataclasses.asdict(config),
@@ -132,6 +142,9 @@ def rates_key(
         "score_blocks": score_blocks,
         "seed": seed,
     }
+    if mitigation is not None:
+        key["mitigation"] = mitigation
+    return key
 
 
 @dataclass(frozen=True)

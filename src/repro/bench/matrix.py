@@ -1,0 +1,275 @@
+"""The adversary-vs-mitigation robustness matrix.
+
+Crosses every input family × sort backend × mitigation layout and scores
+each cell with the instrumented simulators, answering the question the
+paper's conclusion raises: *which layout defense actually neutralizes
+the constructed worst case, and at what cost on benign inputs?*
+
+Backends:
+
+* ``pairwise`` — the algorithm the paper attacks
+  (:class:`~repro.sort.pairwise.PairwiseMergeSort`);
+* ``bitonic`` — the data-oblivious control
+  (:class:`~repro.sort.bitonic.BitonicSort`): its conflicts are
+  input-independent by construction, so every family lands on the same
+  cell values;
+* ``multiway`` — Karsin et al.'s K-way variant
+  (:class:`~repro.sort.multiway.MultiwaySort`), whose consumption order
+  partially decoheres the pairwise-specific adversary.
+
+Per cell the matrix reports conflicts per element (the paper's Figure 6
+metric), the *conflict factor* (serialized shared-memory cycles over
+their conflict-free floor; 1.0 = conflict free), and the slowdown of
+that family relative to the same backend+mitigation's ``sorted`` cell —
+the adversary's leverage once the defense is in place.
+
+The default configuration is power-of-two friendly (``E=4, b=64, w=32``)
+so the bitonic backend — which needs ``N = 2^k`` — can share the grid
+with the merge sorts; the paper's own presets (``E=15/17``) stay the
+domain of the main sweeps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.inputs.generators import GENERATORS, generate
+from repro.mitigation.registry import check_mitigation
+from repro.sort.config import SortConfig
+
+__all__ = [
+    "DEFAULT_MATRIX_INPUTS",
+    "DEFAULT_MATRIX_MITIGATIONS",
+    "MATRIX_BACKENDS",
+    "MatrixCell",
+    "MatrixResult",
+    "matrix_config",
+    "run_matrix",
+]
+
+#: Sort backends the matrix can score.
+MATRIX_BACKENDS = ("pairwise", "bitonic", "multiway")
+
+#: Default family axis: the benign baseline, the expected case, and the
+#: two engineered families.
+DEFAULT_MATRIX_INPUTS = ("sorted", "random", "conflict-heavy", "worst-case")
+
+#: Default mitigation axis: stock layout, the classic +1 pad, and the
+#: two conflict-free remapping schemes.
+DEFAULT_MATRIX_MITIGATIONS = ("none", "padding:1", "cfree-sort", "cfree-permute")
+
+
+def matrix_config() -> SortConfig:
+    """The matrix's shared configuration (``E=4, b=64, w=32``).
+
+    Every dimension is a power of two so the bitonic control — which
+    requires ``N = 2^k`` inputs — accepts the same grid sizes as the
+    merge sorts (tile = 256, bitonic tile = 128).
+    """
+    return SortConfig(
+        elements_per_thread=4, block_size=64, warp_size=32, name="matrix"
+    )
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One scored (input family, backend, mitigation) combination."""
+
+    input_name: str
+    backend: str
+    mitigation: str
+    num_elements: int
+    #: Whole-sort profiler-style bank conflicts (excess replays).
+    total_replays: float
+    #: The paper's Figure 6 metric.
+    replays_per_element: float
+    #: Serialized shared-memory cycles across the sort.
+    shared_cycles: float
+    #: ``shared_cycles`` over its conflict-free floor (1.0 = conflict free).
+    conflict_factor: float
+    #: ``shared_cycles`` relative to the same backend+mitigation's
+    #: ``sorted`` cell; NaN when the grid has no ``sorted`` column.
+    slowdown_vs_sorted: float
+
+    def describe(self) -> str:
+        """One grep-friendly line (the ``matrix`` CLI's output unit)."""
+        slow = (
+            f"{self.slowdown_vs_sorted:.2f}"
+            if self.slowdown_vs_sorted == self.slowdown_vs_sorted
+            else "n/a"
+        )
+        return (
+            f"input={self.input_name} backend={self.backend} "
+            f"mitigation={self.mitigation} "
+            f"conflicts/elem={self.replays_per_element:.2f} "
+            f"conflict-factor={self.conflict_factor:.2f} "
+            f"slowdown-vs-sorted={slow}"
+        )
+
+
+@dataclass(frozen=True)
+class MatrixResult:
+    """The full matrix plus the grid that produced it."""
+
+    config: SortConfig
+    num_elements: int
+    input_names: tuple[str, ...]
+    backends: tuple[str, ...]
+    mitigations: tuple[str, ...]
+    cells: tuple[MatrixCell, ...]
+
+    def cell(self, input_name: str, backend: str, mitigation: str) -> MatrixCell:
+        """Look one cell up; raises if the combination was not in the grid."""
+        spec = check_mitigation(mitigation, field="mitigation")
+        for cell in self.cells:
+            if (
+                cell.input_name == input_name
+                and cell.backend == backend
+                and cell.mitigation == spec
+            ):
+                return cell
+        raise ValidationError(
+            f"no matrix cell ({input_name!r}, {backend!r}, {spec!r})"
+        )
+
+    def table(self) -> str:
+        """Aligned text table, one row per (input, backend), mitigation
+        columns showing ``conflicts/elem (xconflict-factor)``."""
+        header = ["input", "backend"] + [f"[{m}]" for m in self.mitigations]
+        rows = [header]
+        for name in self.input_names:
+            for backend in self.backends:
+                row = [name, backend]
+                for mitigation in self.mitigations:
+                    cell = self.cell(name, backend, mitigation)
+                    row.append(
+                        f"{cell.replays_per_element:.2f} "
+                        f"(x{cell.conflict_factor:.2f})"
+                    )
+                rows.append(row)
+        widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+        lines = [
+            "  ".join(value.ljust(widths[i]) for i, value in enumerate(row))
+            for row in rows
+        ]
+        lines.insert(1, "  ".join("-" * w for w in widths))
+        return "\n".join(lines)
+
+
+def _make_sorter(backend: str, config: SortConfig, mitigation: str):
+    if backend == "pairwise":
+        from repro.sort.pairwise import PairwiseMergeSort
+
+        return PairwiseMergeSort(config, mitigation=mitigation)
+    if backend == "bitonic":
+        from repro.sort.bitonic import BitonicSort
+
+        return BitonicSort(
+            config.block_size, config.warp_size, mitigation=mitigation
+        )
+    if backend == "multiway":
+        from repro.sort.multiway import MultiwaySort
+
+        return MultiwaySort(config, k=4, mitigation=mitigation)
+    known = ", ".join(MATRIX_BACKENDS)
+    raise ValidationError(f"unknown backend {backend!r}; known: {known}")
+
+
+def _score_cell(backend: str, sorter, data, score_blocks, seed):
+    if backend == "bitonic":
+        # Oblivious schedule: no sampling, no RNG.
+        return sorter.sort(data)
+    return sorter.sort(data, score_blocks=score_blocks, seed=seed)
+
+
+def run_matrix(
+    *,
+    config: SortConfig | None = None,
+    input_names: tuple[str, ...] = DEFAULT_MATRIX_INPUTS,
+    backends: tuple[str, ...] = MATRIX_BACKENDS,
+    mitigations: tuple[str, ...] = DEFAULT_MATRIX_MITIGATIONS,
+    tiles: int = 8,
+    score_blocks: int | None = None,
+    seed: int = 0,
+) -> MatrixResult:
+    """Score the full input × backend × mitigation grid.
+
+    ``tiles`` sizes the input as ``tiles × tile_size`` and must keep
+    ``N`` a power of two when the ``bitonic`` backend is in the grid
+    (the default config's tile is 256, so any power-of-two tile count
+    works). ``score_blocks=None`` scores every block — exact cells,
+    which is what makes the cfree rows provably zero rather than
+    sampled-zero.
+    """
+    config = config if config is not None else matrix_config()
+    if not input_names:
+        raise ValidationError("matrix needs at least one input family")
+    for name in input_names:
+        if name not in GENERATORS:
+            known = ", ".join(sorted(GENERATORS))
+            raise ValidationError(f"unknown input {name!r}; known: {known}")
+    backends = tuple(backends)
+    for backend in backends:
+        if backend not in MATRIX_BACKENDS:
+            known = ", ".join(MATRIX_BACKENDS)
+            raise ValidationError(
+                f"unknown backend {backend!r}; known: {known}"
+            )
+    specs = tuple(
+        check_mitigation(m, field="mitigations") for m in mitigations
+    )
+    if len(set(specs)) != len(specs):
+        raise ValidationError("mitigation specs must be unique")
+    num_elements = tiles * config.tile_size
+
+    cells: list[MatrixCell] = []
+    for backend in backends:
+        for spec in specs:
+            sorter = _make_sorter(backend, config, spec)
+            for name in input_names:
+                data = generate(name, config, num_elements, seed=seed)
+                result = _score_cell(backend, sorter, data, score_blocks, seed)
+                cycles = result.total_shared_cycles()
+                steps = sum(r.shared_steps for r in result.rounds)
+                cells.append(
+                    MatrixCell(
+                        input_name=name,
+                        backend=backend,
+                        mitigation=spec,
+                        num_elements=num_elements,
+                        total_replays=result.total_replays(),
+                        replays_per_element=result.replays_per_element(),
+                        shared_cycles=cycles,
+                        conflict_factor=cycles / steps if steps else 1.0,
+                        slowdown_vs_sorted=float("nan"),
+                    )
+                )
+
+    # Second pass: slowdown of each family against the same
+    # backend+mitigation's sorted cell (the benign baseline).
+    baselines = {
+        (c.backend, c.mitigation): c.shared_cycles
+        for c in cells
+        if c.input_name == "sorted"
+    }
+    cells = [
+        dataclasses.replace(
+            cell,
+            slowdown_vs_sorted=(
+                cell.shared_cycles / base
+                if (base := baselines.get((cell.backend, cell.mitigation)))
+                else float("nan")
+            ),
+        )
+        for cell in cells
+    ]
+    return MatrixResult(
+        config=config,
+        num_elements=num_elements,
+        input_names=tuple(input_names),
+        backends=backends,
+        mitigations=specs,
+        cells=tuple(cells),
+    )

@@ -143,19 +143,40 @@ class SweepRunner:
     seed: int = 0
     padding: int = 0
     scoring: str = DEFAULT_SCORING
+    #: Shared-memory layout defense (spec string, see
+    #: :mod:`repro.mitigation.registry`); canonicalized at construction.
+    #: The legacy ``padding`` knob keeps its spelling (and its cache
+    #: fingerprints) — the two reconcile inside the sorter.
+    mitigation: str = "none"
     memo: ConflictMemo | None | str = "auto"
     cache: BenchCache | None = None
     instrumented_sorts: int = field(default=0, init=False, repr=False)
     _calibrations: dict = field(default_factory=dict, repr=False)
     _engine: object = field(default=None, init=False, repr=False)
     _models: dict = field(default_factory=dict, init=False, repr=False)
+    _layout: object = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
+        from repro.mitigation.registry import reconcile_mitigation
         from repro.utils.validation import check_nonnegative_int
 
         check_positive_int(self.exact_threshold, "exact_threshold")
         check_nonnegative_int(self.padding, "padding")
         check_scoring(self.scoring)
+        # Reconcile once: catches padding/mitigation conflicts and the
+        # analytic-vs-unmodeled-layout case at construction, and gives
+        # the occupancy model the layout's true footprint.
+        self._layout = reconcile_mitigation(self.mitigation, self.padding)
+        self.mitigation = (
+            "none" if self.mitigation is None else
+            reconcile_mitigation(self.mitigation).spec
+        )
+        if self.scoring == "analytic" and not self._layout.analytic_supported:
+            raise ValidationError(
+                "scoring='analytic' cannot model mitigation "
+                f"{self._layout.spec!r}; use a simulated scoring for this "
+                "layout"
+            )
         # Resolve "auto" once so every instrumented sort shares one memo
         # (PairwiseMergeSort's own "auto" would build a fresh memo per
         # sort and lose all cross-point hits). The auto scoring mode
@@ -191,9 +212,16 @@ class SweepRunner:
 
     @property
     def warps_per_sm(self) -> int:
-        """Resident warps per SM at this config's occupancy."""
+        """Resident warps per SM at this config's occupancy.
+
+        Uses the mitigation layout's physical footprint — the occupancy
+        price of a defense is exactly what the matrix experiment charges
+        each backend.
+        """
         occ = occupancy(
-            self.device, self.config.block_size, self.config.shared_bytes_per_block
+            self.device,
+            self.config.block_size,
+            self._layout.shared_bytes(self.config),
         )
         return occ.warps_per_sm
 
@@ -231,8 +259,13 @@ class SweepRunner:
                 # above-threshold points differ from synthesized ones and
                 # must not share their fingerprints. Everywhere the paths
                 # overlap they are bit-identical, so no other scoring mode
-                # enters the key.
+                # enters the key. Non-default mitigations likewise get
+                # their own fingerprints ("none" stays absent so every
+                # pre-existing entry keeps hitting).
                 scoring="analytic" if self.scoring == "analytic" else None,
+                mitigation=(
+                    None if self.mitigation == "none" else self.mitigation
+                ),
             )
             cached = self.cache.get_point(key)
             if cached is not None:
@@ -252,6 +285,7 @@ class SweepRunner:
             config=self.config,
             input_name=input_name,
             num_elements=n,
+            mitigation=self._layout.spec,
         )
 
     def _use_analytic(self, input_name: str, n: int) -> bool:
@@ -266,7 +300,12 @@ class SweepRunner:
         from repro.analytic import AnalyticEngine, analytic_model
 
         if self._engine is None:
-            self._engine = AnalyticEngine(self.config, padding=self.padding)
+            # Analytic-supported layouts are padding-expressible; the
+            # reconciled width covers both the legacy knob and an
+            # explicit "padding:N" mitigation spec.
+            self._engine = AnalyticEngine(
+                self.config, padding=self._layout.native_padding or 0
+            )
         model = self._models.get((input_name, n))
         if model is None:
             model = self._models[(input_name, n)] = analytic_model(
@@ -291,7 +330,11 @@ class SweepRunner:
         # memo for other points; only the vectorized sorter takes it.
         memo = self.memo if scoring == "vectorized" else None
         return PairwiseMergeSort(
-            self.config, padding=self.padding, scoring=scoring, memo=memo
+            self.config,
+            padding=self.padding,
+            scoring=scoring,
+            memo=memo,
+            mitigation=self.mitigation,
         ).sort(data, score_blocks=self.score_blocks, seed=self.seed)
 
     def _exact_point(self, input_name: str, n: int) -> BenchPoint:
@@ -317,6 +360,9 @@ class SweepRunner:
                 calibration_size=n_cal,
                 score_blocks=self.score_blocks,
                 seed=self.seed,
+                mitigation=(
+                    None if self.mitigation == "none" else self.mitigation
+                ),
             )
             rates = self.cache.get_rates(key)
         if rates is None:

@@ -6,6 +6,8 @@ Subcommands:
 * ``simulate`` — sort one input through the instrumented simulator and
   report per-round conflicts and simulated runtime;
 * ``sweep`` — a throughput size sweep for one (preset, device, input);
+* ``matrix`` — the adversary-vs-mitigation robustness matrix: every
+  input family × sort backend × mitigation layout, scored exactly;
 * ``figure`` — regenerate a paper figure (1, 3, 4, 5, 6, or ``theory``);
 * ``cache`` — inspect, clear, or prune the on-disk bench-result cache;
 * ``serve`` — run the long-lived generation-and-scoring daemon
@@ -65,6 +67,7 @@ from repro.engine.registry import (
 from repro.gpu.device import get_device
 from repro.gpu.occupancy import occupancy
 from repro.inputs.generators import GENERATORS, generate
+from repro.mitigation import MITIGATION_MODES, reconcile_mitigation
 from repro.sort.presets import preset
 
 __all__ = ["main"]
@@ -84,6 +87,17 @@ def _add_bench_exec_args(p: argparse.ArgumentParser) -> None:
         "--cache-dir", default=None, metavar="DIR",
         help="cache location (implies --cache; default "
         "~/.cache/repro-mergesort)",
+    )
+
+
+def _add_mitigation_arg(p: argparse.ArgumentParser) -> None:
+    """Shared ``--mitigation`` option for the scoring commands."""
+    modes = ", ".join(MITIGATION_MODES)
+    p.add_argument(
+        "--mitigation", default="none", metavar="SPEC",
+        help=f"layout defense applied to shared-memory addresses: one of "
+        f"{modes} (padding takes an optional width, e.g. padding:2; "
+        "see docs/MITIGATIONS.md; default none)",
     )
 
 
@@ -144,6 +158,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--scoring/--memo (whose combination otherwise picks the engine "
         "through the same registry)",
     )
+    _add_mitigation_arg(p)
 
     p = sub.add_parser("sweep", help="throughput sweep, random vs one input")
     p.add_argument("--preset", default="thrust-maxwell")
@@ -175,7 +190,39 @@ def _build_parser() -> argparse.ArgumentParser:
         help="daemon URL for --engine service, or a comma-separated "
         "shard URL list for --engine sharded (default %(default)s)",
     )
+    _add_mitigation_arg(p)
     _add_bench_exec_args(p)
+
+    p = sub.add_parser(
+        "matrix",
+        help="adversary-vs-mitigation robustness matrix: input family x "
+        "sort backend x mitigation, scored exactly",
+    )
+    p.add_argument(
+        "--inputs", default=",".join(
+            ("sorted", "random", "conflict-heavy", "worst-case")
+        ),
+        help="comma-separated input families (default %(default)s)",
+    )
+    p.add_argument(
+        "--backends", default="pairwise,bitonic,multiway",
+        help="comma-separated sort backends (default %(default)s)",
+    )
+    p.add_argument(
+        "--mitigations", default="none,padding:1,cfree-sort,cfree-permute",
+        help="comma-separated mitigation specs (default %(default)s)",
+    )
+    p.add_argument("--tiles", type=int, default=8,
+                   help="input size in tiles of 256 (power of two so the "
+                   "bitonic backend can share the grid; default 8)")
+    p.add_argument("--score-blocks", type=int, default=None,
+                   help="sampled blocks per round (default: score every "
+                   "block — exact cells)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cells", action="store_true",
+                   help="also print one grep-friendly line per cell")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="also write the matrix as JSON")
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
     p.add_argument("which", choices=["1", "3", "4", "5", "6", "theory"])
@@ -300,10 +347,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "forward (exclusive with --scoring; pool/service are execution "
         "strategies, not scorers, and are rejected)",
     )
+    _add_mitigation_arg(p)
     p.add_argument("--out", default=None, metavar="PATH",
                    help="construct: also save the permutation as .npy")
     p.add_argument("--chunk-sizes", type=int, default=4,
                    help="job: sweep sizes per scheduler chunk")
+    p.add_argument(
+        "--mitigations", default=None, metavar="SPECS",
+        help="job: comma-separated mitigation specs to cross the sweep "
+        "grid with (the matrix experiment's sharded-service leg; "
+        "exclusive with --mitigation)",
+    )
     p.add_argument("--max-retries", type=int, default=2,
                    help="job: re-queues per chunk on worker failure")
     p.add_argument("--no-wait", action="store_true",
@@ -357,13 +411,21 @@ def _cmd_construct(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
+    from repro.errors import ValidationError
+
     config = preset(args.preset)
     device = get_device(args.device)
     n = config.tile_size * args.tiles
     data = generate(args.input, config, n, seed=args.seed)
+    layout = reconcile_mitigation(args.mitigation, field="--mitigation")
     engine_name = args.engine or engine_for_scoring(
         args.scoring, memoized=args.memo
     )
+    if engine_name == "analytic" and not layout.analytic_supported:
+        raise ValidationError(
+            f"the analytic engine cannot model mitigation {layout.spec!r}; "
+            "use a simulated engine (e.g. --scoring fused)"
+        )
     result = create_engine(engine_name).run_sort(
         SortTask(
             config=config,
@@ -372,10 +434,13 @@ def _cmd_simulate(args) -> int:
             score_blocks=args.score_blocks,
             seed=args.seed,
             values=data,
+            mitigation=layout.spec,
         )
     )
     ok = bool(np.array_equal(result.values, np.sort(data)))
-    occ = occupancy(device, config.block_size, config.shared_bytes_per_block)
+    # Occupancy is charged at the mitigation's physical footprint (the
+    # stock layout's for "none").
+    occ = occupancy(device, config.block_size, layout.shared_bytes(config))
     cost = result.kernel_cost(occ.warps_per_sm)
     from repro.gpu.timing import TimingModel
 
@@ -400,9 +465,13 @@ def _cmd_simulate(args) -> int:
         f"simulated {model.milliseconds(cost):.3f} ms  "
         f"({model.throughput_meps(cost, n):.0f} Melem/s on {device.name})"
     )
+    if layout.spec != "none":
+        print(f"mitigation: {layout.describe()}")
     if result.memo_stats is not None:
         print(f"memoized scoring: {result.memo_stats}")
-    if args.input == "worst-case":
+    if args.input == "worst-case" and layout.spec == "none":
+        # Verification asserts the *stock* layout serializes; under a
+        # mitigation the whole point is that it no longer does.
         from repro.adversary.verify import verify_worst_case
 
         report = verify_worst_case(config, data, score_blocks=args.score_blocks)
@@ -451,6 +520,7 @@ def _progress_printer(stream=None):
 def _cmd_sweep(args) -> int:
     config = preset(args.preset)
     device = get_device(args.device)
+    layout = reconcile_mitigation(args.mitigation, field="--mitigation")
     sizes = [n for n in config.valid_sizes(args.max_elements) if n >= 100_000]
     cache_dir, use_cache = cache_ref(_bench_cache(args))
     items = [
@@ -463,6 +533,7 @@ def _cmd_sweep(args) -> int:
             score_blocks=args.score_blocks,
             seed=args.seed,
             scoring=args.scoring,
+            mitigation=layout.spec,
             cache_dir=cache_dir,
             use_cache=use_cache,
         )
@@ -506,6 +577,47 @@ def _cmd_sweep(args) -> int:
             title=f"{config.name} on {device.name} (Melem/s vs N, log x)",
         )
     )
+    return 0
+
+
+def _cmd_matrix(args) -> int:
+    from repro.bench.matrix import run_matrix
+
+    result = run_matrix(
+        input_names=tuple(x for x in args.inputs.split(",") if x),
+        backends=tuple(x for x in args.backends.split(",") if x),
+        mitigations=tuple(x for x in args.mitigations.split(",") if x),
+        tiles=args.tiles,
+        score_blocks=args.score_blocks,
+        seed=args.seed,
+    )
+    print(
+        f"adversary-vs-mitigation matrix: {result.config.name} "
+        f"(E={result.config.E}, b={result.config.b}, w={result.config.w}), "
+        f"N={result.num_elements:,}, cells show conflicts/elem "
+        "(xconflict-factor)\n"
+    )
+    print(result.table())
+    if args.cells:
+        print()
+        for cell in result.cells:
+            print(cell.describe())
+    if args.json:
+        import dataclasses as _dc
+
+        from repro.bench.export import write_json
+
+        path = write_json(
+            {
+                "num_elements": result.num_elements,
+                "inputs": list(result.input_names),
+                "backends": list(result.backends),
+                "mitigations": list(result.mitigations),
+                "cells": [_dc.asdict(c) for c in result.cells],
+            },
+            args.json,
+        )
+        print(f"\nmatrix data written to {path}")
     return 0
 
 
@@ -728,6 +840,16 @@ def _cmd_cache(args) -> int:
     if args.action == "stats":
         print(cache.stats())
         print(f"conflict memo (this process): {ConflictMemo.process_stats()}")
+        by_mitigation = ConflictMemo.mitigation_stats()
+        if by_mitigation:
+            print("conflict memo by mitigation:")
+            for spec, (hits, misses) in by_mitigation.items():
+                total = hits + misses
+                rate = hits / total if total else 0.0
+                print(
+                    f"  {spec:16s} hits={hits} misses={misses} "
+                    f"hit-rate={rate:.0%}"
+                )
         return 0
     if args.action == "prune":
         if args.max_mb is None or args.max_mb < 0:
@@ -806,6 +928,10 @@ def _cmd_request(args) -> int:
     from repro.service.client import ServiceClient
 
     scoring, memo = _request_scoring(args)
+    # Canonicalize client-side so typos fail fast; "none" is dropped from
+    # the wire (the server default) to keep old-server compatibility.
+    spec = reconcile_mitigation(args.mitigation, field="--mitigation").spec
+    mitigation = None if spec == "none" else spec
     client = ServiceClient(args.url, timeout=args.timeout)
     if args.action in ("healthz", "stats", "shutdown"):
         print(json.dumps(getattr(client, args.action)(), indent=2))
@@ -834,6 +960,7 @@ def _cmd_request(args) -> int:
             seed=args.seed,
             scoring=scoring,
             memo=memo,
+            mitigation=mitigation,
         )
         result = reply.result
         rows = [
@@ -877,6 +1004,18 @@ def _cmd_request(args) -> int:
         }
         if scoring is not None:
             manifest["scoring"] = scoring
+        if args.mitigations is not None:
+            if mitigation is not None:
+                from repro.errors import ValidationError
+
+                raise ValidationError(
+                    "--mitigations and --mitigation are mutually exclusive"
+                )
+            manifest["mitigations"] = [
+                x for x in args.mitigations.split(",") if x
+            ]
+        elif mitigation is not None:
+            manifest["mitigation"] = mitigation
         ack = client.submit_job(manifest)
         print(
             f"job {ack['job_id']} submitted: {ack['chunks']} chunks "
@@ -893,20 +1032,28 @@ def _cmd_request(args) -> int:
             return 3
         points = [point_from_obj(p) for p in status["points"]]
         per_input = len(status["sizes"])
-        base, other = points[:per_input], points[per_input:]
-        rows = [
-            {
-                "N": p.num_elements,
-                "random Melem/s": p.throughput_meps,
-                f"{args.input} Melem/s": q.throughput_meps,
-                "slowdown %": (q.milliseconds / p.milliseconds - 1) * 100,
-            }
-            for p, q in zip(base, other)
-        ]
-        print(table(rows))
+        # A matrix-capable manifest (--mitigations) returns one full
+        # sweep block per mitigation, in manifest order.
+        specs = status.get("mitigations", [None])
+        per_block = per_input * len(status["inputs"])
+        for i, spec in enumerate(specs):
+            block = points[i * per_block : (i + 1) * per_block]
+            base, other = block[:per_input], block[per_input:]
+            rows = [
+                {
+                    "N": p.num_elements,
+                    "random Melem/s": p.throughput_meps,
+                    f"{args.input} Melem/s": q.throughput_meps,
+                    "slowdown %": (q.milliseconds / p.milliseconds - 1) * 100,
+                }
+                for p, q in zip(base, other)
+            ]
+            if spec is not None:
+                print(f"mitigation={spec}:")
+            print(table(rows))
+            print(f"{args.input} vs random: {slowdown_stats(base, other)}\n")
         print(
-            f"\n{args.input} vs random: {slowdown_stats(base, other)}   "
-            f"(chunks={status['chunks']['done']}, "
+            f"job complete (chunks={status['chunks']['done']}, "
             f"retries={status['retries']})"
         )
         return 0
@@ -921,6 +1068,7 @@ def _cmd_request(args) -> int:
         score_blocks=args.score_blocks,
         seed=args.seed,
         scoring=scoring,
+        mitigation=mitigation,
     )
     per_input = len(reply.sizes)
     base = reply.points[:per_input]
@@ -962,6 +1110,7 @@ def main(argv: list[str] | None = None) -> int:
         "construct": _cmd_construct,
         "simulate": _cmd_simulate,
         "sweep": _cmd_sweep,
+        "matrix": _cmd_matrix,
         "figure": _cmd_figure,
         "analyze": _cmd_analyze,
         "grid": _cmd_grid,

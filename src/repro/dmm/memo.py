@@ -68,6 +68,7 @@ CONTEXT_FIELDS = (
     "elements_per_thread",
     "run_length",
     "padding",
+    "mitigation",
 )
 
 #: Short digest labels per context field (``kind`` is emitted bare).
@@ -76,6 +77,7 @@ _CONTEXT_LABELS = {
     "elements_per_thread": "E",
     "run_length": "L",
     "padding": "pad",
+    "mitigation": "mit",
 }
 
 #: Digest width (bytes) for pattern keys; 128-bit blake2b is collision-safe
@@ -157,6 +159,13 @@ class ConflictMemo:
     _process_round_entries = 0
     _process_bytes = 0
 
+    #: Process-wide ``mitigation spec → (hits, misses)`` breakdown. The
+    #: memo itself is mitigation-blind (the spec is folded into every
+    #: digest), so the sorters attribute their lookup deltas here via
+    #: :meth:`record_mitigation`; ``cache stats`` and the service
+    #: ``/stats`` read it to make matrix sweeps debuggable per layout.
+    _process_by_mitigation: dict[str, tuple[int, int]] = {}
+
     def __init__(self, max_entries: int = 1 << 16):
         self.max_entries = check_positive_int(max_entries, "max_entries")
         self._tiles: dict[bytes, tuple[ConflictReport, ConflictReport]] = {}
@@ -175,11 +184,16 @@ class ConflictMemo:
         elements_per_thread: int,
         run_length: int,
         padding: int,
+        mitigation: str = "none",
     ) -> bytes:
         """Digest prefix binding entries to one scoring situation.
 
         Exactly the :data:`CONTEXT_FIELDS`, serialized ``kind|w=..|E=..|
-        L=..|pad=..|``.
+        L=..|pad=..|mit=..|``. ``mitigation`` is the canonical spec
+        string of the shared-memory layout the reports were scored
+        under — pattern rows are hashed *pre-remap* (logical addresses),
+        so the layout must enter the digest the same way ``padding``
+        always has.
         """
         values = {
             "kind": kind,
@@ -187,6 +201,7 @@ class ConflictMemo:
             "elements_per_thread": elements_per_thread,
             "run_length": run_length,
             "padding": padding,
+            "mitigation": mitigation,
         }
         parts = [str(values[CONTEXT_FIELDS[0]])] + [
             f"{_CONTEXT_LABELS[field]}={values[field]}"
@@ -351,6 +366,52 @@ class ConflictMemo:
         cls._process_tile_entries += delta.tile_entries
         cls._process_round_entries += delta.round_entries
         cls._process_bytes += delta.stored_bytes
+
+    @classmethod
+    def record_mitigation(cls, spec: str, hits: int, misses: int) -> None:
+        """Attribute memo lookups to a mitigation spec.
+
+        Called by the memoized scoring paths with their per-sort lookup
+        deltas (the memo cannot see the spec at ``_get`` time — it is
+        baked into the digest bytes).
+        """
+        if not hits and not misses:
+            return
+        prev_hits, prev_misses = cls._process_by_mitigation.get(spec, (0, 0))
+        cls._process_by_mitigation[spec] = (
+            prev_hits + hits,
+            prev_misses + misses,
+        )
+
+    @classmethod
+    def mitigation_stats(cls) -> dict[str, tuple[int, int]]:
+        """Process-wide ``spec → (hits, misses)``, sorted by spec."""
+        return dict(sorted(cls._process_by_mitigation.items()))
+
+    @classmethod
+    def mitigation_stats_delta(
+        cls, baseline: dict[str, tuple[int, int]]
+    ) -> dict[str, tuple[int, int]]:
+        """Per-spec change since a :meth:`mitigation_stats` snapshot.
+
+        Worker-side half of the pool stats-shipping protocol, alongside
+        :meth:`process_stats_delta`.
+        """
+        delta: dict[str, tuple[int, int]] = {}
+        for spec, (hits, misses) in cls._process_by_mitigation.items():
+            base_hits, base_misses = baseline.get(spec, (0, 0))
+            if hits - base_hits or misses - base_misses:
+                delta[spec] = (hits - base_hits, misses - base_misses)
+        return delta
+
+    @classmethod
+    def absorb_mitigation_stats(
+        cls, delta: dict[str, tuple[int, int]]
+    ) -> None:
+        """Fold a worker's :meth:`mitigation_stats_delta` into this
+        process's breakdown (parent-side half of the protocol)."""
+        for spec, (hits, misses) in delta.items():
+            cls.record_mitigation(spec, hits, misses)
 
     @classmethod
     def process_stats_delta(cls, baseline: MemoStats) -> MemoStats:

@@ -70,6 +70,10 @@ class SortTask:
     score_blocks: int | None = None
     seed: int = 0
     values: "np.ndarray | None" = None
+    #: Shared-memory layout defense, as a canonical spec string (see
+    #: :mod:`repro.mitigation.registry`); reconciled with ``padding`` by
+    #: the executing sorter.
+    mitigation: str = "none"
 
     def describe(self) -> str:
         """Human-readable label for logs and errors."""

@@ -88,15 +88,21 @@ class InlineEngine(ExecutionEngine):
 
     # -- sort plans ----------------------------------------------------------
 
-    def _sorter_for(self, config, padding: int, scoring: str):
+    def _sorter_for(
+        self, config, padding: int, scoring: str, mitigation: str = "none"
+    ):
         from repro.sort.pairwise import PairwiseMergeSort
 
-        key = (config, padding, scoring)
+        key = (config, padding, scoring, mitigation)
         sorter = self._sorters.get(key)
         if sorter is None:
             memo = self.memo if scoring == "vectorized" else None
             sorter = PairwiseMergeSort(
-                config, padding=padding, scoring=scoring, memo=memo
+                config,
+                padding=padding,
+                scoring=scoring,
+                memo=memo,
+                mitigation=mitigation,
             )
             self._sorters[key] = sorter
         return sorter
@@ -104,13 +110,17 @@ class InlineEngine(ExecutionEngine):
     def _execute_sorts(self, tasks: tuple) -> list:
         results = []
         for task in tasks:
+            mitigation = getattr(task, "mitigation", "none")
             scoring = resolve_scoring(
                 self.scoring,
                 config=task.config,
                 input_name=task.input_name,
                 num_elements=task.num_elements,
+                mitigation=mitigation,
             )
-            sorter = self._sorter_for(task.config, task.padding, scoring)
+            sorter = self._sorter_for(
+                task.config, task.padding, scoring, mitigation
+            )
             data = task.values
             if data is None:
                 data = generate(

@@ -49,23 +49,31 @@ _WORKER_ENGINES: dict = {}
 def _worker_point(item: WorkItem):
     """Run one sweep point in a worker.
 
-    Returns ``(point, seconds, from_cache, memo_delta)``. The memo delta
-    is this item's change to the *worker's* process-wide
+    Returns ``(point, seconds, from_cache, memo_delta, mit_delta)``. The
+    memo delta is this item's change to the *worker's* process-wide
     :class:`~repro.dmm.memo.ConflictMemo` counters — class attributes
     that only ever mutate in whichever process runs the sort, so without
     shipping them back the parent's ``cache stats`` / sweep memo lines /
-    service ``/stats`` under-report every pooled run.
+    service ``/stats`` under-report every pooled run. ``mit_delta`` is
+    the matching per-mitigation hit/miss breakdown delta.
     """
     before = ConflictMemo.process_stats()
+    mit_before = ConflictMemo.mitigation_stats()
     point, seconds, from_cache = execute_item(item, _WORKER_RUNNERS)
-    return point, seconds, from_cache, ConflictMemo.process_stats_delta(before)
+    return (
+        point,
+        seconds,
+        from_cache,
+        ConflictMemo.process_stats_delta(before),
+        ConflictMemo.mitigation_stats_delta(mit_before),
+    )
 
 
 def _worker_sort(task: SortTask, scoring: str, memoized: bool):
     """Run one sort task in a worker, reusing a per-mode inline engine.
 
-    Returns ``(result, memo_delta)`` — see :func:`_worker_point` for why
-    the delta travels with the result.
+    Returns ``(result, memo_delta, mit_delta)`` — see
+    :func:`_worker_point` for why the deltas travel with the result.
     """
     from repro.engine.inline import InlineEngine
 
@@ -77,8 +85,13 @@ def _worker_sort(task: SortTask, scoring: str, memoized: bool):
         )
         _WORKER_ENGINES[key] = engine
     before = ConflictMemo.process_stats()
+    mit_before = ConflictMemo.mitigation_stats()
     result = engine.run_sort(task)
-    return result, ConflictMemo.process_stats_delta(before)
+    return (
+        result,
+        ConflictMemo.process_stats_delta(before),
+        ConflictMemo.mitigation_stats_delta(mit_before),
+    )
 
 
 class PoolEngine(ExecutionEngine):
@@ -148,8 +161,9 @@ class PoolEngine(ExecutionEngine):
         }
         results = [None] * len(tasks)
         for future in as_completed(futures):
-            result, memo_delta = future.result()
+            result, memo_delta, mit_delta = future.result()
             ConflictMemo.absorb_stats(memo_delta)
+            ConflictMemo.absorb_mitigation_stats(mit_delta)
             results[futures[future]] = result
         return results
 
@@ -165,8 +179,9 @@ class PoolEngine(ExecutionEngine):
         done = 0
         for future in as_completed(futures):
             i = futures[future]
-            point, elapsed, from_cache, memo_delta = future.result()
+            point, elapsed, from_cache, memo_delta, mit_delta = future.result()
             ConflictMemo.absorb_stats(memo_delta)
+            ConflictMemo.absorb_mitigation_stats(mit_delta)
             results[i] = point
             done += 1
             if progress is not None:

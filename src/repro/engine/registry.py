@@ -68,21 +68,40 @@ def check_scoring(
 
 
 def resolve_scoring(
-    scoring: str, *, config, input_name: str, num_elements: int
+    scoring: str,
+    *,
+    config,
+    input_name: str,
+    num_elements: int,
+    mitigation: str = "none",
 ) -> str:
     """THE ``"auto"`` routing decision, shared by every execution path.
 
     Returns a concrete simulator scoring: ``"auto"`` resolves to
     ``"analytic"`` when the (input, config, N) point is analytic-eligible
-    and to ``"fused"`` otherwise (the single-pass simulated path — it
-    beats ``"vectorized"`` even without the compiled backend and is
-    bit-identical to it); explicit modes pass through unchanged (explicit
-    ``"analytic"`` on an ineligible input then fails loudly downstream,
-    by design).
+    *and* the mitigation backend is analytically modeled, and to
+    ``"fused"`` otherwise (the single-pass simulated path — it beats
+    ``"vectorized"`` even without the compiled backend and is
+    bit-identical to it); explicit modes pass through unchanged, except
+    that explicit ``"analytic"`` with an unmodeled mitigation is a
+    :class:`~repro.errors.ValidationError` here, before any sorter is
+    built — matrix cells must never report closed-form numbers for
+    layouts the model doesn't cover. (Explicit ``"analytic"`` on an
+    ineligible *input* still fails loudly downstream, by design.)
     """
     mode = check_scoring(scoring)
+    from repro.mitigation.registry import reconcile_mitigation
+
+    layout = reconcile_mitigation(mitigation)
+    if mode == "analytic" and not layout.analytic_supported:
+        raise ValidationError(
+            "scoring='analytic' cannot model mitigation "
+            f"{layout.spec!r}; use a simulated scoring for this layout"
+        )
     if mode != "auto":
         return mode
+    if not layout.analytic_supported:
+        return "fused"
     from repro.analytic import is_analytic_eligible
 
     return (

@@ -98,6 +98,9 @@ class ServiceEngine(ExecutionEngine):
                 seed=task.seed,
                 memo=self.memoized,
                 scoring=self.scoring,
+                mitigation=(
+                    None if task.mitigation == "none" else task.mitigation
+                ),
             )
             results.append(reply.result)
         return results
@@ -120,6 +123,9 @@ class ServiceEngine(ExecutionEngine):
                 seed=item.seed,
                 padding=item.padding,
                 scoring=item.scoring,
+                mitigation=(
+                    None if item.mitigation == "none" else item.mitigation
+                ),
             )
             elapsed = time.perf_counter() - start
             point = reply.points[0]

@@ -109,6 +109,7 @@ class ShardedEngine(ExecutionEngine):
             "input": task.input_name,
             "num_elements": task.num_elements,
             "padding": task.padding,
+            "mitigation": task.mitigation,
             "score_blocks": task.score_blocks,
             "seed": task.seed,
             "memo": self.memoized,
@@ -123,6 +124,7 @@ class ShardedEngine(ExecutionEngine):
             input=task.input_name,
             num_elements=task.num_elements,
             padding=task.padding,
+            mitigation=task.mitigation,
             score_blocks=task.score_blocks,
             seed=task.seed,
             memo=self.memoized,
@@ -152,6 +154,7 @@ class ShardedEngine(ExecutionEngine):
             "score_blocks": item.score_blocks,
             "seed": item.seed,
             "padding": item.padding,
+            "mitigation": item.mitigation,
             "scoring": item.scoring,
         }
         key = SweepRequest.from_payload(payload).coalesce_key()
@@ -165,6 +168,7 @@ class ShardedEngine(ExecutionEngine):
             score_blocks=item.score_blocks,
             seed=item.seed,
             padding=item.padding,
+            mitigation=item.mitigation,
             scoring=item.scoring,
         )
         return reply.points[0], time.perf_counter() - start, reply.coalesced

@@ -65,6 +65,9 @@ class WorkItem:
     #: point, so serial and pooled sweeps resolve the same engine for
     #: every point.
     scoring: str = DEFAULT_SCORING
+    #: Shared-memory layout defense, as a canonical spec string (see
+    #: :mod:`repro.mitigation.registry`).
+    mitigation: str = "none"
     cache_dir: str | None = None
     use_cache: bool = False
 
@@ -112,6 +115,7 @@ def sweep_items(
     seed: int = 0,
     padding: int = 0,
     scoring: str = DEFAULT_SCORING,
+    mitigation: str = "none",
     cache: BenchCache | None = None,
 ) -> list[WorkItem]:
     """Work items for a size sweep of each input family, in sweep order."""
@@ -127,6 +131,7 @@ def sweep_items(
             seed=seed,
             padding=padding,
             scoring=scoring,
+            mitigation=mitigation,
             cache_dir=cache_dir,
             use_cache=use_cache,
         )
@@ -163,6 +168,7 @@ def runner_key(item: WorkItem) -> str:
             "seed": item.seed,
             "padding": item.padding,
             "scoring": item.scoring,
+            "mitigation": item.mitigation,
             "cache_dir": item.cache_dir,
             "use_cache": item.use_cache,
         }
@@ -190,6 +196,7 @@ def runner_for(item: WorkItem, table: dict[str, SweepRunner]) -> SweepRunner:
             seed=item.seed,
             padding=item.padding,
             scoring=item.scoring,
+            mitigation=item.mitigation,
             cache=cache,
         )
         table[key] = runner

@@ -1,0 +1,107 @@
+"""The :class:`Mitigation` contract every defense backend implements.
+
+A mitigation is a *shared-memory layout policy*: it decides where each
+logical tile index physically lands (and therefore which bank services
+it) plus what the layout costs in shared-memory footprint. The simulator
+records logical tile indices everywhere; a mitigation's :meth:`remap`
+is applied to the recorded dense warp-step matrices *before* conflict
+scoring, exactly where ``pad_addresses`` used to be hard-wired.
+
+The contract has four load-bearing pieces:
+
+``remap(dense, warp_size)``
+    Map a dense ``(rows, warp_size)`` step matrix of logical addresses
+    to physical addresses. Columns are warp lanes; negative entries are
+    inactive lanes and must pass through unchanged. Lane-aware schemes
+    (the cfree backends) key off the *column index*, which is stable
+    under the memoized path's tile-subset stacking — a remap must never
+    depend on the global row position or memo bit-identity breaks.
+
+``shared_bytes(config)``
+    Physical shared-memory footprint of one block tile under the
+    layout. This is the occupancy side of the trade-off: it feeds
+    :func:`repro.gpu.occupancy.occupancy` through
+    :class:`~repro.bench.runner.SweepRunner`.
+
+``analytic_supported``
+    Whether the closed-form analytic engine models this layout.
+    ``scoring="analytic"`` with an unsupported mitigation is a typed
+    :class:`~repro.errors.ValidationError` — matrix cells must never
+    report closed-form numbers for layouts the model doesn't cover.
+
+``native_padding``
+    ``int`` when the layout is expressible as Dotsenko padding (``0``
+    for ``none``), which keeps the compiled fused kernels eligible;
+    ``None`` forces the numpy fused path, which scores the explicitly
+    remapped dense matrices.
+
+Backends register themselves with
+:func:`repro.mitigation.registry.register_mitigation` and are summoned
+by spec string (``"none"``, ``"padding:1"``, ``"cfree-sort"``,
+``"cfree-permute"``) via
+:func:`~repro.mitigation.registry.create_mitigation`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.sort.config import SortConfig
+
+__all__ = ["Mitigation"]
+
+
+class Mitigation(ABC):
+    """Shared-memory layout policy: address remap + cost model.
+
+    Instances must be immutable, hashable, and picklable — they ride
+    inside sorter-cache keys, frozen work items, and pool workers. The
+    canonical :attr:`spec` string is the wire/fingerprint form; two
+    instances with equal specs must behave identically.
+    """
+
+    #: Registry name of the backend family (``"padding"`` for every pad
+    #: width); :attr:`spec` is the fully-parameterized form.
+    name: str = "mitigation"
+
+    #: Whether the closed-form analytic engine models this layout.
+    analytic_supported: bool = False
+
+    #: Dotsenko pad width when the layout is plain padding (``0`` means
+    #: the identity layout), else ``None`` — which routes fused scoring
+    #: to the numpy path so the remap is applied explicitly.
+    native_padding: int | None = None
+
+    @property
+    @abstractmethod
+    def spec(self) -> str:
+        """Canonical spec string (``"padding:2"``), used in memo
+        contexts, cache keys, wire payloads, and CLI output."""
+
+    @abstractmethod
+    def remap(self, dense: np.ndarray, warp_size: int) -> np.ndarray:
+        """Physical addresses for a dense ``(..., warp_size)`` logical
+        step matrix; negative (inactive-lane) entries pass through."""
+
+    @abstractmethod
+    def shared_bytes(self, config: SortConfig) -> int:
+        """Physical shared-memory bytes one block tile occupies."""
+
+    # -- uniform plumbing ----------------------------------------------
+
+    def describe(self) -> str:
+        """One human-readable line for tables and ``--help`` text."""
+        return self.spec
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(spec={self.spec!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Mitigation):
+            return NotImplemented
+        return self.spec == other.spec
+
+    def __hash__(self) -> int:
+        return hash((type(self).__module__, "mitigation", self.spec))

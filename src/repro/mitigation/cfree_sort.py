@@ -1,0 +1,88 @@
+"""Sitchinava–Weichert bank-conflict-free sorting layout (arXiv:1306.5076).
+
+Their framework restructures shared-memory access so each lane owns a
+private bank-aligned column: element ``a`` touched by lane ``j`` is
+stored at physical address ``(a // w) · w + j``. Because
+``phys mod w == j`` and the ``w`` lanes of a warp step are distinct by
+construction, *every* simultaneous warp access lands on ``w`` distinct
+banks — zero conflicts for any access pattern, including all of the
+paper's constructed worst-case families.
+
+The price is the framework's restructuring cost, which the simulator
+models as the bank-aligned pitch: each logical row of ``w`` elements
+occupies a full ``w``-element physical row, so a tile of ``T`` elements
+needs ``ceil(T / w) · w`` physical cells. (The lane-ownership scheme
+also rules out the closed-form analytic model and the compiled padded
+kernels — scoring runs through the numpy dense path, where the remap is
+explicit.)
+
+The remap keys off the dense matrix *column index* (the lane), which is
+exactly what :func:`repro.dmm.stack_warp_steps` fixes per warp step and
+what the memoized path preserves when it re-stacks tile subsets, so
+memo bit-identity holds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mitigation.base import Mitigation
+from repro.sort.config import SortConfig
+
+__all__ = ["CFreeSortMitigation", "lane_aligned_remap", "lane_aligned_size"]
+
+
+def lane_aligned_remap(
+    dense: np.ndarray, warp_size: int, *, pitch_rows: int = 1
+) -> np.ndarray:
+    """Bank = lane remap of a dense ``(..., warp_size)`` step matrix.
+
+    ``phys = (a // w) · pitch_rows · w + lane`` — the lane is the index
+    along the trailing axis. Negative (inactive-lane) entries pass
+    through unchanged.
+    """
+    dense = np.asarray(dense, dtype=np.int64)
+    if dense.shape[-1] != warp_size:
+        raise ValueError(
+            "lane-aligned remap needs dense (..., warp_size) matrices: "
+            f"got trailing axis {dense.shape[-1]} for warp_size {warp_size}"
+        )
+    lanes = np.arange(warp_size, dtype=np.int64)
+    out = (dense // warp_size) * (pitch_rows * warp_size) + lanes
+    return np.where(dense >= 0, out, dense)
+
+
+def lane_aligned_size(
+    logical_size: int, warp_size: int, *, pitch_rows: int = 1
+) -> int:
+    """Physical cells a lane-aligned tile of ``logical_size`` occupies."""
+    if logical_size <= 0:
+        return 0
+    rows = -(-logical_size // warp_size)
+    return rows * pitch_rows * warp_size
+
+
+class CFreeSortMitigation(Mitigation):
+    """Bank = lane layout; conflict-free by construction."""
+
+    name = "cfree-sort"
+    analytic_supported = False
+    native_padding: int | None = None
+
+    @property
+    def spec(self) -> str:
+        return "cfree-sort"
+
+    def remap(self, dense: np.ndarray, warp_size: int) -> np.ndarray:
+        return lane_aligned_remap(dense, warp_size, pitch_rows=1)
+
+    def shared_bytes(self, config: SortConfig) -> int:
+        return (
+            lane_aligned_size(
+                config.tile_size, config.warp_size, pitch_rows=1
+            )
+            * config.element_bytes
+        )
+
+    def describe(self) -> str:
+        return "cfree-sort (Sitchinava–Weichert bank-aligned columns)"

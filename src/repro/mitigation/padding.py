@@ -17,10 +17,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.mitigation.base import Mitigation
 from repro.sort.config import SortConfig
 from repro.utils.validation import check_nonnegative_int, check_power_of_two
 
-__all__ = ["pad_addresses", "padded_shared_bytes", "padded_size"]
+__all__ = [
+    "PaddingMitigation",
+    "pad_addresses",
+    "padded_shared_bytes",
+    "padded_size",
+]
 
 
 def pad_addresses(addresses: np.ndarray, warp_size: int, padding: int) -> np.ndarray:
@@ -62,3 +68,43 @@ def padded_shared_bytes(config: SortConfig, padding: int) -> int:
         padded_size(config.tile_size, config.warp_size, padding)
         * config.element_bytes
     )
+
+
+class PaddingMitigation(Mitigation):
+    """Registry backend wrapping the module's padding transform.
+
+    ``PaddingMitigation(pad).remap`` is :func:`pad_addresses` verbatim
+    (bit-identity with the legacy path is regression-tested in
+    ``tests/mitigation/test_matrix_equivalence.py``), and the analytic
+    engine already models Dotsenko padding, so the backend stays
+    analytic-eligible and keeps the compiled fused kernels in play via
+    :attr:`native_padding`.
+    """
+
+    name = "padding"
+    analytic_supported = True
+
+    def __init__(self, padding: int = 1) -> None:
+        self._padding = check_nonnegative_int(padding, "padding")
+
+    @property
+    def padding(self) -> int:
+        """Dotsenko pad width: skipped cells per ``warp_size`` stride."""
+        return self._padding
+
+    @property
+    def native_padding(self) -> int:  # type: ignore[override]
+        return self._padding
+
+    @property
+    def spec(self) -> str:
+        return f"padding:{self._padding}"
+
+    def remap(self, dense: np.ndarray, warp_size: int) -> np.ndarray:
+        return pad_addresses(dense, warp_size, self._padding)
+
+    def shared_bytes(self, config: SortConfig) -> int:
+        return padded_shared_bytes(config, self._padding)
+
+    def describe(self) -> str:
+        return f"padding:{self._padding} (Dotsenko co-prime pad)"

@@ -260,6 +260,7 @@ class ServiceClient:
         memo: bool = True,
         scoring: str | None = None,
         padding: int | None = None,
+        mitigation: str | None = None,
     ) -> SimulateReply:
         """Run one instrumented sort on the server.
 
@@ -267,7 +268,8 @@ class ServiceClient:
         default is ``"vectorized"``); pass ``"analytic"`` for the
         closed-form path on constructed families. ``padding`` simulates
         the padded shared-memory layout (server default 0, the stock
-        layout).
+        layout); ``mitigation`` selects a registered layout defense by
+        spec string (server default ``"none"``).
         """
         payload = _body(
             preset=preset,
@@ -280,6 +282,7 @@ class ServiceClient:
             memo=memo,
             scoring=scoring,
             padding=padding,
+            mitigation=mitigation,
         )
         # None means "score every block" (the protocol's explicit null),
         # not "use the server default of 8" — so it must survive _body.
@@ -306,6 +309,7 @@ class ServiceClient:
         seed: int = 0,
         scoring: str | None = None,
         padding: int | None = None,
+        mitigation: str | None = None,
     ) -> SweepReply:
         """Run a grid of bench points on the server.
 
@@ -325,6 +329,7 @@ class ServiceClient:
             seed=seed,
             scoring=scoring,
             padding=padding,
+            mitigation=mitigation,
         )
         # As in simulate(): an explicit null means "score every block".
         payload["score_blocks"] = score_blocks

@@ -110,6 +110,41 @@ def _resolve_input(payload: dict, default: str = "worst-case") -> str:
     return name
 
 
+def _mitigation_field(payload: dict, default: str = "none") -> str:
+    """Parse-time mitigation-spec validation against the registry.
+
+    Same policy as :func:`_scoring_field`: an unknown backend fails here
+    as a 400, and the returned spec is *canonical* (``"padding"`` →
+    ``"padding:1"``) so identical layouts phrased differently coalesce.
+    """
+    from repro.mitigation.registry import check_mitigation
+
+    value = payload.get("mitigation", default)
+    if not isinstance(value, str):
+        raise ValidationError(
+            f"'mitigation' must be a spec string, got {value!r}"
+        )
+    return check_mitigation(value, field="'mitigation'")
+
+
+def _resolve_layout(payload: dict) -> tuple[int, str]:
+    """Normalize the ``padding``/``mitigation`` pair into one layout.
+
+    The legacy ``padding: N`` knob and the ``mitigation: "padding:N"``
+    spec describe the same physical layout; reconciling them here means
+    (a) a conflicting pair is a 400 at parse time and (b) both phrasings
+    canonicalize to identical request fields, so they coalesce.
+    """
+    from repro.mitigation.registry import reconcile_mitigation
+
+    padding = _int_field(payload, "padding", 0, minimum=0)
+    layout = reconcile_mitigation(
+        _mitigation_field(payload), padding, field="'mitigation'"
+    )
+    native = layout.native_padding
+    return (native if native is not None else 0, layout.spec)
+
+
 def _scoring_field(payload: dict, default: str, *, allow_auto: bool) -> str:
     """Parse-time scoring validation against the engine registry.
 
@@ -181,11 +216,18 @@ class SimulateRequest:
     #: Shared-memory padding of the simulated layout (0 = the stock
     #: layout the paper attacks).
     padding: int
+    #: Canonical mitigation spec ("none", "padding:N", "cfree-sort",
+    #: "cfree-permute"). Normalized with ``padding`` at parse time: a
+    #: bare ``padding: N`` request and an explicit
+    #: ``mitigation: "padding:N"`` request describe the same layout and
+    #: therefore coalesce.
+    mitigation: str
 
     @classmethod
     def from_payload(cls, payload) -> "SimulateRequest":
         payload = _require_dict(payload, "/simulate")
         config = _resolve_config(payload)
+        padding, mitigation = _resolve_layout(payload)
         return cls(
             config=config,
             input_name=_resolve_input(payload),
@@ -195,7 +237,8 @@ class SimulateRequest:
             include_values=_bool_field(payload, "include_values", True),
             memo=_bool_field(payload, "memo", True),
             scoring=_scoring_field(payload, "vectorized", allow_auto=False),
-            padding=_int_field(payload, "padding", 0, minimum=0),
+            padding=padding,
+            mitigation=mitigation,
         )
 
     def coalesce_key(self) -> str:
@@ -215,6 +258,7 @@ class SimulateRequest:
                 # (None for analytic/loop), so the payloads do too.
                 "scoring": self.scoring,
                 "padding": self.padding,
+                "mitigation": self.mitigation,
             }
         )
 
@@ -235,11 +279,15 @@ class SweepRequest:
     scoring: str
     #: Shared-memory padding of the simulated layout.
     padding: int
+    #: Canonical mitigation spec; normalized with ``padding`` at parse
+    #: time (see :class:`SimulateRequest`).
+    mitigation: str
 
     @classmethod
     def from_payload(cls, payload) -> "SweepRequest":
         payload = _require_dict(payload, "/sweep")
         config = _resolve_config(payload)
+        padding, mitigation = _resolve_layout(payload)
         device_name = payload.get("device", "quadro-m4000")
         if not isinstance(device_name, str):
             raise ValidationError(f"'device' must be a string, got {device_name!r}")
@@ -286,7 +334,8 @@ class SweepRequest:
             score_blocks=_int_field(payload, "score_blocks", 8, minimum=1),
             seed=_int_field(payload, "seed", 0, minimum=0),
             scoring=_scoring_field(payload, DEFAULT_SCORING, allow_auto=True),
-            padding=_int_field(payload, "padding", 0, minimum=0),
+            padding=padding,
+            mitigation=mitigation,
         )
 
     def coalesce_key(self) -> str:
@@ -306,6 +355,7 @@ class SweepRequest:
                 # must split the fingerprint.
                 "scoring": self.scoring,
                 "padding": self.padding,
+                "mitigation": self.mitigation,
             }
         )
 

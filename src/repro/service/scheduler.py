@@ -55,18 +55,19 @@ DEFAULT_CHUNK_SIZES = 4
 DEFAULT_MAX_RETRIES = 2
 
 #: Scheduler-only manifest keys, stripped before ``/sweep`` validation.
-_SCHEDULER_KEYS = ("chunk_sizes", "max_retries")
+_SCHEDULER_KEYS = ("chunk_sizes", "max_retries", "mitigations")
 
 
 @dataclass
 class Chunk:
-    """One input family × a contiguous slice of sizes."""
+    """One (mitigation, input family) × a contiguous slice of sizes."""
 
     index: int
     input_name: str
     sizes: tuple[int, ...]
     #: Canonical ``/sweep`` body computing exactly this chunk.
     payload: dict
+    mitigation: str = "none"
     attempts: int = 0
     status: str = "pending"  # pending | running | done | failed
     points: list | None = None
@@ -82,6 +83,9 @@ class Job:
     sizes: tuple[int, ...]
     chunks: list[Chunk]
     max_retries: int
+    #: Mitigation layouts swept by this job (manifest ``mitigations``
+    #: key; a plain manifest sweeps only its own ``mitigation`` field).
+    mitigations: tuple[str, ...] = ("none",)
     status: str = "running"  # running | done | failed
     #: Total requeues across all chunks (worker-failure recoveries).
     retries: int = 0
@@ -109,9 +113,16 @@ def split_manifest(
     """Validate a manifest and split its grid into canonical chunks.
 
     Returns ``(parsed sweep request, chunks, max_retries)``. Chunk
-    order is input-major with contiguous size slices, so concatenating
-    chunk results in index order reproduces the exact item order a
-    single ``/sweep`` of the whole manifest would return.
+    order is mitigation-major, then input-major with contiguous size
+    slices, so concatenating chunk results in index order reproduces
+    the exact item order per mitigation that a single ``/sweep`` of the
+    whole manifest would return.
+
+    A manifest may carry a scheduler-only ``mitigations`` list (e.g.
+    ``["none", "padding:1", "cfree-sort"]``) to sweep the same grid
+    under several layout defenses — the matrix experiment's service
+    leg. It is exclusive with the single ``mitigation`` field and with
+    a nonzero ``padding``, since each chunk carries exactly one layout.
     """
     if not isinstance(body, dict):
         raise ValidationError("/jobs body must be a JSON object")
@@ -121,12 +132,15 @@ def split_manifest(
     max_retries = _scheduler_int(
         body, "max_retries", DEFAULT_MAX_RETRIES, minimum=0
     )
+    mitigations = _mitigations_field(body)
     sweep_body = {
         key: value
         for key, value in body.items()
         if key not in _SCHEDULER_KEYS
     }
     request = SweepRequest.from_payload(sweep_body)
+    if mitigations is None:
+        mitigations = (request.mitigation,)
 
     base = {
         "config": config_to_obj(request.config),
@@ -138,21 +152,56 @@ def split_manifest(
         "padding": request.padding,
     }
     chunks: list[Chunk] = []
-    for name in request.input_names:
-        for start in range(0, len(request.sizes), chunk_sizes):
-            sizes = request.sizes[start : start + chunk_sizes]
-            payload = dict(base)
-            payload["inputs"] = [name]
-            payload["sizes"] = list(sizes)
-            chunks.append(
-                Chunk(
-                    index=len(chunks),
-                    input_name=name,
-                    sizes=sizes,
-                    payload=payload,
+    for mitigation in mitigations:
+        for name in request.input_names:
+            for start in range(0, len(request.sizes), chunk_sizes):
+                sizes = request.sizes[start : start + chunk_sizes]
+                payload = dict(base)
+                payload["inputs"] = [name]
+                payload["sizes"] = list(sizes)
+                payload["mitigation"] = mitigation
+                chunks.append(
+                    Chunk(
+                        index=len(chunks),
+                        input_name=name,
+                        sizes=sizes,
+                        payload=payload,
+                        mitigation=mitigation,
+                    )
                 )
-            )
     return request, chunks, max_retries
+
+
+def _mitigations_field(body: dict) -> tuple[str, ...] | None:
+    """Canonicalized ``mitigations`` list, or ``None`` when absent."""
+    from repro.mitigation.registry import check_mitigation
+
+    raw = body.get("mitigations")
+    if raw is None:
+        return None
+    if not isinstance(raw, list) or not raw:
+        raise ValidationError(
+            "'mitigations' must be a nonempty list of spec strings"
+        )
+    if "mitigation" in body:
+        raise ValidationError(
+            "'mitigations' and 'mitigation' are exclusive"
+        )
+    if body.get("padding", 0):
+        raise ValidationError(
+            "'mitigations' cannot be combined with a nonzero 'padding'; "
+            "spell the padded layout as a 'padding:N' entry instead"
+        )
+    specs = []
+    for value in raw:
+        if not isinstance(value, str):
+            raise ValidationError(
+                f"'mitigations' entries must be spec strings, got {value!r}"
+            )
+        specs.append(check_mitigation(value, field="'mitigations'"))
+    if len(set(specs)) != len(specs):
+        raise ValidationError("'mitigations' entries must be unique")
+    return tuple(specs)
 
 
 class JobScheduler:
@@ -196,6 +245,7 @@ class JobScheduler:
             sizes=request.sizes,
             chunks=chunks,
             max_retries=max_retries,
+            mitigations=tuple(dict.fromkeys(c.mitigation for c in chunks)),
         )
         self._jobs[job_id] = job
         task = asyncio.get_running_loop().create_task(self._run_job(job))
@@ -285,14 +335,17 @@ class JobScheduler:
                 if c.status == "failed"
             ]
         if job.status == "done":
-            # Chunks are input-major contiguous slices, so index-order
-            # concatenation is exactly one big /sweep's item order.
+            # Chunks are mitigation-major then input-major contiguous
+            # slices, so index-order concatenation is exactly one big
+            # /sweep's item order, repeated per mitigation.
             points: list = []
             for chunk in job.chunks:
                 points.extend(chunk.points or [])
             payload["points"] = points
             payload["inputs"] = list(job.input_names)
             payload["sizes"] = list(job.sizes)
+            if job.mitigations != ("none",):
+                payload["mitigations"] = list(job.mitigations)
         return payload
 
     def stats(self) -> dict:

@@ -672,6 +672,7 @@ class ReproService(HttpDaemon):
                     score_blocks=request.score_blocks,
                     seed=request.seed,
                     values=data,
+                    mitigation=request.mitigation,
                 )
             )
             self.stats.sorts_executed += 1
@@ -696,6 +697,7 @@ class ReproService(HttpDaemon):
                 seed=request.seed,
                 padding=request.padding,
                 scoring=request.scoring,
+                mitigation=request.mitigation,
                 cache_dir=cache_dir,
                 use_cache=self.cache is not None,
             )
@@ -733,6 +735,12 @@ class ReproService(HttpDaemon):
         # shipped back by pool workers (ConflictMemo.absorb_stats) — the
         # fleet-inclusive number /metrics exports for operators.
         payload["memo_process"] = _memo_obj(ConflictMemo.process_stats())
+        # Hit/miss attribution per mitigation layout (pool workers ship
+        # their deltas home, so this is fleet-inclusive like the above).
+        payload["memo_by_mitigation"] = {
+            spec: {"hits": hits, "misses": misses}
+            for spec, (hits, misses) in ConflictMemo.mitigation_stats().items()
+        }
         if self.cache is not None:
             disk = self.cache.stats()
             payload["bench_cache"] = {

@@ -34,6 +34,7 @@ from repro.dmm.trace import AccessTrace
 from repro.errors import ConfigurationError
 from repro.gpu.global_memory import CoalescingModel, GlobalTraffic
 from repro.mergepath.kernels import stack_warp_steps
+from repro.mitigation.registry import reconcile_mitigation
 from repro.sort.pairwise import RoundStats, SortResult
 from repro.utils.bits import ilog2, is_power_of_two
 from repro.utils.validation import check_positive_int, check_power_of_two
@@ -51,6 +52,10 @@ class BitonicSort:
         shared tile is ``2b`` elements.
     warp_size:
         Warp width / bank count.
+    mitigation:
+        Layout defense applied to every traced shared-memory address
+        (spec string or :class:`~repro.mitigation.base.Mitigation`;
+        default ``"none"``, the stock layout).
 
     Examples
     --------
@@ -61,9 +66,12 @@ class BitonicSort:
     True
     """
 
-    def __init__(self, block_size: int, warp_size: int = 32):
+    def __init__(
+        self, block_size: int, warp_size: int = 32, *, mitigation=None
+    ):
         self.block_size = check_power_of_two(block_size, "block_size")
         self.warp_size = check_power_of_two(warp_size, "warp_size")
+        self.mitigation = reconcile_mitigation(mitigation)
         if block_size < warp_size:
             raise ConfigurationError(
                 f"block_size {block_size} must be >= warp_size {warp_size}"
@@ -144,7 +152,9 @@ class BitonicSort:
             blocks_scored = blocks_total = n // tile
             kind = "global"
         else:
-            stacked = self._tile_step_trace(d)
+            stacked = self.mitigation.remap(
+                self._tile_step_trace(d), self.warp_size
+            )
             one_tile = count_conflicts(
                 AccessTrace.from_dense(stacked), self.warp_size
             )

@@ -38,6 +38,7 @@ from repro.dmm.trace import NO_ACCESS, AccessTrace
 from repro.errors import ValidationError
 from repro.gpu.global_memory import CoalescingModel, GlobalTraffic
 from repro.mergepath.kernels import stack_warp_steps, thread_rank_addresses
+from repro.mitigation.registry import reconcile_mitigation
 from repro.sort.config import SortConfig
 from repro.sort.pairwise import PairwiseMergeSort, RoundStats, SortResult
 from repro.utils.bits import ceil_log2
@@ -58,6 +59,11 @@ class MultiwaySort:
     k:
         Merge fan-in ``K`` (power of two ≥ 2; ``K = 2`` degenerates to the
         pairwise algorithm round structure).
+    mitigation:
+        Layout defense applied to every traced shared-memory address —
+        in the delegated pairwise base case and in the multiway rounds
+        alike (spec string or
+        :class:`~repro.mitigation.base.Mitigation`; default ``"none"``).
 
     Examples
     --------
@@ -70,9 +76,10 @@ class MultiwaySort:
     True
     """
 
-    def __init__(self, config: SortConfig, k: int = 4):
+    def __init__(self, config: SortConfig, k: int = 4, *, mitigation=None):
         self.config = config
         self.k = check_power_of_two(k, "k")
+        self.mitigation = reconcile_mitigation(mitigation)
         if k < 2:
             raise ValidationError(f"fan-in k must be >= 2, got {k}")
 
@@ -105,7 +112,7 @@ class MultiwaySort:
         result = SortResult(values=arr, config=cfg, num_elements=n)
 
         # Base case: identical to the pairwise algorithm.
-        pairwise = PairwiseMergeSort(cfg)
+        pairwise = PairwiseMergeSort(cfg, mitigation=self.mitigation)
         arr = pairwise._base_register_phase(arr, result)
         run = cfg.E
         while run < min(cfg.tile_size, n):
@@ -185,8 +192,8 @@ class MultiwaySort:
                 if steps.size:
                     part_rows.append(stack_warp_steps(steps, cfg.w))
 
-        merge_report = _score(merge_rows, cfg.w)
-        part_report = _score(part_rows, cfg.w)
+        merge_report = _score(merge_rows, cfg.w, self.mitigation)
+        part_report = _score(part_rows, cfg.w, self.mitigation)
 
         coalescing = CoalescingModel(cfg.w)
         coalescing.streamed_copy(n)
@@ -250,8 +257,10 @@ def _choose(total: int, score_blocks: int | None, rng) -> np.ndarray:
     )
 
 
-def _score(rows: list, num_banks: int) -> ConflictReport:
+def _score(rows: list, num_banks: int, mitigation=None) -> ConflictReport:
     if not rows:
         return ConflictReport.empty(num_banks)
     dense = rows[0] if len(rows) == 1 else np.vstack(rows)
+    if mitigation is not None:
+        dense = mitigation.remap(dense, num_banks)
     return count_conflicts(AccessTrace.from_dense(dense), num_banks)

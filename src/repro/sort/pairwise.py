@@ -204,6 +204,21 @@ class PairwiseMergeSort:
         logical cells — see :mod:`repro.mitigation.padding`). 0 models the
         stock Thrust/Modern GPU layout the paper attacks; 1 is the
         conflict-free mitigation the paper's related work discusses.
+        Legacy spelling of ``mitigation="padding:N"`` — both knobs
+        reconcile through
+        :func:`~repro.mitigation.registry.reconcile_mitigation`, and
+        disagreeing values raise.
+    mitigation:
+        Shared-memory layout defense: a spec string (``"none"``,
+        ``"padding:1"``, ``"cfree-sort"``, ``"cfree-permute"``), a
+        :class:`~repro.mitigation.base.Mitigation` instance, or ``None``
+        for the registry default. Every scoring path applies the
+        backend's address remap before conflict counting;
+        ``scoring="analytic"`` demands an analytically-modeled backend
+        (``none``/``padding``) and raises a
+        :class:`~repro.errors.ValidationError` otherwise — matrix cells
+        must never report closed-form numbers for layouts the model
+        doesn't cover.
     scoring:
         ``"vectorized"`` (default) batches every scored tile of a round
         through one address-arithmetic pass, one
@@ -255,16 +270,31 @@ class PairwiseMergeSort:
         padding: int = 0,
         scoring: str = "vectorized",
         memo: ConflictMemo | None | str = "auto",
+        mitigation=None,
     ):
         from repro.engine.registry import check_scoring
+        from repro.mitigation.registry import reconcile_mitigation
         from repro.utils.validation import check_nonnegative_int
 
         self.config = config
-        self.padding = check_nonnegative_int(padding, "padding")
-        # The registry is the one source of truth for scoring modes; the
-        # sorter takes the concrete ones ("auto" routing happens a layer
-        # up, in repro.engine.registry.resolve_scoring).
+        check_nonnegative_int(padding, "padding")
+        # The registries are the one source of truth for scoring modes and
+        # mitigation backends; the sorter takes concrete scorings ("auto"
+        # routing happens a layer up, in
+        # repro.engine.registry.resolve_scoring) and reconciles the legacy
+        # padding knob with the mitigation spec in exactly one place.
         self.scoring = check_scoring(scoring, allow_auto=False)
+        self.mitigation = reconcile_mitigation(mitigation, padding)
+        native_pad = self.mitigation.native_padding
+        #: Effective Dotsenko pad width; 0 for layouts the padding model
+        #: cannot express (those route scoring through the explicit remap).
+        self.padding = native_pad if native_pad is not None else 0
+        if self.scoring == "analytic" and not self.mitigation.analytic_supported:
+            raise ValidationError(
+                "scoring='analytic' cannot model mitigation "
+                f"{self.mitigation.spec!r}; use a simulated scoring "
+                "(e.g. 'fused' or 'auto') for this layout"
+            )
         self._analytic_engine = None
         if memo is None:
             self.memo: ConflictMemo | None = None
@@ -283,12 +313,15 @@ class PairwiseMergeSort:
             )
 
     def _physical(self, step_matrix: np.ndarray) -> np.ndarray:
-        """Logical tile addresses → physical (possibly padded) addresses."""
-        if not self.padding:
-            return step_matrix
-        from repro.mitigation.padding import pad_addresses
+        """Logical tile addresses → physical addresses under the layout.
 
-        return pad_addresses(step_matrix, self.config.warp_size, self.padding)
+        Delegates to the mitigation backend's remap; the identity layout
+        returns the matrix untouched. Dense ``(rows, w)`` matrices only —
+        lane-aware backends key off the column index.
+        """
+        if self.mitigation.native_padding == 0:
+            return step_matrix
+        return self.mitigation.remap(step_matrix, self.config.warp_size)
 
     # -- public API ----------------------------------------------------------
 
@@ -432,7 +465,11 @@ class PairwiseMergeSort:
 
         mat = arr.reshape(num_pairs, pair_width)
         used_scratch = False
-        if self.scoring == "fused" and fused_kernels.native_round_ready(arr):
+        if (
+            self.scoring == "fused"
+            and self.mitigation.native_padding is not None
+            and fused_kernels.native_round_ready(arr)
+        ):
             # Native fused rounds never materialize the order array: the
             # merge is a row-wise two-pointer pass and the scorers
             # reconstruct each scored tile's interleaving locally.
@@ -616,9 +653,7 @@ class PairwiseMergeSort:
         order_tiles = order.reshape(-1, pairs_per_tile, pair_width)[scored]
         pair_bases = np.arange(pairs_per_tile, dtype=np.int64)[:, None] * pair_width
         addr_by_rank = (order_tiles + pair_bases).reshape(num_scored, cfg.tile_size)
-        merge_report = permutation_stage_report(
-            addr_by_rank, cfg.E, cfg.w, self.padding
-        )
+        merge_report = self._fused_merge_report(addr_by_rank)
         probe_steps = self._block_partition_probes(
             flat_pre, run, scored, pairs_per_tile
         )
@@ -626,6 +661,26 @@ class PairwiseMergeSort:
             stack_group_warp_steps(probe_steps, num_scored, cfg.w)
         )
         return merge_report, dense_report(part_dense, cfg.w)
+
+    def _fused_merge_report(self, addr_by_rank: np.ndarray) -> ConflictReport:
+        """Fused-path merge-stage report under the active layout.
+
+        Padding-expressible layouts take the specialized
+        :func:`~repro.dmm.fused.permutation_stage_report` fast path; other
+        backends (the cfree layouts) remap the dense warp-step matrix
+        explicitly and count it with :func:`~repro.dmm.fused.dense_report`
+        — bit-identical aggregates either way.
+        """
+        cfg = self.config
+        if self.mitigation.native_padding is not None:
+            return permutation_stage_report(
+                addr_by_rank, cfg.E, cfg.w, self.padding
+            )
+        dense = self.mitigation.remap(
+            stack_warp_steps(batched_rank_addresses(addr_by_rank, cfg.E), cfg.w),
+            cfg.w,
+        )
+        return dense_report(dense, cfg.w)
 
     def _block_reports_memoized(
         self,
@@ -655,6 +710,7 @@ class PairwiseMergeSort:
             elements_per_thread=cfg.E,
             run_length=run,
             padding=self.padding,
+            mitigation=self.mitigation.spec,
         )
         keys = ConflictMemo.tile_digests(context, addr_by_rank)
         return self._reports_memoized(
@@ -919,7 +975,7 @@ class PairwiseMergeSort:
         local, pairs, a_lo, b_lo, na = self._global_patterns(
             mat, order, run, scored, blocks_per_pair
         )
-        merge_report = permutation_stage_report(local, cfg.E, cfg.w, self.padding)
+        merge_report = self._fused_merge_report(local)
         probe_steps = self._global_partition_probes(
             mat, run, pairs, a_lo, b_lo, na
         )
@@ -953,6 +1009,7 @@ class PairwiseMergeSort:
             elements_per_thread=cfg.E,
             run_length=run,
             padding=self.padding,
+            mitigation=self.mitigation.spec,
         )
         keys = ConflictMemo.tile_digests(context, local, extra=na)
         return self._reports_memoized(
@@ -984,6 +1041,27 @@ class PairwiseMergeSort:
         is assembled from per-tile reports exactly as the vectorized path
         would have counted it.
         """
+        cfg = self.config
+        memo = self.memo
+        hits_before, misses_before = memo.hits, memo.misses
+        try:
+            return self._reports_memoized_inner(context, keys, patterns, probe_fn)
+        finally:
+            # Attribute this round's lookups to the active layout so
+            # `cache stats` can break memo traffic down per mitigation.
+            ConflictMemo.record_mitigation(
+                self.mitigation.spec,
+                memo.hits - hits_before,
+                memo.misses - misses_before,
+            )
+
+    def _reports_memoized_inner(
+        self,
+        context: bytes,
+        keys: list[bytes],
+        patterns: np.ndarray,
+        probe_fn,
+    ) -> tuple[ConflictReport, ConflictReport]:
         cfg = self.config
         memo = self.memo
 

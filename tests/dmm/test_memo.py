@@ -37,11 +37,12 @@ class TestContext:
             ("elements_per_thread", 5),
             ("run_length", 12),
             ("padding", 1),
+            ("mitigation", "cfree-sort"),
         ]:
             contexts.add(
                 ConflictMemo.context("block", **{**base, field: bumped})
             )
-        assert len(contexts) == 6  # every variation yields a distinct prefix
+        assert len(contexts) == 7  # every variation yields a distinct prefix
 
     def test_context_fields_match_signature(self):
         """``CONTEXT_FIELDS`` is the single source of truth: it must list
@@ -58,7 +59,7 @@ class TestContext:
         invalidates nothing on disk, but the engine layer fingerprints the
         field list so warm runners retire on change — the *format* should
         only move together with a deliberate CONTEXT_FIELDS bump)."""
-        assert CTX == b"block|w=4|E=3|L=6|pad=0|"
+        assert CTX == b"block|w=4|E=3|L=6|pad=0|mit=none|"
 
     def test_scoring_identity_is_not_a_context_field(self):
         """Deliberate absence: the scoring backends (vectorized / loop /

@@ -210,6 +210,48 @@ class TestSortPlanBitIdentity:
                 )
             )
 
+    @pytest.mark.parametrize(
+        "mitigation", ["none", "padding:1", "cfree-sort", "cfree-permute"]
+    )
+    @pytest.mark.parametrize("engine_name", SIMULATING_ENGINES)
+    def test_mitigations_bit_identical_per_engine(
+        self, engines, engine_name, mitigation
+    ):
+        """The matrix acceptance bar: every mitigation layout produces
+        bit-identical results through every simulating engine — inline,
+        memoized, fused, pool, and the served/sharded wire paths. The
+        worst-case family is analytic-eligible, so this also pins that
+        "auto" routing never hands an unmodeled layout to the closed
+        form."""
+        result = engines[engine_name].run_sort(
+            SortTask(
+                config=CFG,
+                input_name="worst-case",
+                num_elements=N,
+                mitigation=mitigation,
+                seed=0,
+            )
+        )
+        key = ("mitigation", mitigation)
+        if key not in _MATRIX_ORACLE:
+            data = generate("worst-case", CFG, N, seed=0)
+            _MATRIX_ORACLE[key] = PairwiseMergeSort(
+                CFG, scoring="loop", mitigation=mitigation
+            ).sort(data, seed=0)
+        assert_results_identical(result, _MATRIX_ORACLE[key])
+
+    def test_analytic_rejects_unmodeled_layouts(self, engines):
+        with pytest.raises(ValidationError):
+            engines["analytic"].run_sort(
+                SortTask(
+                    config=CFG,
+                    input_name="worst-case",
+                    num_elements=N,
+                    mitigation="cfree-sort",
+                    seed=0,
+                )
+            )
+
     def test_plan_batch_matches_individual_runs(self, engines):
         """A multi-task plan returns results in task order, equal to
         one-at-a-time execution."""

@@ -278,3 +278,60 @@ class TestScoringAndPaddingFields:
     def test_explicit_null_score_blocks_means_score_all(self):
         assert self._simulate(score_blocks=None).score_blocks is None
         assert self._simulate().score_blocks == 8
+
+
+class TestMitigationField:
+    """The ``mitigation`` wire field: parse-time validation against the
+    mitigation registry, normalization against the legacy ``padding``
+    knob, and coalesce-key hygiene."""
+
+    def _simulate(self, **extra):
+        payload = {"preset": "mgpu-maxwell", "tiles": 2}
+        payload.update(extra)
+        return SimulateRequest.from_payload(payload)
+
+    def _sweep(self, **extra):
+        payload = {"config": config_to_obj(small_config()), "sizes": [96]}
+        payload.update(extra)
+        return SweepRequest.from_payload(payload)
+
+    def test_defaults_to_none(self):
+        assert self._simulate().mitigation == "none"
+        assert self._sweep().mitigation == "none"
+
+    def test_unknown_spec_fails_at_parse_time(self):
+        with pytest.raises(ValidationError, match="known backends"):
+            self._simulate(mitigation="magic")
+        with pytest.raises(ValidationError, match="known backends"):
+            self._sweep(mitigation="magic")
+
+    def test_spec_is_canonicalized(self):
+        assert self._simulate(mitigation="padding").mitigation == "padding:1"
+
+    def test_legacy_padding_and_spec_normalize_identically(self):
+        """``padding: N`` and ``mitigation: "padding:N"`` must be the
+        SAME request on the wire — identical fields, identical coalesce
+        keys — or equivalent concurrent requests stop coalescing."""
+        legacy = self._simulate(padding=2)
+        spec = self._simulate(mitigation="padding:2")
+        assert (legacy.padding, legacy.mitigation) == (2, "padding:2")
+        assert (spec.padding, spec.mitigation) == (2, "padding:2")
+        assert legacy.coalesce_key() == spec.coalesce_key()
+        assert self._sweep(padding=2).coalesce_key() \
+            == self._sweep(mitigation="padding:2").coalesce_key()
+
+    def test_conflicting_layouts_rejected_at_parse_time(self):
+        with pytest.raises(ValidationError, match="conflicting layout"):
+            self._simulate(padding=2, mitigation="padding:1")
+        with pytest.raises(ValidationError, match="conflicting layout"):
+            self._sweep(padding=1, mitigation="cfree-sort")
+
+    def test_cfree_specs_carry_no_native_padding(self):
+        request = self._simulate(mitigation="cfree-sort")
+        assert (request.padding, request.mitigation) == (0, "cfree-sort")
+
+    def test_mitigation_splits_coalesce_keys(self):
+        assert self._simulate().coalesce_key() \
+            != self._simulate(mitigation="cfree-sort").coalesce_key()
+        assert self._sweep(mitigation="cfree-sort").coalesce_key() \
+            != self._sweep(mitigation="cfree-permute").coalesce_key()

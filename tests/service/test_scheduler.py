@@ -58,6 +58,49 @@ class TestSplitManifest:
             assert parsed.input_names == (chunk.input_name,)
             assert parsed.sizes == chunk.sizes
 
+    def test_mitigations_expand_mitigation_major(self):
+        """A ``mitigations`` list crosses the whole sweep per layout,
+        mitigation-major, so index-order concatenation yields one
+        contiguous sweep per spec (what the job report renders)."""
+        sizes = [CFG.tile_size * k for k in (2, 4)]
+        _, chunks, _ = split_manifest(
+            manifest(sizes=sizes, chunk_sizes=2,
+                     mitigations=["none", "cfree-sort"])
+        )
+        assert [
+            (c.mitigation, c.input_name) for c in chunks
+        ] == [
+            ("none", "random"),
+            ("none", "worst-case"),
+            ("cfree-sort", "random"),
+            ("cfree-sort", "worst-case"),
+        ]
+        for chunk in chunks:
+            parsed = SweepRequest.from_payload(chunk.payload)
+            assert parsed.mitigation == chunk.mitigation
+
+    def test_mitigations_entries_canonicalized(self):
+        _, chunks, _ = split_manifest(manifest(mitigations=["padding"]))
+        assert {c.mitigation for c in chunks} == {"padding:1"}
+
+    def test_single_mitigation_field_still_works(self):
+        _, chunks, _ = split_manifest(manifest(mitigation="cfree-permute"))
+        assert {c.mitigation for c in chunks} == {"cfree-permute"}
+
+    def test_mitigations_validated(self):
+        with pytest.raises(ValidationError, match="nonempty list"):
+            split_manifest(manifest(mitigations=[]))
+        with pytest.raises(ValidationError, match="known backends"):
+            split_manifest(manifest(mitigations=["magic"]))
+        with pytest.raises(ValidationError, match="unique"):
+            split_manifest(manifest(mitigations=["padding", "padding:1"]))
+        with pytest.raises(ValidationError, match="exclusive"):
+            split_manifest(
+                manifest(mitigations=["none"], mitigation="cfree-sort")
+            )
+        with pytest.raises(ValidationError, match="padding"):
+            split_manifest(manifest(mitigations=["none"], padding=1))
+
     def test_equivalent_manifests_produce_identical_fingerprints(self):
         """Two phrasings of the same grid (explicit config vs the same
         grid again with scheduler knobs attached) chunk to identical
